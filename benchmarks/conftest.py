@@ -1,0 +1,9 @@
+"""Benchmark-suite fixtures (pytest-benchmark)."""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def fab_config():
+    from repro.core import FabConfig
+    return FabConfig()

@@ -1,0 +1,15 @@
+"""Figure 5 ablation bench: KeySwitch datapath variants."""
+
+from repro.experiments import ablation_keyswitch
+
+
+def test_bench_fig5_ablation(benchmark):
+    result = benchmark(ablation_keyswitch.run)
+    orig = result.row("original")
+    mod = result.row("modified")
+    half = result.row("modified_no_smart")
+    assert mod["cycles"] < half["cycles"] < orig["cycles"]
+    assert orig["spill_MB"] > 0 and mod["spill_MB"] == 0
+    # Smart scheduling halves the BasisConvert multiplies (~40% of total).
+    assert mod["modmults_M"] < 0.7 * orig["modmults_M"]
+    assert mod["bound_by"] == "fu"  # balanced: not memory bound

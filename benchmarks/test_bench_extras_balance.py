@@ -1,0 +1,14 @@
+"""Beyond-paper bench: balanced-design studies."""
+
+from repro.experiments import extras_balance
+
+
+def test_bench_extras_balance(benchmark):
+    result = benchmark(extras_balance.run)
+    assert result.row("striping/round_robin")["value"] == 1.0
+    assert result.row("striping/single_port")["value"] > 10
+    assert result.row("prefetch/rotation_burst")["value"] > 1.0
+    assert result.row("utilization/fu")["value"] > 0.85
+    # Full bandwidth: compute bound; 1/16 bandwidth: memory bound.
+    assert result.row("bandwidth/461GBs")["value"] == "fu"
+    assert result.row("bandwidth/29GBs")["value"] == "hbm"

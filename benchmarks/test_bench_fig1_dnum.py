@@ -1,0 +1,14 @@
+"""Figure 1 bench: dnum sweep (levels after bootstrap, key sizes)."""
+
+from repro.experiments import fig1_dnum
+
+
+def test_bench_fig1(benchmark):
+    result = benchmark(fig1_dnum.run)
+    levels = [r["levels_after_boot"] for r in result.rows]
+    sizes = [r["key_MB(compressed)"] for r in result.rows]
+    # Shape: both series increase with dnum; dnum=1 cannot bootstrap.
+    assert levels == sorted(levels)
+    assert sizes == sorted(sizes)
+    assert levels[0] == 0
+    assert result.row("dnum=3")["levels_after_boot"] == 6

@@ -1,0 +1,14 @@
+"""Figure 2 bench: fftIter sweep (bootstrap time, NTT count)."""
+
+from repro.experiments import fig2_fftiter
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark(fig2_fftiter.run)
+    by_label = {r.label: r for r in result.rows}
+    # Shape: bootstrap time and NTT count fall steeply from fftIter=1.
+    assert by_label["fftIter=1"]["boot_ms"] > 5 * by_label["fftIter=4"]["boot_ms"]
+    assert by_label["fftIter=1"]["ntt_ops"] > by_label["fftIter=4"]["ntt_ops"]
+    # The amortized optimum is interior (3-5), as the paper argues.
+    best = min(result.rows, key=lambda r: r["amortized_us_per_slot"])
+    assert best.label in {"fftIter=3", "fftIter=4", "fftIter=5"}

@@ -1,0 +1,11 @@
+"""§5.5 bench: bootstrapping vs the leveled-FHE alternative."""
+
+from repro.experiments import leveled_vs_bootstrap
+
+
+def test_bench_leveled(benchmark):
+    result = benchmark(leveled_vs_bootstrap.run)
+    boot = result.row("bootstrapping (FAB-1)")
+    leveled = result.row("leveled (client re-encrypt)")
+    assert boot["seconds"] < leveled["seconds"]
+    assert leveled["leaks_intermediates"] is True

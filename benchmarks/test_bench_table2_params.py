@@ -1,0 +1,11 @@
+"""Table 2 bench: parameter-set feasibility checks."""
+
+from repro.experiments import table2_params
+
+
+def test_bench_table2(benchmark):
+    result = benchmark(table2_params.run)
+    assert result.row("secure@128")["model"] is True
+    assert result.row("ct fits on-chip")["model"] is True
+    assert result.row("LBoot")["model"] == 17
+    assert result.row("log PQ")["model"] == 1728

@@ -1,0 +1,12 @@
+"""Table 3 bench: resource utilization accounting."""
+
+from repro.experiments import table3_resources
+
+
+def test_bench_table3(benchmark):
+    result = benchmark(table3_resources.run)
+    for row in result.rows:
+        model = row["model_pct"]
+        paper = row["paper_pct"]
+        assert abs(model - paper) < 2.0, row.label
+        assert row["model_utilized"] <= row["available"]

@@ -1,0 +1,14 @@
+"""Table 4 bench: accelerator footprint comparison."""
+
+from repro.experiments import table4_comparison
+
+
+def test_bench_table4(benchmark):
+    result = benchmark(table4_comparison.run)
+    fab = result.row("FAB")
+    bts = result.row("BTS")
+    f1 = result.row("F1")
+    # Shape: FAB uses dramatically fewer multipliers and less memory.
+    assert bts["mod_multipliers"] / fab["mod_multipliers"] == 32
+    assert f1["mod_multipliers"] / fab["mod_multipliers"] == 72
+    assert bts["onchip_MB"] / fab["onchip_MB"] > 10

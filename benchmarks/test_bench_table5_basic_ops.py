@@ -1,0 +1,13 @@
+"""Table 5 bench: basic CKKS op latency, FAB vs GPU."""
+
+from repro.experiments import table5_basic_ops
+
+
+def test_bench_table5(benchmark):
+    result = benchmark(table5_basic_ops.run)
+    for row in result.rows:
+        # Shape: FAB beats the GPU on every operation.
+        assert row["model_speedup_vs_gpu"] > 1.0, row.label
+        # Absolute: within 50% of the paper's measured FAB times.
+        ratio = row["fab_model_ms"] / row["fab_paper_ms"]
+        assert 0.5 < ratio < 1.6, row.label

@@ -1,0 +1,10 @@
+"""Table 6 bench: NTT/Mult throughput vs HEAX."""
+
+from repro.experiments import table6_heax
+
+
+def test_bench_table6(benchmark):
+    result = benchmark(table6_heax.run)
+    # Shape: FAB out-throughputs HEAX on both primitives.
+    assert result.row("NTT")["model_speedup"] > 1.0
+    assert result.row("Mult")["model_speedup"] > 1.0

@@ -1,0 +1,17 @@
+"""Table 7 bench: bootstrapping comparison across devices."""
+
+from repro.experiments import table7_bootstrap
+
+
+def test_bench_table7(benchmark):
+    result = benchmark(table7_bootstrap.run)
+    fab = result.row("FAB")["model_us"]
+    # Shape: FAB beats CPU, both GPUs and F1; BTS-2 stays ahead.
+    assert result.row("Lattigo")["model_us"] / fab > 100
+    assert result.row("GPU-1")["model_us"] > fab
+    assert result.row("GPU-2")["model_us"] > fab
+    assert result.row("F1")["model_us"] / fab > 100
+    assert result.row("BTS-2")["model_us"] < fab
+    # Cycle-count speedups exceed time speedups (FAB runs at 300 MHz).
+    assert (result.row("Lattigo")["fab_speedup_cycles"]
+            > result.row("Lattigo")["fab_speedup_time"])

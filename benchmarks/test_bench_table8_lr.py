@@ -1,0 +1,15 @@
+"""Table 8 bench: LR training time per iteration across devices."""
+
+from repro.experiments import table8_lr
+
+
+def test_bench_table8(benchmark):
+    result = benchmark(table8_lr.run)
+    order = {r.label: r["model_s"] for r in result.rows}
+    # Shape: BTS-2 < FAB-2 < FAB-1 < {GPU-2, F1} < Lattigo.
+    assert order["BTS-2"] < order["FAB-2"] < order["FAB-1"]
+    assert order["FAB-1"] < order["GPU-2"]
+    assert order["FAB-1"] < order["F1"]
+    assert order["Lattigo"] == max(order.values())
+    # FAB-2 gains over FAB-1 but far less than 8x (Amdahl).
+    assert 1.1 < order["FAB-1"] / order["FAB-2"] < 3.0

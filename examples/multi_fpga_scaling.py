@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""FAB-2: scaling encrypted LR training to a pool of FPGAs (§3, §5.5).
+
+Models the 8-board cloud deployment: primary/secondary pairs over 100G
+Ethernet, a broadcast master, per-iteration communication (~12 ms), and
+the Amdahl ceiling imposed by single-board bootstrapping.  Sweeps the
+pool size to show where adding boards stops paying.
+
+Run:  python examples/multi_fpga_scaling.py
+"""
+
+from repro.core import FabConfig, MultiFpgaSystem
+from repro.perf.fab import Fab2Device, FabDevice
+
+
+def communication_model() -> None:
+    config = FabConfig()
+    system = MultiFpgaSystem(config, num_fpgas=8)
+    print("== CMAC / Ethernet communication model ==")
+    print(f"limb transmit:        {system.limb_transmit_cycles():>9,} "
+          f"cycles (paper ~11,399)")
+    print(f"ciphertext transmit:  {system.ciphertext_transmit_cycles():>9,}"
+          f" cycles (paper ~546,980)")
+    print(f"per-iteration comms:  "
+          f"{system.communication_seconds_per_iteration() * 1e3:9.1f} ms "
+          f"(paper ~12 ms)")
+    roles = ", ".join(f"fpga{n.index}:{n.role}" for n in system.nodes)
+    print(f"topology: {roles}\n")
+
+
+def pool_sweep() -> None:
+    print("== LR iteration time vs pool size ==")
+    fab1 = FabDevice()
+    single = fab1.lr_iteration_seconds()
+    boot = fab1.bootstrap_seconds(slots=256)
+    print(f"{'boards':>7s} {'s/iter':>8s} {'speedup':>8s} {'efficiency':>11s}")
+    print(f"{1:>7d} {single:>8.3f} {1.0:>8.2f} {'100%':>11s}")
+    for boards in (2, 4, 8, 16, 32):
+        device = Fab2Device(num_fpgas=boards)
+        t = device.lr_iteration_seconds()
+        speedup = single / t
+        eff = speedup / boards
+        print(f"{boards:>7d} {t:>8.3f} {speedup:>8.2f} {eff:>10.0%}")
+    serial_share = boot / single
+    print(f"\nbootstrap is {serial_share:.0%} of a FAB-1 iteration and "
+          "runs on one board,\nso Amdahl caps the pool speedup at "
+          f"~{1 / serial_share:.1f}x — parallelizing bootstrapping itself "
+          "is the\npaper's stated future work.")
+
+
+def main() -> None:
+    communication_model()
+    pool_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Prints model-measured values side by side with the paper-reported ones
+for Figures 1-2 and Tables 2-8, plus the Fig. 5 datapath ablation and
+the §5.5 leveled-FHE comparison.
+
+Run:  python examples/reproduce_paper.py
+"""
+
+from repro.experiments import run_all
+
+
+def main() -> None:
+    run_all(verbose=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""FAB: an FPGA-based accelerator for bootstrappable FHE (HPCA 2023).
+
+A faithful Python reproduction of the paper's system:
+
+* :mod:`repro.fhe` — a functional RNS-CKKS library (NTT, hybrid key
+  switching, fully-packed bootstrapping) — the substrate FAB accelerates.
+* :mod:`repro.core` — the FAB accelerator model: functional units,
+  URAM/BRAM banks, HBM, the NTT and KeySwitch datapaths, an event
+  scheduler, Table-3 resource accounting, and the FAB-2 multi-FPGA pool.
+* :mod:`repro.perf` — workload op counts, calibrated baseline devices
+  (Lattigo CPU, GPU, F1, BTS, HEAX), and the Eq.-2 metric.
+* :mod:`repro.apps.lr` — HELR logistic regression over encrypted data.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+
+Quickstart::
+
+    from repro.fhe import CkksParams, CkksScheme
+    scheme = CkksScheme(CkksParams(ring_degree=64, num_limbs=5,
+                                   scale_bits=25))
+    ct = scheme.encrypt([1.0, 2.0, 3.0])
+    ev = scheme.evaluator
+    print(scheme.decrypt(ev.rescale(ev.multiply(ct, ct)))[:3])
+"""
+
+from . import apps, core, experiments, fhe, perf
+from .core import FabConfig, FabOpModel
+from .fhe import Bootstrapper, CkksParams, CkksScheme
+
+__version__ = "1.0.0"
+
+__all__ = ["Bootstrapper", "CkksParams", "CkksScheme", "FabConfig",
+           "FabOpModel", "apps", "core", "experiments", "fhe", "perf",
+           "__version__"]

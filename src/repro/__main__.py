@@ -1,0 +1,39 @@
+"""Command-line entry point: reproduce the paper's evaluation.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro all                  # run everything
+    python -m repro table7 table8        # run specific artifacts
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import ALL_EXPERIMENTS, print_result
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    if argv[0] == "list":
+        for key, module in ALL_EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{key:22s} {doc}")
+        return 0
+    targets = list(ALL_EXPERIMENTS) if argv[0] == "all" else argv
+    unknown = [t for t in targets if t not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"try: {', '.join(ALL_EXPERIMENTS)}")
+        return 1
+    for target in targets:
+        print_result(ALL_EXPERIMENTS[target].run())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

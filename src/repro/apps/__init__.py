@@ -1,0 +1,5 @@
+"""Application layer: the paper's target workloads."""
+
+from . import lr, stats
+
+__all__ = ["lr", "stats"]

@@ -1,0 +1,18 @@
+"""HELR logistic regression over encrypted data (§5.5)."""
+
+from .data import Dataset, synthetic_mnist_3v8, PAPER_NUM_FEATURES, \
+    PAPER_NUM_SAMPLES
+from .encrypted import (EncryptedLrTrainer, EncryptedTrainState,
+                        LEVELS_PER_ITERATION)
+from .inference import EncryptedLrClassifier
+from .packing import BatchPacker, rotation_tree_steps
+from .plain import (POLY3_COEFFS, PlainLrTrainer, TrainResult,
+                    gradient_step_reference, poly3_sigmoid, sigmoid)
+
+__all__ = [
+    "BatchPacker", "Dataset", "EncryptedLrClassifier", "EncryptedLrTrainer", "EncryptedTrainState",
+    "LEVELS_PER_ITERATION", "PAPER_NUM_FEATURES", "PAPER_NUM_SAMPLES",
+    "POLY3_COEFFS", "PlainLrTrainer", "TrainResult",
+    "gradient_step_reference", "poly3_sigmoid", "rotation_tree_steps",
+    "sigmoid", "synthetic_mnist_3v8",
+]

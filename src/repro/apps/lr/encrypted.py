@@ -1,0 +1,167 @@
+"""Encrypted logistic-regression training on the functional CKKS library.
+
+The paper's target application (§5.5): train an LR model on encrypted
+data, bootstrapping between iterations.  Both the data and the weights
+are encrypted; one iteration consumes 5 multiplicative levels exactly as
+the paper states:
+
+1. inner products ``z_i = <x_i, w>``      (1 level + rotation tree)
+2. polynomial sigmoid ``s = p3(z)``       (2 levels)
+3. gradient ``g = sum_i (s_i - y_i) x_i`` (1 level)
+4. learning-rate scaling + weight update  (1 level)
+
+Runs at reduced N in tests; the paper-scale performance comes from the
+cost models in :mod:`repro.perf.fab`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ...fhe import Ciphertext, CkksScheme
+from ...fhe.bootstrap import Bootstrapper
+from ...fhe.align import ScaleAligner
+from .data import Dataset
+from .packing import BatchPacker, rotation_tree_steps
+from .plain import POLY3_COEFFS
+
+#: Levels one iteration consumes (the paper's "5 compute levels").
+LEVELS_PER_ITERATION = 5
+
+
+@dataclass
+class EncryptedTrainState:
+    """Mutable state across encrypted iterations."""
+
+    weights_ct: Ciphertext
+    iterations_done: int = 0
+    bootstraps_done: int = 0
+    weight_history: List[np.ndarray] = field(default_factory=list)
+
+
+class EncryptedLrTrainer:
+    """Trains an LR model over encrypted samples and encrypted weights."""
+
+    def __init__(self, scheme: CkksScheme, learning_rate: float = 1.0,
+                 bootstrapper: Optional[Bootstrapper] = None):
+        self.scheme = scheme
+        self.learning_rate = learning_rate
+        self.packer = BatchPacker(scheme)
+        self.bootstrapper = bootstrapper
+        self._align = ScaleAligner(scheme.evaluator, scheme.encoder)
+        steps = rotation_tree_steps(self.packer.num_slots)
+        scheme.add_rotation_keys(steps)
+        self._tree_steps = steps
+
+    # ------------------------------------------------------------------
+    # Circuit pieces
+    # ------------------------------------------------------------------
+
+    def inner_product(self, ct_x: Ciphertext,
+                      ct_w: Ciphertext) -> Ciphertext:
+        """``<x, w>`` replicated into every slot (1 level + tree)."""
+        ev = self.scheme.evaluator
+        prod = ev.rescale(ev.multiply(ct_x, ct_w))
+        acc = prod
+        for step in self._tree_steps:
+            acc = ev.add(acc, ev.rotate(acc, step))
+        return acc
+
+    def poly_sigmoid(self, ct_z: Ciphertext) -> Ciphertext:
+        """HELR's degree-3 sigmoid ``c0 + c1 z + c3 z^3`` (2 levels)."""
+        ev = self.scheme.evaluator
+        c0, c1, _c2, c3 = POLY3_COEFFS
+        # z^2 and c3*z are computed at the same depth (in parallel on
+        # hardware), so the cubic term costs 2 levels, not 3 — keeping
+        # the whole iteration at the paper's 5 levels.
+        z_sq = ev.rescale(ev.square(ct_z))
+        z_c3 = self._align.mul_const(ct_z, c3, target_scale=z_sq.scale)
+        cubic = ev.rescale(ev.multiply(z_c3, z_sq))
+        linear = self._align.mul_const(ct_z, c1)
+        total = self._align.add(cubic, linear)
+        return self._align.add_const(total, c0)
+
+    def gradient(self, cts_x: List[Ciphertext], labels: np.ndarray,
+                 ct_w: Ciphertext) -> Ciphertext:
+        """``(1/B) sum_i (p3(<x_i,w>) - y_i) x_i`` (uses 4 levels)."""
+        ev = self.scheme.evaluator
+        total: Optional[Ciphertext] = None
+        for ct_x, label in zip(cts_x, labels):
+            z = self.inner_product(ct_x, ct_w)
+            s = self.poly_sigmoid(z)
+            err = self._align.add_const(s, -float(label))
+            x_aligned, err_aligned = self._align.align_pair(ct_x, err)
+            contrib = ev.rescale(ev.multiply(err_aligned, x_aligned))
+            total = contrib if total is None else ev.add(total, contrib)
+        if total is None:
+            raise ValueError("empty batch")
+        return total
+
+    # ------------------------------------------------------------------
+    # Training loop
+    # ------------------------------------------------------------------
+
+    def init_state(self, num_features: int,
+                   initial_weights: Optional[np.ndarray] = None
+                   ) -> EncryptedTrainState:
+        """Encrypt the initial weight vector."""
+        w = (np.zeros(num_features) if initial_weights is None
+             else np.asarray(initial_weights, dtype=np.float64))
+        return EncryptedTrainState(self.packer.pack_weights(w))
+
+    def iteration(self, state: EncryptedTrainState, batch: Dataset,
+                  cts_x: Optional[List[Ciphertext]] = None) -> None:
+        """One encrypted mini-batch update (5 levels)."""
+        ev = self.scheme.evaluator
+        if cts_x is None:
+            cts_x = self.packer.pack_samples(batch)
+        ct_w = state.weights_ct
+        if ct_w.level_count < LEVELS_PER_ITERATION + 1:
+            ct_w = self._refresh(state, ct_w)
+        grad = self.gradient(cts_x, batch.labels, ct_w)
+        step = self._align.mul_const(
+            grad, self.learning_rate / batch.num_samples)
+        w_aligned, step_aligned = self._align.align_pair(ct_w, step)
+        state.weights_ct = ev.sub(w_aligned, step_aligned)
+        state.iterations_done += 1
+
+    def _refresh(self, state: EncryptedTrainState,
+                 ct_w: Ciphertext) -> Ciphertext:
+        """Bootstrap the weight ciphertext (paper: every iteration)."""
+        if self.bootstrapper is None:
+            raise ValueError(
+                "weights exhausted and no bootstrapper configured; "
+                "increase num_limbs or pass a Bootstrapper")
+        ev = self.scheme.evaluator
+        ct_low = ev.mod_down_to(ct_w, 1)
+        if not np.isclose(ct_low.scale, self.scheme.params.scale,
+                          rtol=1e-6):
+            ct_low = self._align.match(
+                ev.mod_down_to(ct_w, 2), self.scheme.params.scale, 1)
+        refreshed = self.bootstrapper.bootstrap(ct_low)
+        state.bootstraps_done += 1
+        return refreshed
+
+    def train(self, dataset: Dataset, iterations: int,
+              batch_size: Optional[int] = None,
+              initial_weights: Optional[np.ndarray] = None,
+              record_history: bool = False) -> EncryptedTrainState:
+        """Run the full encrypted training loop."""
+        state = self.init_state(dataset.num_features, initial_weights)
+        batch_size = batch_size or dataset.num_samples
+        batches = list(dataset.minibatches(batch_size))
+        for it in range(iterations):
+            batch = batches[it % len(batches)]
+            self.iteration(state, batch)
+            if record_history:
+                state.weight_history.append(self.packer.unpack_weights(
+                    state.weights_ct, dataset.num_features))
+        return state
+
+    def decrypted_weights(self, state: EncryptedTrainState,
+                          num_features: int) -> np.ndarray:
+        """Decrypt the current weight vector."""
+        return self.packer.unpack_weights(state.weights_ct, num_features)

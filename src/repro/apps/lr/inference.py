@@ -1,0 +1,94 @@
+"""Encrypted logistic-regression inference.
+
+The deployment half of the paper's target application: after training,
+the cloud scores encrypted samples against the (encrypted or plaintext)
+model without seeing either.  Two settings:
+
+* encrypted sample x encrypted model — full privacy, two levels per
+  score (inner product + sigmoid);
+* encrypted sample x plaintext model — the common "private input,
+  public model" setting, one ciphertext-plaintext multiply cheaper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ...fhe import Ciphertext, CkksScheme
+from ...fhe.align import ScaleAligner
+from ...fhe.routines import HomomorphicRoutines
+from .data import Dataset
+from .packing import BatchPacker
+from .plain import POLY3_COEFFS
+
+
+class EncryptedLrClassifier:
+    """Scores encrypted samples with a logistic-regression model."""
+
+    def __init__(self, scheme: CkksScheme):
+        self.scheme = scheme
+        self.packer = BatchPacker(scheme)
+        self.routines = HomomorphicRoutines(scheme.evaluator,
+                                            scheme.encoder)
+        self.aligner = ScaleAligner(scheme.evaluator, scheme.encoder)
+        from .packing import rotation_tree_steps
+        scheme.add_rotation_keys(rotation_tree_steps(self.packer.num_slots))
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+
+    def score(self, ct_sample: Ciphertext,
+              ct_weights: Ciphertext) -> Ciphertext:
+        """Probability estimate ``p3(<x, w>)`` (encrypted model)."""
+        z = self.routines.inner_product(ct_sample, ct_weights)
+        return self._sigmoid(z)
+
+    def score_plain_model(self, ct_sample: Ciphertext,
+                          weights: np.ndarray) -> Ciphertext:
+        """Probability estimate against a plaintext model."""
+        padded = np.zeros(self.packer.num_slots)
+        padded[:weights.shape[0]] = weights
+        pt = self.scheme.encoder.encode(
+            padded, scale=float(ct_sample.c0.basis.primes[-1]),
+            basis=ct_sample.c0.basis, num_slots=self.packer.num_slots)
+        ev = self.scheme.evaluator
+        prod = ev.rescale(ev.multiply_plain(ct_sample, pt))
+        z = self.routines.sum_slots(prod, self.packer.num_slots)
+        return self._sigmoid(z)
+
+    def _sigmoid(self, ct_z: Ciphertext) -> Ciphertext:
+        """HELR's degree-3 polynomial sigmoid (two levels)."""
+        ev = self.scheme.evaluator
+        c0, c1, _c2, c3 = POLY3_COEFFS
+        z_sq = ev.rescale(ev.square(ct_z))
+        z_c3 = self.aligner.mul_const(ct_z, c3, target_scale=z_sq.scale)
+        cubic = ev.rescale(ev.multiply(z_c3, z_sq))
+        linear = self.aligner.mul_const(ct_z, c1)
+        total = self.aligner.add(cubic, linear)
+        return self.aligner.add_const(total, c0)
+
+    # ------------------------------------------------------------------
+    # Batch helpers
+    # ------------------------------------------------------------------
+
+    def classify_batch(self, batch: Dataset, weights: np.ndarray,
+                       threshold: float = 0.5) -> np.ndarray:
+        """Encrypt, score and decrypt a batch; returns 0/1 predictions.
+
+        The samples travel encrypted; only the final probabilities are
+        decrypted (by the data owner, in a real deployment).
+        """
+        predictions = []
+        for ct in self.packer.pack_samples(batch):
+            prob_ct = self.score_plain_model(ct, weights)
+            prob = float(np.real(self.scheme.decrypt(prob_ct)[0]))
+            predictions.append(1 if prob >= threshold else 0)
+        return np.array(predictions, dtype=np.int64)
+
+    def accuracy(self, batch: Dataset, weights: np.ndarray) -> float:
+        """Classification accuracy over an encrypted batch."""
+        preds = self.classify_batch(batch, weights)
+        return float(np.mean(preds == batch.labels))

@@ -1,0 +1,67 @@
+"""Ciphertext packing for encrypted LR training (Han et al. [26] style).
+
+The functional trainer packs one sample per ciphertext (features in the
+leading slots, zero padding beyond) and the weight vector in a single
+ciphertext; the inner product uses a log2(n) rotate-and-add tree.  At
+the paper's scale the packing is denser (many samples per ciphertext);
+the op counts of the dense scheme are modelled by
+:meth:`repro.perf.opcounts.OpCounter.lr_iteration`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ...fhe import Ciphertext, CkksScheme
+from .data import Dataset
+
+
+def rotation_tree_steps(num_slots: int) -> List[int]:
+    """The power-of-two rotations that sum all slots into every slot."""
+    steps = []
+    k = 1
+    while k < num_slots:
+        steps.append(k)
+        k *= 2
+    return steps
+
+
+class BatchPacker:
+    """Encodes/encrypts a mini-batch and the weight vector."""
+
+    def __init__(self, scheme: CkksScheme,
+                 num_slots: Optional[int] = None):
+        self.scheme = scheme
+        self.num_slots = (num_slots if num_slots is not None
+                          else scheme.params.slots)
+
+    def check_fits(self, num_features: int) -> None:
+        if num_features > self.num_slots:
+            raise ValueError(
+                f"{num_features} features exceed {self.num_slots} slots")
+
+    def pack_samples(self, batch: Dataset) -> List[Ciphertext]:
+        """One ciphertext per sample, features in the leading slots."""
+        self.check_fits(batch.num_features)
+        cts = []
+        for row in batch.features:
+            padded = np.zeros(self.num_slots)
+            padded[:batch.num_features] = row
+            cts.append(self.scheme.encrypt(padded,
+                                           num_slots=self.num_slots))
+        return cts
+
+    def pack_weights(self, weights: np.ndarray) -> Ciphertext:
+        """The weight vector in one ciphertext."""
+        self.check_fits(weights.shape[0])
+        padded = np.zeros(self.num_slots)
+        padded[:weights.shape[0]] = weights
+        return self.scheme.encrypt(padded, num_slots=self.num_slots)
+
+    def unpack_weights(self, ct: Ciphertext,
+                       num_features: int) -> np.ndarray:
+        """Decrypt and extract the weight vector."""
+        values = self.scheme.decrypt(ct, num_slots=self.num_slots)
+        return np.real(values[:num_features])

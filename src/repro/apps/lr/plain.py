@@ -1,0 +1,110 @@
+"""Plaintext logistic regression: ground truth for the encrypted trainer.
+
+Two sigmoid variants are provided: the exact logistic function, and the
+degree-3 polynomial least-squares approximation used by HELR (Han et
+al. [26]) — the encrypted trainer can only evaluate polynomials, so the
+apples-to-apples comparison trains the plaintext model with the same
+polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .data import Dataset
+
+#: HELR's degree-3 least-squares fit of the sigmoid on [-8, 8]:
+#: sigma(x) ~ 0.5 + 0.15012 x - 0.001593 x^3.
+POLY3_COEFFS = (0.5, 0.15012, 0.0, -0.001593)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """The exact logistic function (numerically stable)."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def poly3_sigmoid(x: np.ndarray) -> np.ndarray:
+    """HELR's polynomial sigmoid (what the encrypted circuit computes)."""
+    c0, c1, _c2, c3 = POLY3_COEFFS
+    return c0 + c1 * x + c3 * x ** 3
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    weights: np.ndarray
+    bias: float
+    losses: List[float] = field(default_factory=list)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        return sigmoid(features @ self.weights + self.bias)
+
+    def accuracy(self, dataset: Dataset) -> float:
+        """Classification accuracy on a dataset."""
+        preds = (self.predict_proba(dataset.features) >= 0.5).astype(int)
+        return float(np.mean(preds == dataset.labels))
+
+
+class PlainLrTrainer:
+    """Mini-batch gradient-descent logistic regression."""
+
+    def __init__(self, learning_rate: float = 1.0,
+                 activation: Callable[[np.ndarray], np.ndarray] = sigmoid):
+        self.learning_rate = learning_rate
+        self.activation = activation
+
+    def train(self, dataset: Dataset, iterations: int = 30,
+              batch_size: Optional[int] = 1024,
+              initial_weights: Optional[np.ndarray] = None) -> TrainResult:
+        """Train for ``iterations`` mini-batch updates (paper: 30)."""
+        f = dataset.num_features
+        weights = (np.zeros(f) if initial_weights is None
+                   else initial_weights.astype(np.float64).copy())
+        bias = 0.0
+        losses: List[float] = []
+        batch_size = batch_size or dataset.num_samples
+        batches = list(dataset.minibatches(batch_size))
+        for it in range(iterations):
+            batch = batches[it % len(batches)]
+            z = batch.features @ weights + bias
+            probs = self.activation(z)
+            error = probs - batch.labels
+            grad_w = batch.features.T @ error / batch.num_samples
+            grad_b = float(np.mean(error))
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+            losses.append(self._loss(dataset, weights, bias))
+        return TrainResult(weights, bias, losses)
+
+    @staticmethod
+    def _loss(dataset: Dataset, weights: np.ndarray, bias: float) -> float:
+        """Cross-entropy loss (computed with the exact sigmoid)."""
+        z = dataset.features @ weights + bias
+        probs = np.clip(sigmoid(z), 1e-9, 1 - 1e-9)
+        y = dataset.labels
+        return float(-np.mean(y * np.log(probs)
+                              + (1 - y) * np.log(1 - probs)))
+
+
+def gradient_step_reference(features: np.ndarray, labels: np.ndarray,
+                            weights: np.ndarray,
+                            learning_rate: float) -> np.ndarray:
+    """One poly3-sigmoid batch update; mirror of the encrypted circuit.
+
+    Used by tests to check the encrypted trainer step-for-step (no bias
+    term: the encrypted circuit folds it into a constant feature).
+    """
+    z = features @ weights
+    probs = poly3_sigmoid(z)
+    error = probs - labels
+    grad = features.T @ error / features.shape[0]
+    return weights - learning_rate * grad

@@ -1,0 +1,5 @@
+"""Private analytics over encrypted data."""
+
+from .analytics import EncryptedAnalytics, StatsReport
+
+__all__ = ["EncryptedAnalytics", "StatsReport"]

@@ -1,0 +1,148 @@
+"""Private analytics: descriptive statistics over encrypted data.
+
+A second workload of the kind the paper's introduction motivates
+(cloud computation on data the server must not see): a client uploads
+encrypted measurement vectors; the server computes means, variances,
+covariances, correlations and histogram-style threshold counts without
+decrypting anything.
+
+All statistics compose the public evaluator API through
+:class:`~repro.fhe.routines.HomomorphicRoutines`; depth budgets are
+documented per statistic so callers can size their modulus chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ...fhe import Ciphertext, CkksScheme
+from ...fhe.align import ScaleAligner
+from ...fhe.routines import HomomorphicRoutines, rotation_steps_for_sum
+
+
+@dataclass
+class StatsReport:
+    """Decrypted results of one analytics run."""
+
+    mean: float
+    variance: float
+    std: float
+    second_moment: float
+
+    def __repr__(self) -> str:
+        return (f"StatsReport(mean={self.mean:.4f}, "
+                f"var={self.variance:.4f}, std={self.std:.4f})")
+
+
+class EncryptedAnalytics:
+    """Server-side statistics over encrypted vectors.
+
+    Depth budget per call (levels of the modulus chain):
+
+    * :meth:`mean` — 2 (rotation tree + 1/n scaling)
+    * :meth:`variance` / :meth:`second_moment` — 3
+    * :meth:`covariance` / :meth:`correlation_unnormalized` — 3
+    * :meth:`weighted_mean` — 3
+    """
+
+    def __init__(self, scheme: CkksScheme):
+        self.scheme = scheme
+        self.routines = HomomorphicRoutines(scheme.evaluator,
+                                            scheme.encoder)
+        self.aligner = ScaleAligner(scheme.evaluator, scheme.encoder)
+        scheme.add_rotation_keys(
+            rotation_steps_for_sum(scheme.params.slots))
+
+    # ------------------------------------------------------------------
+    # Single-vector statistics
+    # ------------------------------------------------------------------
+
+    def mean(self, ct: Ciphertext) -> Ciphertext:
+        """Mean of the slots, replicated into every slot."""
+        return self.routines.mean_slots(ct)
+
+    def second_moment(self, ct: Ciphertext) -> Ciphertext:
+        """``E[x^2]`` replicated into every slot."""
+        ev = self.scheme.evaluator
+        sq = ev.rescale(ev.square(ct))
+        total = self.routines.sum_slots(sq, ct.num_slots)
+        return self.aligner.mul_const(total, 1.0 / ct.num_slots)
+
+    def variance(self, ct: Ciphertext) -> Ciphertext:
+        """Population variance, replicated."""
+        return self.routines.variance_slots(ct)
+
+    def weighted_mean(self, ct: Ciphertext,
+                      weights: Sequence[float]) -> Ciphertext:
+        """``sum_i w_i x_i / sum_i w_i`` (plaintext weights)."""
+        weights = np.asarray(list(weights), dtype=np.float64)
+        if weights.shape[0] > ct.num_slots:
+            raise ValueError("more weights than slots")
+        total_weight = float(weights.sum())
+        if total_weight == 0:
+            raise ValueError("weights sum to zero")
+        padded = np.zeros(ct.num_slots)
+        padded[:weights.shape[0]] = weights / total_weight
+        ev = self.scheme.evaluator
+        pt = self.scheme.encoder.encode(
+            padded, scale=float(ct.c0.basis.primes[-1]),
+            basis=ct.c0.basis, num_slots=ct.num_slots)
+        weighted = ev.rescale(ev.multiply_plain(ct, pt))
+        return self.routines.sum_slots(weighted, ct.num_slots)
+
+    # ------------------------------------------------------------------
+    # Two-vector statistics
+    # ------------------------------------------------------------------
+
+    def covariance(self, ct_x: Ciphertext,
+                   ct_y: Ciphertext) -> Ciphertext:
+        """Population covariance ``E[xy] - E[x]E[y]``, replicated."""
+        ev = self.scheme.evaluator
+        n = min(ct_x.num_slots, ct_y.num_slots)
+        mean_x = self.routines.mean_slots(ct_x)
+        mean_y = self.routines.mean_slots(ct_y)
+        cx = self.aligner.sub(ct_x, mean_x)
+        cy = self.aligner.sub(ct_y, mean_y)
+        cx, cy = self.aligner.align_pair(cx, cy)
+        prod = ev.rescale(ev.multiply(cx, cy))
+        total = self.routines.sum_slots(prod, n)
+        return self.aligner.mul_const(total, 1.0 / n)
+
+    def correlation_unnormalized(self, ct_x: Ciphertext,
+                                 ct_y: Ciphertext) -> Ciphertext:
+        """``E[xy]`` replicated (the cross-moment; normalization by the
+        standard deviations happens client-side after decryption —
+        homomorphic division/sqrt would need deep minimax circuits)."""
+        prod = self.routines.inner_product(ct_x, ct_y)
+        return self.aligner.mul_const(
+            prod, 1.0 / min(ct_x.num_slots, ct_y.num_slots))
+
+    # ------------------------------------------------------------------
+    # End-to-end helpers
+    # ------------------------------------------------------------------
+
+    def describe(self, values: Sequence[float]) -> StatsReport:
+        """Encrypt a vector, compute its statistics, decrypt the results.
+
+        Demonstrates the full client/server round trip; the server-side
+        portion touches only ciphertexts.
+        """
+        values = np.asarray(list(values), dtype=np.float64)
+        n = self.scheme.params.slots
+        if values.shape[0] > n:
+            raise ValueError(f"at most {n} values per ciphertext")
+        padded = np.zeros(n)
+        padded[:values.shape[0]] = values
+        correction = n / values.shape[0]
+        ct = self.scheme.encrypt(padded)
+        mean_ct = self.mean(ct)
+        m2_ct = self.second_moment(ct)
+        mean = float(np.real(self.scheme.decrypt(mean_ct)[0])) * correction
+        m2 = float(np.real(self.scheme.decrypt(m2_ct)[0])) * correction
+        variance = m2 - mean * mean
+        return StatsReport(mean=mean, variance=variance,
+                           std=float(np.sqrt(max(variance, 0.0))),
+                           second_moment=m2)

@@ -1,0 +1,303 @@
+"""Bit-exact models of FAB's hardware modular arithmetic (§4.1).
+
+FAB reduces all 54-bit modular arithmetic to DSP-friendly word sizes:
+
+* modular add/sub — Hankerson et al. algorithms 2.7/2.8 on 27-bit words
+  (the DSP preadder width), with the correction step also performed
+  word-wise;
+* integer multiply — operand scanning (schoolbook) on 18-bit words (the
+  DSP multiplier width), loop-unrolled to 12 cycles;
+* modular reduction — Algorithm 1 of the paper, a multi-bit-shift
+  variant of Will & Ko's "mod without mod" that replaces Barrett
+  multiplications with shift+add against a precomputed ``madd`` table.
+
+These functions compute exactly the same results as ``%`` on Python
+integers (verified by the test suite over the paper's 54-bit primes) and
+expose the per-operation cycle counts used by the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+#: Cycle latencies reported in §4.1.
+MOD_ADD_CYCLES = 7
+MOD_SUB_CYCLES = 7
+INT_MULT_CYCLES = 12
+MOD_REDUCE_CYCLES = 12
+MOD_MULT_CYCLES = INT_MULT_CYCLES + MOD_REDUCE_CYCLES
+
+#: DSP word sizes on UltraScale devices.
+ADD_WORD_BITS = 27
+MULT_WORD_BITS = 18
+
+
+def split_words(value: int, word_bits: int, num_words: int) -> List[int]:
+    """Split a non-negative integer into little-endian fixed-width words."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    mask = (1 << word_bits) - 1
+    words = []
+    for _ in range(num_words):
+        words.append(value & mask)
+        value >>= word_bits
+    if value:
+        raise ValueError("value does not fit in the given words")
+    return words
+
+
+def join_words(words: Sequence[int], word_bits: int) -> int:
+    """Inverse of :func:`split_words`."""
+    value = 0
+    for i, w in enumerate(words):
+        value |= w << (i * word_bits)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Multi-word modular addition / subtraction (Hankerson 2.7 / 2.8)
+# ----------------------------------------------------------------------
+
+def multiword_mod_add(a: int, b: int, modulus: int,
+                      word_bits: int = ADD_WORD_BITS) -> int:
+    """Modular addition via word-wise adds with carry propagation."""
+    num_words = -(-modulus.bit_length() // word_bits)
+    aw = split_words(a, word_bits, num_words)
+    bw = split_words(b, word_bits, num_words)
+    mask = (1 << word_bits) - 1
+    out = [0] * num_words
+    carry = 0
+    for i in range(num_words):
+        s = aw[i] + bw[i] + carry
+        out[i] = s & mask
+        carry = s >> word_bits
+    total = join_words(out, word_bits) | (carry << (num_words * word_bits))
+    # Correction step, also word-wise in hardware (the paper modifies the
+    # textbook 54-bit correction into 27-bit operations).
+    if total >= modulus:
+        total = _multiword_sub_raw(total, modulus, word_bits, num_words + 1)
+    return total
+
+
+def multiword_mod_sub(a: int, b: int, modulus: int,
+                      word_bits: int = ADD_WORD_BITS) -> int:
+    """Modular subtraction via word-wise subtracts with borrow."""
+    num_words = -(-modulus.bit_length() // word_bits)
+    diff, borrow = _multiword_sub_with_borrow(a, b, word_bits, num_words)
+    if borrow:
+        # Add the modulus back (correction step).
+        diff = multiword_add_raw(diff, modulus, word_bits, num_words)
+        diff &= (1 << (num_words * word_bits)) - 1
+    return diff
+
+
+def _multiword_sub_with_borrow(a: int, b: int, word_bits: int,
+                               num_words: int) -> Tuple[int, int]:
+    aw = split_words(a, word_bits, num_words)
+    bw = split_words(b, word_bits, num_words)
+    mask = (1 << word_bits) - 1
+    out = [0] * num_words
+    borrow = 0
+    for i in range(num_words):
+        d = aw[i] - bw[i] - borrow
+        borrow = 1 if d < 0 else 0
+        out[i] = d & mask
+    return join_words(out, word_bits), borrow
+
+
+def _multiword_sub_raw(a: int, b: int, word_bits: int, num_words: int) -> int:
+    diff, borrow = _multiword_sub_with_borrow(a, b, word_bits, num_words)
+    if borrow:
+        raise AssertionError("unexpected borrow in correction step")
+    return diff
+
+
+def multiword_add_raw(a: int, b: int, word_bits: int, num_words: int) -> int:
+    """Word-wise addition without modular correction."""
+    aw = split_words(a, word_bits, num_words)
+    bw = split_words(b, word_bits, num_words)
+    mask = (1 << word_bits) - 1
+    out = [0] * num_words
+    carry = 0
+    for i in range(num_words):
+        s = aw[i] + bw[i] + carry
+        out[i] = s & mask
+        carry = s >> word_bits
+    return join_words(out, word_bits) | (carry << (num_words * word_bits))
+
+
+# ----------------------------------------------------------------------
+# Operand-scanning integer multiplication (Hankerson 2.9)
+# ----------------------------------------------------------------------
+
+def operand_scanning_mult(a: int, b: int,
+                          word_bits: int = MULT_WORD_BITS,
+                          num_words: int = 3) -> int:
+    """Schoolbook multi-word multiply on 18-bit DSP words.
+
+    A 54-bit operand splits into three 18-bit words; the 3x3 partial
+    products accumulate into a double-width result.  FAB unrolls this
+    loop to reach 12 cycles of latency.
+    """
+    aw = split_words(a, word_bits, num_words)
+    bw = split_words(b, word_bits, num_words)
+    result_words = [0] * (2 * num_words)
+    for i in range(num_words):
+        carry = 0
+        for j in range(num_words):
+            acc = result_words[i + j] + aw[i] * bw[j] + carry
+            result_words[i + j] = acc & ((1 << word_bits) - 1)
+            carry = acc >> word_bits
+        k = i + num_words
+        while carry:
+            acc = result_words[k] + carry
+            result_words[k] = acc & ((1 << word_bits) - 1)
+            carry = acc >> word_bits
+            k += 1
+    return join_words(result_words, word_bits)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1: fast modular reduction by shift + add
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MaddTable:
+    """Precomputed table for Algorithm 1.
+
+    ``entries[i - 1] = (i << log_q) mod q`` for ``i in 1 .. 2^shifts - 1``
+    (the paper's line-2 precompute, written as a sum over the bits of i).
+    One table per prime; 63 entries of ``log_q`` bits each at the default
+    ``shifts = 6``, i.e. the paper's 7 KB total for 32 primes.
+    """
+
+    modulus: int
+    shifts: int
+    log_q: int
+    entries: Tuple[int, ...]
+
+    @classmethod
+    def build(cls, modulus: int, shifts: int = 6) -> "MaddTable":
+        log_q = modulus.bit_length()
+        entries = tuple(((i << log_q) % modulus)
+                        for i in range(1, 1 << shifts))
+        return cls(modulus, shifts, log_q, entries)
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits of on-chip storage for this table."""
+        return len(self.entries) * self.log_q
+
+    def lookup(self, carry: int) -> int:
+        """``madd[carry - 1]``; carry = 0 contributes nothing."""
+        if carry == 0:
+            return 0
+        return self.entries[carry - 1]
+
+
+def mod_reduce_shift_add(value: int, table: MaddTable) -> int:
+    """Algorithm 1: reduce a (2 log q - 1)-bit value modulo q.
+
+    Repeatedly shifts the upper half left by ``shifts`` bits, folding the
+    shifted-out carry back through the ``madd`` table.  Completes in
+    ``ceil(log q / shifts)`` iterations — 9 for log q = 54, shifts = 6 —
+    which FAB pipelines into 12 cycles.
+    """
+    q = table.modulus
+    log_q = table.log_q
+    shifts = table.shifts
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value.bit_length() > 2 * log_q:
+        raise ValueError(
+            f"input ({value.bit_length()} bits) exceeds 2*log_q = {2 * log_q}")
+    mask = (1 << log_q) - 1
+    a0 = value & mask
+    a1 = value >> log_q
+    count = 0
+    while count < log_q:
+        # The final iteration shifts fewer bits when shifts does not
+        # divide log q (the paper's log q = 54 with shifts = 6 divides
+        # evenly, so its loop always shifts the full amount).
+        step = min(shifts, log_q - count)
+        shifted = a1 << step
+        carry = shifted >> log_q
+        as1 = shifted & mask
+        # The running register can exceed log_q bits by a few units, so
+        # the carry may need several table lookups (hardware resolves
+        # this with one extra pipeline stage; the result is identical).
+        folded = as1
+        while carry:
+            low = carry & ((1 << shifts) - 1)
+            folded += table.lookup(low)
+            carry >>= shifts
+            if carry:
+                folded += (carry << shifts << log_q) % q
+                carry = 0
+        a1 = folded
+        count += step
+    c = a1 + a0
+    while c >= q:
+        c -= q
+    return c
+
+
+def mod_mult_hardware(a: int, b: int, table: MaddTable) -> int:
+    """Full hardware modular multiply: operand scanning then Algorithm 1."""
+    q = table.modulus
+    if not (0 <= a < q and 0 <= b < q):
+        raise ValueError("operands must be reduced")
+    num_words = -(-table.log_q // MULT_WORD_BITS)
+    product = operand_scanning_mult(a, b, MULT_WORD_BITS, num_words)
+    return mod_reduce_shift_add(product, table)
+
+
+def madd_storage_bytes(primes: Sequence[int], shifts: int = 6) -> int:
+    """Total madd-table storage for a set of primes (paper: ~7 KB for 32)."""
+    total_bits = sum(MaddTable.build(q, shifts).storage_bits for q in primes)
+    return total_bits // 8
+
+
+# ----------------------------------------------------------------------
+# Barrett reduction: the alternative the paper argues against (§4.1)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BarrettConstants:
+    """Precomputed Barrett parameters for one modulus."""
+
+    modulus: int
+    k: int       # bit width of q
+    mu: int      # floor(2^{2k} / q)
+
+    @classmethod
+    def build(cls, modulus: int) -> "BarrettConstants":
+        k = modulus.bit_length()
+        return cls(modulus, k, (1 << (2 * k)) // modulus)
+
+
+def barrett_reduce(value: int, constants: BarrettConstants) -> int:
+    """Classic Barrett reduction of a < q^2 value.
+
+    Requires two wide multiplications (value * mu and q1 * q), which is
+    exactly the DSP cost the paper's Algorithm 1 avoids: Barrett would
+    burn a second multiplier pipeline per functional unit, while the
+    shift-add reduction uses only adders and a 63-entry table.
+    """
+    q = constants.modulus
+    k = constants.k
+    if value < 0 or value >= q * q * 4:
+        raise ValueError("input out of Barrett range")
+    q1 = value >> (k - 1)
+    q2 = q1 * constants.mu
+    q3 = q2 >> (k + 1)
+    r = value - q3 * q
+    while r >= q:
+        r -= q
+    return r
+
+
+def barrett_multiplier_cost() -> int:
+    """Wide multiplications per Barrett reduction (vs 0 in Algorithm 1)."""
+    return 2

@@ -1,0 +1,110 @@
+"""The automorph unit (§4.1, eq. 4).
+
+For a rotation by ``k``, slot ``i`` maps to
+
+    new_index_k(i) = (5^k - 1)/2 + 5^k * i   (mod N)
+
+(the paper prints the second term as ``5 * i`` for the k = 1 case; the
+general form uses ``5^k``, with the powers of 5 precomputed for the
+~60 rotation indices bootstrapping needs).  The division by two is a
+bit-shift (5^k - 1 is even) and the reduction mod N is an AND with
+N - 1 since N is a power of two.
+
+The unit also performs the coefficient-domain permutation with sign
+(``x -> x^g``) that feeds the NTT; that form is validated against the
+algebraic automorphism of :mod:`repro.fhe.poly`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .params import FabConfig
+
+
+def power_of_five(k: int, modulus: int) -> int:
+    """``5^k mod modulus`` (precomputed per rotation index in hardware)."""
+    return pow(5, k, modulus)
+
+
+def automorph_index_map(ring_degree: int, k: int) -> np.ndarray:
+    """Equation (4): the slot-index permutation for rotation ``k``.
+
+    Returns an array ``new_index`` with ``new_index[i]`` as defined by
+    the paper; the AND-with-(N-1) reduction is explicit.
+    """
+    n = ring_degree
+    g = power_of_five(k, 2 * n)
+    offset = (g - 1) >> 1  # division by two is a shift
+    i = np.arange(n, dtype=np.int64)
+    return (offset + g * i) & (n - 1)
+
+
+def coefficient_permutation(ring_degree: int,
+                            galois_element: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Destination indices and signs for the coefficient-domain automorph.
+
+    Coefficient ``c_i`` of the input lands at ``dest[i]`` with sign
+    ``sign[i]`` in the output (sign flips encode the ``x^N = -1`` wrap).
+    This is the operation the hardware unit performs while streaming a
+    polynomial from on-chip memory into the register file, fused with
+    the bit-reversal required by the following NTT.
+    """
+    n = ring_degree
+    g = galois_element % (2 * n)
+    if g % 2 == 0:
+        raise ValueError("Galois element must be odd")
+    i = np.arange(n, dtype=np.int64)
+    idx = (i * g) % (2 * n)
+    wrap = idx >= n
+    dest = np.where(wrap, idx - n, idx)
+    sign = np.where(wrap, -1, 1).astype(np.int64)
+    return dest, sign
+
+
+def apply_coefficient_automorph(coeffs: np.ndarray, galois_element: int,
+                                modulus: int) -> np.ndarray:
+    """Apply the coefficient-domain automorphism to one limb."""
+    coeffs = np.asarray(coeffs, dtype=np.int64)
+    n = coeffs.shape[0]
+    dest, sign = coefficient_permutation(n, galois_element)
+    out = np.zeros_like(coeffs)
+    out[dest] = sign * coeffs % modulus
+    return out
+
+
+class AutomorphUnit:
+    """Hardware automorph unit with precomputed powers of five.
+
+    Bootstrapping uses only ~60 distinct rotation indices (§4.1), so the
+    unit stores ``5^k mod 2N`` for each in a small table rather than
+    computing modular exponentiations.
+    """
+
+    def __init__(self, config: FabConfig, rotation_indices: List[int]):
+        self.config = config
+        n = config.fhe.ring_degree
+        self._powers: Dict[int, int] = {
+            k: power_of_five(k, 2 * n) for k in rotation_indices}
+
+    @property
+    def table_entries(self) -> int:
+        """Number of precomputed powers."""
+        return len(self._powers)
+
+    def galois_element(self, k: int) -> int:
+        """The precomputed ``5^k mod 2N`` for rotation ``k``."""
+        try:
+            return self._powers[k]
+        except KeyError:
+            raise KeyError(
+                f"rotation index {k} not precomputed; known: "
+                f"{sorted(self._powers)}") from None
+
+    def permute_cycles(self, num_limbs: int) -> int:
+        """Cycles to stream-permute ``num_limbs`` limbs (256 coeff/cycle)."""
+        n = self.config.fhe.ring_degree
+        per_cycle = self.config.num_functional_units
+        return num_limbs * (-(-n // per_cycle))

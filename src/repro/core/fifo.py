@@ -1,0 +1,95 @@
+"""FIFO models (§4.4): Rd/Wr FIFOs between HBM and on-chip memory, and
+Tx/Rx FIFOs between the CMAC Ethernet core and on-chip memory.
+
+The behavioural model is a bounded queue with cycle-stamped occupancy so
+tests can assert the invariants the paper's sizing relies on: the Wr
+FIFO depth matches the HBM burst length (128) and the Rd FIFO sustains
+four outstanding reads (512 = 4 x 128).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from .params import FabConfig
+
+
+class FifoError(Exception):
+    """Raised on underflow/overflow of a modelled FIFO."""
+
+
+@dataclass
+class Fifo:
+    """A bounded FIFO with occupancy tracking.
+
+    Attributes:
+        name: identifier for error messages.
+        depth: maximum number of entries.
+        width_bits: entry width in bits.
+    """
+
+    name: str
+    depth: int
+    width_bits: int
+    _queue: Deque[Tuple[int, object]] = field(default_factory=deque)
+    peak_occupancy: int = 0
+    total_pushed: int = 0
+
+    def push(self, item: object, cycle: int = 0) -> None:
+        """Enqueue one entry; raises :class:`FifoError` when full."""
+        if len(self._queue) >= self.depth:
+            raise FifoError(f"{self.name}: overflow at depth {self.depth}")
+        self._queue.append((cycle, item))
+        self.total_pushed += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
+
+    def pop(self) -> object:
+        """Dequeue the oldest entry; raises on underflow."""
+        if not self._queue:
+            raise FifoError(f"{self.name}: underflow")
+        return self._queue.popleft()[1]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._queue) >= self.depth
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._queue
+
+    @property
+    def capacity_bits(self) -> int:
+        return self.depth * self.width_bits
+
+    def drain_cycles(self, per_entry_cycles: float = 1.0) -> int:
+        """Cycles to stream out the current occupancy."""
+        return int(round(len(self._queue) * per_entry_cycles))
+
+
+def build_hbm_fifos(config: Optional[FabConfig] = None):
+    """The 32 Rd / 32 Wr FIFO pairs of the HBM interface."""
+    config = config or FabConfig()
+    rd = [Fifo(f"rd{i}", config.rd_fifo_depth, config.fifo_width_bits)
+          for i in range(config.hbm_ports)]
+    wr = [Fifo(f"wr{i}", config.wr_fifo_depth, config.fifo_width_bits)
+          for i in range(config.hbm_ports)]
+    return rd, wr
+
+
+def build_cmac_fifos(config: Optional[FabConfig] = None):
+    """The Tx / Rx FIFOs of the Ethernet subsystem (512-bit interface)."""
+    config = config or FabConfig()
+    tx = Fifo("tx", config.rd_fifo_depth, config.tx_rx_fifo_width_bits)
+    rx = Fifo("rx", config.rd_fifo_depth, config.tx_rx_fifo_width_bits)
+    return tx, rx
+
+
+def outstanding_reads_supported(config: Optional[FabConfig] = None) -> int:
+    """How many HBM bursts the Rd FIFO can hold (the paper sizes for 4)."""
+    config = config or FabConfig()
+    return config.rd_fifo_depth // config.hbm_burst_length

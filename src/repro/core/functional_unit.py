@@ -1,0 +1,94 @@
+"""The 256-lane functional-unit array (§4.1).
+
+Each functional unit bundles a modular multiplier (12-cycle integer
+multiply + 12-cycle Algorithm-1 reduction), a modular adder and
+subtractor (7 cycles via 27-bit DSP words), and an automorph lane.  All
+units are fully pipelined (initiation interval 1), so a vector of
+``k`` scalar operations completes in ``ceil(k / 256) + latency`` cycles.
+
+The array is modelled as a single vector resource: FAB issues one
+SIMD-style operation across all lanes per cycle, which is how the NTT
+datapath reaches 512 coefficients (256 butterflies) per cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+from .params import FabConfig
+
+
+class FuOp(Enum):
+    """Operations a functional unit can issue."""
+
+    MOD_ADD = "mod_add"
+    MOD_SUB = "mod_sub"
+    MOD_MULT = "mod_mult"
+    AUTOMORPH = "automorph"
+    BUTTERFLY = "butterfly"  # one radix-2 NTT butterfly (mult + add + sub)
+
+
+@dataclass
+class FunctionalUnitArray:
+    """Latency/throughput model of the FU array."""
+
+    config: FabConfig = field(default_factory=FabConfig)
+    issued_ops: Dict[str, int] = field(default_factory=dict)
+    busy_cycles: int = 0
+
+    def latency(self, op: FuOp) -> int:
+        """Pipeline latency of one operation."""
+        c = self.config
+        if op in (FuOp.MOD_ADD, FuOp.MOD_SUB):
+            return c.mod_add_cycles
+        if op == FuOp.MOD_MULT:
+            return c.mod_mult_cycles
+        if op == FuOp.AUTOMORPH:
+            return 2  # index arithmetic: shift + AND (eq. 4)
+        if op == FuOp.BUTTERFLY:
+            # Butterfly = twiddle multiply feeding an add and a subtract.
+            return c.mod_mult_cycles + c.mod_add_cycles
+        raise ValueError(f"unknown op {op}")
+
+    def lanes(self, op: FuOp) -> int:
+        """Scalar operations issued per cycle for this op."""
+        return self.config.num_functional_units
+
+    def vector_cycles(self, op: FuOp, num_scalar_ops: int,
+                      record: bool = True) -> int:
+        """Cycles for ``num_scalar_ops`` pipelined through the array.
+
+        Fully pipelined: issue takes ceil(k / lanes) cycles and the
+        result drains after one latency.
+        """
+        if num_scalar_ops < 0:
+            raise ValueError("op count must be non-negative")
+        if num_scalar_ops == 0:
+            return 0
+        cycles = math.ceil(num_scalar_ops / self.lanes(op)) + self.latency(op)
+        if record:
+            self.issued_ops[op.value] = (
+                self.issued_ops.get(op.value, 0) + num_scalar_ops)
+            self.busy_cycles += cycles
+        return cycles
+
+    def elementwise_limb_cycles(self, op: FuOp, num_limbs: int,
+                                ring_degree: Optional[int] = None,
+                                record: bool = True) -> int:
+        """Cycles for an element-wise op over ``num_limbs`` whole limbs."""
+        n = ring_degree or self.config.fhe.ring_degree
+        return self.vector_cycles(op, num_limbs * n, record=record)
+
+    def reset(self) -> None:
+        """Clear accounting."""
+        self.issued_ops.clear()
+        self.busy_cycles = 0
+
+    @property
+    def total_modmults(self) -> int:
+        """Scalar modular multiplies issued so far."""
+        return (self.issued_ops.get(FuOp.MOD_MULT.value, 0)
+                + self.issued_ops.get(FuOp.BUTTERFLY.value, 0))

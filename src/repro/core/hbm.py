@@ -1,0 +1,105 @@
+"""HBM2 main-memory model (§3, §5.1).
+
+The U280 carries two 4 GB HBM2 stacks exposed through 32 AXI ports of
+256 bits each, clocked at 450 MHz on the memory side: a peak of
+460.8 GB/s.  The kernel runs at 300 MHz, so transfers are accounted in
+kernel cycles.  The model exposes transfer-time and traffic accounting;
+the scheduler treats HBM as a bandwidth-shared resource so compute can
+overlap transfers (FAB's prefetching / latency-hiding behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .params import FabConfig
+
+
+@dataclass
+class HbmModel:
+    """Bandwidth/latency model of the HBM2 subsystem."""
+
+    config: FabConfig = field(default_factory=FabConfig)
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak bytes/second across all ports."""
+        return self.config.hbm_peak_bytes_per_sec
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable bytes/second (peak x efficiency)."""
+        return self.config.hbm_effective_bytes_per_sec
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total HBM capacity (8 GB on the U280)."""
+        return self.config.hbm_total_gb * (1 << 30)
+
+    def transfer_seconds(self, num_bytes: int,
+                         ports: Optional[int] = None) -> float:
+        """Streaming time for ``num_bytes`` over ``ports`` AXI ports."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        ports = ports if ports is not None else self.config.hbm_ports
+        if not 1 <= ports <= self.config.hbm_ports:
+            raise ValueError(f"ports must be in [1, {self.config.hbm_ports}]")
+        share = self.effective_bandwidth * ports / self.config.hbm_ports
+        return num_bytes / share
+
+    def transfer_cycles(self, num_bytes: int,
+                        ports: Optional[int] = None,
+                        include_latency: bool = False) -> int:
+        """Kernel-clock cycles for a transfer (optionally + read latency)."""
+        cycles = self.config.seconds_to_cycles(
+            self.transfer_seconds(num_bytes, ports))
+        if include_latency and num_bytes > 0:
+            cycles += self.config.hbm_read_latency_cycles
+        return int(round(cycles))
+
+    def limb_transfer_cycles(self, include_latency: bool = False) -> int:
+        """Cycles to move one ciphertext limb (N x limb_bits)."""
+        return self.transfer_cycles(self.config.fhe.limb_bytes,
+                                    include_latency=include_latency)
+
+    def key_block_transfer_cycles(self) -> int:
+        """Cycles to fetch one digit's key block (2 polys x raised limbs).
+
+        This is the fetch the modified datapath hides behind the
+        BasisConvert + NTT compute of the preceding block (§4.6).
+        """
+        fhe = self.config.fhe
+        block_bytes = 2 * fhe.max_raised_limbs * fhe.limb_bytes
+        return self.transfer_cycles(block_bytes, include_latency=True)
+
+
+@dataclass
+class TrafficMeter:
+    """Accumulates HBM traffic for a modelled operation."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    transfers: List[Tuple[str, int]] = field(default_factory=list)
+
+    def read(self, tag: str, num_bytes: int) -> None:
+        """Record a read transfer."""
+        self.bytes_read += num_bytes
+        self.transfers.append((f"R:{tag}", num_bytes))
+
+    def write(self, tag: str, num_bytes: int) -> None:
+        """Record a write transfer."""
+        self.bytes_written += num_bytes
+        self.transfers.append((f"W:{tag}", num_bytes))
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def merge(self, other: "TrafficMeter") -> None:
+        """Fold another meter's traffic into this one."""
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.transfers.extend(other.transfers)

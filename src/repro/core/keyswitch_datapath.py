@@ -1,0 +1,318 @@
+"""KeySwitch datapath models: original (Fig. 5a) vs modified (Fig. 5b).
+
+KeySwitch is the dominant low-level subroutine (§2.1.5), and the paper's
+central architectural contribution is scheduling it so the ~112 MB
+working set (84 MB of switching keys + 28 MB of raised ciphertext)
+streams through 43 MB of on-chip memory without writing any resultant
+limb back to HBM:
+
+* **original datapath** — run ModUp to completion for every digit,
+  spilling the raised limbs to HBM in coefficient form, then read them
+  back and NTT *all* of them for the KSKIP inner product;
+* **modified datapath** — split KSKIP: the ``alpha`` pass-through limbs
+  of each digit start the inner product immediately after Decomp, while
+  BasisConvert generates the extension limbs block by block; only the
+  new limbs are NTT'd, key blocks are prefetched one digit ahead, and
+  nothing spills.
+
+*Smart operation scheduling* additionally halves the BasisConvert
+multiplies by reusing the ``x_i * Q~_i`` products across output limbs
+(the optimization of Eq. (1) described in §4.6).
+
+Both variants produce identical ciphertexts (the functional ground
+truth is :mod:`repro.fhe.keyswitch`); they differ only in cycles and
+HBM traffic, which these task-graph models quantify.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .hbm import HbmModel, TrafficMeter
+from .memory import OnChipMemory
+from .ntt_datapath import NttDatapath
+from .params import FabConfig
+from .scheduler import ScheduleResult, TaskGraph
+
+
+@dataclass
+class KeySwitchCounts:
+    """Primitive-operation counts for one KeySwitch."""
+
+    limb_ntts: int = 0            # forward + inverse limb transforms
+    modmults: int = 0             # scalar modular multiplies
+    modadds: int = 0              # scalar modular adds/subs
+    hbm_key_bytes: int = 0        # switching-key traffic
+    hbm_spill_bytes: int = 0      # intermediate limb spills (original only)
+
+    @property
+    def hbm_total_bytes(self) -> int:
+        return self.hbm_key_bytes + self.hbm_spill_bytes
+
+
+@dataclass
+class KeySwitchReport:
+    """Cycles, traffic and schedule for one KeySwitch invocation."""
+
+    cycles: int
+    counts: KeySwitchCounts
+    schedule: ScheduleResult
+    modified: bool
+    smart_scheduling: bool
+
+    def seconds(self, config: FabConfig) -> float:
+        return config.cycles_to_seconds(self.cycles)
+
+
+class KeySwitchDatapath:
+    """Builds and schedules the KeySwitch task graph."""
+
+    def __init__(self, config: Optional[FabConfig] = None,
+                 modified: bool = True, smart_scheduling: bool = True):
+        self.config = config or FabConfig()
+        self.modified = modified
+        self.smart_scheduling = smart_scheduling
+        self.ntt = NttDatapath(self.config)
+        self.hbm = HbmModel(self.config)
+
+    # ------------------------------------------------------------------
+    # Digit layout
+    # ------------------------------------------------------------------
+
+    def digit_sizes(self, level_limbs: int) -> List[int]:
+        """Limbs per digit at the current level (trailing digit partial)."""
+        alpha = self.config.fhe.alpha
+        sizes = []
+        remaining = level_limbs
+        while remaining > 0:
+            sizes.append(min(alpha, remaining))
+            remaining -= alpha
+        return sizes
+
+    # ------------------------------------------------------------------
+    # Cycle helpers
+    # ------------------------------------------------------------------
+
+    def _elementwise_cycles(self, mults: int, adds: int = 0) -> int:
+        """Cycles for a fused multiply/accumulate stream.
+
+        Every functional unit has an independent modular multiplier and
+        adder (§4.1), so multiplies and the accumulating adds issue in
+        parallel: throughput is bounded by the larger stream.
+        """
+        lanes = self.config.num_functional_units
+        dominant = max(mults, adds)
+        return math.ceil(dominant / lanes) if dominant else 0
+
+    def _conv_mults(self, digit_limbs: int, new_limbs: int) -> int:
+        """BasisConvert multiplies for one digit (Eq. 1)."""
+        n = self.config.fhe.ring_degree
+        if self.smart_scheduling:
+            # x_i * Q~_i computed once, reused for every output limb.
+            return digit_limbs * n + new_limbs * digit_limbs * n
+        return 2 * new_limbs * digit_limbs * n
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+
+    def build_graph(self, level_limbs: Optional[int] = None):
+        """Task graph + counts for a KeySwitch at ``level_limbs`` limbs."""
+        fhe = self.config.fhe
+        level = level_limbs if level_limbs is not None else fhe.num_limbs
+        if not 1 <= level <= fhe.num_limbs:
+            raise ValueError(f"level_limbs must be in [1, {fhe.num_limbs}]")
+        n = fhe.ring_degree
+        k = fhe.num_extension_limbs
+        raised = level + k
+        digits = self.digit_sizes(level)
+        limb_bytes = fhe.limb_bytes
+        ntt_limb = self.ntt.limb_cycles(n)
+
+        graph = TaskGraph()
+        counts = KeySwitchCounts()
+        kskip_tasks: List[str] = []
+
+        for j, d_limbs in enumerate(digits):
+            new_limbs = raised - d_limbs
+            key_bytes = 2 * raised * limb_bytes
+            counts.hbm_key_bytes += key_bytes
+            fetch_cycles = self.hbm.transfer_cycles(key_bytes,
+                                                    include_latency=True)
+            graph.add(f"keyfetch{j}", "hbm", fetch_cycles)
+
+            intt_cycles = d_limbs * ntt_limb
+            counts.limb_ntts += d_limbs
+            graph.add(f"intt{j}", "fu", intt_cycles)
+
+            conv_mults = self._conv_mults(d_limbs, new_limbs)
+            conv_adds = new_limbs * d_limbs * n
+            counts.modmults += conv_mults
+            counts.modadds += conv_adds
+            conv_cycles = self._elementwise_cycles(conv_mults, conv_adds)
+            graph.add(f"conv{j}", "fu", conv_cycles, deps=[f"intt{j}"])
+
+            if self.modified:
+                ntt_count = new_limbs
+                spill_deps: List[str] = [f"conv{j}"]
+            else:
+                # Original datapath: spill raised limbs to HBM in
+                # coefficient form, read back, NTT every limb.
+                spill_bytes = raised * limb_bytes
+                counts.hbm_spill_bytes += 2 * spill_bytes
+                wb = self.hbm.transfer_cycles(spill_bytes)
+                graph.add(f"spill{j}", "hbm", wb, deps=[f"conv{j}"])
+                graph.add(f"fill{j}", "hbm", wb, deps=[f"spill{j}"])
+                ntt_count = raised
+                spill_deps = [f"fill{j}"]
+
+            counts.limb_ntts += ntt_count
+            graph.add(f"ntt{j}", "fu", ntt_count * ntt_limb,
+                      deps=spill_deps)
+
+            kskip_mults = 2 * raised * n
+            kskip_adds = 2 * raised * n
+            counts.modmults += kskip_mults
+            counts.modadds += kskip_adds
+            kskip_cycles = self._elementwise_cycles(kskip_mults, kskip_adds)
+            graph.add(f"kskip{j}", "fu", kskip_cycles,
+                      deps=[f"ntt{j}", f"keyfetch{j}"])
+            kskip_tasks.append(f"kskip{j}")
+
+        # ModDown for both output polynomials.
+        for poly in ("c0", "c1"):
+            intt_cycles = k * ntt_limb
+            counts.limb_ntts += k
+            graph.add(f"md_intt_{poly}", "fu", intt_cycles, deps=kskip_tasks)
+            conv_mults = (k * n + level * k * n if self.smart_scheduling
+                          else 2 * level * k * n)
+            conv_adds = level * k * n
+            counts.modmults += conv_mults
+            counts.modadds += conv_adds
+            graph.add(f"md_conv_{poly}", "fu",
+                      self._elementwise_cycles(conv_mults, conv_adds),
+                      deps=[f"md_intt_{poly}"])
+            counts.limb_ntts += level
+            graph.add(f"md_ntt_{poly}", "fu", level * ntt_limb,
+                      deps=[f"md_conv_{poly}"])
+            fix_mults = level * n
+            fix_adds = level * n
+            counts.modmults += fix_mults
+            counts.modadds += fix_adds
+            graph.add(f"md_fix_{poly}", "fu",
+                      self._elementwise_cycles(fix_mults, fix_adds),
+                      deps=[f"md_ntt_{poly}"])
+        return graph, counts
+
+    def report(self, level_limbs: Optional[int] = None) -> KeySwitchReport:
+        """Schedule the graph and summarize."""
+        graph, counts = self.build_graph(level_limbs)
+        result = graph.schedule()
+        return KeySwitchReport(result.makespan, counts, result,
+                               self.modified, self.smart_scheduling)
+
+    def hoisted_report(self, level_limbs: Optional[int] = None
+                       ) -> KeySwitchReport:
+        """A key switch that reuses an already-raised decomposition.
+
+        Hoisting (Bossuat et al. [5], leveraged by the bootstrapping
+        algorithm FAB adopts): when several rotations apply to the *same*
+        ciphertext — the baby steps of a BSGS linear transform — the
+        Decomp/ModUp work is shared and each additional rotation pays
+        only for its key fetch, the KSKIP inner product, and ModDown.
+        """
+        fhe = self.config.fhe
+        level = level_limbs if level_limbs is not None else fhe.num_limbs
+        n = fhe.ring_degree
+        k = fhe.num_extension_limbs
+        raised = level + k
+        digits = self.digit_sizes(level)
+        ntt_limb = self.ntt.limb_cycles(n)
+        graph = TaskGraph()
+        counts = KeySwitchCounts()
+        kskip_tasks: List[str] = []
+        for j in range(len(digits)):
+            key_bytes = 2 * raised * fhe.limb_bytes
+            counts.hbm_key_bytes += key_bytes
+            graph.add(f"keyfetch{j}", "hbm",
+                      self.hbm.transfer_cycles(key_bytes,
+                                               include_latency=True))
+            kskip_mults = 2 * raised * n
+            counts.modmults += kskip_mults
+            counts.modadds += kskip_mults
+            graph.add(f"kskip{j}", "fu",
+                      self._elementwise_cycles(kskip_mults, kskip_mults),
+                      deps=[f"keyfetch{j}"])
+            kskip_tasks.append(f"kskip{j}")
+        for poly in ("c0", "c1"):
+            counts.limb_ntts += k
+            graph.add(f"md_intt_{poly}", "fu", k * ntt_limb,
+                      deps=kskip_tasks)
+            conv_mults = k * n + level * k * n
+            counts.modmults += conv_mults
+            graph.add(f"md_conv_{poly}", "fu",
+                      self._elementwise_cycles(conv_mults, level * k * n),
+                      deps=[f"md_intt_{poly}"])
+            counts.limb_ntts += level
+            graph.add(f"md_ntt_{poly}", "fu", level * ntt_limb,
+                      deps=[f"md_conv_{poly}"])
+            graph.add(f"md_fix_{poly}", "fu",
+                      self._elementwise_cycles(level * n, level * n),
+                      deps=[f"md_ntt_{poly}"])
+            counts.modmults += level * n
+            counts.modadds += 2 * level * n
+        result = graph.schedule()
+        return KeySwitchReport(result.makespan, counts, result,
+                               self.modified, self.smart_scheduling)
+
+    # ------------------------------------------------------------------
+    # On-chip feasibility (the paper's §4.6 argument)
+    # ------------------------------------------------------------------
+
+    def onchip_feasible(self) -> bool:
+        """Does the modified datapath's resident set fit on chip?
+
+        The modified datapath keeps: the raised ciphertext limbs in the
+        URAM c0/c1 banks, one digit's key block + twiddles in the misc
+        banks, and the current block of extension limbs in the BRAM
+        banks.  The original datapath instead requires the full raised
+        set simultaneously, which does not fit — forcing the HBM spill.
+        """
+        mem = OnChipMemory(self.config)
+        fhe = self.config.fhe
+        try:
+            mem.banks["uram_c0_a"].allocate("ct", fhe.max_raised_limbs // 2)
+            mem.banks["uram_c0_b"].allocate("ct", fhe.max_raised_limbs
+                                            - fhe.max_raised_limbs // 2)
+            mem.banks["uram_c1_a"].allocate("ct", fhe.max_raised_limbs // 2)
+            mem.banks["uram_c1_b"].allocate("ct", fhe.max_raised_limbs
+                                            - fhe.max_raised_limbs // 2)
+            # One digit's key block streams through the misc bank.
+            mem.banks["uram_misc"].allocate("key_block", 16)
+            # Extension limbs of the current block in dual-port BRAM.
+            mem.banks["bram_c0"].allocate("ext", fhe.num_extension_limbs)
+            mem.banks["bram_c1"].allocate("ext", fhe.num_extension_limbs)
+            mem.banks["bram_misc"].allocate("scratch", 4)
+        except Exception:
+            return False
+        return True
+
+
+def compare_datapaths(config: Optional[FabConfig] = None,
+                      level_limbs: Optional[int] = None
+                      ) -> Dict[str, KeySwitchReport]:
+    """The Fig. 5 ablation: original vs modified vs no-smart-scheduling."""
+    config = config or FabConfig()
+    return {
+        "original": KeySwitchDatapath(config, modified=False,
+                                      smart_scheduling=False
+                                      ).report(level_limbs),
+        "modified_no_smart": KeySwitchDatapath(config, modified=True,
+                                               smart_scheduling=False
+                                               ).report(level_limbs),
+        "modified": KeySwitchDatapath(config, modified=True,
+                                      smart_scheduling=True
+                                      ).report(level_limbs),
+    }

@@ -1,0 +1,234 @@
+"""On-chip memory model: URAM/BRAM banks and the register file (§4.2–4.3).
+
+The Alveo U280 exposes 962 URAM blocks (288 Kb, 72-bit wide, single
+port) and 4032 BRAM blocks (18 Kb, 18-bit wide, dual port).  FAB
+organizes them as:
+
+* five URAM banks of 192 URAMs (64 groups of 3 -> 216-bit words holding
+  four 54-bit coefficients): c0 x2, c1 x2 (32 limbs each pair) and a
+  miscellaneous bank (twiddles, keys, plaintexts);
+* three BRAM banks (c0/c1 of 1536 BRAMs = 8 limbs each, plus a 768-BRAM
+  miscellaneous bank of 4 limbs), dual-ported to serve the BasisConvert
+  inner products;
+* a 2 MB register file for host-written constants and up to four
+  intermediate polynomials.
+
+The model tracks limb allocation, port conflicts per access, and the
+aggregate capacity (the paper's 43 MB), and is what the KeySwitch
+datapath scheduler allocates against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .params import FabConfig
+
+
+class CapacityError(Exception):
+    """Raised when an allocation exceeds a bank's capacity."""
+
+
+@dataclass
+class MemoryBank:
+    """One URAM or BRAM bank storing whole limbs (polynomials).
+
+    Attributes:
+        name: bank identifier (e.g. ``"uram_c0"``).
+        capacity_limbs: number of limb-sized polynomials the bank holds.
+        num_blocks: physical RAM blocks composing the bank.
+        dual_port: True for BRAM banks (read+write per cycle).
+        coefficients_per_access: coefficients returned per read cycle.
+    """
+
+    name: str
+    capacity_limbs: int
+    num_blocks: int
+    dual_port: bool
+    coefficients_per_access: int = 256
+    _residents: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def used_limbs(self) -> int:
+        """Limb slots currently allocated."""
+        return sum(self._residents.values())
+
+    @property
+    def free_limbs(self) -> int:
+        """Limb slots still available."""
+        return self.capacity_limbs - self.used_limbs
+
+    def allocate(self, tag: str, limbs: int) -> None:
+        """Reserve ``limbs`` slots under ``tag`` (cumulative)."""
+        if limbs < 0:
+            raise ValueError("limbs must be non-negative")
+        if self.used_limbs + limbs > self.capacity_limbs:
+            raise CapacityError(
+                f"bank {self.name}: requested {limbs} limbs with only "
+                f"{self.free_limbs}/{self.capacity_limbs} free")
+        self._residents[tag] = self._residents.get(tag, 0) + limbs
+
+    def release(self, tag: str) -> int:
+        """Free every slot held by ``tag``; returns the count freed."""
+        return self._residents.pop(tag, 0)
+
+    def clear(self) -> None:
+        """Free all slots."""
+        self._residents.clear()
+
+    def access_cycles(self, num_coefficients: int,
+                      read_and_write: bool = False) -> int:
+        """Cycles to stream ``num_coefficients`` through the bank.
+
+        Single-port banks serialize a simultaneous read+write; dual-port
+        (BRAM) banks overlap them — the property FAB exploits to run
+        BasisConvert inner products limb-wise out of the BRAM banks.
+        """
+        passes = -(-num_coefficients // self.coefficients_per_access)
+        if read_and_write and not self.dual_port:
+            passes *= 2
+        return passes
+
+
+@dataclass
+class RegisterFile:
+    """The 2 MB distributed register file (§4.3).
+
+    A quarter holds host-written constants (prime moduli, twiddles seeds,
+    precomputed scalars); the rest buffers up to four intermediate
+    polynomials for Rotate / Mult.
+    """
+
+    capacity_bytes: int
+    reserved_constant_bytes: int
+    max_intermediate_polys: int = 4
+    _intermediates: int = 0
+
+    @property
+    def scratch_bytes(self) -> int:
+        """Bytes available for intermediate polynomials."""
+        return self.capacity_bytes - self.reserved_constant_bytes
+
+    def hold_poly(self) -> None:
+        """Claim one intermediate-polynomial slot."""
+        if self._intermediates >= self.max_intermediate_polys:
+            raise CapacityError(
+                "register file already holds "
+                f"{self.max_intermediate_polys} intermediate polynomials")
+        self._intermediates += 1
+
+    def release_poly(self) -> None:
+        """Release one intermediate-polynomial slot."""
+        if self._intermediates == 0:
+            raise CapacityError("no intermediate polynomial to release")
+        self._intermediates -= 1
+
+    @property
+    def polys_held(self) -> int:
+        return self._intermediates
+
+
+class OnChipMemory:
+    """The full FAB on-chip memory system (Fig. 4)."""
+
+    def __init__(self, config: Optional[FabConfig] = None):
+        self.config = config or FabConfig()
+        cfg = self.config
+        n = cfg.fhe.ring_degree
+        per_access = 2 * cfg.num_functional_units // 2  # 256 on the U280
+        # The limb capacity of a bank follows from its raw bits and the
+        # limb size.  On the U280: a 192-URAM bank (64 groups of 3,
+        # 216-bit words = four 54-bit coefficients) stores 16 limbs of
+        # N = 2^16.  Other devices/ring sizes scale proportionally.
+        limb_bits = n * cfg.fhe.limb_bits
+        # Five URAM banks (c0 x2, c1 x2, misc), equal split.
+        uram_bank_blocks = cfg.uram_blocks_used // 5
+        uram_bank_bits = uram_bank_blocks * cfg.uram_block_kbits * 1024
+        uram_limbs = max(uram_bank_bits // limb_bits, 0)
+        # BRAM: two big banks (c0/c1, 40% each) + one misc (20%).
+        bram_big_blocks = int(cfg.bram_blocks_used * 0.4)
+        bram_small_blocks = cfg.bram_blocks_used - 2 * bram_big_blocks
+        bram_big_bits = bram_big_blocks * cfg.bram_block_kbits * 1024
+        bram_small_bits = bram_small_blocks * cfg.bram_block_kbits * 1024
+        bram_limbs_big = max(bram_big_bits // limb_bits, 0)
+        bram_limbs_small = max(bram_small_bits // limb_bits, 0)
+        self.uram_banks: Dict[str, MemoryBank] = {
+            name: MemoryBank(name, int(uram_limbs), uram_bank_blocks,
+                             False, per_access)
+            for name in ("uram_c0_a", "uram_c0_b", "uram_c1_a",
+                         "uram_c1_b", "uram_misc")
+        }
+        self.bram_banks: Dict[str, MemoryBank] = {
+            "bram_c0": MemoryBank("bram_c0", int(bram_limbs_big),
+                                  bram_big_blocks, True, per_access),
+            "bram_c1": MemoryBank("bram_c1", int(bram_limbs_big),
+                                  bram_big_blocks, True, per_access),
+            "bram_misc": MemoryBank("bram_misc", int(bram_limbs_small),
+                                    bram_small_blocks, True, per_access),
+        }
+        self.register_file = RegisterFile(
+            capacity_bytes=cfg.register_file_bytes,
+            reserved_constant_bytes=cfg.register_file_bytes // 4)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def banks(self) -> Dict[str, MemoryBank]:
+        """All banks by name."""
+        out = dict(self.uram_banks)
+        out.update(self.bram_banks)
+        return out
+
+    @property
+    def total_uram_blocks(self) -> int:
+        return sum(b.num_blocks for b in self.uram_banks.values())
+
+    @property
+    def total_bram_blocks(self) -> int:
+        return sum(b.num_blocks for b in self.bram_banks.values())
+
+    @property
+    def total_capacity_bytes(self) -> int:
+        """Raw block capacity (the paper's 43 MB)."""
+        return self.config.onchip_bytes
+
+    @property
+    def ciphertext_limb_capacity(self) -> int:
+        """Limbs of ciphertext storable in the c0/c1 URAM banks (64)."""
+        return sum(b.capacity_limbs for name, b in self.uram_banks.items()
+                   if name != "uram_misc")
+
+    def fits_raised_ciphertext(self) -> bool:
+        """Can a fully raised ciphertext (2 x 32 limbs) stay on-chip?"""
+        needed = 2 * self.config.fhe.max_raised_limbs
+        return needed <= self.ciphertext_limb_capacity
+
+    def fits_keyswitch_working_set(self) -> bool:
+        """Can ciphertext + all switching keys stay resident at once?
+
+        The paper's answer is *no* (~112 MB vs 43 MB), which is why the
+        modified datapath streams one key block at a time.
+        """
+        fhe = self.config.fhe
+        key_bytes = 2 * fhe.dnum * fhe.max_raised_limbs * fhe.limb_bytes
+        ct_bytes = fhe.max_ciphertext_bytes
+        return key_bytes + ct_bytes <= self.total_capacity_bytes
+
+    def keyswitch_working_set_bytes(self) -> int:
+        """Ciphertext + switching-key bytes touched by one KeySwitch."""
+        fhe = self.config.fhe
+        key_bytes = 2 * fhe.dnum * fhe.max_raised_limbs * fhe.limb_bytes
+        return key_bytes + fhe.max_ciphertext_bytes
+
+    def fits_minimum_porting_requirement(self) -> bool:
+        """The §4.6 porting threshold: at least one limb of the
+        switching key and one limb of the ciphertext polynomial must fit
+        on chip (plus a limb of working space for BasisConvert)."""
+        need = 3 * self.config.fhe.limb_bytes
+        return self.total_capacity_bytes >= need
+
+    def reset(self) -> None:
+        """Free every allocation."""
+        for bank in self.banks.values():
+            bank.clear()

@@ -1,0 +1,133 @@
+"""The unified NTT/iNTT datapath (§4.5).
+
+FAB's 256 functional units act as radix-2 butterflies processing 512
+coefficients per cycle, so one limb's NTT takes about
+``log N * N / 512`` cycles instead of ``log N * N / 2``.  The NTT
+address-generation unit maps data and twiddle indices on the fly from
+the stage/data counters using shifts and ANDs; the same network serves
+both directions (Cooley–Tukey with bit-reversed twiddle tables).
+
+:func:`forward_stage_schedule` reproduces that address generation in
+software, and the test suite validates that executing butterflies per
+this schedule is bit-identical to the reference NTT in
+:mod:`repro.fhe.ntt` — the functional credibility of the datapath model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .params import FabConfig
+
+
+@dataclass(frozen=True)
+class ButterflyBlock:
+    """One block of butterflies sharing a twiddle factor.
+
+    Attributes:
+        stage: NTT stage (0-based; ``log2 N`` stages total).
+        twiddle_index: index into the bit-reversed twiddle table.
+        lo_start: first index of the "low" operand run.
+        hi_start: first index of the "high" operand run.
+        length: number of butterflies in the block.
+    """
+
+    stage: int
+    twiddle_index: int
+    lo_start: int
+    hi_start: int
+    length: int
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """(lo, hi) index pairs of this block."""
+        for off in range(self.length):
+            yield self.lo_start + off, self.hi_start + off
+
+
+def forward_stage_schedule(ring_degree: int) -> List[List[ButterflyBlock]]:
+    """The data/twiddle mapping for every forward-NTT stage.
+
+    Mirrors the iterative Cooley–Tukey loop: at stage ``s`` there are
+    ``m = 2^s`` blocks of ``t = N / 2^{s+1}`` butterflies, block ``j``
+    using twiddle ``m + j`` (bit-reversed table).  All indices derive
+    from the stage/data counters with shifts and masks — exactly what
+    the hardware address-generation unit computes.
+    """
+    n = ring_degree
+    log_n = n.bit_length() - 1
+    if 1 << log_n != n:
+        raise ValueError("ring degree must be a power of two")
+    schedule: List[List[ButterflyBlock]] = []
+    t = n
+    m = 1
+    for stage in range(log_n):
+        t //= 2
+        blocks = [
+            ButterflyBlock(stage=stage, twiddle_index=m + j,
+                           lo_start=2 * j * t, hi_start=2 * j * t + t,
+                           length=t)
+            for j in range(m)
+        ]
+        schedule.append(blocks)
+        m *= 2
+    return schedule
+
+
+def execute_schedule(coeffs: np.ndarray, twiddles: np.ndarray,
+                     modulus: int) -> np.ndarray:
+    """Run the forward NTT by walking the hardware schedule.
+
+    Used by tests to prove the address generator is bit-exact against
+    the reference transform.
+    """
+    a = np.asarray(coeffs, dtype=np.int64).copy() % modulus
+    for blocks in forward_stage_schedule(a.shape[0]):
+        for blk in blocks:
+            w = int(twiddles[blk.twiddle_index])
+            lo = a[blk.lo_start:blk.lo_start + blk.length]
+            hi = a[blk.hi_start:blk.hi_start + blk.length]
+            prod = hi * w % modulus
+            lo_new = (lo + prod) % modulus
+            hi_new = (lo - prod) % modulus
+            a[blk.lo_start:blk.lo_start + blk.length] = lo_new
+            a[blk.hi_start:blk.hi_start + blk.length] = hi_new
+    return a
+
+
+class NttDatapath:
+    """Cycle model of the NTT/iNTT pipeline."""
+
+    def __init__(self, config: Optional[FabConfig] = None):
+        self.config = config or FabConfig()
+
+    def stage_cycles(self, ring_degree: Optional[int] = None) -> int:
+        """Cycles per NTT stage: N/2 butterflies over 256 lanes."""
+        n = ring_degree or self.config.fhe.ring_degree
+        return math.ceil((n // 2) / self.config.butterflies_per_cycle)
+
+    def limb_cycles(self, ring_degree: Optional[int] = None) -> int:
+        """Cycles for one limb's NTT (or iNTT): ~ log N * N / 512.
+
+        Bit-reversal is fused into the preceding automorph/multiply
+        (§4.5), so it does not appear here.
+        """
+        n = ring_degree or self.config.fhe.ring_degree
+        log_n = n.bit_length() - 1
+        fill = self.config.mod_mult_cycles + self.config.mod_add_cycles
+        return log_n * self.stage_cycles(n) + fill
+
+    def batch_cycles(self, num_limbs: int,
+                     ring_degree: Optional[int] = None) -> int:
+        """Cycles to transform ``num_limbs`` limbs back to back."""
+        if num_limbs == 0:
+            return 0
+        return num_limbs * self.limb_cycles(ring_degree)
+
+    def throughput_ops_per_sec(self,
+                               ring_degree: Optional[int] = None) -> float:
+        """Sustained NTT limbs per second (Table 6's NTT row)."""
+        return self.config.clock_hz / self.limb_cycles(ring_degree)

@@ -1,0 +1,152 @@
+"""FPGA resource accounting (Table 3 and Table 4 of the paper).
+
+The utilization model derives every number from the architecture
+parameters in :class:`FabConfig`:
+
+* **DSP** — each of the 256 functional units spends 20 DSP slices on its
+  modular multiplier / adders (5120 total, 56.7 % of the U280's 9024);
+* **URAM/BRAM** — directly from the bank geometry of §4.2 (960 of 962
+  URAMs, 3840 of 4032 BRAMs);
+* **LUT/FF** — per-unit estimates calibrated so the totals match the
+  paper's ~899K LUTs / ~2073K FFs, with the functional units the largest
+  LUT consumer (~37 %) and the register file + control dominating FFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .params import FabConfig
+
+#: Calibrated per-component LUT estimates.
+_LUTS_PER_FU = 1_300               # modular mult/add/sub/automorph logic
+_LUTS_ADDRESS_GEN = 120_000        # NTT + URAM + BRAM address generators
+_LUTS_CONTROL = 230_000            # control FSMs, operation sequencer
+_LUTS_FIFO_IO = 216_432            # FIFOs, AXI/CMAC interfaces
+
+#: Calibrated per-component FF estimates.
+_FFS_PER_FU = 3_200                # deep DSP pipelines per unit
+_FFS_REGISTER_FILE = 734_600       # 2 MB distributed register file
+_FFS_CONTROL = 404_000             # control + address generation
+_FFS_FIFO_IO = 1_800 * 32 * 2      # Rd/Wr FIFO registers
+
+
+@dataclass
+class ResourceReport:
+    """Utilization of one resource class (a Table 3 row)."""
+
+    name: str
+    available: int
+    utilized: int
+
+    @property
+    def percent(self) -> float:
+        """Utilization percentage."""
+        return 100.0 * self.utilized / self.available
+
+
+class FabResources:
+    """Computes the Table 3 utilization rows from the configuration."""
+
+    def __init__(self, config: Optional[FabConfig] = None):
+        self.config = config or FabConfig()
+
+    # ------------------------------------------------------------------
+    # Component counts
+    # ------------------------------------------------------------------
+
+    @property
+    def dsp_used(self) -> int:
+        """DSP slices: all consumed by modular arithmetic (§5.2)."""
+        return (self.config.num_functional_units
+                * self.config.dsp_per_modmult)
+
+    @property
+    def uram_used(self) -> int:
+        """URAM blocks: five banks of 192 (§4.2)."""
+        return 5 * 192
+
+    @property
+    def bram_used(self) -> int:
+        """BRAM blocks: two banks of 1536 + one of 768 (§4.2)."""
+        return 2 * 1536 + 768
+
+    @property
+    def luts_used(self) -> int:
+        """Estimated LUTs (functional units the largest share)."""
+        fu = self.config.num_functional_units * _LUTS_PER_FU
+        return fu + _LUTS_ADDRESS_GEN + _LUTS_CONTROL + _LUTS_FIFO_IO
+
+    @property
+    def ffs_used(self) -> int:
+        """Estimated flip-flops (register file + control dominate)."""
+        fu = self.config.num_functional_units * _FFS_PER_FU
+        return fu + _FFS_REGISTER_FILE + _FFS_CONTROL + _FFS_FIFO_IO
+
+    @property
+    def lut_share_functional_units(self) -> float:
+        """Fraction of LUTs in the functional units (paper: ~37 %)."""
+        return (self.config.num_functional_units * _LUTS_PER_FU
+                / self.luts_used)
+
+    # ------------------------------------------------------------------
+    # Table rows
+    # ------------------------------------------------------------------
+
+    def table3(self) -> Dict[str, ResourceReport]:
+        """The five rows of Table 3."""
+        c = self.config
+        return {
+            "LUTs": ResourceReport("LUTs", c.luts_available, self.luts_used),
+            "FFs": ResourceReport("FFs", c.ffs_available, self.ffs_used),
+            "DSP": ResourceReport("DSP", c.dsps_available, self.dsp_used),
+            "BRAM": ResourceReport("BRAM", c.bram_blocks_total,
+                                   self.bram_used),
+            "URAM": ResourceReport("URAM", c.uram_blocks_total,
+                                   self.uram_used),
+        }
+
+    def summary(self) -> str:
+        """Formatted Table 3."""
+        lines = [f"{'Resource':10s} {'Available':>10s} {'Utilized':>10s} "
+                 f"{'% Util':>8s}"]
+        for row in self.table3().values():
+            lines.append(f"{row.name:10s} {row.available:>10,} "
+                         f"{row.utilized:>10,} {row.percent:>7.2f}%")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AcceleratorFootprint:
+    """A Table 4 row: compute/memory resources of an FHE accelerator."""
+
+    name: str
+    ring_degree: int
+    log_q: int
+    modular_multipliers: int
+    register_file_mb: float
+    onchip_memory_mb: float
+    technology: str = ""
+
+
+def table4_footprints(config: Optional[FabConfig] = None):
+    """Table 4: FAB vs the F1 and BTS ASICs.
+
+    The F1 and BTS rows quote the numbers published in [41] and [35];
+    the FAB row derives from the configuration.
+    """
+    config = config or FabConfig()
+    fab = AcceleratorFootprint(
+        name="FAB",
+        ring_degree=config.fhe.ring_degree,
+        log_q=config.fhe.limb_bits,
+        modular_multipliers=config.num_functional_units,
+        register_file_mb=config.register_file_bytes / (1 << 20),
+        onchip_memory_mb=round(config.onchip_bytes / (1 << 20)),
+        technology="16nm FPGA (Alveo U280)")
+    f1 = AcceleratorFootprint("F1", 1 << 14, 32, 18_432, 8, 64,
+                              "14/12nm ASIC")
+    bts = AcceleratorFootprint("BTS", 1 << 17, 50, 8_192, 22, 512,
+                               "ASAP7 ASIC")
+    return {"F1": f1, "BTS": bts, "FAB": fab}

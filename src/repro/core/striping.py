@@ -1,0 +1,123 @@
+"""HBM port striping and traffic homogeneity (§4.6).
+
+FAB "evenly distributes the accesses to main memory so as to
+efficiently utilize the limited main memory bandwidth through a
+homogeneous memory traffic."  This module models the limb-to-port
+assignment: ciphertext and key limbs stripe round-robin across the 32
+AXI pseudo-channels, and the homogeneity of the resulting per-port
+traffic determines how close the aggregate transfer comes to peak
+bandwidth (a single hot port serializes everything behind it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .params import FabConfig
+
+
+@dataclass(frozen=True)
+class LimbTransfer:
+    """One limb-sized transfer request."""
+
+    tag: str          # e.g. "key_digit0", "ct_c0"
+    limb_index: int   # position within its polynomial
+    num_bytes: int
+
+
+class PortStriper:
+    """Assigns limb transfers to HBM pseudo-channels."""
+
+    def __init__(self, config: Optional[FabConfig] = None,
+                 policy: str = "round_robin"):
+        self.config = config or FabConfig()
+        if policy not in ("round_robin", "single_port", "hash"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.policy = policy
+
+    def port_for(self, transfer: LimbTransfer, sequence_index: int) -> int:
+        """The pseudo-channel serving this transfer."""
+        ports = self.config.hbm_ports
+        if self.policy == "round_robin":
+            return sequence_index % ports
+        if self.policy == "hash":
+            return hash((transfer.tag, transfer.limb_index)) % ports
+        return 0  # single_port: the pathological baseline
+
+    def distribute(self, transfers: Sequence[LimbTransfer]
+                   ) -> Dict[int, int]:
+        """Bytes per port for a transfer sequence."""
+        traffic: Dict[int, int] = {p: 0 for p in
+                                   range(self.config.hbm_ports)}
+        for i, t in enumerate(transfers):
+            traffic[self.port_for(t, i)] += t.num_bytes
+        return traffic
+
+    # ------------------------------------------------------------------
+    # Homogeneity metrics
+    # ------------------------------------------------------------------
+
+    def imbalance(self, transfers: Sequence[LimbTransfer]) -> float:
+        """Max-port load over mean-port load (1.0 = perfectly even)."""
+        traffic = self.distribute(transfers)
+        loads = list(traffic.values())
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 1.0
+        return max(loads) / mean
+
+    def effective_bandwidth_fraction(
+            self, transfers: Sequence[LimbTransfer]) -> float:
+        """Fraction of peak bandwidth the stripe pattern achieves.
+
+        The transfer completes when the hottest port drains, so the
+        achieved bandwidth is peak / imbalance.
+        """
+        return 1.0 / self.imbalance(transfers)
+
+    def transfer_cycles(self, transfers: Sequence[LimbTransfer]) -> int:
+        """Kernel cycles until the last port finishes."""
+        traffic = self.distribute(transfers)
+        port_bw = (self.config.hbm_effective_bytes_per_sec
+                   / self.config.hbm_ports)
+        worst = max(traffic.values())
+        seconds = worst / port_bw
+        return int(math.ceil(self.config.seconds_to_cycles(seconds)))
+
+
+def keyswitch_transfer_sequence(config: Optional[FabConfig] = None,
+                                level_limbs: Optional[int] = None
+                                ) -> List[LimbTransfer]:
+    """The limb-transfer stream of one modified-datapath KeySwitch.
+
+    dnum key blocks of 2 x (level + alpha) limbs each, fetched block by
+    block as the schedule consumes them.
+    """
+    config = config or FabConfig()
+    fhe = config.fhe
+    level = level_limbs if level_limbs is not None else fhe.num_limbs
+    raised = level + fhe.num_extension_limbs
+    transfers = []
+    digits = -(-level // fhe.alpha)
+    for digit in range(digits):
+        for poly in range(2):
+            for limb in range(raised):
+                transfers.append(LimbTransfer(
+                    tag=f"key_d{digit}_p{poly}", limb_index=limb,
+                    num_bytes=fhe.limb_bytes))
+    return transfers
+
+
+def compare_striping_policies(config: Optional[FabConfig] = None
+                              ) -> Dict[str, Tuple[float, int]]:
+    """(imbalance, cycles) of each policy on the KeySwitch stream."""
+    config = config or FabConfig()
+    transfers = keyswitch_transfer_sequence(config)
+    out = {}
+    for policy in ("round_robin", "hash", "single_port"):
+        striper = PortStriper(config, policy)
+        out[policy] = (striper.imbalance(transfers),
+                       striper.transfer_cycles(transfers))
+    return out

@@ -1,0 +1,63 @@
+"""Reporting helpers: format schedules and op reports as readable tables."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+from .ops import BootstrapReport, OpReport
+from .params import FabConfig
+from .scheduler import ScheduleResult
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def format_op_report(report: OpReport, config: FabConfig) -> str:
+    """One-line summary of an operation's cost."""
+    ms = report.seconds(config) * 1e3
+    return (f"{report.name}: {report.cycles:,} cycles ({ms:.3f} ms), "
+            f"{report.limb_ntts} limb-NTTs, "
+            f"{report.modmults / 1e6:.1f}M modmults, "
+            f"{report.hbm_bytes / 1e6:.1f} MB HBM")
+
+
+def format_bootstrap_report(report: BootstrapReport,
+                            config: FabConfig) -> str:
+    """Stage-by-stage bootstrap summary."""
+    lines = [f"bootstrap: {report.seconds(config) * 1e3:.1f} ms total, "
+             f"{report.rotations} rotations, "
+             f"{report.levels_after} levels after"]
+    for stage, cycles in report.stage_cycles.items():
+        ms = config.cycles_to_seconds(cycles) * 1e3
+        share = 100.0 * cycles / report.cycles
+        lines.append(f"  {stage:15s} {ms:8.1f} ms  ({share:4.1f}%)")
+    return "\n".join(lines)
+
+
+def format_schedule(result: ScheduleResult, limit: int = 20) -> str:
+    """Gantt-style listing of the first tasks of a schedule."""
+    rows = []
+    for task in sorted(result.tasks.values(), key=lambda t: t.start or 0):
+        rows.append((task.name, task.resource, task.start, task.finish,
+                     task.cycles))
+        if len(rows) >= limit:
+            break
+    table = format_table(("task", "resource", "start", "finish", "cycles"),
+                         rows)
+    util = ", ".join(
+        f"{r.name}={100 * r.utilization(result.makespan):.0f}%"
+        for r in result.resources.values())
+    return (f"{table}\nmakespan={result.makespan:,} cycles; "
+            f"utilization: {util}; bound by {result.bound_by()}")

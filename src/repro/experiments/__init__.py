@@ -1,0 +1,42 @@
+"""Reproduction drivers: one module per table/figure of the paper.
+
+Run any module as a script (``python -m repro.experiments.table7_bootstrap``)
+or call its ``run()`` for structured rows.  ``run_all()`` executes the
+complete evaluation section.
+"""
+
+from . import (ablation_keyswitch, extras_balance, fig1_dnum, fig2_fftiter,
+               leveled_vs_bootstrap, table2_params, table3_resources,
+               table4_comparison, table5_basic_ops, table6_heax,
+               table7_bootstrap, table8_lr)
+from .common import ExperimentResult, ExperimentRow, print_result
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_dnum,
+    "fig2": fig2_fftiter,
+    "table2": table2_params,
+    "table3": table3_resources,
+    "table4": table4_comparison,
+    "table5": table5_basic_ops,
+    "table6": table6_heax,
+    "table7": table7_bootstrap,
+    "table8": table8_lr,
+    "fig5_ablation": ablation_keyswitch,
+    "leveled_vs_bootstrap": leveled_vs_bootstrap,
+    "extras_balance": extras_balance,
+}
+
+
+def run_all(verbose: bool = True):
+    """Run every experiment; returns {id: ExperimentResult}."""
+    results = {}
+    for key, module in ALL_EXPERIMENTS.items():
+        result = module.run()
+        results[key] = result
+        if verbose:
+            print_result(result)
+    return results
+
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "ExperimentRow",
+           "print_result", "run_all"]

@@ -1,0 +1,85 @@
+"""Shared infrastructure for the experiment drivers.
+
+Every driver exposes ``run() -> ExperimentResult`` producing the rows of
+one paper table/figure (model-measured values side by side with the
+paper-reported ones) and a ``main()`` that prints it.  The benchmark
+harness in ``benchmarks/`` wraps the same ``run()`` functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentRow:
+    """One row of a reproduced table/figure."""
+
+    label: str
+    values: Dict[str, object] = field(default_factory=dict)
+
+    def __getitem__(self, key: str):
+        return self.values[key]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced artifact: id, headline, rows."""
+
+    experiment_id: str
+    title: str
+    columns: List[str]
+    rows: List[ExperimentRow]
+    notes: str = ""
+
+    def row(self, label: str) -> ExperimentRow:
+        """Find a row by label."""
+        for r in self.rows:
+            if r.label == label:
+                return r
+        raise KeyError(f"no row labelled {label!r} in {self.experiment_id}")
+
+    def format(self) -> str:
+        """Render as a fixed-width table."""
+        headers = ["row"] + self.columns
+        table_rows = []
+        for r in self.rows:
+            cells = [r.label]
+            for col in self.columns:
+                value = r.values.get(col, "")
+                if isinstance(value, float):
+                    cells.append(_format_number(value))
+                else:
+                    cells.append(str(value))
+            table_rows.append(cells)
+        widths = [max(len(h), *(len(row[i]) for row in table_rows))
+                  if table_rows else len(h)
+                  for i, h in enumerate(headers)]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in table_rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _format_number(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value != value:  # NaN
+        return "-"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.001:
+        return f"{value:.3g}"
+    if magnitude >= 10:
+        return f"{value:.1f}"
+    return f"{value:.3f}"
+
+
+def print_result(result: ExperimentResult) -> None:
+    """Print a formatted experiment result."""
+    print(result.format())
+    print()

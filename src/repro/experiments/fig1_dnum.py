@@ -1,0 +1,58 @@
+"""Figure 1: impact of dnum on compute levels and switching-key size.
+
+Sweeps ``dnum`` at fixed ``log(PQ) = 1728`` and ``N = 2^16``: larger
+dnum buys more compute levels after bootstrapping but grows the
+switching keys (with the key compression of [15] applied, halving
+sizes).  The paper picks ``dnum = 3`` as the best fit for FAB's 43 MB
+on-chip memory.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.params import FabConfig
+from ..perf.keysize import dnum_sweep
+from .common import ExperimentResult, ExperimentRow, print_result
+
+#: The paper's choice and its headline properties.
+PAPER_DNUM = 3
+PAPER_LEVELS_AT_DNUM3 = 6
+PAPER_UNCOMPRESSED_KEY_MB_AT_DNUM3 = 84
+
+
+def run(dnums: Optional[List[int]] = None) -> ExperimentResult:
+    """Reproduce the Figure 1 sweep."""
+    dnums = dnums or [1, 2, 3, 4, 5, 6]
+    config = FabConfig()
+    onchip_mb = config.onchip_bytes / (1 << 20)
+    rows = []
+    for point in dnum_sweep(dnums):
+        rows.append(ExperimentRow(
+            label=f"dnum={point.dnum}",
+            values={
+                "limbs(L+1)": point.num_limbs,
+                "alpha": point.alpha,
+                "levels_after_boot": point.levels_after_bootstrap,
+                "key_MB(compressed)": point.key_bytes / (1 << 20),
+                "key_MB(raw)": point.key_bytes_uncompressed / (1 << 20),
+                "fits_onchip": point.key_bytes / (1 << 20) <= onchip_mb,
+            }))
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Levels after bootstrapping & switching-key size vs dnum "
+              "(N=2^16, logPQ=1728)",
+        columns=["limbs(L+1)", "alpha", "levels_after_boot",
+                 "key_MB(compressed)", "key_MB(raw)", "fits_onchip"],
+        rows=rows,
+        notes=f"paper picks dnum={PAPER_DNUM} "
+              f"({PAPER_LEVELS_AT_DNUM3} levels, "
+              f"~{PAPER_UNCOMPRESSED_KEY_MB_AT_DNUM3} MB raw keys)")
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Figure 2: effect of fftIter on bootstrapping cost.
+
+Sweeps the multiplicative depth of the homomorphic FFT: higher fftIter
+uses smaller-radix factors (fewer rotations and NTTs per transform) but
+consumes more levels, leaving fewer multiplications per bootstrap.  The
+paper's amortized metric (Eq. 2) is optimized at ``fftIter = 4``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.ops import FabOpModel
+from ..core.params import FabConfig
+from .common import ExperimentResult, ExperimentRow, print_result
+
+#: The paper's chosen operating point.
+PAPER_FFT_ITER = 4
+
+
+def run(fft_iters: Optional[List[int]] = None) -> ExperimentResult:
+    """Reproduce the Figure 2 sweep."""
+    fft_iters = fft_iters or [1, 2, 3, 4, 5, 6]
+    config = FabConfig()
+    model = FabOpModel(config)
+    rows = []
+    for fft_iter in fft_iters:
+        boot = model.bootstrap(fft_iter=fft_iter)
+        amortized = model.amortized_mult_per_slot(fft_iter=fft_iter)
+        rows.append(ExperimentRow(
+            label=f"fftIter={fft_iter}",
+            values={
+                "boot_ms": boot.seconds(config) * 1e3,
+                "ntt_ops": boot.limb_ntts,
+                "rotations": boot.rotations,
+                "levels_after": boot.levels_after,
+                "amortized_us_per_slot": amortized * 1e6,
+            }))
+    best = min(rows, key=lambda r: r.values["amortized_us_per_slot"])
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Bootstrapping execution time & NTT count vs fftIter "
+              "(N=2^16, logPQ=1728, dnum=3)",
+        columns=["boot_ms", "ntt_ops", "rotations", "levels_after",
+                 "amortized_us_per_slot"],
+        rows=rows,
+        notes=f"model optimum at {best.label}; "
+              f"paper picks fftIter={PAPER_FFT_ITER}")
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

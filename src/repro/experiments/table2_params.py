@@ -1,0 +1,68 @@
+"""Table 2: the FPGA parameter set and its feasibility constraints.
+
+Verifies every constraint the paper uses to justify the parameter
+choice: 128-bit security at ``log(PQ) = 1728``, the 28.3 MB raised
+ciphertext fitting the 43 MB on-chip memory, and the derived
+``alpha`` / ``LBoot`` values.
+"""
+
+from __future__ import annotations
+
+from ..core.memory import OnChipMemory
+from ..core.params import FabConfig
+from ..fhe.security import is_secure, max_log_q, security_level
+from .common import ExperimentResult, ExperimentRow, print_result
+
+#: Table 2 of the paper.
+PAPER_PARAMS = {"log_q": 54, "log_n": 16, "L": 23, "dnum": 3,
+                "fft_iter": 4, "security": 128}
+
+
+def run() -> ExperimentResult:
+    """Check the paper's parameter set against the model's constraints."""
+    config = FabConfig()
+    fhe = config.fhe
+    memory = OnChipMemory(config)
+    rows = [
+        ExperimentRow("log q", {
+            "model": fhe.limb_bits, "paper": PAPER_PARAMS["log_q"]}),
+        ExperimentRow("log N", {
+            "model": fhe.ring_degree.bit_length() - 1,
+            "paper": PAPER_PARAMS["log_n"]}),
+        ExperimentRow("L", {
+            "model": fhe.num_limbs - 1, "paper": PAPER_PARAMS["L"]}),
+        ExperimentRow("dnum", {
+            "model": fhe.dnum, "paper": PAPER_PARAMS["dnum"]}),
+        ExperimentRow("fftIter", {
+            "model": fhe.fft_iter, "paper": PAPER_PARAMS["fft_iter"]}),
+        ExperimentRow("log PQ", {
+            "model": fhe.log_pq, "paper": 1728}),
+        ExperimentRow("security bits", {
+            "model": round(security_level(fhe.ring_degree, fhe.log_pq)),
+            "paper": PAPER_PARAMS["security"]}),
+        ExperimentRow("secure@128", {
+            "model": is_secure(fhe.ring_degree, fhe.log_pq, 128),
+            "paper": True}),
+        ExperimentRow("max logQ budget", {
+            "model": max_log_q(fhe.ring_degree, 128), "paper": ">=1728"}),
+        ExperimentRow("raised ct MB", {
+            "model": round(fhe.max_ciphertext_bytes / (1 << 20), 1),
+            "paper": 28.3}),
+        ExperimentRow("ct fits on-chip", {
+            "model": memory.fits_raised_ciphertext(), "paper": True}),
+        ExperimentRow("LBoot", {
+            "model": fhe.bootstrap_depth, "paper": 17}),
+    ]
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Parameter set for the FPGA implementation",
+        columns=["model", "paper"],
+        rows=rows)
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

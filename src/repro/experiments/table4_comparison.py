@@ -1,0 +1,51 @@
+"""Table 4: modular multipliers, register file and on-chip memory
+across F1, BTS and FAB."""
+
+from __future__ import annotations
+
+from ..core.resources import table4_footprints
+from .common import ExperimentResult, ExperimentRow, print_result
+
+#: The paper's headline ratios (BTS relative to FAB).
+PAPER_RATIOS_VS_BTS = {"modmults": 32, "register_file": 11,
+                       "onchip_memory": 12}
+
+
+def run() -> ExperimentResult:
+    """Reproduce the accelerator footprint comparison."""
+    rows = []
+    footprints = table4_footprints()
+    for name in ("F1", "BTS", "FAB"):
+        fp = footprints[name]
+        rows.append(ExperimentRow(name, {
+            "N": fp.ring_degree,
+            "log_q": fp.log_q,
+            "mod_multipliers": fp.modular_multipliers,
+            "register_file_MB": fp.register_file_mb,
+            "onchip_MB": fp.onchip_memory_mb,
+            "technology": fp.technology,
+        }))
+    bts, fab = footprints["BTS"], footprints["FAB"]
+    notes = (f"BTS/FAB ratios: multipliers "
+             f"{bts.modular_multipliers // fab.modular_multipliers}x "
+             f"(paper {PAPER_RATIOS_VS_BTS['modmults']}x), RF "
+             f"{bts.register_file_mb / fab.register_file_mb:.0f}x "
+             f"(paper {PAPER_RATIOS_VS_BTS['register_file']}x), memory "
+             f"{bts.onchip_memory_mb / fab.onchip_memory_mb:.0f}x "
+             f"(paper {PAPER_RATIOS_VS_BTS['onchip_memory']}x)")
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Modular multiplier count, register file and on-chip "
+              "memory across designs",
+        columns=["N", "log_q", "mod_multipliers", "register_file_MB",
+                 "onchip_MB", "technology"],
+        rows=rows,
+        notes=notes)
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Table 5: basic CKKS operation latency, FAB vs the GPU baseline.
+
+The GPU column quotes Jung et al.'s published numbers (the paper does
+the same); the FAB column is the cycle model at 300 MHz.
+"""
+
+from __future__ import annotations
+
+from ..core.ops import FabOpModel
+from ..core.params import FabConfig
+from .common import ExperimentResult, ExperimentRow, print_result
+
+#: Table 5 of the paper (milliseconds).
+PAPER_FAB_MS = {"add": 0.04, "multiply": 1.71, "rescale": 0.19,
+                "rotate": 1.57}
+PAPER_GPU_MS = {"add": 0.16, "multiply": 2.96, "rescale": 0.49,
+                "rotate": 2.55}
+OP_LABELS = {"add": "Add", "multiply": "Mult", "rescale": "Rescale",
+             "rotate": "Rotate"}
+
+
+def run() -> ExperimentResult:
+    """Reproduce the basic-operation latency comparison."""
+    config = FabConfig()
+    model = FabOpModel(config)
+    rows = []
+    for op, label in OP_LABELS.items():
+        model_ms = getattr(model, op)().seconds(config) * 1e3
+        gpu_ms = PAPER_GPU_MS[op]
+        rows.append(ExperimentRow(label, {
+            "fab_model_ms": model_ms,
+            "fab_paper_ms": PAPER_FAB_MS[op],
+            "gpu_ms": gpu_ms,
+            "model_speedup_vs_gpu": gpu_ms / model_ms,
+            "paper_speedup_vs_gpu": gpu_ms / PAPER_FAB_MS[op],
+        }))
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Basic CKKS operation latency (ms) and speedup vs GPU",
+        columns=["fab_model_ms", "fab_paper_ms", "gpu_ms",
+                 "model_speedup_vs_gpu", "paper_speedup_vs_gpu"],
+        rows=rows,
+        notes="GPU column = Jung et al. published numbers "
+              "(N=2^16, logQ=1693)")
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

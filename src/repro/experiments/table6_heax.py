@@ -1,0 +1,56 @@
+"""Table 6: NTT and Mult throughput vs HEAX (N = 2^14, log Q = 438).
+
+HEAX's published throughputs are the baseline; FAB's come from the
+cycle model reconfigured to HEAX's parameter point.  The model reports
+per-polynomial operations (all 8 limbs), the natural unit at this
+parameter set.
+"""
+
+from __future__ import annotations
+
+from ..core.ops import FabOpModel
+from ..core.params import heax_comparison_config
+from .common import ExperimentResult, ExperimentRow, print_result
+
+#: Table 6 of the paper (operations per second).
+PAPER_FAB = {"NTT": 167_000, "Mult": 5_700}
+PAPER_HEAX = {"NTT": 42_000, "Mult": 2_600}
+
+
+def run() -> ExperimentResult:
+    """Reproduce the HEAX throughput comparison."""
+    config = heax_comparison_config()
+    model = FabOpModel(config)
+    ntt_ops = config.clock_hz / model.ntt_poly().cycles
+    mult_ops = config.clock_hz / model.multiply().cycles
+    rows = [
+        ExperimentRow("NTT", {
+            "fab_model_ops": ntt_ops,
+            "fab_paper_ops": PAPER_FAB["NTT"],
+            "heax_ops": PAPER_HEAX["NTT"],
+            "model_speedup": ntt_ops / PAPER_HEAX["NTT"],
+            "paper_speedup": 3.97,
+        }),
+        ExperimentRow("Mult", {
+            "fab_model_ops": mult_ops,
+            "fab_paper_ops": PAPER_FAB["Mult"],
+            "heax_ops": PAPER_HEAX["Mult"],
+            "model_speedup": mult_ops / PAPER_HEAX["Mult"],
+            "paper_speedup": 2.12,
+        }),
+    ]
+    return ExperimentResult(
+        experiment_id="table6",
+        title="Throughput (ops/s) vs HEAX at N=2^14, logQ=438",
+        columns=["fab_model_ops", "fab_paper_ops", "heax_ops",
+                 "model_speedup", "paper_speedup"],
+        rows=rows,
+        notes="model op = full 8-limb polynomial transform / multiply")
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

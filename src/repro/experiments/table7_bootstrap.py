@@ -1,0 +1,70 @@
+"""Table 7: bootstrapping performance (amortized mult time per slot).
+
+FAB's number comes from the cycle model; each baseline's from its
+calibrated analytic device.  Speedups are reported both in time and in
+clock cycles, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..core.params import FabConfig
+from ..perf.devices import build_baseline_devices
+from ..perf.fab import FabDevice
+from ..perf.metrics import cycles_speedup
+from .common import ExperimentResult, ExperimentRow, print_result
+
+#: Table 7 of the paper: (freq GHz, slots, T_mult,a/slot in us).
+PAPER_TABLE7 = {
+    "Lattigo": (3.5, 1 << 15, 101.78),
+    "GPU-1": (1.2, 1 << 15, 0.740),
+    "GPU-2": (1.2, 1 << 16, 0.716),
+    "F1": (1.0, 1, 254.46),
+    "BTS-2": (1.2, 1 << 16, 0.0455),
+    "FAB": (0.3, 1 << 15, 0.477),
+}
+
+
+def run() -> ExperimentResult:
+    """Reproduce the bootstrapping comparison."""
+    config = FabConfig()
+    fab = FabDevice(config)
+    fab_us = fab.amortized_mult_us()
+    devices = build_baseline_devices()
+    rows = []
+    for name, device in devices.items():
+        model_us = device.amortized_mult_us()
+        freq, slots, paper_us = PAPER_TABLE7[name]
+        rows.append(ExperimentRow(name, {
+            "freq_GHz": freq,
+            "slots": slots,
+            "model_us": model_us,
+            "paper_us": paper_us,
+            "fab_speedup_time": model_us / fab_us,
+            "fab_speedup_cycles": cycles_speedup(
+                model_us, device.spec.freq_hz, fab_us, config.clock_hz),
+        }))
+    rows.append(ExperimentRow("FAB", {
+        "freq_GHz": 0.3,
+        "slots": 1 << 15,
+        "model_us": fab_us,
+        "paper_us": PAPER_TABLE7["FAB"][2],
+        "fab_speedup_time": 1.0,
+        "fab_speedup_cycles": 1.0,
+    }))
+    return ExperimentResult(
+        experiment_id="table7",
+        title="Bootstrapping: amortized mult time per slot "
+              "(T_mult,a/slot, us)",
+        columns=["freq_GHz", "slots", "model_us", "paper_us",
+                 "fab_speedup_time", "fab_speedup_cycles"],
+        rows=rows,
+        notes="baselines calibrated to their published anchors; FAB is "
+              "the cycle model")
+
+
+def main() -> None:
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Functional RNS-CKKS library: the FHE substrate FAB accelerates.
+
+Public API:
+
+* :class:`CkksParams` / :class:`CkksContext` — parameter sets.
+* :class:`CkksScheme` — one-stop facade (keys, encrypt, decrypt,
+  evaluator).
+* :class:`Evaluator` — Add / Mult / Rescale / Rotate / Conjugate.
+* :class:`Bootstrapper` — fully-packed CKKS bootstrapping.
+"""
+
+from .ciphertext import Ciphertext
+from .context import CkksContext, CkksParams
+from .encoder import CkksEncoder, Plaintext
+from .evaluator import CkksScheme, Decryptor, Encryptor, Evaluator
+from .keys import (GaloisKeySet, KeyGenerator, PublicKey, SecretKey,
+                   SwitchingKey, conjugation_element,
+                   galois_element_for_rotation)
+from .keyswitch import KeySwitcher
+from .poly import RnsPolynomial
+from .rns import BaseConverter, RnsBasis, get_base_converter
+from .align import ScaleAligner
+from .bfv import BfvBatchEncoder, BfvParams, BfvScheme
+from .noise import NoiseBudget, NoiseEstimator, measure_noise_bits
+from .routines import HomomorphicRoutines
+from .bootstrap import BootstrapConfig, Bootstrapper
+
+__all__ = [
+    "BaseConverter",
+    "BfvBatchEncoder",
+    "BfvParams",
+    "BfvScheme",
+    "BootstrapConfig",
+    "Bootstrapper",
+    "Ciphertext",
+    "CkksContext",
+    "CkksEncoder",
+    "CkksParams",
+    "CkksScheme",
+    "Decryptor",
+    "Encryptor",
+    "Evaluator",
+    "GaloisKeySet",
+    "HomomorphicRoutines",
+    "NoiseBudget",
+    "NoiseEstimator",
+    "KeyGenerator",
+    "KeySwitcher",
+    "Plaintext",
+    "PublicKey",
+    "RnsBasis",
+    "RnsPolynomial",
+    "ScaleAligner",
+    "SecretKey",
+    "SwitchingKey",
+    "conjugation_element",
+    "galois_element_for_rotation",
+    "measure_noise_bits",
+    "get_base_converter",
+]

@@ -1,0 +1,257 @@
+"""A minimal BFV scheme on the shared RNS substrate (§6 of the paper).
+
+The paper notes that FAB's implementations of the basic operations
+(Add, Mult, Rotate) "can be used for the BGV and B/FV schemes".  This
+module demonstrates that claim functionally: BFV — *exact* integer
+arithmetic modulo a plaintext prime ``t`` — built from the very same
+substrate pieces the CKKS scheme uses:
+
+* the prime chains and sampling of :class:`~repro.fhe.context.CkksContext`;
+* :class:`~repro.fhe.poly.RnsPolynomial` and its NTT/automorphism;
+* the hybrid :class:`~repro.fhe.keyswitch.KeySwitcher` (key material is
+  scheme-agnostic) for relinearization and rotations;
+* :class:`~repro.fhe.ntt.NttContext` *modulo t* for slot batching.
+
+The tensor product with the ``round(t/Q * .)`` scaling is computed with
+exact big-integer arithmetic (O(N^2)); this is a correctness reference
+at reduced ring sizes, not a performance path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .context import CkksContext, CkksParams
+from .keys import (GaloisKeySet, KeyGenerator, SecretKey, SwitchingKey,
+                   conjugation_element, galois_element_for_rotation)
+from .keyswitch import KeySwitcher
+from .modmath import bit_reverse, centered, crt_reconstruct_centered
+from .ntt import get_ntt_context
+from .poly import RnsPolynomial
+
+
+@dataclass(frozen=True)
+class BfvParams:
+    """BFV parameters: a CKKS-style modulus chain plus a plain modulus.
+
+    ``plain_modulus`` must be a prime ≡ 1 (mod 2N) for slot batching.
+    """
+
+    ring_degree: int = 64
+    num_limbs: int = 4
+    plain_modulus: int = 65537
+    dnum: int = 2
+    hamming_weight: int = 8
+    error_std: float = 3.2
+    seed: int = 4242
+
+    def to_ckks_params(self) -> CkksParams:
+        """The substrate context configuration."""
+        return CkksParams(ring_degree=self.ring_degree,
+                          num_limbs=self.num_limbs, scale_bits=28,
+                          dnum=self.dnum, first_prime_bits=30,
+                          hamming_weight=self.hamming_weight,
+                          error_std=self.error_std, seed=self.seed)
+
+
+class BfvBatchEncoder:
+    """Slot batching: N integers mod t per plaintext.
+
+    Slots live at the evaluation points of the NTT modulo ``t``: the
+    rotation group (powers of 5) indexes the first N/2 slots and its
+    conjugate coset the rest, so CKKS-style rotations act on each row.
+    """
+
+    def __init__(self, ring_degree: int, plain_modulus: int):
+        if (plain_modulus - 1) % (2 * ring_degree) != 0:
+            raise ValueError(
+                "plain modulus must be ≡ 1 (mod 2N) for batching")
+        self.ring_degree = ring_degree
+        self.plain_modulus = plain_modulus
+        self.ntt = get_ntt_context(ring_degree, plain_modulus)
+        self._slot_to_eval = self._build_slot_map()
+
+    def _build_slot_map(self) -> np.ndarray:
+        """Map slot index -> NTT output index.
+
+        NTT output position ``i`` holds the evaluation at
+        ``psi^{2*br(i)+1}``; slot ``(row, j)`` wants ``psi^{±5^j}``.
+        """
+        n = self.ring_degree
+        m = 2 * n
+        log_n = n.bit_length() - 1
+        mapping = np.empty(n, dtype=np.int64)
+        power = 1
+        for j in range(n // 2):
+            for row, exponent in enumerate((power, m - power)):
+                slot = j + row * (n // 2)
+                mapping[slot] = bit_reverse((exponent - 1) // 2, log_n)
+            power = power * 5 % m
+        return mapping
+
+    def encode(self, values: Sequence[int]) -> np.ndarray:
+        """N slot integers -> plaintext polynomial coefficients mod t."""
+        values = list(values)
+        n = self.ring_degree
+        if len(values) > n:
+            raise ValueError(f"at most {n} slots")
+        evals = np.zeros(n, dtype=np.int64)
+        padded = np.zeros(n, dtype=np.int64)
+        padded[:len(values)] = [int(v) % self.plain_modulus
+                                for v in values]
+        evals[self._slot_to_eval] = padded
+        return self.ntt.inverse(evals)
+
+    def decode(self, coeffs: Sequence[int]) -> np.ndarray:
+        """Plaintext polynomial coefficients mod t -> slot values."""
+        arr = np.array([int(c) % self.plain_modulus for c in coeffs],
+                       dtype=np.int64)
+        evals = self.ntt.forward(arr)
+        return evals[self._slot_to_eval]
+
+
+class BfvScheme:
+    """Exact homomorphic integer arithmetic (add/mult/rotate) mod t."""
+
+    def __init__(self, params: Optional[BfvParams] = None,
+                 rotations: Sequence[int] = ()):
+        self.params = params or BfvParams()
+        self.context = CkksContext(self.params.to_ckks_params())
+        self.encoder = BfvBatchEncoder(self.params.ring_degree,
+                                       self.params.plain_modulus)
+        keygen = KeyGenerator(self.context)
+        self.secret_key = keygen.gen_secret_key()
+        self.public_key = keygen.gen_public_key(self.secret_key)
+        self.relin_key = keygen.gen_relin_key(self.secret_key)
+        self.galois_keys = keygen.gen_galois_keys(
+            self.secret_key, list(rotations), include_conjugate=True)
+        self._keygen = keygen
+        self.key_switcher = KeySwitcher(self.context)
+        self.q_modulus = self.context.q_basis.modulus
+        self.delta = self.q_modulus // self.params.plain_modulus
+
+    # ------------------------------------------------------------------
+    # Encryption
+    # ------------------------------------------------------------------
+
+    def encrypt(self, values: Sequence[int]) -> Ciphertext:
+        """Encrypt a vector of integers mod t."""
+        ctx = self.context
+        basis = ctx.q_basis
+        plain_coeffs = self.encoder.encode(values)
+        scaled = [int(c) * self.delta for c in plain_coeffs]
+        m_poly = RnsPolynomial.from_int_coeffs(
+            scaled, self.params.ring_degree, basis).to_ntt()
+        v = ctx.poly_from_small_coeffs(ctx.sample_zo_coeffs(), basis)
+        e0 = ctx.poly_from_small_coeffs(ctx.sample_error_coeffs(), basis)
+        e1 = ctx.poly_from_small_coeffs(ctx.sample_error_coeffs(), basis)
+        c0 = self.public_key.b * v + e0 + m_poly
+        c1 = self.public_key.a * v + e1
+        return Ciphertext(c0, c1, scale=float(self.delta),
+                          num_slots=self.params.ring_degree)
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        """Decrypt to the exact slot integers mod t."""
+        s = self.secret_key.restricted(ct.c0.basis)
+        noisy = (ct.c0 + ct.c1 * s).integer_coefficients()
+        t = self.params.plain_modulus
+        q = ct.c0.basis.modulus
+        coeffs = [round(t * c / q) % t for c in noisy]
+        return self.encoder.decode(coeffs)
+
+    # ------------------------------------------------------------------
+    # Homomorphic operations
+    # ------------------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Exact slot-wise addition mod t."""
+        return Ciphertext(a.c0 + b.c0, a.c1 + b.c1, a.scale, a.num_slots)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Exact slot-wise subtraction mod t."""
+        return Ciphertext(a.c0 - b.c0, a.c1 - b.c1, a.scale, a.num_slots)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        """Exact slot-wise negation mod t."""
+        return Ciphertext(-a.c0, -a.c1, a.scale, a.num_slots)
+
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Exact slot-wise multiplication mod t.
+
+        Tensor product over the integers, scaled by ``round(t/Q * .)``,
+        then relinearized with the shared hybrid key switcher.
+        """
+        n = self.params.ring_degree
+        basis = a.c0.basis
+        q = basis.modulus
+        t = self.params.plain_modulus
+        a0, a1 = (np.array(p.integer_coefficients(), dtype=object)
+                  for p in (a.c0, a.c1))
+        b0, b1 = (np.array(p.integer_coefficients(), dtype=object)
+                  for p in (b.c0, b.c1))
+        d0 = _negacyclic(a0, b0, n)
+        d1 = _negacyclic(a0, b1, n) + _negacyclic(a1, b0, n)
+        d2 = _negacyclic(a1, b1, n)
+
+        def rescale_round(vec) -> RnsPolynomial:
+            coeffs = [_round_div(t * int(c), q) for c in vec]
+            return RnsPolynomial.from_int_coeffs(coeffs, n, basis).to_ntt()
+
+        r0, r1, r2 = (rescale_round(v) for v in (d0, d1, d2))
+        u0, u1 = self.key_switcher.switch(r2, self.relin_key)
+        return Ciphertext(r0 + u0, r1 + u1, a.scale, a.num_slots)
+
+    def rotate_rows(self, ct: Ciphertext, steps: int) -> Ciphertext:
+        """Rotate both slot rows left by ``steps`` (exact)."""
+        g = galois_element_for_rotation(self.params.ring_degree, steps)
+        return self._apply_galois(ct, g)
+
+    def swap_rows(self, ct: Ciphertext) -> Ciphertext:
+        """Exchange the two slot rows (the conjugation element)."""
+        return self._apply_galois(
+            ct, conjugation_element(self.params.ring_degree))
+
+    def _apply_galois(self, ct: Ciphertext, galois_element: int
+                      ) -> Ciphertext:
+        key = self.galois_keys[galois_element]
+        c0_g = ct.c0.automorphism(galois_element)
+        c1_g = ct.c1.automorphism(galois_element)
+        u0, u1 = self.key_switcher.switch(c1_g, key)
+        return Ciphertext(c0_g + u0, u1, ct.scale, ct.num_slots)
+
+    def add_rotation_keys(self, rotations: Sequence[int]) -> None:
+        """Generate extra rotation keys."""
+        for k in rotations:
+            g = galois_element_for_rotation(self.params.ring_degree, k)
+            if g not in self.galois_keys:
+                self.galois_keys.keys[g] = self._keygen.gen_galois_key(
+                    self.secret_key, g)
+
+
+def _negacyclic(a, b, n):
+    """Exact big-integer negacyclic convolution (object dtype)."""
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        ai = int(a[i])
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * int(b[j])
+            if k >= n:
+                out[k - n] -= term
+            else:
+                out[k] += term
+    return out
+
+
+def _round_div(numerator: int, denominator: int) -> int:
+    """Round-to-nearest integer division for signed numerators."""
+    if numerator >= 0:
+        return (numerator + denominator // 2) // denominator
+    return -((-numerator + denominator // 2) // denominator)

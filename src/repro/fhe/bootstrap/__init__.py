@@ -1,0 +1,18 @@
+"""CKKS bootstrapping: linear transforms, EvalMod, and the pipeline."""
+
+from .linear_transform import LinearTransform, bsgs_split, matrix_diagonals
+from .pipeline import BootstrapConfig, Bootstrapper
+from .polyeval import (ChebyshevEvaluator, chebyshev_divide, chebyshev_fit,
+                       chebyshev_reference_eval)
+
+__all__ = [
+    "BootstrapConfig",
+    "Bootstrapper",
+    "ChebyshevEvaluator",
+    "LinearTransform",
+    "bsgs_split",
+    "chebyshev_divide",
+    "chebyshev_fit",
+    "chebyshev_reference_eval",
+    "matrix_diagonals",
+]

@@ -1,0 +1,262 @@
+"""The full CKKS bootstrapping pipeline (§2.1.3 of the paper).
+
+Bootstrapping raises an exhausted ciphertext (one limb left) back to a
+high level so computation can continue indefinitely.  The pipeline is
+the standard one the paper accelerates:
+
+1. **ModRaise** — reinterpret the level-0 ciphertext over the full
+   modulus chain; the plaintext becomes ``t = m + q0 * I`` for a small
+   integer polynomial ``I``.
+2. **CoeffToSlot** — a homomorphic linear transform moving the
+   coefficients of ``t`` into slots (two real vectors, obtained from a
+   single BSGS matrix product plus a conjugation).
+3. **EvalMod** — approximate ``t mod q0`` with the scaled sine
+   ``(q0 / 2*pi) * sin(2*pi*t/q0)`` evaluated as a Chebyshev series
+   (Bossuat et al. [5], the polynomial used by the paper).
+4. **SlotToCoeff** — the inverse linear transform.
+
+The depth of the whole circuit is ``LBoot = 2*fftIter + 9`` in the
+paper's accounting; the functional pipeline here evaluates each linear
+transform as a single dense BSGS product (fftIter = 1 functionally),
+while the fftIter > 1 decompositions are modelled analytically by
+:mod:`repro.perf.opcounts` (they trade depth for rotation count but do
+not change results).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+import numpy as np
+
+from ..ciphertext import Ciphertext
+from ..encoder import rotation_group_indices
+from ..evaluator import CkksScheme
+from ..poly import RnsPolynomial
+from .linear_transform import LinearTransform
+from .polyeval import ChebyshevEvaluator, chebyshev_fit
+
+
+@dataclass
+class BootstrapConfig:
+    """Tunable knobs for the bootstrapping pipeline.
+
+    Attributes:
+        eval_mod_degree: Chebyshev degree of the sine approximation.
+        modulus_range: K, the bound on ``|t / q0|``; the sine is
+            approximated on ``[-K, K]``.  Must dominate the secret-key
+            dependent overflow ``|I|``.
+        baby_count: optional override of the Paterson–Stockmeyer baby
+            step count.
+    """
+
+    eval_mod_degree: int = 63
+    modulus_range: int = 8
+    baby_count: Optional[int] = None
+
+
+class Bootstrapper:
+    """Precomputes and runs CKKS bootstrapping for one scheme instance.
+
+    Only fully-packed ciphertexts (num_slots == N/2) are supported by
+    the functional pipeline, matching the paper's headline operation
+    ("fully-packed bootstrapping").
+    """
+
+    def __init__(self, scheme: CkksScheme,
+                 config: Optional[BootstrapConfig] = None,
+                 num_slots: Optional[int] = None):
+        self.scheme = scheme
+        self.config = config or BootstrapConfig()
+        params = scheme.params
+        self.ring_degree = params.ring_degree
+        #: Slot count this bootstrapper serves: N/2 (fully packed, the
+        #: paper's headline operation) or a smaller power of two
+        #: (sparse packing, used by the LR application).
+        self.num_slots = (num_slots if num_slots is not None
+                          else params.ring_degree // 2)
+        if self.num_slots > params.ring_degree // 2:
+            raise ValueError("num_slots must be <= N/2")
+        self.q0 = scheme.context.moduli[0]
+        self.base_scale = params.scale
+        self._build_matrices()
+        self._ensure_keys()
+        self.cheb = ChebyshevEvaluator(scheme.evaluator, scheme.encoder)
+        self._fit_eval_mod()
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+
+    def _build_matrices(self) -> None:
+        n = self.num_slots
+        ring_degree = self.ring_degree
+        m = 2 * ring_degree
+        idx = rotation_group_indices(ring_degree)  # 5^j mod 2N
+        zeta = np.exp(1j * np.pi / ring_degree)
+        # Sparse packing (n < N/2) replicates the message, so the
+        # plaintext polynomial lives in the subring of x^d, d = N/(2n):
+        # only coefficients at multiples of d are nonzero.  The decode
+        # map restricted to those coefficients is an n x n matrix
+        # A[j, k] = zeta^{5^j * k * d}; the high coefficient half
+        # contributes through B = i * A exactly as in the fully-packed
+        # case (since n * d = N/2 and zeta^{N/2} = i).
+        stride = ring_degree // (2 * n)
+        powers = (idx[:n, None] * (np.arange(n) * stride)[None, :]) % m
+        decode_half = zeta ** powers
+        k = self.config.modulus_range
+        fold = self.base_scale / (self.q0 * k)
+        # CoeffToSlot folds the replication: slot j of the sparse view
+        # aggregates the full-packing slots {j + r*n}.  After SubSum the
+        # message is scaled by the replication factor R, which EvalMod's
+        # amplitude divides back out.
+        self.replication = ring_degree // (2 * n)
+        cts = np.zeros((n, n), dtype=np.complex128)
+        coeff_idx = np.arange(n) * stride
+        for r in range(self.replication):
+            rows = idx[np.arange(n) + r * n]
+            cts += np.conj(zeta ** ((rows[None, :] * coeff_idx[:, None])
+                                    % m))
+        coeff_to_slot = cts / ring_degree * fold
+        # CoeffToSlot entries are tiny (the 1/(q0 K) fold), so give the
+        # encoded diagonals two limbs of precision.
+        self.cts_transform = LinearTransform(coeff_to_slot, n,
+                                             self.scheme.encoder,
+                                             plain_levels=2)
+        self.stc_transform = LinearTransform(decode_half, n,
+                                             self.scheme.encoder)
+
+    def _ensure_keys(self) -> None:
+        rotations: Set[int] = set()
+        rotations |= self.cts_transform.required_rotations()
+        rotations |= self.stc_transform.required_rotations()
+        # SubSum rotations for sparse packing: n, 2n, 4n, ...
+        step = self.num_slots
+        while step < self.ring_degree // 2:
+            rotations.add(step)
+            step *= 2
+        self.scheme.add_rotation_keys(sorted(rotations))
+
+    def _fit_eval_mod(self) -> None:
+        k = self.config.modulus_range
+        # SubSum scales the message by the replication factor; divide it
+        # back out of the sine amplitude.
+        amplitude = self.q0 / (2.0 * np.pi * self.base_scale
+                               * self.replication)
+
+        def target(x):
+            return amplitude * np.sin(2.0 * np.pi * k * x)
+
+        self.eval_mod_coeffs = chebyshev_fit(target,
+                                             self.config.eval_mod_degree)
+
+    # ------------------------------------------------------------------
+    # Pipeline stages (public for tests and for the FAB cost model)
+    # ------------------------------------------------------------------
+
+    def mod_raise(self, ct: Ciphertext) -> Ciphertext:
+        """Re-express a low-level ciphertext over the full modulus chain.
+
+        The underlying plaintext becomes ``t = m + q0 * I`` with
+        ``|I| <~ (1 + hamming_weight)/2``.
+        """
+        context = self.scheme.context
+        full = context.q_basis
+        if ct.level_count != 1:
+            raise ValueError(
+                "mod_raise expects a level-0 (single-limb) ciphertext; "
+                "mod-switch down first")
+
+        def raise_poly(poly: RnsPolynomial) -> RnsPolynomial:
+            coeff = poly.to_coeff()
+            q = poly.basis.primes[0]
+            values = coeff.limbs[0]
+            centered = np.where(values >= (q + 1) // 2, values - q, values)
+            lifted = RnsPolynomial.from_int_coeffs(
+                [int(v) for v in centered], self.ring_degree, full)
+            return lifted.to_ntt()
+
+        return Ciphertext(raise_poly(ct.c0), raise_poly(ct.c1), ct.scale,
+                          ct.num_slots)
+
+    def sub_sum(self, ct: Ciphertext) -> Ciphertext:
+        """Project a raised sparse ciphertext back into the subring.
+
+        After ModRaise the overflow polynomial ``I`` has full support,
+        but a sparse message lives in the subring of ``x^d``.  Summing
+        the ``R = N/(2n)`` rotations by multiples of ``n`` (the Galois
+        subgroup fixing the subring) projects ``t`` onto it, scaling the
+        message by ``R`` (absorbed by the EvalMod amplitude).  This is
+        the standard SubSum step of sparse bootstrapping.
+        """
+        if self.replication == 1:
+            return ct
+        ev = self.scheme.evaluator
+        acc = ct
+        step = self.num_slots
+        while step < self.ring_degree // 2:
+            acc = ev.add(acc, ev.rotate(acc, step))
+            step *= 2
+        return acc
+
+    def coeff_to_slot(self, ct: Ciphertext):
+        """Move coefficients into slots; returns (real_part, imag_part).
+
+        Both outputs decode to ``t_k / (q0 * K)``: the first holds the
+        low coefficient half, the second the high half.
+        """
+        ev = self.scheme.evaluator
+        u = self.cts_transform.apply(ct, ev)
+        u_conj = ev.conjugate(u)
+        real_part = ev.add(u, u_conj)
+        imag_part = ev.multiply_by_i(ev.sub(u_conj, u), power=1)
+        return real_part, imag_part
+
+    def eval_mod(self, ct: Ciphertext) -> Ciphertext:
+        """Approximate the modular reduction on slot values in [-1, 1]."""
+        return self.cheb.evaluate(ct, self.eval_mod_coeffs,
+                                  baby_count=self.config.baby_count)
+
+    def slot_to_coeff(self, real_part: Ciphertext,
+                      imag_part: Ciphertext) -> Ciphertext:
+        """Pack the two coefficient halves back into a ciphertext."""
+        ev = self.scheme.evaluator
+        imag_scaled = ev.multiply_by_i(imag_part, power=1)
+        combined = self.cheb.add_aligned(real_part, imag_scaled)
+        return self.stc_transform.apply(combined, ev)
+
+    # ------------------------------------------------------------------
+    # Full bootstrap
+    # ------------------------------------------------------------------
+
+    def bootstrap(self, ct: Ciphertext) -> Ciphertext:
+        """Run the full pipeline; the result encrypts the same message
+        at a higher level (more limbs), enabling further multiplication.
+        """
+        if ct.num_slots != self.num_slots:
+            raise ValueError(
+                f"this bootstrapper serves {self.num_slots}-slot "
+                f"ciphertexts; got {ct.num_slots} (construct a "
+                "Bootstrapper with matching num_slots)")
+        ev = self.scheme.evaluator
+        if ct.level_count > 1:
+            ct = ev.mod_down_to(ct, 1)
+        if not math.isclose(ct.scale, self.base_scale, rel_tol=1e-6):
+            raise ValueError(
+                "bootstrap input must be at the context scale "
+                f"(2^{math.log2(self.base_scale):.1f})")
+        raised = self.sub_sum(self.mod_raise(ct))
+        real_part, imag_part = self.coeff_to_slot(raised)
+        real_red = self.eval_mod(real_part)
+        imag_red = self.eval_mod(imag_part)
+        return self.slot_to_coeff(real_red, imag_red)
+
+    def levels_after_bootstrap(self) -> int:
+        """How many multiplications the refreshed ciphertext supports."""
+        probe = self.scheme.encrypt(
+            np.zeros(self.num_slots), num_slots=self.num_slots)
+        probe = self.scheme.evaluator.mod_down_to(probe, 1)
+        refreshed = self.bootstrap(probe)
+        return refreshed.level_count - 1

@@ -1,0 +1,59 @@
+"""CKKS ciphertexts.
+
+A ciphertext is a pair ``(c0, c1)`` of RNS polynomials over the current
+level's basis, decrypting as ``m ~= c0 + c1 * s``.  The number of limbs
+is the paper's ``l`` (current level); each rescale consumes one limb.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .poly import RnsPolynomial
+
+
+class Ciphertext:
+    """A two-element CKKS ciphertext.
+
+    Attributes:
+        c0, c1: NTT-domain RNS polynomials over the current basis.
+        scale: the current encoding scale Delta'.
+        num_slots: plaintext slot count (for sparse packing bookkeeping).
+    """
+
+    __slots__ = ("c0", "c1", "scale", "num_slots")
+
+    def __init__(self, c0: RnsPolynomial, c1: RnsPolynomial, scale: float,
+                 num_slots: int):
+        if c0.basis != c1.basis:
+            raise ValueError("ciphertext halves must share a basis")
+        if c0.is_ntt != c1.is_ntt:
+            raise ValueError("ciphertext halves must share representation")
+        self.c0 = c0
+        self.c1 = c1
+        self.scale = float(scale)
+        self.num_slots = num_slots
+
+    @property
+    def level_count(self) -> int:
+        """Current number of limbs l (levels remaining = l - 1)."""
+        return len(self.c0.basis)
+
+    @property
+    def ring_degree(self) -> int:
+        """Ring dimension N."""
+        return self.c0.ring_degree
+
+    def copy(self) -> "Ciphertext":
+        """Deep copy."""
+        return Ciphertext(self.c0.copy(), self.c1.copy(), self.scale,
+                          self.num_slots)
+
+    def size_bytes(self, limb_bytes: int = 8) -> int:
+        """In-memory footprint of the limb data."""
+        return (self.c0.limbs.size + self.c1.limbs.size) * limb_bytes
+
+    def __repr__(self) -> str:
+        return (f"Ciphertext(N={self.ring_degree}, limbs={self.level_count}, "
+                f"scale=2^{math.log2(self.scale):.1f}, "
+                f"slots={self.num_slots})")

@@ -1,0 +1,223 @@
+"""CKKS parameter sets and shared context.
+
+The context owns the prime chains (the RNS limbs of Q and the extension
+limbs of P used by hybrid key switching), the digit layout of the
+Han–Ki decomposition (dnum / alpha, §2.1.5 of the paper), and the
+randomness used for key generation and encryption.
+
+Functional-layer parameter sets use small rings and < 2^31 primes; the
+paper-scale set (N = 2^16, log q = 54, L = 23, dnum = 3) is exercised
+by the analytic performance model in :mod:`repro.core` / :mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .modmath import ilog2
+from .poly import RnsPolynomial
+from .primes import generate_prime_chain, find_ntt_prime
+from .rns import RnsBasis
+
+
+@dataclass(frozen=True)
+class CkksParams:
+    """Static CKKS parameters.
+
+    Attributes:
+        ring_degree: polynomial modulus degree N (power of two).
+        num_limbs: L + 1, the number of primes in the full modulus Q.
+        scale_bits: log2 of the encoding scale Delta; rescale primes are
+            chosen near 2**scale_bits.
+        first_prime_bits: width of the base modulus q0 (defaults to
+            scale_bits + 5 to leave headroom for the final message).
+        dnum: number of digits in the hybrid key-switching decomposition.
+        num_extension_limbs: number of extension primes comprising P
+            (defaults to alpha = ceil(num_limbs / dnum), the paper's
+            digit size; Table 1 allows alpha + 1 for extra noise margin).
+        hamming_weight: number of nonzero coefficients in the ternary
+            secret key.
+        error_std: standard deviation of the (rounded Gaussian) noise.
+        num_slots: plaintext slots n (defaults to N / 2; smaller values
+            use replicated sparse packing).
+    """
+
+    ring_degree: int
+    num_limbs: int
+    scale_bits: int
+    dnum: int = 3
+    first_prime_bits: Optional[int] = None
+    num_extension_limbs: Optional[int] = None
+    hamming_weight: int = 64
+    error_std: float = 3.2
+    num_slots: Optional[int] = None
+    seed: int = 2023
+
+    def __post_init__(self):
+        ilog2(self.ring_degree)
+        if self.num_limbs < 1:
+            raise ValueError("need at least one limb")
+        if not 1 <= self.dnum <= self.num_limbs:
+            raise ValueError("dnum must be in [1, num_limbs]")
+        slots = self.num_slots
+        if slots is not None:
+            ilog2(slots)
+            if slots > self.ring_degree // 2:
+                raise ValueError("num_slots must be <= N/2")
+
+    @property
+    def alpha(self) -> int:
+        """Digit size: number of limbs per key-switching digit."""
+        return (self.num_limbs + self.dnum - 1) // self.dnum
+
+    @property
+    def extension_limbs(self) -> int:
+        """Number of extension primes in P."""
+        if self.num_extension_limbs is not None:
+            return self.num_extension_limbs
+        return self.alpha
+
+    @property
+    def slots(self) -> int:
+        """Number of plaintext slots."""
+        return self.num_slots if self.num_slots is not None else self.ring_degree // 2
+
+    @property
+    def max_level(self) -> int:
+        """L: the maximum level (num_limbs - 1)."""
+        return self.num_limbs - 1
+
+    @property
+    def scale(self) -> float:
+        """The default encoding scale Delta."""
+        return float(2 ** self.scale_bits)
+
+
+class CkksContext:
+    """Shared state for one CKKS instantiation.
+
+    Owns the prime chains, digit layout, and the RNG streams.  All
+    encoder / key-generator / evaluator objects reference one context.
+    """
+
+    def __init__(self, params: CkksParams):
+        self.params = params
+        n = params.ring_degree
+        first_bits = params.first_prime_bits
+        if first_bits is None:
+            first_bits = min(params.scale_bits + 5, 30)
+        # Modulus chain: q0 wider, then rescale primes near 2**scale_bits.
+        self.moduli: List[int] = generate_prime_chain(
+            params.num_limbs, params.scale_bits, n, first_bits=first_bits)
+        # Extension primes (the limbs of P): slightly wider than the
+        # rescale primes so that P comfortably exceeds any single digit.
+        ext_bits = min(params.scale_bits + 1, 30)
+        ext: List[int] = []
+        below = None
+        while len(ext) < params.extension_limbs:
+            p = find_ntt_prime(ext_bits, n, avoid=self.moduli + ext,
+                               below=below)
+            ext.append(p)
+            below = p
+        self.extension_moduli = ext
+        self.q_basis = RnsBasis(self.moduli)
+        self.p_basis = RnsBasis(self.extension_moduli)
+        self.full_basis = RnsBasis(self.moduli + self.extension_moduli)
+        self._rng = np.random.default_rng(params.seed)
+
+    # ------------------------------------------------------------------
+    # Basis helpers
+    # ------------------------------------------------------------------
+
+    def basis_at_level(self, num_limbs: int) -> RnsBasis:
+        """The Q-basis truncated to ``num_limbs`` limbs."""
+        return self.q_basis.subbasis(num_limbs)
+
+    def digit_indices(self, num_limbs: int) -> List[List[int]]:
+        """Group the first ``num_limbs`` limb indices by key-switch digit.
+
+        Digits are defined by the full-modulus layout (alpha limbs per
+        digit); at lower levels trailing digits shrink or vanish, which
+        is how hybrid key switching stays valid across levels.
+        """
+        alpha = self.params.alpha
+        digits: List[List[int]] = []
+        for start in range(0, num_limbs, alpha):
+            digits.append(list(range(start, min(start + alpha, num_limbs))))
+        return digits
+
+    @property
+    def p_modulus(self) -> int:
+        """P, the product of the extension primes (exact big integer)."""
+        return self.p_basis.modulus
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def sample_uniform(self, basis: RnsBasis, ntt: bool = True) -> RnsPolynomial:
+        """Uniform ring element over the given basis.
+
+        Independent uniform residues per limb are exactly uniform mod Q
+        by the CRT bijection.
+        """
+        n = self.params.ring_degree
+        limbs = np.empty((len(basis), n), dtype=np.int64)
+        for i, q in enumerate(basis.primes):
+            limbs[i] = self._rng.integers(0, q, n, dtype=np.int64)
+        return RnsPolynomial(n, basis, limbs, is_ntt=ntt)
+
+    def sample_ternary_coeffs(self, hamming_weight: Optional[int] = None) -> np.ndarray:
+        """Sparse ternary coefficient vector with the given Hamming weight."""
+        n = self.params.ring_degree
+        h = hamming_weight if hamming_weight is not None else self.params.hamming_weight
+        h = min(h, n)
+        coeffs = np.zeros(n, dtype=np.int64)
+        positions = self._rng.choice(n, size=h, replace=False)
+        signs = self._rng.integers(0, 2, h) * 2 - 1
+        coeffs[positions] = signs
+        return coeffs
+
+    def sample_error_coeffs(self) -> np.ndarray:
+        """Rounded-Gaussian error coefficients (std = params.error_std)."""
+        n = self.params.ring_degree
+        return np.rint(
+            self._rng.normal(0.0, self.params.error_std, n)).astype(np.int64)
+
+    def sample_zo_coeffs(self, density: float = 0.5) -> np.ndarray:
+        """{-1, 0, 1} coefficients: P[±1] = density/2 each (ZO sampling)."""
+        n = self.params.ring_degree
+        u = self._rng.random(n)
+        coeffs = np.zeros(n, dtype=np.int64)
+        coeffs[u < density / 2] = 1
+        coeffs[(u >= density / 2) & (u < density)] = -1
+        return coeffs
+
+    def poly_from_small_coeffs(self, coeffs: np.ndarray, basis: RnsBasis,
+                               ntt: bool = True) -> RnsPolynomial:
+        """Lift small signed integer coefficients into an RNS polynomial."""
+        poly = RnsPolynomial.from_int_coeffs(
+            [int(c) for c in coeffs], self.params.ring_degree, basis)
+        return poly.to_ntt() if ntt else poly
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def log_q(self) -> float:
+        """log2 of the full ciphertext modulus Q."""
+        return sum(math.log2(q) for q in self.moduli)
+
+    def log_pq(self) -> float:
+        """log2 of the raised modulus P*Q (the security-relevant modulus)."""
+        return self.log_q() + sum(math.log2(p) for p in self.extension_moduli)
+
+    def __repr__(self) -> str:
+        p = self.params
+        return (f"CkksContext(N={p.ring_degree}, limbs={p.num_limbs}, "
+                f"dnum={p.dnum}, alpha={p.alpha}, ext={p.extension_limbs}, "
+                f"logPQ={self.log_pq():.1f})")

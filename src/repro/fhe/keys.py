@@ -1,0 +1,204 @@
+"""Key generation: secret/public keys and hybrid switching keys.
+
+Switching keys follow the Han–Ki structure used by the paper (eq. 3):
+a ``2 x dnum`` matrix of polynomials over the raised basis ``P*Q``.
+The key for digit ``j`` encrypts ``P * q_hat_j * s_from`` under
+``s_to``, where ``q_hat_j`` is the CRT projector that is 1 modulo the
+digit-j primes and 0 modulo every other Q prime.  Keys are generated
+once at the top level and remain valid at every lower level because the
+projector identities hold prime-by-prime.
+
+Key compression (halving the key size by regenerating the uniform ``a``
+halves from a seed, the technique of [15] cited under Fig. 1) is
+modelled by :class:`SwitchingKey.compressed_size_bytes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .context import CkksContext
+from .poly import RnsPolynomial
+from .rns import RnsBasis
+
+
+class SecretKey:
+    """A sparse ternary secret key."""
+
+    def __init__(self, coeffs: np.ndarray, poly: RnsPolynomial):
+        #: Signed ternary coefficients (integer ground truth).
+        self.coeffs = coeffs
+        #: NTT-domain RNS polynomial over the full (Q * P) basis.
+        self.poly = poly
+
+    def restricted(self, basis: RnsBasis) -> RnsPolynomial:
+        """The secret key reduced to a sub-basis (prefix of the full one)."""
+        indices = [self.poly.basis.primes.index(q) for q in basis.primes]
+        return self.poly.keep_limbs(indices)
+
+
+class PublicKey:
+    """An encryption key: ``(b, a)`` with ``b = -a*s + e`` over Q."""
+
+    def __init__(self, b: RnsPolynomial, a: RnsPolynomial):
+        self.b = b
+        self.a = a
+
+
+class SwitchingKey:
+    """A hybrid key-switching key: per-digit pairs over the raised basis.
+
+    Attributes:
+        pairs: list of ``(b_j, a_j)`` NTT polynomials over Q*P.
+        source_tag: human-readable description of ``s_from``.
+    """
+
+    def __init__(self, pairs: List[Tuple[RnsPolynomial, RnsPolynomial]],
+                 source_tag: str):
+        self.pairs = pairs
+        self.source_tag = source_tag
+
+    @property
+    def dnum(self) -> int:
+        """Number of digits."""
+        return len(self.pairs)
+
+    def size_bytes(self, limb_bytes: int = 8) -> int:
+        """Storage for the full key (2 * dnum polynomials over Q*P)."""
+        total = 0
+        for b, a in self.pairs:
+            total += (b.limbs.size + a.limbs.size) * limb_bytes
+        return total
+
+    def compressed_size_bytes(self, limb_bytes: int = 8) -> int:
+        """Storage with the seeded-``a`` compression of [15] (halved)."""
+        return self.size_bytes(limb_bytes) // 2
+
+
+@dataclass
+class GaloisKeySet:
+    """Rotation / conjugation keys indexed by Galois element."""
+
+    keys: Dict[int, SwitchingKey]
+
+    def __contains__(self, galois_element: int) -> bool:
+        return galois_element in self.keys
+
+    def __getitem__(self, galois_element: int) -> SwitchingKey:
+        try:
+            return self.keys[galois_element]
+        except KeyError:
+            raise KeyError(
+                f"no Galois key for element {galois_element}; generate it "
+                "with KeyGenerator.gen_galois_keys") from None
+
+
+class KeyGenerator:
+    """Generates all key material for one :class:`CkksContext`."""
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+
+    # ------------------------------------------------------------------
+    # Basic keys
+    # ------------------------------------------------------------------
+
+    def gen_secret_key(self) -> SecretKey:
+        """Sample a sparse ternary secret key."""
+        ctx = self.context
+        coeffs = ctx.sample_ternary_coeffs()
+        poly = ctx.poly_from_small_coeffs(coeffs, ctx.full_basis)
+        return SecretKey(coeffs, poly)
+
+    def gen_public_key(self, secret: SecretKey) -> PublicKey:
+        """Encryption key over the full Q basis: ``(-a*s + e, a)``."""
+        ctx = self.context
+        basis = ctx.q_basis
+        a = ctx.sample_uniform(basis)
+        e = ctx.poly_from_small_coeffs(ctx.sample_error_coeffs(), basis)
+        s = secret.restricted(basis)
+        b = -(a * s) + e
+        return PublicKey(b, a)
+
+    # ------------------------------------------------------------------
+    # Switching keys
+    # ------------------------------------------------------------------
+
+    def gen_switching_key(self, source_poly: RnsPolynomial,
+                          secret: SecretKey, source_tag: str) -> SwitchingKey:
+        """Key switching ``s_from -> s`` for an arbitrary source secret.
+
+        ``source_poly`` must be an NTT polynomial over the full basis
+        encoding ``s_from`` (e.g. ``s^2`` for relinearization, or an
+        automorphism image of ``s`` for rotations).
+        """
+        ctx = self.context
+        basis = ctx.full_basis
+        num_q = len(ctx.q_basis)
+        digits = ctx.digit_indices(num_q)
+        p_mod = ctx.p_modulus
+        q_full = ctx.q_basis.modulus
+        pairs: List[Tuple[RnsPolynomial, RnsPolynomial]] = []
+        s_to = secret.poly
+        for digit in digits:
+            digit_mod = 1
+            for idx in digit:
+                digit_mod *= ctx.moduli[idx]
+            q_over_d = q_full // digit_mod
+            # CRT projector: 1 mod digit primes, 0 mod the other Q primes.
+            q_hat = q_over_d * pow(q_over_d % digit_mod, -1, digit_mod)
+            factors = [
+                (p_mod % prime) * (q_hat % prime) % prime
+                for prime in basis.primes
+            ]
+            a_j = ctx.sample_uniform(basis)
+            e_j = ctx.poly_from_small_coeffs(ctx.sample_error_coeffs(), basis)
+            term = source_poly.scalar_multiply(factors)
+            b_j = -(a_j * s_to) + e_j + term
+            pairs.append((b_j, a_j))
+        return SwitchingKey(pairs, source_tag)
+
+    def gen_relin_key(self, secret: SecretKey) -> SwitchingKey:
+        """Relinearization key: switches ``s^2`` back to ``s``."""
+        s_sq = secret.poly * secret.poly
+        return self.gen_switching_key(s_sq, secret, "s^2")
+
+    def gen_galois_key(self, secret: SecretKey,
+                       galois_element: int) -> SwitchingKey:
+        """Key for the automorphism ``x -> x^g``."""
+        s_g = secret.poly.automorphism(galois_element)
+        return self.gen_switching_key(s_g, secret, f"galois({galois_element})")
+
+    def gen_galois_keys(self, secret: SecretKey,
+                        rotations: Optional[List[int]] = None,
+                        include_conjugate: bool = True) -> GaloisKeySet:
+        """Keys for a set of slot rotations (and optionally conjugation)."""
+        n = self.context.params.ring_degree
+        m = 2 * n
+        keys: Dict[int, SwitchingKey] = {}
+        if rotations is None:
+            rotations = []
+        for k in rotations:
+            g = galois_element_for_rotation(n, k)
+            if g not in keys:
+                keys[g] = self.gen_galois_key(secret, g)
+        if include_conjugate:
+            g = m - 1
+            keys[g] = self.gen_galois_key(secret, g)
+        return GaloisKeySet(keys)
+
+
+def galois_element_for_rotation(ring_degree: int, steps: int) -> int:
+    """The Galois element ``5^steps mod 2N`` implementing a left-rotation
+    of the slot vector by ``steps`` (negative steps rotate right)."""
+    m = 2 * ring_degree
+    steps %= ring_degree // 2
+    return pow(5, steps, m)
+
+
+def conjugation_element(ring_degree: int) -> int:
+    """The Galois element (-1 mod 2N) implementing complex conjugation."""
+    return 2 * ring_degree - 1

@@ -1,0 +1,150 @@
+"""Noise tracking and measurement for CKKS ciphertexts.
+
+CKKS is approximate: every operation adds noise that eats into the
+message precision.  This module provides
+
+* :func:`measure_noise_bits` — the *actual* noise of a ciphertext,
+  measured against a known message with the secret key (test/debug
+  tool; a real deployment cannot do this);
+* :class:`NoiseEstimator` — a standard a-priori noise model (fresh
+  encryption, add, multiply, key switch, rescale) that predicts noise
+  growth without decrypting, mirroring the bounds used to select the
+  paper's parameters.
+
+The estimator works in log2 units ("noise bits"); the message is
+recoverable with roughly ``log2(scale) - noise_bits`` bits of precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .encoder import CkksEncoder
+from .evaluator import Decryptor
+
+
+def measure_noise_bits(ciphertext: Ciphertext, expected: np.ndarray,
+                       decryptor: Decryptor, encoder: CkksEncoder) -> float:
+    """Measured noise (log2 of the max slot error times the scale).
+
+    Requires the secret key and the true message — a white-box
+    diagnostic for tests and parameter tuning.
+    """
+    decoded = encoder.decode(decryptor.decrypt(ciphertext))
+    expected = np.asarray(expected, dtype=np.complex128)
+    n = min(decoded.shape[0], expected.shape[0])
+    err = float(np.max(np.abs(decoded[:n] - expected[:n])))
+    if err == 0.0:
+        return float("-inf")
+    return math.log2(err * ciphertext.scale)
+
+
+@dataclass
+class NoiseBudget:
+    """Estimated noise state of one ciphertext."""
+
+    noise_bits: float
+    scale_bits: float
+
+    @property
+    def precision_bits(self) -> float:
+        """Remaining message precision (scale minus noise)."""
+        return self.scale_bits - self.noise_bits
+
+    @property
+    def exhausted(self) -> bool:
+        """True when noise has swallowed the message."""
+        return self.precision_bits <= 0
+
+
+class NoiseEstimator:
+    """A-priori noise growth model for the scheme's operations.
+
+    Standard heuristic bounds (canonical-embedding norms), parameterized
+    by the context's error width, secret Hamming weight, and ring size.
+    """
+
+    def __init__(self, context: CkksContext):
+        self.context = context
+        params = context.params
+        self.n = params.ring_degree
+        self.sigma = params.error_std
+        self.hamming = params.hamming_weight
+
+    def fresh(self, scale: Optional[float] = None) -> NoiseBudget:
+        """Noise of a fresh public-key encryption."""
+        scale = scale or self.context.params.scale
+        # e0 + v*e + e1*s: ~ sigma * sqrt(N) * (1 + sqrt(h)).
+        noise = self.sigma * math.sqrt(self.n) * (
+            1.0 + math.sqrt(self.hamming))
+        return NoiseBudget(math.log2(noise), math.log2(scale))
+
+    def add(self, a: NoiseBudget, b: NoiseBudget) -> NoiseBudget:
+        """Addition: noises add (log-sum-exp in bits)."""
+        if not math.isclose(a.scale_bits, b.scale_bits, rel_tol=1e-6):
+            raise ValueError("addition requires matching scales")
+        noise = math.log2(2 ** a.noise_bits + 2 ** b.noise_bits)
+        return NoiseBudget(noise, a.scale_bits)
+
+    def multiply(self, a: NoiseBudget, b: NoiseBudget,
+                 message_bits: float = 0.0) -> NoiseBudget:
+        """Multiplication: cross terms message*noise dominate."""
+        cross = max(
+            a.scale_bits + message_bits + b.noise_bits,
+            b.scale_bits + message_bits + a.noise_bits)
+        ks = self.keyswitch_noise_bits()
+        noise = math.log2(2 ** cross + 2 ** ks)
+        return NoiseBudget(noise, a.scale_bits + b.scale_bits)
+
+    def keyswitch_noise_bits(self) -> float:
+        """Additive hybrid key-switch noise (post ModDown).
+
+        Dominated by the ModDown rounding, ~ ||s||_1 = hamming weight,
+        plus the P-scaled key-error term.
+        """
+        ctx = self.context
+        digit_bits = max(
+            sum(math.log2(ctx.moduli[i]) for i in digit)
+            for digit in ctx.digit_indices(len(ctx.moduli)))
+        p_bits = math.log2(ctx.p_modulus)
+        key_term = (digit_bits - p_bits
+                    + math.log2(self.sigma * self.n
+                                * len(ctx.digit_indices(len(ctx.moduli)))))
+        rounding = math.log2(max(self.hamming, 2))
+        return math.log2(2 ** key_term + 2 ** rounding)
+
+    def rescale(self, budget: NoiseBudget,
+                prime: Optional[int] = None) -> NoiseBudget:
+        """Rescale: divides noise and scale by q, adds rounding noise."""
+        q_bits = (math.log2(prime) if prime is not None
+                  else self.context.params.scale_bits)
+        rounding = math.log2(max(self.hamming, 2))
+        noise = math.log2(2 ** (budget.noise_bits - q_bits) + 2 ** rounding)
+        return NoiseBudget(noise, budget.scale_bits - q_bits)
+
+    def rotate(self, budget: NoiseBudget) -> NoiseBudget:
+        """Rotation: automorphism is noise-neutral; key switch adds."""
+        noise = math.log2(2 ** budget.noise_bits
+                          + 2 ** self.keyswitch_noise_bits())
+        return NoiseBudget(noise, budget.scale_bits)
+
+    def depth_supported(self, message_bits: float = 1.0) -> int:
+        """Estimated multiplication depth before precision exhausts."""
+        budget = self.fresh()
+        depth = 0
+        limbs = len(self.context.moduli)
+        while limbs > 1:
+            budget = self.multiply(budget, budget, message_bits)
+            prime = self.context.moduli[limbs - 1]
+            budget = self.rescale(budget, prime)
+            limbs -= 1
+            if budget.exhausted:
+                break
+            depth += 1
+        return depth

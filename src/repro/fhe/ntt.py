@@ -1,0 +1,174 @@
+"""Negacyclic number-theoretic transform (NTT) over Z_q[x]/(x^N + 1).
+
+This is the software analog of FAB's unified Cooley–Tukey NTT datapath
+(paper §4.5): a single iterative butterfly network serves both the
+forward and inverse transforms, differing only in the twiddle tables and
+the final scaling by N^{-1}.
+
+All kernels are numpy-vectorized.  Primes are restricted to < 2**31 so
+that a product of two residues fits exactly in int64; the paper's 54-bit
+limbs are handled bit-exactly by :mod:`repro.core.arith` (scalar) and by
+the analytic performance model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .modmath import bit_reverse, ilog2, modinv
+from .primes import MAX_FUNCTIONAL_PRIME_BITS, primitive_root_of_unity
+
+
+class NttContext:
+    """Precomputed tables for the negacyclic NTT modulo one prime.
+
+    The forward transform maps coefficient representation to evaluation
+    representation (values of the polynomial at the odd powers of the
+    primitive 2N-th root ``psi``); the inverse transform maps back.
+
+    Attributes:
+        ring_degree: the polynomial degree N (power of two).
+        modulus: the prime q, with q ≡ 1 (mod 2N).
+    """
+
+    def __init__(self, ring_degree: int, modulus: int):
+        if modulus.bit_length() > MAX_FUNCTIONAL_PRIME_BITS:
+            raise ValueError(
+                f"functional NTT supports primes < 2^{MAX_FUNCTIONAL_PRIME_BITS}; "
+                f"got {modulus.bit_length()}-bit modulus")
+        if (modulus - 1) % (2 * ring_degree) != 0:
+            raise ValueError("modulus is not NTT-friendly for this degree")
+        self.ring_degree = ring_degree
+        self.modulus = modulus
+        self.log_degree = ilog2(ring_degree)
+        psi = primitive_root_of_unity(2 * ring_degree, modulus)
+        self.psi = psi
+        self.psi_inv = modinv(psi, modulus)
+        self.degree_inv = modinv(ring_degree, modulus)
+        self._forward_twiddles = self._twiddle_table(psi)
+        self._inverse_twiddles = self._twiddle_table(self.psi_inv)
+
+    def _twiddle_table(self, root: int) -> np.ndarray:
+        """Powers of ``root`` in bit-reversed order, as used stage-by-stage
+        by the iterative Cooley–Tukey network (Longa–Naehrig layout)."""
+        n = self.ring_degree
+        powers = np.empty(n, dtype=np.int64)
+        acc = 1
+        raw = [0] * n
+        for i in range(n):
+            raw[i] = acc
+            acc = acc * root % self.modulus
+        bits = self.log_degree
+        for i in range(n):
+            powers[i] = raw[bit_reverse(i, bits)]
+        return powers
+
+    # ------------------------------------------------------------------
+    # Transforms
+    # ------------------------------------------------------------------
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic forward NTT (coefficient → evaluation order).
+
+        The output ordering is the standard bit-reversed CT ordering; it is
+        consistent between :meth:`forward` and :meth:`inverse`, which is
+        all the scheme requires (pointwise products are order-agnostic).
+        """
+        q = self.modulus
+        n = self.ring_degree
+        a = np.asarray(coeffs, dtype=np.int64) % q
+        if a.shape != (n,):
+            raise ValueError(f"expected shape ({n},), got {a.shape}")
+        a = a.copy()
+        tw = self._forward_twiddles
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            # For each block j in [0, m): butterfly with twiddle tw[m + j].
+            for j in range(m):
+                w = int(tw[m + j])
+                start = 2 * j * t
+                lo = a[start:start + t]
+                hi = a[start + t:start + 2 * t]
+                prod = hi * w % q
+                hi_new = (lo - prod) % q
+                lo_new = (lo + prod) % q
+                a[start:start + t] = lo_new
+                a[start + t:start + 2 * t] = hi_new
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Negacyclic inverse NTT (evaluation → coefficient order)."""
+        q = self.modulus
+        n = self.ring_degree
+        a = np.asarray(values, dtype=np.int64) % q
+        if a.shape != (n,):
+            raise ValueError(f"expected shape ({n},), got {a.shape}")
+        a = a.copy()
+        tw = self._inverse_twiddles
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            for j in range(h):
+                w = int(tw[h + j])
+                start = 2 * j * t
+                lo = a[start:start + t]
+                hi = a[start + t:start + 2 * t]
+                lo_new = (lo + hi) % q
+                hi_new = (lo - hi) % q * w % q
+                a[start:start + t] = lo_new
+                a[start + t:start + 2 * t] = hi_new
+            t *= 2
+            m = h
+        a = a * self.degree_inv % q
+        return a
+
+    # ------------------------------------------------------------------
+    # Reference helpers (used by tests)
+    # ------------------------------------------------------------------
+
+    def negacyclic_convolution(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Schoolbook negacyclic product ``a*b mod (x^N + 1, q)``.
+
+        O(N^2); reference implementation for testing the NTT pointwise
+        multiplication path.
+        """
+        q = self.modulus
+        n = self.ring_degree
+        result = np.zeros(n, dtype=np.int64)
+        a = np.asarray(a, dtype=np.int64) % q
+        b = np.asarray(b, dtype=np.int64) % q
+        for i in range(n):
+            if a[i] == 0:
+                continue
+            ai = int(a[i])
+            for j in range(n):
+                k = i + j
+                term = ai * int(b[j]) % q
+                if k >= n:
+                    result[k - n] = (result[k - n] - term) % q
+                else:
+                    result[k] = (result[k] + term) % q
+        return result % q
+
+    def pointwise_multiply(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
+        """Pointwise product of two evaluation-representation vectors."""
+        return np.asarray(a_eval, dtype=np.int64) * np.asarray(b_eval, dtype=np.int64) % self.modulus
+
+
+_CONTEXT_CACHE: Dict[Tuple[int, int], NttContext] = {}
+
+
+def get_ntt_context(ring_degree: int, modulus: int) -> NttContext:
+    """Return a cached :class:`NttContext` for ``(ring_degree, modulus)``."""
+    key = (ring_degree, modulus)
+    ctx = _CONTEXT_CACHE.get(key)
+    if ctx is None:
+        ctx = NttContext(ring_degree, modulus)
+        _CONTEXT_CACHE[key] = ctx
+    return ctx

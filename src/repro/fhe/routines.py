@@ -1,0 +1,164 @@
+"""High-level homomorphic routines built on the public evaluator API.
+
+The building blocks applications actually call: slot summation, inner
+products, means/variances, and monomial-basis polynomial evaluation —
+each a composition of the §2.1 primitives (Add / Mult / Rotate /
+Conjugate) with correct scale management.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .align import ScaleAligner
+from .ciphertext import Ciphertext
+from .encoder import CkksEncoder
+from .evaluator import Evaluator
+
+
+def rotation_steps_for_sum(num_slots: int) -> List[int]:
+    """Power-of-two steps of the rotate-and-add summation tree."""
+    steps = []
+    k = 1
+    while k < num_slots:
+        steps.append(k)
+        k *= 2
+    return steps
+
+
+class HomomorphicRoutines:
+    """Vector routines over encrypted data."""
+
+    def __init__(self, evaluator: Evaluator, encoder: CkksEncoder):
+        self.evaluator = evaluator
+        self.encoder = encoder
+        self.aligner = ScaleAligner(evaluator, encoder)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+
+    def sum_slots(self, ct: Ciphertext,
+                  num_slots: Optional[int] = None) -> Ciphertext:
+        """Sum all slots; the total is replicated into every slot.
+
+        log2(n) rotations (hoisted is not applicable — each step rotates
+        the running sum, not the original ciphertext).
+        """
+        ev = self.evaluator
+        n = num_slots or ct.num_slots
+        acc = ct
+        for step in rotation_steps_for_sum(n):
+            acc = ev.add(acc, ev.rotate(acc, step))
+        return acc
+
+    def mean_slots(self, ct: Ciphertext,
+                   num_slots: Optional[int] = None) -> Ciphertext:
+        """Average of all slots, replicated (one extra level)."""
+        n = num_slots or ct.num_slots
+        total = self.sum_slots(ct, n)
+        return self.aligner.mul_const(total, 1.0 / n)
+
+    def inner_product(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """``<a, b>`` replicated into every slot (two levels + tree)."""
+        ev = self.evaluator
+        prod = ev.rescale(ev.multiply(a, b))
+        return self.sum_slots(prod, min(a.num_slots, b.num_slots))
+
+    def squared_norm(self, ct: Ciphertext) -> Ciphertext:
+        """``||x||^2`` replicated into every slot."""
+        ev = self.evaluator
+        sq = ev.rescale(ev.square(ct))
+        return self.sum_slots(sq, ct.num_slots)
+
+    def variance_slots(self, ct: Ciphertext) -> Ciphertext:
+        """Population variance of the slots, replicated (three levels)."""
+        ev = self.evaluator
+        n = ct.num_slots
+        mean = self.mean_slots(ct)
+        centered = self.aligner.sub(ct, mean)
+        sq = ev.rescale(ev.square(centered))
+        total = self.sum_slots(sq, n)
+        return self.aligner.mul_const(total, 1.0 / n)
+
+    # ------------------------------------------------------------------
+    # Polynomial evaluation (monomial basis, BSGS)
+    # ------------------------------------------------------------------
+
+    def evaluate_polynomial(self, ct: Ciphertext,
+                            coeffs: Sequence[float]) -> Ciphertext:
+        """Evaluate ``sum_j coeffs[j] x^j`` with BSGS power reuse.
+
+        Suitable for low degrees (< ~16) where monomial coefficients are
+        tame; bootstrapping's high-degree approximations use the
+        numerically-stable Chebyshev evaluator instead.
+        """
+        coeffs = [float(c) for c in coeffs]
+        while len(coeffs) > 1 and abs(coeffs[-1]) < 1e-14:
+            coeffs.pop()
+        degree = len(coeffs) - 1
+        if degree == 0:
+            zero = self.evaluator.multiply_scalar_int(ct, 0)
+            return self.aligner.add_const(zero, coeffs[0])
+        powers = self._compute_powers(ct, degree)
+        total: Optional[Ciphertext] = None
+        for j in range(1, degree + 1):
+            if abs(coeffs[j]) < 1e-14 and j != 1:
+                continue
+            term = self.aligner.mul_const(powers[j], coeffs[j])
+            total = term if total is None else self.aligner.add(total, term)
+        assert total is not None
+        return self.aligner.add_const(total, coeffs[0])
+
+    def _compute_powers(self, ct: Ciphertext, degree: int):
+        """x^1 .. x^degree via balanced products (depth ~ log2 degree)."""
+        ev = self.evaluator
+        powers = {1: ct}
+        for j in range(2, degree + 1):
+            a = j // 2
+            b = j - a
+            pa, pb = self.aligner.align_pair(powers[a], powers[b])
+            powers[j] = ev.rescale(ev.multiply(pa, pb))
+        return powers
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+
+    def matvec(self, matrix: np.ndarray, ct: Ciphertext) -> Ciphertext:
+        """``M @ slots(ct)`` via the BSGS diagonal method (one level).
+
+        The same machinery bootstrapping uses for CoeffToSlot; the
+        caller must hold Galois keys for the transform's rotations
+        (query them with :meth:`matvec_rotations`).
+        """
+        from .bootstrap.linear_transform import LinearTransform
+        lt = LinearTransform(matrix, ct.num_slots, self.encoder)
+        return lt.apply(ct, self.evaluator)
+
+    def matvec_rotations(self, matrix: np.ndarray,
+                         num_slots: int) -> List[int]:
+        """Rotation steps a :meth:`matvec` with this matrix needs."""
+        from .bootstrap.linear_transform import LinearTransform
+        lt = LinearTransform(matrix, num_slots, self.encoder)
+        return sorted(lt.required_rotations())
+
+    # ------------------------------------------------------------------
+    # Complex-slot helpers
+    # ------------------------------------------------------------------
+
+    def real_part(self, ct: Ciphertext) -> Ciphertext:
+        """``Re(x)`` per slot: ``(x + conj(x)) / 2`` (one level)."""
+        ev = self.evaluator
+        total = ev.add(ct, ev.conjugate(ct))
+        return self.aligner.mul_const(total, 0.5)
+
+    def imag_part(self, ct: Ciphertext) -> Ciphertext:
+        """``Im(x)`` per slot: ``-i (x - conj(x)) / 2`` (one level)."""
+        ev = self.evaluator
+        diff = ev.sub(ct, ev.conjugate(ct))
+        rotated = ev.multiply_by_i(diff, power=3)  # multiply by -i
+        return self.aligner.mul_const(rotated, 0.5)

@@ -1,0 +1,198 @@
+"""Serialization of ciphertexts and keys, with seed-compressed keys.
+
+Implements the key-compression technique credited to [15] in the
+paper's Figure 1: the uniform halves ``a`` of public and switching keys
+are pseudorandom, so they serialize as a 16-byte seed instead of
+``dnum x (L+1+alpha) x N`` limbs — halving key material (the sizes
+:mod:`repro.perf.keysize` accounts for).  Deserialization regenerates
+``a`` from the seed and recomputes ``b`` is not possible (it contains
+the secret-dependent part), so ``b`` ships in full.
+
+The wire format is a simple self-describing binary layout (little
+endian), independent of numpy's pickle, so it is stable across
+versions.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, List, Tuple
+
+import numpy as np
+
+from .ciphertext import Ciphertext
+from .context import CkksContext
+from .keys import SwitchingKey
+from .poly import RnsPolynomial
+from .rns import RnsBasis
+
+_MAGIC_CT = b"FABC"
+_MAGIC_KEY = b"FABK"
+_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Low-level helpers
+# ----------------------------------------------------------------------
+
+def _write_poly(out: BinaryIO, poly: RnsPolynomial) -> None:
+    out.write(struct.pack("<IIB", poly.ring_degree, len(poly.basis),
+                          1 if poly.is_ntt else 0))
+    for q in poly.basis.primes:
+        out.write(struct.pack("<Q", q))
+    out.write(poly.limbs.astype("<i8").tobytes())
+
+
+def _read_poly(data: memoryview, offset: int) -> Tuple[RnsPolynomial, int]:
+    ring_degree, num_limbs, is_ntt = struct.unpack_from("<IIB", data,
+                                                        offset)
+    offset += struct.calcsize("<IIB")
+    primes = []
+    for _ in range(num_limbs):
+        (q,) = struct.unpack_from("<Q", data, offset)
+        primes.append(q)
+        offset += 8
+    count = num_limbs * ring_degree
+    limbs = np.frombuffer(data, dtype="<i8", count=count,
+                          offset=offset).reshape(num_limbs, ring_degree)
+    offset += count * 8
+    poly = RnsPolynomial(ring_degree, RnsBasis(primes),
+                         limbs.astype(np.int64), bool(is_ntt))
+    return poly, offset
+
+
+# ----------------------------------------------------------------------
+# Ciphertexts
+# ----------------------------------------------------------------------
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    """Pack a ciphertext into bytes."""
+    import io
+    out = io.BytesIO()
+    out.write(_MAGIC_CT)
+    out.write(struct.pack("<BdI", _VERSION, ct.scale, ct.num_slots))
+    _write_poly(out, ct.c0)
+    _write_poly(out, ct.c1)
+    return out.getvalue()
+
+
+def deserialize_ciphertext(data: bytes) -> Ciphertext:
+    """Unpack a ciphertext."""
+    view = memoryview(data)
+    if bytes(view[:4]) != _MAGIC_CT:
+        raise ValueError("not a serialized ciphertext")
+    version, scale, num_slots = struct.unpack_from("<BdI", view, 4)
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version}")
+    offset = 4 + struct.calcsize("<BdI")
+    c0, offset = _read_poly(view, offset)
+    c1, offset = _read_poly(view, offset)
+    return Ciphertext(c0, c1, scale, num_slots)
+
+
+# ----------------------------------------------------------------------
+# Switching keys (seed compression)
+# ----------------------------------------------------------------------
+
+def regenerate_uniform(seed: int, index: int, basis: RnsBasis,
+                       ring_degree: int) -> RnsPolynomial:
+    """Deterministically expand the uniform key half from a seed."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, index]))
+    limbs = np.empty((len(basis), ring_degree), dtype=np.int64)
+    for i, q in enumerate(basis.primes):
+        limbs[i] = rng.integers(0, q, ring_degree, dtype=np.int64)
+    return RnsPolynomial(ring_degree, basis, limbs, is_ntt=True)
+
+
+def generate_compressed_switching_key(context: CkksContext, secret,
+                                      source_poly: RnsPolynomial,
+                                      seed: int, tag: str) -> SwitchingKey:
+    """A switching key whose ``a`` halves come from ``seed``.
+
+    Functionally identical to ``KeyGenerator.gen_switching_key`` but the
+    uniform halves are reproducible, enabling the compressed wire format
+    of :func:`serialize_switching_key`.
+    """
+    basis = context.full_basis
+    num_q = len(context.q_basis)
+    digits = context.digit_indices(num_q)
+    p_mod = context.p_modulus
+    q_full = context.q_basis.modulus
+    pairs: List[Tuple[RnsPolynomial, RnsPolynomial]] = []
+    for j, digit in enumerate(digits):
+        digit_mod = 1
+        for idx in digit:
+            digit_mod *= context.moduli[idx]
+        q_over_d = q_full // digit_mod
+        q_hat = q_over_d * pow(q_over_d % digit_mod, -1, digit_mod)
+        factors = [(p_mod % prime) * (q_hat % prime) % prime
+                   for prime in basis.primes]
+        a_j = regenerate_uniform(seed, j, basis,
+                                 context.params.ring_degree)
+        e_j = context.poly_from_small_coeffs(context.sample_error_coeffs(),
+                                             basis)
+        b_j = -(a_j * secret.poly) + e_j \
+            + source_poly.scalar_multiply(factors)
+        pairs.append((b_j, a_j))
+    key = SwitchingKey(pairs, tag)
+    key.seed = seed  # type: ignore[attr-defined]
+    return key
+
+
+def serialize_switching_key(key: SwitchingKey,
+                            compressed: bool = True) -> bytes:
+    """Pack a switching key; compressed form ships seeds, not ``a``."""
+    import io
+    seed = getattr(key, "seed", None)
+    if compressed and seed is None:
+        raise ValueError(
+            "key was not generated with a seed; use compressed=False or "
+            "generate_compressed_switching_key")
+    out = io.BytesIO()
+    out.write(_MAGIC_KEY)
+    out.write(struct.pack("<BBI", _VERSION, 1 if compressed else 0,
+                          key.dnum))
+    tag = key.source_tag.encode()
+    out.write(struct.pack("<H", len(tag)))
+    out.write(tag)
+    if compressed:
+        out.write(struct.pack("<q", seed))
+        for b_j, _a_j in key.pairs:
+            _write_poly(out, b_j)
+    else:
+        for b_j, a_j in key.pairs:
+            _write_poly(out, b_j)
+            _write_poly(out, a_j)
+    return out.getvalue()
+
+
+def deserialize_switching_key(data: bytes) -> SwitchingKey:
+    """Unpack a switching key, re-expanding seeded halves."""
+    view = memoryview(data)
+    if bytes(view[:4]) != _MAGIC_KEY:
+        raise ValueError("not a serialized switching key")
+    version, compressed, dnum = struct.unpack_from("<BBI", view, 4)
+    if version != _VERSION:
+        raise ValueError(f"unsupported version {version}")
+    offset = 4 + struct.calcsize("<BBI")
+    (tag_len,) = struct.unpack_from("<H", view, offset)
+    offset += 2
+    tag = bytes(view[offset:offset + tag_len]).decode()
+    offset += tag_len
+    pairs = []
+    if compressed:
+        (seed,) = struct.unpack_from("<q", view, offset)
+        offset += 8
+        for j in range(dnum):
+            b_j, offset = _read_poly(view, offset)
+            a_j = regenerate_uniform(seed, j, b_j.basis, b_j.ring_degree)
+            pairs.append((b_j, a_j))
+    else:
+        for _ in range(dnum):
+            b_j, offset = _read_poly(view, offset)
+            a_j, offset = _read_poly(view, offset)
+            pairs.append((b_j, a_j))
+    key = SwitchingKey(pairs, tag)
+    if compressed:
+        key.seed = seed  # type: ignore[attr-defined]
+    return key

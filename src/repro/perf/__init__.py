@@ -1,0 +1,19 @@
+"""Performance framework: op counts, baseline devices, metrics, key sizes."""
+
+from .devices import (AnalyticDevice, DeviceSpec, build_baseline_devices,
+                      bts2_spec, f1_spec, gpu1_spec, gpu2_spec,
+                      heax_spec, lattigo_cpu_spec)
+from .keysize import (DnumPoint, dnum_sweep, limbs_for_budget,
+                      switching_key_bytes)
+from .metrics import (amortized_mult_per_slot, bootstrap_depth,
+                      cycles_speedup, levels_after_bootstrap, speedup)
+from .opcounts import BootstrapProfile, OpCounter, PrimitiveCounts
+
+__all__ = [
+    "AnalyticDevice", "BootstrapProfile", "DeviceSpec", "DnumPoint",
+    "OpCounter", "PrimitiveCounts", "amortized_mult_per_slot",
+    "bootstrap_depth", "build_baseline_devices", "bts2_spec",
+    "cycles_speedup", "dnum_sweep", "f1_spec", "gpu1_spec", "gpu2_spec",
+    "heax_spec", "lattigo_cpu_spec", "levels_after_bootstrap",
+    "limbs_for_budget", "speedup", "switching_key_bytes",
+]

@@ -1,0 +1,221 @@
+"""Analytic baseline device models: CPU, GPU, ASIC and FPGA comparators.
+
+The paper compares FAB against published numbers from Lattigo (CPU),
+Jung et al.'s GPU implementation (GPU-1 / GPU-2), the F1 and BTS ASICs,
+and HEAX.  None of those testbeds is available here, so each baseline
+is an analytic model:
+
+* a :class:`DeviceSpec` records the published hardware characteristics
+  (frequency, memory bandwidth, on-chip storage, parameter set) and the
+  paper-reported anchor numbers;
+* the model's sustained modular-multiply throughput is **calibrated
+  once** against the device's published amortized bootstrapping time
+  (Table 7), absorbing the cache/memory inefficiencies each original
+  paper documents;
+* every other prediction (basic ops, LR training) is then *derived* by
+  pushing the same :class:`~repro.perf.opcounts.OpCounter` workloads
+  through the calibrated throughput, bounded below by the memory-traffic
+  time.
+
+This reproduces the paper's comparative *shape* (who wins and by
+roughly what factor) without pretending to re-measure closed systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .metrics import amortized_mult_per_slot
+from .opcounts import OpCounter, PrimitiveCounts
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Published characteristics of one comparison system."""
+
+    name: str
+    freq_hz: float
+    mem_bw_bytes: float
+    onchip_bytes: int
+    ring_degree: int
+    num_limbs: int
+    dnum: int
+    boot_slots: int
+    #: Paper-reported anchors: 'amortized_mult_us' (Table 7),
+    #: optionally 'lr_iteration_s' (Table 8) and others.
+    published: Dict[str, float] = field(default_factory=dict)
+    modular_multipliers: Optional[int] = None
+    notes: str = ""
+    #: Homomorphic-FFT depth the device's bootstrapping uses; systems
+    #: with short modulus chains (F1) must use shallower FFTs.
+    fft_iter: int = 4
+
+
+class AnalyticDevice:
+    """A calibrated throughput/bandwidth model of one device."""
+
+    def __init__(self, spec: DeviceSpec,
+                 sustained_mults_per_sec: Optional[float] = None):
+        self.spec = spec
+        self.counter = OpCounter(ring_degree=spec.ring_degree,
+                                 num_limbs=spec.num_limbs,
+                                 dnum=spec.dnum)
+        if sustained_mults_per_sec is None:
+            sustained_mults_per_sec = self._calibrate()
+        self.sustained_mults_per_sec = sustained_mults_per_sec
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    def _amortized_workload(self):
+        """The Eq.-2 workload: one bootstrap + one multiply per level."""
+        profile = self.counter.bootstrap(fft_iter=self.spec.fft_iter,
+                                         slots=self.spec.boot_slots)
+        counts = profile.counts
+        for level in range(profile.levels_after + 1, 1, -1):
+            counts = counts + self.counter.multiply(level)
+            counts = counts + self.counter.rescale(level)
+        return profile, counts
+
+    def _calibrate(self) -> float:
+        """Back out sustained throughput from the published Table 7 row."""
+        anchor_us = self.spec.published.get("amortized_mult_us")
+        if anchor_us is None:
+            raise ValueError(
+                f"{self.spec.name}: no amortized anchor to calibrate from")
+        profile, counts = self._amortized_workload()
+        levels = max(profile.levels_after, 1)
+        target_seconds = anchor_us * 1e-6 * levels * self.spec.boot_slots
+        return counts.mult_equivalents / max(target_seconds, 1e-12)
+
+    # ------------------------------------------------------------------
+    # Predictions
+    # ------------------------------------------------------------------
+
+    def seconds(self, counts: PrimitiveCounts) -> float:
+        """Time for a counted workload: max(compute, memory traffic)."""
+        compute = counts.mult_equivalents / self.sustained_mults_per_sec
+        memory = counts.total_bytes / self.spec.mem_bw_bytes
+        return max(compute, memory)
+
+    def bootstrap_seconds(self, slots: Optional[int] = None) -> float:
+        """Full-bootstrap latency at the device's parameter point."""
+        profile = self.counter.bootstrap(
+            fft_iter=self.spec.fft_iter,
+            slots=slots if slots is not None else self.spec.boot_slots)
+        return self.seconds(profile.counts)
+
+    def amortized_mult_us(self) -> float:
+        """Model-derived Table 7 value (microseconds per slot)."""
+        profile, counts = self._amortized_workload()
+        boot_seconds = self.seconds(profile.counts)
+        mult_seconds = [
+            self.seconds(self.counter.multiply(level)
+                         + self.counter.rescale(level))
+            for level in range(profile.levels_after + 1, 1, -1)
+        ]
+        return amortized_mult_per_slot(
+            boot_seconds, mult_seconds, self.spec.boot_slots) * 1e6
+
+    def lr_iteration_seconds(self, num_ciphertexts: int = 1024,
+                             lr_slots: int = 256,
+                             iteration_depth: int = 5,
+                             refreshed_cts: int = 1) -> float:
+        """Model-derived Table 8 value (average seconds per iteration).
+
+        Each HELR iteration consumes ``iteration_depth`` levels and must
+        refresh ``refreshed_cts`` aggregate ciphertexts of ``lr_slots``
+        slots.  Devices whose bootstrapping refreshes fewer slots (F1
+        bootstraps a single slot) or restores fewer levels pay
+        proportionally more bootstraps — the effect that makes F1's LR
+        training slow despite its enormous compute array.
+        """
+        boot_slots = min(self.spec.boot_slots, lr_slots)
+        profile = self.counter.bootstrap(fft_iter=self.spec.fft_iter,
+                                         slots=boot_slots)
+        if profile.levels_after == 0:
+            raise ValueError(
+                f"{self.spec.name}: parameters too small for LR workload")
+        boots = (refreshed_cts
+                 * math.ceil(lr_slots / boot_slots)
+                 * math.ceil(iteration_depth / profile.levels_after))
+        update = self.counter.lr_iteration(num_ciphertexts=num_ciphertexts,
+                                           slots=lr_slots)
+        return boots * self.seconds(profile.counts) + self.seconds(update)
+
+
+# ----------------------------------------------------------------------
+# The paper's comparison systems
+# ----------------------------------------------------------------------
+
+def lattigo_cpu_spec() -> DeviceSpec:
+    """Lattigo [5] on a 3.5 GHz CPU (Table 7/8 'Lattigo')."""
+    return DeviceSpec(
+        name="Lattigo", freq_hz=3.5e9, mem_bw_bytes=50e9,
+        onchip_bytes=32 << 20, ring_degree=1 << 16, num_limbs=24, dnum=3,
+        boot_slots=1 << 15,
+        published={"amortized_mult_us": 101.78, "lr_iteration_s": 37.05},
+        modular_multipliers=8, notes="single-node CPU implementation")
+
+
+def gpu1_spec() -> DeviceSpec:
+    """Jung et al. GPU, 97-bit security point (Table 7 'GPU-1')."""
+    return DeviceSpec(
+        name="GPU-1", freq_hz=1.2e9, mem_bw_bytes=900e9,
+        onchip_bytes=40 << 20, ring_degree=1 << 16, num_limbs=28, dnum=4,
+        boot_slots=1 << 15,
+        published={"amortized_mult_us": 0.740},
+        modular_multipliers=2560, notes="V100-class GPU, log Q = 1693")
+
+
+def gpu2_spec() -> DeviceSpec:
+    """Jung et al. GPU, 173-bit security point (Table 7/8 'GPU-2')."""
+    return DeviceSpec(
+        name="GPU-2", freq_hz=1.2e9, mem_bw_bytes=900e9,
+        onchip_bytes=40 << 20, ring_degree=1 << 17, num_limbs=36, dnum=4,
+        boot_slots=1 << 16,
+        published={"amortized_mult_us": 0.716, "lr_iteration_s": 0.775},
+        modular_multipliers=2560, notes="V100-class GPU, log Q = 2395")
+
+
+def f1_spec() -> DeviceSpec:
+    """The F1 ASIC [41] (non-packed bootstrapping only)."""
+    return DeviceSpec(
+        name="F1", freq_hz=1e9, mem_bw_bytes=1e12,
+        onchip_bytes=64 << 20, ring_degree=1 << 14, num_limbs=14, dnum=14,
+        boot_slots=1,
+        published={"amortized_mult_us": 254.46, "lr_iteration_s": 1.024},
+        modular_multipliers=18_432, notes="14/12nm ASIC, N = 2^14",
+        fft_iter=1)
+
+
+def bts2_spec() -> DeviceSpec:
+    """The BTS ASIC [35], best-reported configuration (BTS-2)."""
+    return DeviceSpec(
+        name="BTS-2", freq_hz=1.2e9, mem_bw_bytes=1e12,
+        onchip_bytes=512 << 20, ring_degree=1 << 17, num_limbs=36, dnum=6,
+        boot_slots=1 << 16,
+        published={"amortized_mult_us": 0.0455, "lr_iteration_s": 0.028},
+        modular_multipliers=8_192, notes="ASAP7 ASIC")
+
+
+def heax_spec() -> DeviceSpec:
+    """HEAX [39]: an FPGA accelerating CKKS multiplication only."""
+    return DeviceSpec(
+        name="HEAX", freq_hz=300e6, mem_bw_bytes=21e9,
+        onchip_bytes=30 << 20, ring_degree=1 << 14, num_limbs=8, dnum=8,
+        boot_slots=1 << 13,
+        published={"ntt_ops_per_sec": 42_000, "mult_ops_per_sec": 2_600},
+        modular_multipliers=768, notes="no bootstrapping support")
+
+
+def build_baseline_devices() -> Dict[str, AnalyticDevice]:
+    """All Table 7 baselines, calibrated to their published anchors."""
+    return {
+        spec.name: AnalyticDevice(spec)
+        for spec in (lattigo_cpu_spec(), gpu1_spec(), gpu2_spec(),
+                     f1_spec(), bts2_spec())
+    }

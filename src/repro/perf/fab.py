@@ -1,0 +1,95 @@
+"""FAB presented through the same device interface as the baselines.
+
+Wraps :class:`repro.core.ops.FabOpModel` (the cycle-accounting model)
+so the experiment drivers can iterate over FAB and the analytic
+baselines uniformly, and adds the FAB-1 / FAB-2 logistic-regression
+workload models of §5.5.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.multi_fpga import MultiFpgaSystem
+from ..core.ops import FabOpModel
+from ..core.params import FabConfig
+from .metrics import amortized_mult_per_slot
+
+
+class FabDevice:
+    """FAB-1 (single U280) through the device interface."""
+
+    name = "FAB-1"
+
+    def __init__(self, config: Optional[FabConfig] = None):
+        self.config = config or FabConfig()
+        self.model = FabOpModel(self.config)
+
+    # ------------------------------------------------------------------
+    # Table 7 interface
+    # ------------------------------------------------------------------
+
+    def bootstrap_seconds(self, slots: Optional[int] = None,
+                          fft_iter: Optional[int] = None) -> float:
+        """Latency of one bootstrap."""
+        report = self.model.bootstrap(fft_iter=fft_iter, slots=slots)
+        return report.seconds(self.config)
+
+    def amortized_mult_us(self, slots: Optional[int] = None,
+                          fft_iter: Optional[int] = None) -> float:
+        """Equation-(2) metric in microseconds per slot."""
+        return self.model.amortized_mult_per_slot(
+            fft_iter=fft_iter, slots=slots) * 1e6
+
+    # ------------------------------------------------------------------
+    # Table 8: logistic-regression training
+    # ------------------------------------------------------------------
+
+    def lr_update_seconds(self, num_ciphertexts: int = 1024,
+                          lr_slots: int = 256,
+                          update_level: int = 6) -> float:
+        """The non-bootstrap part of one HELR iteration on one board."""
+        cfg = self.config
+        per_ct = (2 * self.model.multiply_plain(update_level).cycles
+                  + 3 * self.model.add(update_level).cycles)
+        rotations = max(int(math.log2(lr_slots)), 1)
+        rot_cycles = self.model.rotate(update_level).cycles
+        rot_cycles += (rotations - 1) * self.model.rotate_hoisted(
+            update_level).cycles
+        sigmoid = 3 * (self.model.multiply(update_level).cycles
+                       + self.model.rescale(update_level).cycles)
+        update = self.model.multiply(update_level).cycles \
+            + self.model.add(update_level).cycles
+        total = num_ciphertexts * per_ct + rot_cycles + sigmoid + update
+        return cfg.cycles_to_seconds(total)
+
+    def lr_iteration_seconds(self, num_ciphertexts: int = 1024,
+                             lr_slots: int = 256,
+                             refreshed_cts: int = 1) -> float:
+        """FAB-1: sparse bootstrap(s) + the update phase, sequential."""
+        boot = self.bootstrap_seconds(slots=lr_slots)
+        return (refreshed_cts * boot
+                + self.lr_update_seconds(num_ciphertexts, lr_slots))
+
+
+class Fab2Device:
+    """FAB-2: eight boards; bootstrap stays serial (§5.5, Amdahl)."""
+
+    name = "FAB-2"
+
+    def __init__(self, config: Optional[FabConfig] = None,
+                 num_fpgas: int = 8):
+        self.config = config or FabConfig()
+        self.single = FabDevice(self.config)
+        self.system = MultiFpgaSystem(self.config, num_fpgas)
+
+    def lr_iteration_seconds(self, num_ciphertexts: int = 1024,
+                             lr_slots: int = 256,
+                             refreshed_cts: int = 1) -> float:
+        """Per-iteration time with the update parallelized 8 ways."""
+        total = self.single.lr_iteration_seconds(num_ciphertexts, lr_slots,
+                                                 refreshed_cts)
+        serial = refreshed_cts * self.single.bootstrap_seconds(
+            slots=lr_slots)
+        return self.system.iteration_seconds(total, serial)

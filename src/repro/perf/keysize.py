@@ -1,0 +1,86 @@
+"""Switching-key size and level accounting vs dnum (Figure 1).
+
+Larger ``dnum`` shrinks the digit size alpha, which shrinks the raising
+factor P and leaves more of the fixed ``log(PQ) = 1728`` budget for the
+computation modulus Q — more compute levels after bootstrapping — but
+each extra digit adds a pair of raised polynomials to every switching
+key, growing the key material FAB must stream from HBM.  ``dnum = 3``
+is the paper's sweet spot for the 43 MB on-chip memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from .metrics import levels_after_bootstrap
+
+
+@dataclass(frozen=True)
+class DnumPoint:
+    """One x-position of Figure 1."""
+
+    dnum: int
+    num_limbs: int            # L + 1
+    alpha: int
+    levels_after_bootstrap: int
+    key_bytes: int            # with the key compression of [15]
+    key_bytes_uncompressed: int
+
+    @property
+    def key_mb(self) -> float:
+        return self.key_bytes / (1 << 20)
+
+
+def limbs_for_budget(dnum: int, log_pq: int = 1728,
+                     limb_bits: int = 54) -> int:
+    """Largest L+1 fitting the modulus budget with alpha extension limbs.
+
+    The raised modulus P*Q spans ``(L+1) + alpha`` limbs with
+    ``alpha = ceil((L+1)/dnum)``, so ``L+1 <= total * dnum/(dnum+1)``.
+    """
+    if dnum < 1:
+        raise ValueError("dnum must be >= 1")
+    total_limbs = log_pq // limb_bits
+    num_limbs = total_limbs * dnum // (dnum + 1)
+    # Adjust downward until the raised chain fits (ceil rounding).
+    while num_limbs + math.ceil(num_limbs / dnum) > total_limbs:
+        num_limbs -= 1
+    return num_limbs
+
+
+def switching_key_bytes(ring_degree: int, num_limbs: int, dnum: int,
+                        limb_bits: int = 54,
+                        compressed: bool = True) -> int:
+    """Size of one switching key (eq. 3: a 2 x dnum matrix over P*Q).
+
+    With the key-compression technique of [15] the uniform halves are
+    regenerated from a seed, halving the size (the Fig. 1 note).
+    """
+    alpha = math.ceil(num_limbs / dnum)
+    raised_limbs = num_limbs + alpha
+    limb_bytes = ring_degree * limb_bits // 8
+    size = 2 * dnum * raised_limbs * limb_bytes
+    return size // 2 if compressed else size
+
+
+def dnum_sweep(dnums: List[int], ring_degree: int = 1 << 16,
+               log_pq: int = 1728, limb_bits: int = 54,
+               fft_iter: int = 4) -> List[DnumPoint]:
+    """The Figure 1 series: levels after bootstrap & key size vs dnum."""
+    points = []
+    for dnum in dnums:
+        num_limbs = limbs_for_budget(dnum, log_pq, limb_bits)
+        alpha = math.ceil(num_limbs / dnum)
+        levels = levels_after_bootstrap(num_limbs - 1, fft_iter)
+        points.append(DnumPoint(
+            dnum=dnum,
+            num_limbs=num_limbs,
+            alpha=alpha,
+            levels_after_bootstrap=levels,
+            key_bytes=switching_key_bytes(ring_degree, num_limbs, dnum,
+                                          limb_bits, compressed=True),
+            key_bytes_uncompressed=switching_key_bytes(
+                ring_degree, num_limbs, dnum, limb_bits, compressed=False)))
+    return points

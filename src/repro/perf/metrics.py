@@ -1,0 +1,60 @@
+"""Bootstrapping performance metrics (§2.1.4 of the paper).
+
+The headline metric is the *amortized multiplication time per slot*
+(Eq. 2): a bootstrapping routine is only as good as the multiply budget
+it buys, normalized by ciphertext packing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def bootstrap_depth(fft_iter: int, eval_mod_depth: int = 9) -> int:
+    """``LBoot = 2 * fftIter + eval_mod_depth`` (§2.1.4)."""
+    if fft_iter < 1:
+        raise ValueError("fft_iter must be >= 1")
+    return 2 * fft_iter + eval_mod_depth
+
+
+def levels_after_bootstrap(max_level: int, fft_iter: int,
+                           eval_mod_depth: int = 9) -> int:
+    """Compute levels remaining after one bootstrap (clamped at 0)."""
+    return max(max_level - bootstrap_depth(fft_iter, eval_mod_depth), 0)
+
+
+def amortized_mult_per_slot(bootstrap_seconds: float,
+                            mult_seconds_per_level: Sequence[float],
+                            slots: int) -> float:
+    """Equation (2): ``(T_boot + sum_i T_mult(i)) / (l * n)``.
+
+    Args:
+        bootstrap_seconds: T_Boot.
+        mult_seconds_per_level: T_Mult(i) for each usable level i.
+        slots: packed slots n.
+
+    Returns:
+        Seconds per multiplication per slot; ``inf`` when no levels
+        remain (bootstrapping that buys nothing is infinitely slow).
+    """
+    levels = len(mult_seconds_per_level)
+    if slots < 1:
+        raise ValueError("slots must be positive")
+    if levels == 0:
+        return float("inf")
+    total = bootstrap_seconds + sum(mult_seconds_per_level)
+    return total / (levels * slots)
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """How many times faster the accelerated system is."""
+    if accelerated_seconds <= 0:
+        raise ValueError("accelerated time must be positive")
+    return baseline_seconds / accelerated_seconds
+
+
+def cycles_speedup(baseline_seconds: float, baseline_hz: float,
+                   accelerated_seconds: float, accelerated_hz: float) -> float:
+    """Speedup measured in clock cycles (the paper's second column)."""
+    return speedup(baseline_seconds * baseline_hz,
+                   accelerated_seconds * accelerated_hz)

@@ -1,0 +1,104 @@
+"""Tests for the synthetic dataset and plaintext LR trainer."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lr import (Dataset, PlainLrTrainer, poly3_sigmoid, sigmoid,
+                           synthetic_mnist_3v8)
+from repro.apps.lr.plain import gradient_step_reference
+
+
+class TestDataset:
+    def test_paper_shape_default(self):
+        data = synthetic_mnist_3v8(num_samples=100)
+        assert data.num_features == 196
+
+    def test_deterministic(self):
+        a = synthetic_mnist_3v8(num_samples=50, seed=1)
+        b = synthetic_mnist_3v8(num_samples=50, seed=1)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_seed_changes_data(self):
+        a = synthetic_mnist_3v8(num_samples=50, seed=1)
+        b = synthetic_mnist_3v8(num_samples=50, seed=2)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_feature_range(self):
+        data = synthetic_mnist_3v8(num_samples=200, num_features=64)
+        assert data.features.min() >= 0.0
+        assert data.features.max() <= 1.0
+
+    def test_both_classes_present(self):
+        data = synthetic_mnist_3v8(num_samples=200)
+        assert set(np.unique(data.labels)) == {0, 1}
+
+    def test_non_square_features_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_mnist_3v8(num_samples=10, num_features=10)
+
+    def test_split(self):
+        data = synthetic_mnist_3v8(num_samples=100)
+        train, test = data.split(0.8)
+        assert train.num_samples == 80
+        assert test.num_samples == 20
+
+    def test_minibatches(self):
+        data = synthetic_mnist_3v8(num_samples=100)
+        batches = list(data.minibatches(32))
+        assert [b.num_samples for b in batches] == [32, 32, 32, 4]
+
+
+class TestSigmoids:
+    def test_exact_sigmoid_range(self):
+        x = np.linspace(-50, 50, 101)
+        s = sigmoid(x)
+        assert np.all((s >= 0) & (s <= 1))
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_poly3_approximates_sigmoid_near_zero(self):
+        x = np.linspace(-3, 3, 61)
+        assert np.max(np.abs(poly3_sigmoid(x) - sigmoid(x))) < 0.11
+
+    def test_poly3_odd_symmetry_around_half(self):
+        x = np.linspace(-5, 5, 11)
+        lhs = poly3_sigmoid(x) - 0.5
+        rhs = 0.5 - poly3_sigmoid(-x)
+        assert np.max(np.abs(lhs - rhs)) < 1e-12
+
+
+class TestPlainTrainer:
+    def test_loss_decreases(self):
+        data = synthetic_mnist_3v8(num_samples=600, num_features=64,
+                                   seed=3)
+        result = PlainLrTrainer(learning_rate=1.0).train(
+            data, iterations=20, batch_size=200)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_learns_better_than_chance(self):
+        data = synthetic_mnist_3v8(num_samples=1000, num_features=64,
+                                   seed=4)
+        train, test = data.split(0.8)
+        result = PlainLrTrainer(learning_rate=1.0).train(
+            train, iterations=30, batch_size=256)
+        assert result.accuracy(test) > 0.8
+
+    def test_poly_sigmoid_variant_trains(self):
+        data = synthetic_mnist_3v8(num_samples=400, num_features=36,
+                                   seed=5)
+        result = PlainLrTrainer(
+            learning_rate=1.0, activation=poly3_sigmoid).train(
+                data, iterations=15, batch_size=128)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_reference_step_matches_trainer(self):
+        """gradient_step_reference is one batch step of the poly trainer
+        without bias."""
+        data = synthetic_mnist_3v8(num_samples=64, num_features=16,
+                                   seed=6)
+        w = np.zeros(16)
+        w1 = gradient_step_reference(data.features, data.labels, w, 0.5)
+        z = data.features @ w
+        err = poly3_sigmoid(z) - data.labels
+        expected = w - 0.5 * data.features.T @ err / 64
+        assert np.allclose(w1, expected)

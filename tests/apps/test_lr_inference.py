@@ -1,0 +1,73 @@
+"""Tests for encrypted LR inference."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lr import (EncryptedLrClassifier, PlainLrTrainer,
+                           poly3_sigmoid, synthetic_mnist_3v8)
+from repro.fhe import CkksParams, CkksScheme
+
+
+@pytest.fixture(scope="module")
+def inf_scheme():
+    params = CkksParams(ring_degree=64, num_limbs=8, scale_bits=25,
+                        dnum=2, hamming_weight=8, first_prime_bits=30,
+                        seed=44)
+    return CkksScheme(params)
+
+
+@pytest.fixture(scope="module")
+def classifier(inf_scheme):
+    return EncryptedLrClassifier(inf_scheme)
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    data = synthetic_mnist_3v8(num_samples=400, num_features=16, seed=12)
+    return PlainLrTrainer(learning_rate=1.0).train(
+        data, iterations=25, batch_size=128)
+
+
+class TestScoring:
+    def test_plain_model_score_matches_circuit(self, inf_scheme,
+                                               classifier, trained_model,
+                                               rng):
+        x = rng.uniform(0, 1, 16)
+        padded = np.zeros(32)
+        padded[:16] = x
+        ct = inf_scheme.encrypt(padded)
+        prob_ct = classifier.score_plain_model(ct, trained_model.weights)
+        got = float(np.real(inf_scheme.decrypt(prob_ct)[0]))
+        expected = float(poly3_sigmoid(
+            np.array([x @ trained_model.weights]))[0])
+        assert abs(got - expected) < 5e-3
+
+    def test_encrypted_model_score(self, inf_scheme, classifier,
+                                   trained_model, rng):
+        x = rng.uniform(0, 1, 16)
+        padded_x = np.zeros(32)
+        padded_x[:16] = x
+        ct_x = inf_scheme.encrypt(padded_x)
+        ct_w = classifier.packer.pack_weights(trained_model.weights)
+        prob_ct = classifier.score(ct_x, ct_w)
+        got = float(np.real(inf_scheme.decrypt(prob_ct)[0]))
+        expected = float(poly3_sigmoid(
+            np.array([x @ trained_model.weights]))[0])
+        assert abs(got - expected) < 5e-3
+
+
+class TestBatchClassification:
+    def test_matches_plaintext_predictions(self, classifier,
+                                           trained_model):
+        batch = synthetic_mnist_3v8(num_samples=10, num_features=16,
+                                    seed=99)
+        enc_preds = classifier.classify_batch(batch,
+                                              trained_model.weights)
+        z = batch.features @ trained_model.weights
+        plain_preds = (poly3_sigmoid(z) >= 0.5).astype(int)
+        assert np.array_equal(enc_preds, plain_preds)
+
+    def test_accuracy_above_chance(self, classifier, trained_model):
+        batch = synthetic_mnist_3v8(num_samples=10, num_features=16,
+                                    seed=77)
+        assert classifier.accuracy(batch, trained_model.weights) >= 0.6

@@ -1,0 +1,102 @@
+"""Tests for the encrypted analytics application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.stats import EncryptedAnalytics, StatsReport
+from repro.fhe import CkksParams, CkksScheme
+
+
+@pytest.fixture(scope="module")
+def stats_scheme():
+    params = CkksParams(ring_degree=64, num_limbs=7, scale_bits=25,
+                        dnum=2, hamming_weight=8, first_prime_bits=30,
+                        seed=3)
+    return CkksScheme(params)
+
+
+@pytest.fixture(scope="module")
+def analytics(stats_scheme):
+    return EncryptedAnalytics(stats_scheme)
+
+
+class TestSingleVector:
+    def test_mean(self, stats_scheme, analytics, rng):
+        x = rng.normal(1.5, 0.5, 32)
+        out = stats_scheme.decrypt(analytics.mean(stats_scheme.encrypt(x)))
+        assert np.max(np.abs(out - x.mean())) < 1e-3
+
+    def test_second_moment(self, stats_scheme, analytics, rng):
+        x = rng.normal(size=32)
+        out = stats_scheme.decrypt(
+            analytics.second_moment(stats_scheme.encrypt(x)))
+        assert np.max(np.abs(out - np.mean(x ** 2))) < 2e-3
+
+    def test_variance(self, stats_scheme, analytics, rng):
+        x = rng.normal(size=32)
+        out = stats_scheme.decrypt(
+            analytics.variance(stats_scheme.encrypt(x)))
+        assert np.max(np.abs(out - x.var())) < 2e-3
+
+    def test_weighted_mean(self, stats_scheme, analytics, rng):
+        x = rng.normal(size=32)
+        w = np.arange(1, 33, dtype=float)
+        out = stats_scheme.decrypt(
+            analytics.weighted_mean(stats_scheme.encrypt(x), w))
+        assert np.max(np.abs(out - np.average(x, weights=w))) < 2e-3
+
+    def test_weighted_mean_rejects_zero_weights(self, stats_scheme,
+                                                analytics):
+        ct = stats_scheme.encrypt(np.ones(32))
+        with pytest.raises(ValueError):
+            analytics.weighted_mean(ct, np.zeros(4))
+
+    def test_weighted_mean_rejects_too_many(self, stats_scheme,
+                                            analytics):
+        ct = stats_scheme.encrypt(np.ones(32))
+        with pytest.raises(ValueError):
+            analytics.weighted_mean(ct, np.ones(64))
+
+
+class TestTwoVector:
+    def test_covariance(self, stats_scheme, analytics, rng):
+        x = rng.normal(size=32)
+        y = 0.5 * x + rng.normal(0, 0.1, 32)
+        out = stats_scheme.decrypt(analytics.covariance(
+            stats_scheme.encrypt(x), stats_scheme.encrypt(y)))
+        true_cov = np.cov(x, y, bias=True)[0, 1]
+        assert np.max(np.abs(out - true_cov)) < 2e-3
+
+    def test_covariance_of_independent_near_zero(self, stats_scheme,
+                                                 analytics, rng):
+        x = rng.normal(size=32)
+        y = rng.normal(size=32)
+        out = stats_scheme.decrypt(analytics.covariance(
+            stats_scheme.encrypt(x), stats_scheme.encrypt(y)))
+        true_cov = np.cov(x, y, bias=True)[0, 1]
+        assert abs(float(np.real(out[0])) - true_cov) < 2e-3
+
+    def test_cross_moment(self, stats_scheme, analytics, rng):
+        x, y = rng.normal(size=32), rng.normal(size=32)
+        out = stats_scheme.decrypt(analytics.correlation_unnormalized(
+            stats_scheme.encrypt(x), stats_scheme.encrypt(y)))
+        assert np.max(np.abs(out - np.mean(x * y))) < 2e-3
+
+
+class TestDescribe:
+    def test_full_roundtrip(self, analytics, rng):
+        x = rng.normal(2.0, 0.5, 32)
+        report = analytics.describe(x)
+        assert isinstance(report, StatsReport)
+        assert report.mean == pytest.approx(x.mean(), abs=1e-3)
+        assert report.variance == pytest.approx(x.var(), abs=5e-3)
+        assert report.std == pytest.approx(x.std(), abs=5e-3)
+
+    def test_short_vector_correction(self, analytics, rng):
+        x = rng.normal(1.0, 0.3, 16)  # half the slots
+        report = analytics.describe(x)
+        assert report.mean == pytest.approx(x.mean(), abs=2e-3)
+
+    def test_too_long_rejected(self, analytics, rng):
+        with pytest.raises(ValueError):
+            analytics.describe(rng.normal(size=64))

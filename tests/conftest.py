@@ -1,0 +1,40 @@
+"""Shared fixtures: small CKKS instantiations reused across test modules.
+
+Key generation dominates test runtime, so the schemes are session-scoped
+and tests must not mutate them (create fresh ciphertexts instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksParams, CkksScheme
+
+
+@pytest.fixture(scope="session")
+def small_params() -> CkksParams:
+    """Tiny parameter set for fast functional tests (toy security)."""
+    return CkksParams(ring_degree=64, num_limbs=5, scale_bits=25, dnum=2,
+                      hamming_weight=8, first_prime_bits=30, seed=101)
+
+
+@pytest.fixture(scope="session")
+def small_scheme(small_params) -> CkksScheme:
+    """A fully keyed scheme over the small parameter set."""
+    return CkksScheme(small_params, rotations=[1, 2, 3, 5, 8])
+
+
+@pytest.fixture(scope="session")
+def deep_scheme() -> CkksScheme:
+    """A deeper chain for multi-level tests (still toy security)."""
+    params = CkksParams(ring_degree=64, num_limbs=9, scale_bits=24,
+                        dnum=3, hamming_weight=8, first_prime_bits=29,
+                        seed=202)
+    return CkksScheme(params, rotations=[1, 4])
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(0xFAB)

@@ -1,0 +1,176 @@
+"""Bit-exactness tests for FAB's hardware arithmetic (§4.1).
+
+Every algorithm is validated against Python big-integer arithmetic over
+the paper's 54-bit NTT-friendly primes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.arith import (MOD_MULT_CYCLES, MaddTable,
+                              madd_storage_bytes, mod_mult_hardware,
+                              mod_reduce_shift_add, multiword_mod_add,
+                              multiword_mod_sub, operand_scanning_mult,
+                              split_words, join_words)
+from repro.fhe.primes import find_ntt_prime
+
+
+@pytest.fixture(scope="module")
+def prime54():
+    return find_ntt_prime(54, 1 << 16)
+
+
+@pytest.fixture(scope="module")
+def table54(prime54):
+    return MaddTable.build(prime54)
+
+
+class TestWordSplitting:
+    def test_roundtrip(self):
+        v = 0x3FF_FFFF_FFFF_FFF
+        words = split_words(v, 18, 3)
+        assert join_words(words, 18) == v
+
+    def test_word_range(self):
+        words = split_words((1 << 54) - 1, 18, 3)
+        assert all(0 <= w < (1 << 18) for w in words)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            split_words(1 << 54, 18, 3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            split_words(-1, 18, 3)
+
+
+class TestMultiwordAddSub:
+    def test_add_exhaustive_small_prime(self):
+        q = 97
+        for a in range(0, 97, 7):
+            for b in range(0, 97, 11):
+                assert multiword_mod_add(a, b, q, word_bits=4) == (a + b) % q
+
+    def test_add_random_54bit(self, prime54):
+        rng = random.Random(0)
+        for _ in range(500):
+            a, b = rng.randrange(prime54), rng.randrange(prime54)
+            assert multiword_mod_add(a, b, prime54) == (a + b) % prime54
+
+    def test_sub_random_54bit(self, prime54):
+        rng = random.Random(1)
+        for _ in range(500):
+            a, b = rng.randrange(prime54), rng.randrange(prime54)
+            assert multiword_mod_sub(a, b, prime54) == (a - b) % prime54
+
+    def test_sub_borrow_path(self, prime54):
+        assert multiword_mod_sub(0, 1, prime54) == prime54 - 1
+
+    def test_add_wraparound(self, prime54):
+        assert multiword_mod_add(prime54 - 1, 1, prime54) == 0
+
+    @given(st.integers(min_value=0, max_value=(1 << 54) - 1),
+           st.integers(min_value=0, max_value=(1 << 54) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_add_property(self, prime54, a, b):
+        a %= prime54
+        b %= prime54
+        assert multiword_mod_add(a, b, prime54) == (a + b) % prime54
+
+
+class TestOperandScanning:
+    def test_zero(self):
+        assert operand_scanning_mult(0, 12345) == 0
+
+    def test_max_operands(self):
+        v = (1 << 54) - 1
+        assert operand_scanning_mult(v, v) == v * v
+
+    def test_random(self):
+        rng = random.Random(2)
+        for _ in range(500):
+            a = rng.randrange(1 << 54)
+            b = rng.randrange(1 << 54)
+            assert operand_scanning_mult(a, b) == a * b
+
+    @given(st.integers(min_value=0, max_value=(1 << 54) - 1),
+           st.integers(min_value=0, max_value=(1 << 54) - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_property(self, a, b):
+        assert operand_scanning_mult(a, b) == a * b
+
+
+class TestAlgorithm1:
+    """Algorithm 1: shift-add modular reduction."""
+
+    def test_table_contents(self, prime54):
+        table = MaddTable.build(prime54, shifts=6)
+        assert len(table.entries) == 63
+        for i, entry in enumerate(table.entries, start=1):
+            assert entry == (i << 54) % prime54
+
+    def test_reduce_matches_mod(self, table54, prime54):
+        rng = random.Random(3)
+        for _ in range(1000):
+            x = rng.randrange(1 << (2 * 54 - 1))
+            assert mod_reduce_shift_add(x, table54) == x % prime54
+
+    def test_reduce_small_values(self, table54, prime54):
+        for x in (0, 1, prime54 - 1, prime54, prime54 + 1):
+            assert mod_reduce_shift_add(x, table54) == x % prime54
+
+    def test_reduce_rejects_oversized(self, table54):
+        with pytest.raises(ValueError):
+            mod_reduce_shift_add(1 << 110, table54)
+
+    def test_generic_shift_amounts(self, prime54):
+        """The paper notes the algorithm works for any shift count."""
+        rng = random.Random(4)
+        for shifts in (2, 3, 4, 5, 8):
+            table = MaddTable.build(prime54, shifts=shifts)
+            for _ in range(100):
+                x = rng.randrange(1 << 107)
+                assert mod_reduce_shift_add(x, table) == x % prime54
+
+    def test_other_primes(self):
+        rng = random.Random(5)
+        for bits in (30, 40, 50, 54):
+            q = find_ntt_prime(bits, 1 << 10)
+            table = MaddTable.build(q)
+            for _ in range(200):
+                x = rng.randrange(1 << (2 * q.bit_length() - 1))
+                assert mod_reduce_shift_add(x, table) == x % q
+
+    @given(st.integers(min_value=0, max_value=(1 << 107) - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_reduce_property(self, table54, prime54, x):
+        assert mod_reduce_shift_add(x, table54) == x % prime54
+
+
+class TestHardwareModMult:
+    def test_matches_python(self, table54, prime54):
+        rng = random.Random(6)
+        for _ in range(500):
+            a, b = rng.randrange(prime54), rng.randrange(prime54)
+            assert mod_mult_hardware(a, b, table54) == a * b % prime54
+
+    def test_rejects_unreduced(self, table54, prime54):
+        with pytest.raises(ValueError):
+            mod_mult_hardware(prime54, 1, table54)
+
+    def test_latency_constant(self):
+        assert MOD_MULT_CYCLES == 24  # 12-cycle mult + 12-cycle reduce
+
+
+class TestMaddStorage:
+    def test_storage_for_paper_primes(self):
+        """32 primes x 63 entries x 54 bits (the paper's precompute)."""
+        primes = []
+        below = None
+        for _ in range(4):
+            p = find_ntt_prime(54, 1 << 16, avoid=primes, below=below)
+            primes.append(p)
+            below = p
+        assert madd_storage_bytes(primes) == 4 * 63 * 54 // 8

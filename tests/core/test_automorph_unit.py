@@ -1,0 +1,86 @@
+"""Tests for the hardware automorph unit (eq. 4) against the algebraic
+automorphism of the FHE layer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (AutomorphUnit, FabConfig,
+                        apply_coefficient_automorph, automorph_index_map,
+                        coefficient_permutation)
+from repro.fhe.poly import RnsPolynomial
+from repro.fhe.primes import find_ntt_prime
+from repro.fhe.rns import RnsBasis
+
+
+class TestIndexMap:
+    def test_bijective(self):
+        for k in (0, 1, 2, 5, 17):
+            perm = automorph_index_map(64, k)
+            assert sorted(perm) == list(range(64))
+
+    def test_identity_at_k0(self):
+        perm = automorph_index_map(64, 0)
+        assert np.array_equal(perm, np.arange(64))
+
+    def test_composition_law(self):
+        """map_{j+k} = map_j applied after map_k (group action)."""
+        n = 64
+        p2 = automorph_index_map(n, 2)
+        p3 = automorph_index_map(n, 3)
+        p5 = automorph_index_map(n, 5)
+        composed = p3[p2]  # apply k=2 then k=3
+        assert np.array_equal(composed, p5)
+
+    def test_and_reduction_matches_mod(self):
+        """AND with N-1 is reduction mod N (power-of-two N)."""
+        n = 128
+        k = 3
+        g = pow(5, k, 2 * n)
+        i = np.arange(n, dtype=np.int64)
+        expected = ((g - 1) // 2 + g * i) % n
+        assert np.array_equal(automorph_index_map(n, k), expected)
+
+
+class TestCoefficientPermutation:
+    def test_destinations_bijective(self):
+        dest, sign = coefficient_permutation(64, 5)
+        assert sorted(dest) == list(range(64))
+        assert set(np.unique(sign)) <= {-1, 1}
+
+    def test_even_element_rejected(self):
+        with pytest.raises(ValueError):
+            coefficient_permutation(64, 4)
+
+    def test_matches_fhe_automorphism(self, rng):
+        """The hardware permutation must equal the algebraic x -> x^g."""
+        n = 64
+        q = find_ntt_prime(24, n)
+        basis = RnsBasis([q])
+        coeffs = rng.integers(0, q, n)
+        poly = RnsPolynomial(n, basis, coeffs[None, :].astype(np.int64),
+                             is_ntt=False)
+        for g in (5, 25, 2 * n - 1, 7):
+            hw = apply_coefficient_automorph(coeffs, g, q)
+            ref = poly.automorphism(g)
+            assert np.array_equal(hw, ref.limbs[0])
+
+
+class TestAutomorphUnit:
+    def test_precomputed_powers(self):
+        cfg = FabConfig()
+        unit = AutomorphUnit(cfg, rotation_indices=[1, 2, 3])
+        n = cfg.fhe.ring_degree
+        assert unit.galois_element(2) == pow(5, 2, 2 * n)
+        assert unit.table_entries == 3
+
+    def test_missing_index_raises(self):
+        unit = AutomorphUnit(FabConfig(), rotation_indices=[1])
+        with pytest.raises(KeyError):
+            unit.galois_element(9)
+
+    def test_permute_cycles(self):
+        cfg = FabConfig()
+        unit = AutomorphUnit(cfg, rotation_indices=[1])
+        # One limb streams N coefficients at 256/cycle.
+        assert unit.permute_cycles(1) == cfg.fhe.ring_degree // 256
+        assert unit.permute_cycles(4) == 4 * (cfg.fhe.ring_degree // 256)

@@ -1,0 +1,68 @@
+"""Tests for the functional-unit array model (§4.1)."""
+
+import pytest
+
+from repro.core import FabConfig, FuOp, FunctionalUnitArray
+
+
+@pytest.fixture()
+def fus():
+    return FunctionalUnitArray(FabConfig())
+
+
+class TestLatencies:
+    def test_paper_latencies(self, fus):
+        assert fus.latency(FuOp.MOD_ADD) == 7
+        assert fus.latency(FuOp.MOD_SUB) == 7
+        assert fus.latency(FuOp.MOD_MULT) == 24  # 12 mult + 12 reduce
+
+    def test_butterfly_combines_mult_and_add(self, fus):
+        assert fus.latency(FuOp.BUTTERFLY) == 24 + 7
+
+
+class TestThroughput:
+    def test_256_lanes(self, fus):
+        assert fus.lanes(FuOp.MOD_MULT) == 256
+
+    def test_vector_cycles_pipelined(self, fus):
+        # 256 ops issue in one cycle; drain after the latency.
+        assert fus.vector_cycles(FuOp.MOD_ADD, 256) == 1 + 7
+        assert fus.vector_cycles(FuOp.MOD_ADD, 512) == 2 + 7
+
+    def test_zero_ops_free(self, fus):
+        assert fus.vector_cycles(FuOp.MOD_MULT, 0) == 0
+
+    def test_negative_rejected(self, fus):
+        with pytest.raises(ValueError):
+            fus.vector_cycles(FuOp.MOD_ADD, -1)
+
+    def test_elementwise_limb(self, fus):
+        n = FabConfig().fhe.ring_degree
+        cycles = fus.elementwise_limb_cycles(FuOp.MOD_MULT, 2)
+        assert cycles == 2 * n // 256 + 24
+
+    def test_paper_add_time(self, fus):
+        """Table 5 Add = 0.04 ms: 2 x 24 limbs of element-wise adds."""
+        config = FabConfig()
+        cycles = fus.elementwise_limb_cycles(FuOp.MOD_ADD,
+                                             2 * config.fhe.num_limbs)
+        assert config.cycles_to_seconds(cycles) * 1e3 == pytest.approx(
+            0.04, rel=0.05)
+
+
+class TestAccounting:
+    def test_op_counters(self, fus):
+        fus.vector_cycles(FuOp.MOD_MULT, 1000)
+        fus.vector_cycles(FuOp.BUTTERFLY, 500)
+        assert fus.total_modmults == 1500
+        assert fus.busy_cycles > 0
+
+    def test_reset(self, fus):
+        fus.vector_cycles(FuOp.MOD_ADD, 100)
+        fus.reset()
+        assert fus.busy_cycles == 0
+        assert fus.issued_ops == {}
+
+    def test_unrecorded_ops_skip_accounting(self, fus):
+        fus.vector_cycles(FuOp.MOD_MULT, 100, record=False)
+        assert fus.total_modmults == 0

@@ -1,0 +1,66 @@
+"""Tests for the host/PCIe system model (§3)."""
+
+import pytest
+
+from repro.core import FabConfig
+from repro.core.host import HostConfig, HostInterface, OffloadPlan
+
+
+@pytest.fixture()
+def host():
+    return HostInterface(FabConfig())
+
+
+class TestOffload:
+    def test_lr_plan_near_paper_size(self, host):
+        """§5.5: ~6.65 GB of ciphertexts and keys offloaded to HBM."""
+        plan = host.lr_training_plan(num_ciphertexts=1024)
+        gb = plan.total_bytes / 1e9
+        assert 4.0 <= gb <= 9.0
+
+    def test_lr_plan_fits_hbm(self, host):
+        assert host.fits_in_hbm(host.lr_training_plan())
+
+    def test_oversized_plan_rejected(self, host):
+        plan = OffloadPlan(ciphertext_bytes=10 << 30)
+        assert not host.fits_in_hbm(plan)
+
+    def test_offload_time_dominated_by_transfer(self, host):
+        plan = host.lr_training_plan()
+        seconds = host.offload_seconds(plan)
+        pure_transfer = plan.total_bytes / 16e9
+        assert seconds == pytest.approx(pure_transfer, rel=0.05)
+
+    def test_register_writes_counted(self, host):
+        a = OffloadPlan(scalar_arguments=0)
+        b = OffloadPlan(scalar_arguments=1000)
+        assert (host.offload_seconds(b) - host.offload_seconds(a)
+                == pytest.approx(1000 * 1e-6))
+
+
+class TestAmortization:
+    def test_offload_negligible_for_training_run(self, host):
+        """One-time offload vs 30 LR iterations: well under 15%."""
+        from repro.perf.fab import FabDevice
+        plan = host.lr_training_plan()
+        compute = 30 * FabDevice().lr_iteration_seconds()
+        fraction = host.amortized_offload_fraction(plan, compute)
+        assert fraction < 0.15
+
+    def test_offload_matters_for_single_op(self, host):
+        """For one multiply, the offload dominates — the reason batch
+        workloads, not single ops, are FAB's target."""
+        from repro.core import FabOpModel
+        config = FabConfig()
+        one_mult = FabOpModel(config).multiply().seconds(config)
+        plan = host.lr_training_plan()
+        fraction = host.amortized_offload_fraction(plan, one_mult)
+        assert fraction > 0.9
+
+    def test_launch_overhead_small(self, host):
+        assert host.launch_seconds() < 1e-3
+
+    def test_readback(self, host):
+        fhe = FabConfig().fhe
+        t = host.readback_seconds(fhe.ciphertext_bytes)
+        assert t < 0.01

@@ -1,0 +1,110 @@
+"""Tests for the KeySwitch datapath models (Fig. 5 ablation)."""
+
+import pytest
+
+from repro.core import FabConfig, KeySwitchDatapath, compare_datapaths
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FabConfig()
+
+
+class TestDigitLayout:
+    def test_full_level(self, config):
+        dp = KeySwitchDatapath(config)
+        assert dp.digit_sizes(24) == [8, 8, 8]
+
+    def test_partial_level(self, config):
+        dp = KeySwitchDatapath(config)
+        assert dp.digit_sizes(10) == [8, 2]
+        assert dp.digit_sizes(3) == [3]
+
+
+class TestCounts:
+    def test_smart_scheduling_halves_conv_mults(self, config):
+        smart = KeySwitchDatapath(config, smart_scheduling=True)
+        naive = KeySwitchDatapath(config, smart_scheduling=False)
+        d, new = 8, 24
+        n = config.fhe.ring_degree
+        assert naive._conv_mults(d, new) == 2 * new * d * n
+        assert smart._conv_mults(d, new) == (d + new * d) * n
+        assert smart._conv_mults(d, new) < naive._conv_mults(d, new)
+
+    def test_modified_skips_passthrough_ntts(self, config):
+        """Modified datapath NTTs only the new limbs (alpha fewer per
+        digit)."""
+        mod = KeySwitchDatapath(config, modified=True).report()
+        orig = KeySwitchDatapath(config, modified=False).report()
+        alpha = config.fhe.alpha
+        dnum = config.fhe.dnum
+        assert orig.counts.limb_ntts - mod.counts.limb_ntts == alpha * dnum
+
+    def test_original_spills_to_hbm(self, config):
+        orig = KeySwitchDatapath(config, modified=False).report()
+        mod = KeySwitchDatapath(config, modified=True).report()
+        assert orig.counts.hbm_spill_bytes > 0
+        assert mod.counts.hbm_spill_bytes == 0
+
+    def test_key_traffic_matches_paper(self, config):
+        """dnum key blocks of 2 x 32 raised limbs: ~84 MB per KeySwitch."""
+        report = KeySwitchDatapath(config).report()
+        mb = report.counts.hbm_key_bytes / (1 << 20)
+        assert 80 <= mb <= 90
+
+
+class TestSchedule:
+    def test_modified_faster_than_original(self, config):
+        reports = compare_datapaths(config)
+        assert (reports["modified"].cycles
+                < reports["modified_no_smart"].cycles
+                < reports["original"].cycles)
+
+    def test_keyfetch_overlaps_compute(self, config):
+        """HBM busy time must overlap FU busy time (latency hiding)."""
+        report = KeySwitchDatapath(config).report()
+        fu = report.schedule.resources["fu"].busy_cycles
+        hbm = report.schedule.resources["hbm"].busy_cycles
+        assert report.cycles < fu + hbm  # strict overlap
+
+    def test_compute_bound_design(self, config):
+        """The balanced-design claim: FAB's KeySwitch is not memory
+        bound."""
+        report = KeySwitchDatapath(config).report()
+        assert report.schedule.bound_by() == "fu"
+
+    def test_lower_levels_cheaper(self, config):
+        dp = KeySwitchDatapath(config)
+        assert dp.report(8).cycles < dp.report(16).cycles < dp.report(
+            24).cycles
+
+    def test_level_validation(self, config):
+        dp = KeySwitchDatapath(config)
+        with pytest.raises(ValueError):
+            dp.report(0)
+        with pytest.raises(ValueError):
+            dp.report(25)
+
+
+class TestHoisting:
+    def test_hoisted_cheaper_than_full(self, config):
+        dp = KeySwitchDatapath(config)
+        assert dp.hoisted_report(24).cycles < dp.report(24).cycles
+
+    def test_hoisted_skips_modup_ntts(self, config):
+        dp = KeySwitchDatapath(config)
+        full = dp.report(24).counts.limb_ntts
+        hoisted = dp.hoisted_report(24).counts.limb_ntts
+        # Hoisted run keeps only ModDown transforms: 2 * (k + level).
+        assert hoisted == 2 * (config.fhe.num_extension_limbs + 24)
+        assert hoisted < full
+
+    def test_hoisted_same_key_traffic(self, config):
+        dp = KeySwitchDatapath(config)
+        assert (dp.hoisted_report(24).counts.hbm_key_bytes
+                == dp.report(24).counts.hbm_key_bytes)
+
+
+class TestOnChipFeasibility:
+    def test_modified_fits(self, config):
+        assert KeySwitchDatapath(config).onchip_feasible()

@@ -1,0 +1,102 @@
+"""Tests for the on-chip memory model (§4.2–4.3)."""
+
+import pytest
+
+from repro.core import CapacityError, FabConfig, MemoryBank, OnChipMemory, \
+    RegisterFile
+
+
+class TestMemoryBank:
+    def test_allocate_and_release(self):
+        bank = MemoryBank("b", capacity_limbs=8, num_blocks=10,
+                          dual_port=False)
+        bank.allocate("ct", 5)
+        assert bank.used_limbs == 5
+        assert bank.free_limbs == 3
+        assert bank.release("ct") == 5
+        assert bank.used_limbs == 0
+
+    def test_overflow_rejected(self):
+        bank = MemoryBank("b", 4, 10, False)
+        bank.allocate("a", 3)
+        with pytest.raises(CapacityError):
+            bank.allocate("b", 2)
+
+    def test_cumulative_allocation(self):
+        bank = MemoryBank("b", 8, 10, False)
+        bank.allocate("a", 2)
+        bank.allocate("a", 3)
+        assert bank.used_limbs == 5
+
+    def test_single_port_serializes_rw(self):
+        bank = MemoryBank("uram", 16, 192, dual_port=False)
+        rw = bank.access_cycles(1024, read_and_write=True)
+        ro = bank.access_cycles(1024, read_and_write=False)
+        assert rw == 2 * ro
+
+    def test_dual_port_overlaps_rw(self):
+        bank = MemoryBank("bram", 8, 1536, dual_port=True)
+        assert (bank.access_cycles(1024, read_and_write=True)
+                == bank.access_cycles(1024, read_and_write=False))
+
+
+class TestRegisterFile:
+    def test_intermediate_poly_limit(self):
+        rf = RegisterFile(2 << 20, 512 << 10, max_intermediate_polys=4)
+        for _ in range(4):
+            rf.hold_poly()
+        with pytest.raises(CapacityError):
+            rf.hold_poly()
+
+    def test_release_underflow(self):
+        rf = RegisterFile(2 << 20, 512 << 10)
+        with pytest.raises(CapacityError):
+            rf.release_poly()
+
+    def test_scratch_bytes(self):
+        rf = RegisterFile(2 << 20, 512 << 10)
+        assert rf.scratch_bytes == (2 << 20) - (512 << 10)
+
+
+class TestOnChipMemory:
+    @pytest.fixture(scope="class")
+    def mem(self):
+        return OnChipMemory(FabConfig())
+
+    def test_paper_block_counts(self, mem):
+        """5 x 192 URAMs and 2 x 1536 + 768 BRAMs (§4.2)."""
+        assert mem.total_uram_blocks == 960
+        assert mem.total_bram_blocks == 3840
+
+    def test_total_capacity_43mb(self, mem):
+        mb = mem.total_capacity_bytes / (1 << 20)
+        assert 42 <= mb <= 43.5
+
+    def test_bank_limb_capacities(self, mem):
+        assert mem.uram_banks["uram_c0_a"].capacity_limbs == 16
+        assert mem.bram_banks["bram_c0"].capacity_limbs == 8
+        assert mem.bram_banks["bram_misc"].capacity_limbs == 4
+
+    def test_raised_ciphertext_fits(self, mem):
+        """A 2 x 32-limb raised ciphertext fits in the c0/c1 banks."""
+        assert mem.ciphertext_limb_capacity == 64
+        assert mem.fits_raised_ciphertext()
+
+    def test_keyswitch_working_set_does_not_fit(self, mem):
+        """The ~112 MB KeySwitch working set exceeds on-chip memory —
+        the motivation for the modified datapath (§4.6)."""
+        ws = mem.keyswitch_working_set_bytes()
+        assert ws > 100 << 20
+        assert not mem.fits_keyswitch_working_set()
+
+    def test_reset(self):
+        mem = OnChipMemory(FabConfig())
+        mem.banks["uram_c0_a"].allocate("x", 10)
+        mem.reset()
+        assert mem.banks["uram_c0_a"].used_limbs == 0
+
+    def test_smaller_ring_scales_capacity(self):
+        cfg = FabConfig().with_fhe(ring_degree=1 << 14)
+        mem = OnChipMemory(cfg)
+        # Quarter-size limbs -> 4x the limb capacity per bank.
+        assert mem.uram_banks["uram_c0_a"].capacity_limbs == 64

@@ -1,0 +1,88 @@
+"""Tests for the NTT datapath: address generation and cycle model."""
+
+import numpy as np
+import pytest
+
+from repro.core import FabConfig, NttDatapath, execute_schedule, \
+    forward_stage_schedule
+from repro.fhe.ntt import get_ntt_context
+from repro.fhe.primes import find_ntt_prime
+
+
+class TestStageSchedule:
+    def test_stage_count(self):
+        schedule = forward_stage_schedule(64)
+        assert len(schedule) == 6
+
+    def test_butterflies_per_stage(self):
+        n = 64
+        for blocks in forward_stage_schedule(n):
+            assert sum(b.length for b in blocks) == n // 2
+
+    def test_indices_cover_all_coefficients(self):
+        n = 32
+        for blocks in forward_stage_schedule(n):
+            touched = set()
+            for blk in blocks:
+                for lo, hi in blk.pairs():
+                    touched.add(lo)
+                    touched.add(hi)
+            assert touched == set(range(n))
+
+    def test_twiddle_indices_unique_per_stage(self):
+        n = 64
+        for blocks in forward_stage_schedule(n):
+            indices = [b.twiddle_index for b in blocks]
+            assert len(set(indices)) == len(indices)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            forward_stage_schedule(48)
+
+
+class TestHardwareEquivalence:
+    """The address generator must be bit-exact vs the reference NTT."""
+
+    @pytest.mark.parametrize("n", [8, 32, 128])
+    def test_matches_reference_forward(self, n, rng):
+        q = find_ntt_prime(24, n)
+        ctx = get_ntt_context(n, q)
+        coeffs = rng.integers(0, q, n)
+        hw = execute_schedule(coeffs, ctx._forward_twiddles, q)
+        assert np.array_equal(hw, ctx.forward(coeffs))
+
+    def test_roundtrip_through_reference_inverse(self, rng):
+        n = 64
+        q = find_ntt_prime(24, n)
+        ctx = get_ntt_context(n, q)
+        coeffs = rng.integers(0, q, n)
+        hw = execute_schedule(coeffs, ctx._forward_twiddles, q)
+        assert np.array_equal(ctx.inverse(hw), coeffs)
+
+
+class TestCycleModel:
+    def test_paper_stage_throughput(self):
+        """512 coefficients (256 butterflies) per cycle at N = 2^16."""
+        dp = NttDatapath(FabConfig())
+        assert dp.stage_cycles(1 << 16) == (1 << 16) // 512
+
+    def test_limb_cycles_formula(self):
+        """~log N * N / 512 cycles per limb (§4.5)."""
+        dp = NttDatapath(FabConfig())
+        n = 1 << 16
+        base = 16 * n // 512
+        assert base <= dp.limb_cycles(n) <= base + 64  # + pipeline fill
+
+    def test_batch_scales_linearly(self):
+        dp = NttDatapath(FabConfig())
+        assert dp.batch_cycles(10) == 10 * dp.limb_cycles()
+        assert dp.batch_cycles(0) == 0
+
+    def test_smaller_rings_cheaper(self):
+        dp = NttDatapath(FabConfig())
+        assert dp.limb_cycles(1 << 14) < dp.limb_cycles(1 << 16)
+
+    def test_throughput_unit(self):
+        dp = NttDatapath(FabConfig())
+        ops = dp.throughput_ops_per_sec(1 << 14)
+        assert ops == pytest.approx(300e6 / dp.limb_cycles(1 << 14))

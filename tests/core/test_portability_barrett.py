@@ -1,0 +1,84 @@
+"""Tests for smaller-FPGA portability (§4.6) and the Barrett ablation."""
+
+import random
+
+import pytest
+
+from repro.core import (BarrettConstants, FabConfig, KeySwitchDatapath,
+                        OnChipMemory, alveo_u50_config, barrett_multiplier_cost,
+                        barrett_reduce, smallest_viable_config)
+from repro.core.arith import MaddTable, mod_reduce_shift_add
+from repro.fhe.primes import find_ntt_prime
+
+
+class TestPortability:
+    def test_u280_geometry_preserved(self):
+        """The generalized bank model reproduces the paper's layout."""
+        mem = OnChipMemory(FabConfig())
+        assert mem.uram_banks["uram_c0_a"].capacity_limbs == 16
+        assert mem.bram_banks["bram_c0"].capacity_limbs == 8
+        assert mem.bram_banks["bram_misc"].capacity_limbs == 4
+        assert mem.total_uram_blocks == 960
+
+    def test_u50_cannot_hold_raised_ciphertext(self):
+        """Half the memory: the raised ciphertext no longer fits, so a
+        U50 port needs the finer-grained slot-wise scheduling the paper
+        sketches."""
+        mem = OnChipMemory(alveo_u50_config())
+        assert not mem.fits_raised_ciphertext()
+        assert mem.fits_minimum_porting_requirement()
+
+    def test_tiny_fpga_rejected(self):
+        """Below one key limb + one ct limb: the port is infeasible."""
+        mem = OnChipMemory(smallest_viable_config())
+        assert not mem.fits_minimum_porting_requirement()
+
+    def test_u50_keyswitch_still_schedules(self):
+        """The datapath model runs on the smaller device (slower)."""
+        u280 = KeySwitchDatapath(FabConfig()).report()
+        u50 = KeySwitchDatapath(alveo_u50_config()).report()
+        assert u50.cycles > u280.cycles  # 128 FUs vs 256
+
+    def test_u50_modified_datapath_does_not_fit(self):
+        """The U280 allocation plan overflows the U50's banks."""
+        assert KeySwitchDatapath(FabConfig()).onchip_feasible()
+        assert not KeySwitchDatapath(alveo_u50_config()).onchip_feasible()
+
+
+class TestBarrettAblation:
+    """Barrett reduction: correct, but costs two extra wide multiplies —
+    the trade-off motivating the paper's Algorithm 1."""
+
+    @pytest.fixture(scope="class")
+    def prime54(self):
+        return find_ntt_prime(54, 1 << 16)
+
+    def test_barrett_correct(self, prime54):
+        bc = BarrettConstants.build(prime54)
+        rng = random.Random(1)
+        for _ in range(1000):
+            x = rng.randrange(prime54 * prime54)
+            assert barrett_reduce(x, bc) == x % prime54
+
+    def test_barrett_matches_algorithm1(self, prime54):
+        bc = BarrettConstants.build(prime54)
+        table = MaddTable.build(prime54)
+        rng = random.Random(2)
+        for _ in range(500):
+            x = rng.randrange(1 << (2 * 54 - 1))
+            assert barrett_reduce(x, bc) == mod_reduce_shift_add(x, table)
+
+    def test_barrett_range_check(self, prime54):
+        bc = BarrettConstants.build(prime54)
+        with pytest.raises(ValueError):
+            barrett_reduce(prime54 ** 2 * 8, bc)
+
+    def test_multiplier_cost_comparison(self):
+        """Algorithm 1 uses zero wide multipliers; Barrett needs two."""
+        assert barrett_multiplier_cost() == 2
+
+    def test_edge_values(self, prime54):
+        bc = BarrettConstants.build(prime54)
+        for x in (0, 1, prime54 - 1, prime54, prime54 + 1,
+                  prime54 * prime54 - 1):
+            assert barrett_reduce(x, bc) == x % prime54

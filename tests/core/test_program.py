@@ -1,0 +1,74 @@
+"""Tests for program-level scheduling (cross-op prefetch, utilization)."""
+
+import pytest
+
+from repro.core import FabConfig, FabProgram
+from repro.core.program import ProgramOp
+
+
+class TestProgramConstruction:
+    def test_append_chainable(self):
+        program = FabProgram().append("add", 10).append("rotate", 10)
+        assert len(program) == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramOp("frobnicate", 10)
+
+    def test_default_level_is_top(self):
+        program = FabProgram().append("add")
+        assert program.ops[0].level == FabConfig().fhe.num_limbs
+
+    def test_extend(self):
+        program = FabProgram().extend(["add", "add", "rescale"], 8)
+        assert [op.kind for op in program.ops] == ["add", "add", "rescale"]
+
+
+class TestScheduling:
+    def test_makespan_below_serial_sum(self):
+        program = FabProgram.rotation_burst(count=6, level=20)
+        report = program.schedule(prefetch=True)
+        serial = program.schedule(prefetch=False)
+        assert report.cycles <= serial.cycles
+
+    def test_prefetch_benefit_positive(self):
+        program = FabProgram.rotation_burst(count=8, level=20)
+        assert program.prefetch_benefit() > 1.0
+
+    def test_fu_dominates_on_balanced_design(self):
+        """The balanced-design claim at program scale: high FU
+        utilization, HBM well under saturation."""
+        report = FabProgram.rotation_burst(count=8, level=20).schedule()
+        assert report.fu_utilization > 0.85
+        assert report.hbm_utilization < 0.5
+
+    def test_ops_without_traffic_skip_fetches(self):
+        program = FabProgram().extend(["add", "add"], 10)
+        graph = program.compile()
+        assert len(graph) == 2  # no fetch tasks
+
+    def test_report_counts_ops(self):
+        program = FabProgram.lr_iteration(num_ciphertexts=4)
+        report = program.schedule()
+        assert report.num_ops == len(program)
+        assert report.cycles > 0
+
+    def test_empty_program(self):
+        report = FabProgram().schedule()
+        assert report.cycles == 0
+
+
+class TestPrebuiltPrograms:
+    def test_lr_iteration_scales_with_batch(self):
+        small = FabProgram.lr_iteration(num_ciphertexts=8).schedule()
+        large = FabProgram.lr_iteration(num_ciphertexts=64).schedule()
+        assert large.cycles > small.cycles
+
+    def test_rotation_burst_hoisting_cheaper(self):
+        """A hoisted burst beats the same burst of full rotations."""
+        config = FabConfig()
+        hoisted = FabProgram.rotation_burst(config, count=8, level=20)
+        full = FabProgram(config)
+        for _ in range(8):
+            full.append("rotate", 20)
+        assert hoisted.schedule().cycles < full.schedule().cycles

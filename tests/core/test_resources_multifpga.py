@@ -1,0 +1,110 @@
+"""Tests for Table 3/4 resource accounting and the FAB-2 model."""
+
+import pytest
+
+from repro.core import (FabConfig, FabResources, MultiFpgaSystem,
+                        table4_footprints)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def resources(self):
+        return FabResources(FabConfig())
+
+    def test_dsp_utilization(self, resources):
+        """5120 DSPs = 56.7 % of the U280's 9024 (Table 3)."""
+        row = resources.table3()["DSP"]
+        assert row.utilized == 5120
+        assert row.percent == pytest.approx(56.7, abs=0.2)
+
+    def test_uram_utilization(self, resources):
+        row = resources.table3()["URAM"]
+        assert row.utilized == 960
+        assert row.percent == pytest.approx(99.8, abs=0.1)
+
+    def test_bram_utilization(self, resources):
+        row = resources.table3()["BRAM"]
+        assert row.utilized == 3840
+        assert row.percent == pytest.approx(95.24, abs=0.1)
+
+    def test_lut_utilization(self, resources):
+        row = resources.table3()["LUTs"]
+        assert row.percent == pytest.approx(68.96, abs=1.0)
+
+    def test_ff_utilization(self, resources):
+        row = resources.table3()["FFs"]
+        assert row.percent == pytest.approx(79.54, abs=1.5)
+
+    def test_fu_lut_share_37_percent(self, resources):
+        """§5.2: functional units are ~37 % of the LUTs."""
+        assert resources.lut_share_functional_units == pytest.approx(
+            0.37, abs=0.02)
+
+    def test_summary_renders(self, resources):
+        text = resources.summary()
+        assert "URAM" in text and "%" in text
+
+
+class TestTable4:
+    def test_footprints(self):
+        rows = table4_footprints()
+        assert rows["F1"].modular_multipliers == 18_432
+        assert rows["BTS"].modular_multipliers == 8_192
+        assert rows["FAB"].modular_multipliers == 256
+
+    def test_fab_resource_ratios_vs_bts(self):
+        """Paper: FAB uses 32x fewer multipliers, 11x smaller RF,
+        12x smaller on-chip memory than BTS."""
+        rows = table4_footprints()
+        bts, fab = rows["BTS"], rows["FAB"]
+        assert bts.modular_multipliers // fab.modular_multipliers == 32
+        assert bts.register_file_mb / fab.register_file_mb == 11
+        assert bts.onchip_memory_mb / fab.onchip_memory_mb \
+            == pytest.approx(12, abs=0.5)
+
+
+class TestMultiFpga:
+    @pytest.fixture(scope="class")
+    def system(self):
+        return MultiFpgaSystem(FabConfig(), num_fpgas=8)
+
+    def test_topology(self, system):
+        assert len(system.nodes) == 8
+        assert system.nodes[0].is_master
+        assert len(system.pairs) == 4
+
+    def test_odd_pool_rejected(self):
+        with pytest.raises(ValueError):
+            MultiFpgaSystem(FabConfig(), num_fpgas=3)
+
+    def test_limb_transmit_cycles_near_paper(self, system):
+        """Paper: ~11,399 cycles per limb over the CMAC link."""
+        assert system.limb_transmit_cycles() == pytest.approx(11_399,
+                                                              rel=0.05)
+
+    def test_ciphertext_transmit_cycles_near_paper(self, system):
+        """Paper: ~546,980 cycles per full ciphertext."""
+        assert system.ciphertext_transmit_cycles() == pytest.approx(
+            546_980, rel=0.05)
+
+    def test_communication_per_iteration_near_12ms(self, system):
+        """Paper: ~12 ms of communication per LR iteration."""
+        ms = system.communication_seconds_per_iteration() * 1e3
+        assert 8 <= ms <= 15
+
+    def test_ethernet_is_bottleneck(self, system):
+        """512-bit @ 300 MHz (153 Gb/s) outruns the 100G Ethernet."""
+        c = system.config
+        kernel_rate = c.tx_rx_fifo_width_bits * c.clock_hz
+        assert kernel_rate > c.ethernet_gbps * 1e9
+
+    def test_amdahl_scaling(self, system):
+        """Serial bootstrap bounds the FAB-2 speedup below 8x."""
+        total, serial = 0.103, 0.057
+        t2 = system.iteration_seconds(total, serial)
+        assert t2 < total
+        assert system.speedup(total, serial) < 2.0  # far from 8x
+
+    def test_serial_fraction_validation(self, system):
+        with pytest.raises(ValueError):
+            system.iteration_seconds(0.05, 0.06)

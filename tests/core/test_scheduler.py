@@ -1,0 +1,123 @@
+"""Tests for the event-driven task-graph scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TaskGraph
+
+
+class TestBasicScheduling:
+    def test_serial_chain(self):
+        g = TaskGraph()
+        g.add("a", "fu", 10)
+        g.add("b", "fu", 20, deps=["a"])
+        g.add("c", "fu", 5, deps=["b"])
+        result = g.schedule()
+        assert result.makespan == 35
+        assert result.tasks["c"].start == 30
+
+    def test_independent_tasks_on_different_resources_overlap(self):
+        g = TaskGraph()
+        g.add("compute", "fu", 100)
+        g.add("fetch", "hbm", 60)
+        result = g.schedule()
+        assert result.makespan == 100  # full overlap
+
+    def test_same_resource_serializes(self):
+        g = TaskGraph()
+        g.add("a", "fu", 100)
+        g.add("b", "fu", 60)
+        result = g.schedule()
+        assert result.makespan == 160
+
+    def test_dependency_across_resources(self):
+        g = TaskGraph()
+        g.add("fetch", "hbm", 50)
+        g.add("compute", "fu", 100, deps=["fetch"])
+        result = g.schedule()
+        assert result.tasks["compute"].start == 50
+        assert result.makespan == 150
+
+    def test_prefetch_pattern(self):
+        """Key prefetch overlapping compute: the §4.6 latency hiding."""
+        g = TaskGraph()
+        g.add("fetch0", "hbm", 30)
+        g.add("work0", "fu", 100, deps=["fetch0"])
+        g.add("fetch1", "hbm", 30)  # prefetched during work0
+        g.add("work1", "fu", 100, deps=["fetch1", "work0"])
+        result = g.schedule()
+        # fetch1 finishes at 60 < work0's 130, so work1 starts at 130.
+        assert result.makespan == 230
+
+    def test_multi_lane_resource(self):
+        g = TaskGraph()
+        g.set_resource_lanes("hbm", 2)
+        g.add("a", "hbm", 50)
+        g.add("b", "hbm", 50)
+        result = g.schedule()
+        assert result.makespan == 50
+
+    def test_empty_graph(self):
+        assert TaskGraph().schedule().makespan == 0
+
+
+class TestValidation:
+    def test_duplicate_name(self):
+        g = TaskGraph()
+        g.add("a", "fu", 1)
+        with pytest.raises(ValueError):
+            g.add("a", "fu", 1)
+
+    def test_unknown_dependency(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("a", "fu", 1, deps=["missing"])
+
+    def test_negative_cycles(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.add("a", "fu", -1)
+
+
+class TestStats:
+    def test_utilization(self):
+        g = TaskGraph()
+        g.add("a", "fu", 50)
+        g.add("b", "hbm", 100)
+        result = g.schedule()
+        assert result.resources["fu"].utilization(result.makespan) == 0.5
+        assert result.resources["hbm"].utilization(result.makespan) == 1.0
+
+    def test_bound_by(self):
+        g = TaskGraph()
+        g.add("a", "fu", 10)
+        g.add("b", "hbm", 100)
+        assert g.schedule().bound_by() == "hbm"
+
+    def test_critical_tasks_nonempty(self):
+        g = TaskGraph()
+        g.add("a", "fu", 10)
+        g.add("b", "fu", 20, deps=["a"])
+        crit = g.schedule().critical_tasks()
+        assert [t.name for t in crit] == ["a", "b"]
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(["fu", "hbm"]),
+                              st.integers(min_value=1, max_value=100)),
+                    min_size=1, max_size=12))
+    def test_makespan_bounds(self, tasks):
+        """Makespan lies between the critical resource load and the
+        serial total."""
+        g = TaskGraph()
+        prev = None
+        per_resource = {}
+        for i, (res, cyc) in enumerate(tasks):
+            deps = [prev] if prev is not None and i % 3 == 0 else []
+            g.add(f"t{i}", res, cyc, deps=deps)
+            prev = f"t{i}"
+            per_resource[res] = per_resource.get(res, 0) + cyc
+        result = g.schedule()
+        assert result.makespan >= max(per_resource.values())
+        assert result.makespan <= sum(c for _, c in tasks)

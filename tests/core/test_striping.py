@@ -1,0 +1,70 @@
+"""Tests for the HBM port-striping / traffic homogeneity model."""
+
+import pytest
+
+from repro.core import (FabConfig, LimbTransfer, PortStriper,
+                        compare_striping_policies,
+                        keyswitch_transfer_sequence)
+
+
+@pytest.fixture(scope="module")
+def transfers():
+    return keyswitch_transfer_sequence(FabConfig())
+
+
+class TestTransferSequence:
+    def test_keyswitch_stream_shape(self, transfers):
+        """dnum=3 digits x 2 polys x 32 raised limbs."""
+        assert len(transfers) == 3 * 2 * 32
+
+    def test_total_bytes_match_key_traffic(self, transfers):
+        total = sum(t.num_bytes for t in transfers)
+        fhe = FabConfig().fhe
+        assert total == 3 * 2 * 32 * fhe.limb_bytes
+
+
+class TestPolicies:
+    def test_round_robin_perfectly_even(self, transfers):
+        striper = PortStriper(FabConfig(), "round_robin")
+        # 192 transfers over 32 ports: exactly 6 limbs each.
+        assert striper.imbalance(transfers) == 1.0
+
+    def test_single_port_worst_case(self, transfers):
+        striper = PortStriper(FabConfig(), "single_port")
+        assert striper.imbalance(transfers) == 32.0
+
+    def test_hash_between_extremes(self, transfers):
+        imb = PortStriper(FabConfig(), "hash").imbalance(transfers)
+        assert 1.0 <= imb < 32.0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            PortStriper(FabConfig(), "magic")
+
+    def test_effective_bandwidth_inverse_of_imbalance(self, transfers):
+        striper = PortStriper(FabConfig(), "round_robin")
+        assert striper.effective_bandwidth_fraction(transfers) == 1.0
+
+    def test_transfer_cycles_scale_with_imbalance(self, transfers):
+        cfg = FabConfig()
+        even = PortStriper(cfg, "round_robin").transfer_cycles(transfers)
+        hot = PortStriper(cfg, "single_port").transfer_cycles(transfers)
+        assert hot == pytest.approx(32 * even, rel=0.01)
+
+    def test_policy_comparison_ordering(self):
+        results = compare_striping_policies()
+        assert (results["round_robin"][0] <= results["hash"][0]
+                < results["single_port"][0])
+
+    def test_empty_stream(self):
+        striper = PortStriper(FabConfig())
+        assert striper.imbalance([]) == 1.0
+        assert striper.transfer_cycles([]) == 0
+
+
+class TestHomogeneityClaim:
+    def test_round_robin_achieves_paper_homogeneity(self, transfers):
+        """§4.6: 'evenly distributes the accesses to main memory'."""
+        traffic = PortStriper(FabConfig()).distribute(transfers)
+        loads = set(traffic.values())
+        assert len(loads) == 1  # every port carries identical bytes

@@ -1,0 +1,60 @@
+"""Tests for the CLI entry point and the trace formatters."""
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.core import (FabConfig, FabOpModel, TaskGraph,
+                        format_bootstrap_report, format_op_report,
+                        format_schedule, format_table)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table7" in out and "fig1" in out
+
+    def test_single_experiment(self, capsys):
+        assert cli_main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "FAB" in out and "BTS" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert cli_main(["table2", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out and "table3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli_main(["tableX"]) == 1
+        assert "unknown" in capsys.readouterr().out
+
+    def test_help(self, capsys):
+        assert cli_main(["--help"]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+
+class TestTraceFormatters:
+    def test_format_table(self):
+        text = format_table(("a", "bb"), [(1, 2), (33, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "33" in lines[3]
+
+    def test_format_op_report(self):
+        config = FabConfig()
+        report = FabOpModel(config).multiply()
+        text = format_op_report(report, config)
+        assert "multiply" in text and "ms" in text
+
+    def test_format_bootstrap_report(self):
+        config = FabConfig()
+        boot = FabOpModel(config).bootstrap()
+        text = format_bootstrap_report(boot, config)
+        assert "eval_mod" in text and "%" in text
+
+    def test_format_schedule(self):
+        g = TaskGraph()
+        g.add("a", "fu", 10)
+        g.add("b", "hbm", 5)
+        text = format_schedule(g.schedule())
+        assert "makespan" in text and "fu" in text

@@ -1,0 +1,133 @@
+"""Tests for the experiment drivers: structure and headline claims."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, run_all
+from repro.experiments import (ablation_keyswitch, fig1_dnum, fig2_fftiter,
+                               leveled_vs_bootstrap, table2_params,
+                               table3_resources, table4_comparison,
+                               table5_basic_ops, table6_heax,
+                               table7_bootstrap, table8_lr)
+from repro.experiments.common import ExperimentResult, ExperimentRow
+
+
+class TestCommon:
+    def test_row_lookup(self):
+        result = ExperimentResult("x", "t", ["a"],
+                                  [ExperimentRow("r1", {"a": 1})])
+        assert result.row("r1")["a"] == 1
+        with pytest.raises(KeyError):
+            result.row("missing")
+
+    def test_format_renders_all_rows(self):
+        result = ExperimentResult("x", "t", ["a", "b"], [
+            ExperimentRow("r1", {"a": 1.234567, "b": "yes"}),
+            ExperimentRow("r2", {"a": 1e-6, "b": False}),
+        ])
+        text = result.format()
+        assert "r1" in text and "r2" in text and "x: t" in text
+
+
+class TestFig1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig1_dnum.run()
+
+    def test_paper_point(self, result):
+        row = result.row("dnum=3")
+        assert row["limbs(L+1)"] == 24
+        assert row["alpha"] == 8
+        assert row["levels_after_boot"] == 6
+
+    def test_dnum1_cannot_bootstrap(self, result):
+        assert result.row("dnum=1")["levels_after_boot"] == 0
+
+    def test_key_size_near_84mb_raw(self, result):
+        assert result.row("dnum=3")["key_MB(raw)"] == pytest.approx(84,
+                                                                    abs=4)
+
+    def test_onchip_cutoff(self, result):
+        assert result.row("dnum=3")["fits_onchip"]
+        assert not result.row("dnum=6")["fits_onchip"]
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig2_fftiter.run(fft_iters=[1, 3, 4, 5])
+
+    def test_time_falls_with_fftiter(self, result):
+        times = [r["boot_ms"] for r in result.rows]
+        assert times[0] > times[1] > 0
+
+    def test_interior_optimum(self, result):
+        best = min(result.rows, key=lambda r: r["amortized_us_per_slot"])
+        assert best.label in {"fftIter=3", "fftIter=4", "fftIter=5"}
+
+    def test_levels_tradeoff(self, result):
+        assert result.row("fftIter=1")["levels_after"] == 12
+        assert result.row("fftIter=4")["levels_after"] == 6
+
+
+class TestTables:
+    def test_table2_all_constraints_hold(self):
+        result = table2_params.run()
+        assert result.row("secure@128")["model"] is True
+        assert result.row("log PQ")["model"] == 1728
+        assert result.row("LBoot")["model"] == 17
+
+    def test_table3_matches_paper(self):
+        result = table3_resources.run()
+        for row in result.rows:
+            assert abs(row["model_pct"] - row["paper_pct"]) < 2.0
+
+    def test_table4_ratios(self):
+        result = table4_comparison.run()
+        assert (result.row("BTS")["mod_multipliers"]
+                // result.row("FAB")["mod_multipliers"]) == 32
+
+    def test_table5_fab_wins_everywhere(self):
+        result = table5_basic_ops.run()
+        for row in result.rows:
+            assert row["model_speedup_vs_gpu"] > 1.0
+
+    def test_table6_fab_beats_heax(self):
+        result = table6_heax.run()
+        assert result.row("NTT")["model_speedup"] > 1.0
+        assert result.row("Mult")["model_speedup"] > 1.0
+
+    def test_table7_ordering(self):
+        result = table7_bootstrap.run()
+        fab = result.row("FAB")["model_us"]
+        assert result.row("BTS-2")["model_us"] < fab
+        assert fab < result.row("GPU-1")["model_us"]
+        assert fab < result.row("Lattigo")["model_us"] / 100
+
+    def test_table8_ordering(self):
+        result = table8_lr.run()
+        s = {r.label: r["model_s"] for r in result.rows}
+        assert s["BTS-2"] < s["FAB-2"] < s["FAB-1"] < s["GPU-2"]
+        assert s["Lattigo"] == max(s.values())
+
+    def test_ablation_progression(self):
+        result = ablation_keyswitch.run()
+        assert (result.row("modified")["cycles"]
+                < result.row("modified_no_smart")["cycles"]
+                < result.row("original")["cycles"])
+
+    def test_leveled_loses(self):
+        result = leveled_vs_bootstrap.run()
+        assert (result.row("bootstrapping (FAB-1)")["seconds"]
+                < result.row("leveled (client re-encrypt)")["seconds"])
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 12
+
+    def test_run_all_returns_everything(self):
+        results = run_all(verbose=False)
+        assert set(results) == set(ALL_EXPERIMENTS)
+        for result in results.values():
+            assert isinstance(result, ExperimentResult)
+            assert result.rows

@@ -1,0 +1,100 @@
+"""Tests for the public ScaleAligner utility."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fhe import ScaleAligner
+
+
+@pytest.fixture()
+def aligner(small_scheme):
+    return ScaleAligner(small_scheme.evaluator, small_scheme.encoder)
+
+
+def slots(scheme):
+    return scheme.params.ring_degree // 2
+
+
+class TestMatch:
+    def test_noop_when_already_matching(self, small_scheme, aligner, rng):
+        ct = small_scheme.encrypt(rng.normal(size=slots(small_scheme)))
+        out = aligner.match(ct, ct.scale, ct.level_count)
+        assert out.level_count == ct.level_count
+        assert out.scale == ct.scale
+
+    def test_exact_scale_change(self, small_scheme, aligner, rng):
+        z = rng.normal(size=slots(small_scheme))
+        ct = small_scheme.encrypt(z)
+        target = ct.scale * 1.01  # an awkward non-prime-aligned scale
+        out = aligner.match(ct, target, ct.level_count - 1)
+        assert math.isclose(out.scale, target)
+        assert out.level_count == ct.level_count - 1
+        decoded = small_scheme.decrypt(out)
+        assert np.max(np.abs(decoded - z)) < 1e-3
+
+    def test_requires_spare_limb(self, small_scheme, aligner, rng):
+        ct = small_scheme.encrypt(rng.normal(size=slots(small_scheme)))
+        with pytest.raises(ValueError):
+            aligner.match(ct, ct.scale * 1.5, ct.level_count)
+
+
+class TestAlignedArithmetic:
+    def test_add_mismatched_scales(self, small_scheme, aligner, rng):
+        """The quickstart pattern: prod scale != fresh scale."""
+        ev = small_scheme.evaluator
+        n = slots(small_scheme)
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        prod = ev.rescale(ev.multiply(small_scheme.encrypt(x),
+                                      small_scheme.encrypt(y)))
+        total = aligner.add(prod, small_scheme.encrypt(x))
+        out = small_scheme.decrypt(total)
+        assert np.max(np.abs(out - (x * y + x))) < 2e-3
+
+    def test_sub_mismatched_scales(self, small_scheme, aligner, rng):
+        ev = small_scheme.evaluator
+        n = slots(small_scheme)
+        x = rng.normal(size=n)
+        sq = ev.rescale(ev.square(small_scheme.encrypt(x)))
+        diff = aligner.sub(sq, small_scheme.encrypt(x))
+        out = small_scheme.decrypt(diff)
+        assert np.max(np.abs(out - (x * x - x))) < 2e-3
+
+    def test_add_const(self, small_scheme, aligner, rng):
+        n = slots(small_scheme)
+        x = rng.normal(size=n)
+        out = small_scheme.decrypt(
+            aligner.add_const(small_scheme.encrypt(x), 2.5))
+        assert np.max(np.abs(out - (x + 2.5))) < 1e-3
+
+    def test_mul_const(self, small_scheme, aligner, rng):
+        n = slots(small_scheme)
+        x = rng.normal(size=n)
+        ct = small_scheme.encrypt(x)
+        out_ct = aligner.mul_const(ct, -1.5)
+        assert out_ct.level_count == ct.level_count - 1
+        assert math.isclose(out_ct.scale, ct.scale, rel_tol=1e-9)
+        out = small_scheme.decrypt(out_ct)
+        assert np.max(np.abs(out - (-1.5 * x))) < 1e-3
+
+    def test_mul_const_target_scale(self, small_scheme, aligner, rng):
+        n = slots(small_scheme)
+        x = rng.normal(size=n)
+        ct = small_scheme.encrypt(x)
+        target = ct.scale * 1.003
+        out = aligner.mul_const(ct, 2.0, target_scale=target)
+        assert out.scale == target
+        decoded = small_scheme.decrypt(out)
+        assert np.max(np.abs(decoded - 2 * x)) < 1e-3
+
+    def test_align_pair_same_level_different_scale(self, small_scheme,
+                                                   aligner, rng):
+        ev = small_scheme.evaluator
+        n = slots(small_scheme)
+        x = rng.normal(size=n)
+        a = ev.rescale(ev.square(small_scheme.encrypt(x)))
+        b = ev.mod_down_to(small_scheme.encrypt(x), a.level_count)
+        a2, b2 = aligner.align_pair(a, b)
+        assert a2.level_count == b2.level_count
+        assert math.isclose(a2.scale, b2.scale, rel_tol=1e-6)

@@ -1,0 +1,153 @@
+"""Tests for the BFV mini-scheme (§6: scheme-generic basic operations).
+
+BFV is exact, so every assertion here is equality — a sharp contrast
+with the approximate CKKS tests, and proof that the shared substrate
+(polynomials, NTT, hybrid key switching) is scheme-agnostic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fhe.bfv import BfvBatchEncoder, BfvParams, BfvScheme, _round_div
+
+T = 65537
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    return BfvScheme(BfvParams(ring_degree=32, num_limbs=4, dnum=2,
+                               seed=77), rotations=[1, 2])
+
+
+class TestBatchEncoder:
+    def test_roundtrip(self, rng):
+        enc = BfvBatchEncoder(64, T)
+        vals = rng.integers(0, T, 64)
+        assert np.array_equal(enc.decode(enc.encode(vals)), vals)
+
+    def test_partial_vector_zero_padded(self):
+        enc = BfvBatchEncoder(32, T)
+        out = enc.decode(enc.encode([5, 7]))
+        assert out[0] == 5 and out[1] == 7
+        assert np.all(out[2:] == 0)
+
+    def test_values_reduced_mod_t(self):
+        enc = BfvBatchEncoder(32, T)
+        out = enc.decode(enc.encode([T + 3, -1]))
+        assert out[0] == 3
+        assert out[1] == T - 1
+
+    def test_too_many_slots_rejected(self):
+        enc = BfvBatchEncoder(32, T)
+        with pytest.raises(ValueError):
+            enc.encode(list(range(33)))
+
+    def test_unfriendly_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            BfvBatchEncoder(32, 97)  # 97 - 1 not divisible by 64
+
+    def test_constant_poly_encodes_constant_slots(self):
+        enc = BfvBatchEncoder(32, T)
+        coeffs = np.zeros(32, dtype=np.int64)
+        coeffs[0] = 9
+        assert np.all(enc.decode(coeffs) == 9)
+
+
+class TestExactArithmetic:
+    def test_encrypt_decrypt(self, scheme, rng):
+        x = rng.integers(0, T, 32)
+        assert np.array_equal(scheme.decrypt(scheme.encrypt(x)), x)
+
+    def test_add(self, scheme, rng):
+        x = rng.integers(0, T, 32)
+        y = rng.integers(0, T, 32)
+        out = scheme.decrypt(scheme.add(scheme.encrypt(x),
+                                        scheme.encrypt(y)))
+        assert np.array_equal(out, (x + y) % T)
+
+    def test_sub(self, scheme, rng):
+        x = rng.integers(0, T, 32)
+        y = rng.integers(0, T, 32)
+        out = scheme.decrypt(scheme.sub(scheme.encrypt(x),
+                                        scheme.encrypt(y)))
+        assert np.array_equal(out, (x - y) % T)
+
+    def test_negate(self, scheme, rng):
+        x = rng.integers(0, T, 32)
+        out = scheme.decrypt(scheme.negate(scheme.encrypt(x)))
+        assert np.array_equal(out, (-x) % T)
+
+    def test_multiply(self, scheme, rng):
+        x = rng.integers(0, 1000, 32)
+        y = rng.integers(0, 1000, 32)
+        out = scheme.decrypt(scheme.multiply(scheme.encrypt(x),
+                                             scheme.encrypt(y)))
+        assert np.array_equal(out, (x * y) % T)
+
+    def test_multiply_wraps_mod_t(self, scheme):
+        x = np.full(32, T - 1)  # = -1 mod t
+        out = scheme.decrypt(scheme.multiply(scheme.encrypt(x),
+                                             scheme.encrypt(x)))
+        assert np.all(out == 1)  # (-1)^2 = 1 exactly
+
+    def test_depth_two(self, scheme, rng):
+        x = rng.integers(0, 50, 32)
+        ct = scheme.encrypt(x)
+        sq = scheme.multiply(ct, ct)
+        quad = scheme.multiply(sq, sq)
+        assert np.array_equal(scheme.decrypt(quad), x ** 4 % T)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_add_property(self, scheme, seed):
+        local = np.random.default_rng(seed)
+        x = local.integers(0, T, 32)
+        y = local.integers(0, T, 32)
+        out = scheme.decrypt(scheme.add(scheme.encrypt(x),
+                                        scheme.encrypt(y)))
+        assert np.array_equal(out, (x + y) % T)
+
+
+class TestRotations:
+    def test_rotate_rows(self, scheme, rng):
+        x = rng.integers(0, T, 32)
+        out = scheme.decrypt(scheme.rotate_rows(scheme.encrypt(x), 1))
+        expected = np.concatenate([np.roll(x[:16], -1),
+                                   np.roll(x[16:], -1)])
+        assert np.array_equal(out, expected)
+
+    def test_swap_rows(self, scheme, rng):
+        x = rng.integers(0, T, 32)
+        out = scheme.decrypt(scheme.swap_rows(scheme.encrypt(x)))
+        assert np.array_equal(out, np.concatenate([x[16:], x[:16]]))
+
+    def test_swap_involution(self, scheme, rng):
+        x = rng.integers(0, T, 32)
+        ct = scheme.swap_rows(scheme.swap_rows(scheme.encrypt(x)))
+        assert np.array_equal(scheme.decrypt(ct), x)
+
+    def test_on_demand_rotation_keys(self, scheme, rng):
+        scheme.add_rotation_keys([5])
+        x = rng.integers(0, T, 32)
+        out = scheme.decrypt(scheme.rotate_rows(scheme.encrypt(x), 5))
+        expected = np.concatenate([np.roll(x[:16], -5),
+                                   np.roll(x[16:], -5)])
+        assert np.array_equal(out, expected)
+
+
+class TestRoundDiv:
+    def test_positive(self):
+        assert _round_div(7, 2) == 4  # 3.5 rounds up
+        assert _round_div(6, 4) == 2  # 1.5 rounds up
+
+    def test_negative_symmetry(self):
+        assert _round_div(-7, 2) == -4
+        assert _round_div(-5, 2) == -3
+
+    @given(st.integers(min_value=-10**9, max_value=10**9),
+           st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=100, deadline=None)
+    def test_error_at_most_half(self, num, den):
+        got = _round_div(num, den)
+        assert abs(got * den - num) <= den / 2

@@ -1,0 +1,113 @@
+"""Unit tests for CKKS parameters and context."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext, CkksParams
+
+
+class TestParams:
+    def test_alpha_computation(self):
+        p = CkksParams(ring_degree=64, num_limbs=24, scale_bits=25, dnum=3)
+        assert p.alpha == 8
+        assert p.extension_limbs == 8
+
+    def test_alpha_with_remainder(self):
+        p = CkksParams(ring_degree=64, num_limbs=7, scale_bits=25, dnum=3)
+        assert p.alpha == 3
+
+    def test_paper_parameter_shape(self):
+        # The paper's Table 2 set: L = 23 (24 limbs), dnum = 3 -> alpha = 8.
+        p = CkksParams(ring_degree=64, num_limbs=24, scale_bits=25, dnum=3)
+        assert p.max_level == 23
+        assert p.alpha == 8
+
+    def test_invalid_dnum(self):
+        with pytest.raises(ValueError):
+            CkksParams(ring_degree=64, num_limbs=4, scale_bits=25, dnum=5)
+
+    def test_invalid_ring_degree(self):
+        with pytest.raises(ValueError):
+            CkksParams(ring_degree=48, num_limbs=4, scale_bits=25)
+
+    def test_slots_default(self):
+        p = CkksParams(ring_degree=64, num_limbs=4, scale_bits=25)
+        assert p.slots == 32
+
+    def test_slots_too_large(self):
+        with pytest.raises(ValueError):
+            CkksParams(ring_degree=64, num_limbs=4, scale_bits=25,
+                       num_slots=64)
+
+    def test_scale(self):
+        p = CkksParams(ring_degree=64, num_limbs=4, scale_bits=25)
+        assert p.scale == 2.0**25
+
+
+class TestContext:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return CkksContext(CkksParams(
+            ring_degree=64, num_limbs=6, scale_bits=24, dnum=2,
+            hamming_weight=8, seed=33))
+
+    def test_prime_chain_properties(self, ctx):
+        assert len(ctx.moduli) == 6
+        assert len(set(ctx.moduli)) == 6
+        for q in ctx.moduli:
+            assert q % 128 == 1
+        for q in ctx.moduli[1:]:
+            assert q.bit_length() == 24
+
+    def test_extension_primes_distinct(self, ctx):
+        overlap = set(ctx.moduli) & set(ctx.extension_moduli)
+        assert not overlap
+
+    def test_digit_indices_full(self, ctx):
+        digits = ctx.digit_indices(6)
+        assert digits == [[0, 1, 2], [3, 4, 5]]
+
+    def test_digit_indices_partial_level(self, ctx):
+        assert ctx.digit_indices(4) == [[0, 1, 2], [3]]
+        assert ctx.digit_indices(2) == [[0, 1]]
+
+    def test_log_pq(self, ctx):
+        expected = sum(math.log2(q) for q in ctx.moduli)
+        expected += sum(math.log2(p) for p in ctx.extension_moduli)
+        assert abs(ctx.log_pq() - expected) < 1e-9
+
+    def test_sample_uniform_in_range(self, ctx):
+        poly = ctx.sample_uniform(ctx.q_basis)
+        for i, q in enumerate(ctx.q_basis.primes):
+            assert poly.limbs[i].min() >= 0
+            assert poly.limbs[i].max() < q
+
+    def test_ternary_hamming_weight(self, ctx):
+        coeffs = ctx.sample_ternary_coeffs()
+        assert np.count_nonzero(coeffs) == 8
+        assert set(np.unique(coeffs)) <= {-1, 0, 1}
+
+    def test_error_magnitude(self, ctx):
+        errs = np.concatenate([ctx.sample_error_coeffs()
+                               for _ in range(50)])
+        assert np.abs(errs).max() < 8 * 3.2  # far tail cut-off
+        assert abs(float(np.std(errs)) - 3.2) < 0.5
+
+    def test_zo_density(self, ctx):
+        coeffs = np.concatenate([ctx.sample_zo_coeffs()
+                                 for _ in range(50)])
+        density = np.count_nonzero(coeffs) / coeffs.size
+        assert 0.4 < density < 0.6
+
+    def test_basis_at_level(self, ctx):
+        b = ctx.basis_at_level(3)
+        assert b.primes == tuple(ctx.moduli[:3])
+
+    def test_seed_reproducibility(self):
+        params = CkksParams(ring_degree=64, num_limbs=4, scale_bits=24,
+                            seed=77)
+        a = CkksContext(params).sample_ternary_coeffs()
+        b = CkksContext(params).sample_ternary_coeffs()
+        assert np.array_equal(a, b)

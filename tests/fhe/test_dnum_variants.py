@@ -1,0 +1,72 @@
+"""Key-switching across the dnum spectrum.
+
+dnum = 1 is GHS-style (one digit, huge P); dnum = num_limbs is
+SEAL-style (one prime per digit, alpha = 1).  The hybrid scheme must be
+correct at both extremes and everywhere between — this is the knob
+Figure 1 sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksParams, CkksScheme
+
+
+def build_scheme(dnum: int, num_limbs: int = 6) -> CkksScheme:
+    params = CkksParams(ring_degree=32, num_limbs=num_limbs,
+                        scale_bits=24, dnum=dnum, hamming_weight=4,
+                        first_prime_bits=28, seed=60 + dnum)
+    return CkksScheme(params, rotations=[1])
+
+
+class TestDnumSpectrum:
+    @pytest.mark.parametrize("dnum", [1, 2, 3, 6])
+    def test_multiply_correct(self, dnum, rng):
+        scheme = build_scheme(dnum)
+        n = 16
+        x, y = rng.normal(size=n), rng.normal(size=n)
+        ev = scheme.evaluator
+        out = scheme.decrypt(
+            ev.rescale(ev.multiply(scheme.encrypt(x), scheme.encrypt(y))))
+        assert np.max(np.abs(out - x * y)) < 2e-3
+
+    @pytest.mark.parametrize("dnum", [1, 3, 6])
+    def test_rotation_correct(self, dnum, rng):
+        scheme = build_scheme(dnum)
+        x = rng.normal(size=16)
+        out = scheme.decrypt(scheme.evaluator.rotate(scheme.encrypt(x), 1))
+        assert np.max(np.abs(out - np.roll(x, -1))) < 2e-3
+
+    @pytest.mark.parametrize("dnum", [1, 2, 6])
+    def test_alpha_relationship(self, dnum):
+        scheme = build_scheme(dnum)
+        params = scheme.params
+        assert params.alpha == -(-params.num_limbs // dnum)
+        # Relin key has exactly dnum digit pairs.
+        assert scheme.relin_key.dnum == dnum
+
+    def test_seal_style_alpha_one(self):
+        scheme = build_scheme(6)
+        assert scheme.params.alpha == 1
+        # With alpha = 1 each digit is a single prime: the decomposition
+        # is the classic per-prime RNS decomposition.
+        digits = scheme.context.digit_indices(6)
+        assert digits == [[0], [1], [2], [3], [4], [5]]
+
+    def test_ghs_style_single_digit(self):
+        scheme = build_scheme(1)
+        digits = scheme.context.digit_indices(6)
+        assert digits == [list(range(6))]
+        # P must cover the full modulus: as many extension limbs as Q.
+        assert scheme.params.extension_limbs == 6
+
+    @pytest.mark.parametrize("dnum", [2, 3])
+    def test_depth_chain_across_dnum(self, dnum, rng):
+        """Two sequential multiplies stay correct at partial digits."""
+        scheme = build_scheme(dnum, num_limbs=7)
+        x = rng.uniform(0.5, 1.2, 16)
+        ev = scheme.evaluator
+        ct = scheme.encrypt(x)
+        for _ in range(2):
+            ct = ev.rescale(ev.square(ct))
+        assert np.max(np.abs(scheme.decrypt(ct) - x ** 4)) < 5e-3

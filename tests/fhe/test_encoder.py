@@ -1,0 +1,119 @@
+"""Unit and property tests for the CKKS canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fhe.encoder import CkksEncoder, rotation_group_indices
+
+
+@pytest.fixture(scope="module")
+def encoder(small_scheme):
+    return small_scheme.encoder
+
+
+# conftest fixtures are function-scoped through small_scheme (session).
+
+
+class TestRotationGroup:
+    def test_powers_of_five(self):
+        idx = rotation_group_indices(16)
+        assert list(idx[:4]) == [1, 5, 25, 125 % 32]
+
+    def test_all_distinct(self):
+        idx = rotation_group_indices(64)
+        assert len(set(int(i) for i in idx)) == 32
+
+    def test_all_odd(self):
+        idx = rotation_group_indices(64)
+        assert all(i % 2 == 1 for i in idx)
+
+
+class TestEmbedProject:
+    def test_roundtrip(self, encoder, rng):
+        n = encoder.ring_degree // 2
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        back = encoder.project(encoder.embed(z))
+        assert np.max(np.abs(back - z)) < 1e-12
+
+    def test_embed_produces_real_coeffs(self, encoder, rng):
+        n = encoder.ring_degree // 2
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        coeffs = encoder.embed(z)
+        assert coeffs.dtype == np.float64
+        assert coeffs.shape == (encoder.ring_degree,)
+
+    def test_constant_vector_embeds_to_constant_poly(self, encoder):
+        n = encoder.ring_degree // 2
+        coeffs = encoder.embed(np.full(n, 2.5, dtype=np.complex128))
+        assert abs(coeffs[0] - 2.5) < 1e-12
+        assert np.max(np.abs(coeffs[1:])) < 1e-12
+
+    def test_linearity(self, encoder, rng):
+        n = encoder.ring_degree // 2
+        z1 = rng.normal(size=n)
+        z2 = rng.normal(size=n)
+        lhs = encoder.embed(z1 + z2)
+        rhs = encoder.embed(z1) + encoder.embed(z2)
+        assert np.max(np.abs(lhs - rhs)) < 1e-12
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_roundtrip_property(self, encoder, seed):
+        local = np.random.default_rng(seed)
+        n = encoder.ring_degree // 2
+        z = local.uniform(-10, 10, n) + 1j * local.uniform(-10, 10, n)
+        back = encoder.project(encoder.embed(z))
+        assert np.max(np.abs(back - z)) < 1e-10
+
+
+class TestEncodeDecode:
+    def test_full_roundtrip(self, encoder, rng):
+        n = encoder.ring_degree // 2
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        pt = encoder.encode(z)
+        out = encoder.decode(pt)
+        assert np.max(np.abs(out - z)) < 1e-6
+
+    def test_short_vector_zero_padded(self, encoder):
+        pt = encoder.encode([1.0, 2.0])
+        out = encoder.decode(pt)
+        assert abs(out[0] - 1.0) < 1e-6
+        assert abs(out[1] - 2.0) < 1e-6
+        assert np.max(np.abs(out[2:])) < 1e-6
+
+    def test_sparse_packing_replicates(self, encoder, rng):
+        z = rng.normal(size=4)
+        pt = encoder.encode(z, num_slots=4)
+        n_half = encoder.ring_degree // 2
+        full = encoder.project(
+            np.array(pt.poly.integer_coefficients(), dtype=np.float64))
+        full = full / pt.scale
+        expected = np.tile(z, n_half // 4)
+        assert np.max(np.abs(full - expected)) < 1e-6
+
+    def test_custom_scale(self, encoder):
+        pt = encoder.encode([1.5], scale=2.0**20)
+        assert pt.scale == 2.0**20
+        assert abs(encoder.decode(pt)[0] - 1.5) < 1e-4
+
+    def test_overflow_detected(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode([1e60])
+
+    def test_too_many_values_rejected(self, encoder):
+        n = encoder.ring_degree // 2
+        with pytest.raises(ValueError):
+            encoder.encode(np.ones(n + 1))
+
+    def test_non_power_of_two_slots_rejected(self, encoder):
+        with pytest.raises(ValueError):
+            encoder.encode([1.0], num_slots=3)
+
+    def test_exact_integer_coefficients(self, encoder):
+        # A constant integer message encodes to an exact constant coeff.
+        pt = encoder.encode(np.full(encoder.ring_degree // 2, 3.0),
+                            scale=2.0**10)
+        coeffs = encoder.decode_coefficients(pt)
+        assert coeffs[0] == 3 * 2**10
+        assert all(c == 0 for c in coeffs[1:])

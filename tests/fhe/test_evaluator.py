@@ -1,0 +1,247 @@
+"""Integration tests: encrypt -> homomorphic op -> decrypt round trips."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+TOL = 1e-3  # generous absolute tolerance at scale 2^25 and tiny N
+
+
+def slots(scheme):
+    return scheme.params.ring_degree // 2
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, small_scheme, rng):
+        z = rng.normal(size=slots(small_scheme))
+        out = small_scheme.decrypt(small_scheme.encrypt(z))
+        assert np.max(np.abs(out - z)) < TOL
+
+    def test_complex_roundtrip(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        out = small_scheme.decrypt(small_scheme.encrypt(z))
+        assert np.max(np.abs(out - z)) < TOL
+
+    def test_fresh_ciphertext_at_top_level(self, small_scheme):
+        ct = small_scheme.encrypt([1.0])
+        assert ct.level_count == small_scheme.params.num_limbs
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_roundtrip_property(self, small_scheme, seed):
+        local = np.random.default_rng(seed)
+        z = local.uniform(-5, 5, slots(small_scheme))
+        out = small_scheme.decrypt(small_scheme.encrypt(z))
+        assert np.max(np.abs(out - z)) < TOL
+
+
+class TestAddition:
+    def test_add(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z1, z2 = rng.normal(size=n), rng.normal(size=n)
+        ev = small_scheme.evaluator
+        out = small_scheme.decrypt(
+            ev.add(small_scheme.encrypt(z1), small_scheme.encrypt(z2)))
+        assert np.max(np.abs(out - (z1 + z2))) < TOL
+
+    def test_sub(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z1, z2 = rng.normal(size=n), rng.normal(size=n)
+        ev = small_scheme.evaluator
+        out = small_scheme.decrypt(
+            ev.sub(small_scheme.encrypt(z1), small_scheme.encrypt(z2)))
+        assert np.max(np.abs(out - (z1 - z2))) < TOL
+
+    def test_negate(self, small_scheme, rng):
+        z = rng.normal(size=slots(small_scheme))
+        ev = small_scheme.evaluator
+        out = small_scheme.decrypt(ev.negate(small_scheme.encrypt(z)))
+        assert np.max(np.abs(out + z)) < TOL
+
+    def test_add_plain(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z1, z2 = rng.normal(size=n), rng.normal(size=n)
+        pt = small_scheme.encoder.encode(z2)
+        out = small_scheme.decrypt(
+            small_scheme.evaluator.add_plain(small_scheme.encrypt(z1), pt))
+        assert np.max(np.abs(out - (z1 + z2))) < TOL
+
+    def test_add_mismatched_levels(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z1, z2 = rng.normal(size=n), rng.normal(size=n)
+        ev = small_scheme.evaluator
+        low = ev.mod_down_to(small_scheme.encrypt(z1), 2)
+        out = small_scheme.decrypt(ev.add(low, small_scheme.encrypt(z2)))
+        assert np.max(np.abs(out - (z1 + z2))) < TOL
+
+    def test_scale_mismatch_rejected(self, small_scheme):
+        ev = small_scheme.evaluator
+        a = small_scheme.encrypt([1.0])
+        b = small_scheme.encrypt([1.0], scale=2.0**20)
+        with pytest.raises(ValueError):
+            ev.add(a, b)
+
+
+class TestMultiplication:
+    def test_ct_ct_multiply(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z1, z2 = rng.normal(size=n), rng.normal(size=n)
+        ev = small_scheme.evaluator
+        prod = ev.rescale(ev.multiply(small_scheme.encrypt(z1),
+                                      small_scheme.encrypt(z2)))
+        out = small_scheme.decrypt(prod)
+        assert np.max(np.abs(out - z1 * z2)) < TOL
+
+    def test_square(self, small_scheme, rng):
+        z = rng.normal(size=slots(small_scheme))
+        ev = small_scheme.evaluator
+        out = small_scheme.decrypt(
+            ev.rescale(ev.square(small_scheme.encrypt(z))))
+        assert np.max(np.abs(out - z * z)) < TOL
+
+    def test_multiply_plain(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z1, z2 = rng.normal(size=n), rng.normal(size=n)
+        ev = small_scheme.evaluator
+        pt = small_scheme.encoder.encode(z2)
+        out = small_scheme.decrypt(
+            ev.rescale(ev.multiply_plain(small_scheme.encrypt(z1), pt)))
+        assert np.max(np.abs(out - z1 * z2)) < TOL
+
+    def test_multiply_scalar_int(self, small_scheme, rng):
+        z = rng.normal(size=slots(small_scheme))
+        ev = small_scheme.evaluator
+        out = small_scheme.decrypt(
+            ev.multiply_scalar_int(small_scheme.encrypt(z), 7))
+        assert np.max(np.abs(out - 7 * z)) < TOL
+
+    def test_multiplication_consumes_level(self, small_scheme, rng):
+        z = rng.normal(size=slots(small_scheme))
+        ev = small_scheme.evaluator
+        ct = small_scheme.encrypt(z)
+        prod = ev.rescale(ev.multiply(ct, ct))
+        assert prod.level_count == ct.level_count - 1
+
+    def test_depth_chain(self, deep_scheme, rng):
+        """Multiply to depth 4: z^16 via repeated squaring."""
+        z = rng.uniform(0.5, 1.1, slots(deep_scheme))
+        ev = deep_scheme.evaluator
+        ct = deep_scheme.encrypt(z)
+        expected = z.copy()
+        for _ in range(4):
+            ct = ev.rescale(ev.square(ct))
+            expected = expected * expected
+        out = deep_scheme.decrypt(ct)
+        assert np.max(np.abs(out - expected)) < 0.02
+
+    def test_requires_relin_key(self, small_scheme):
+        from repro.fhe.evaluator import Evaluator
+        bare = Evaluator(small_scheme.context)
+        ct = small_scheme.encrypt([1.0])
+        with pytest.raises(ValueError):
+            bare.multiply(ct, ct)
+
+
+class TestRescale:
+    def test_scale_tracking(self, small_scheme, rng):
+        z = rng.normal(size=slots(small_scheme))
+        ev = small_scheme.evaluator
+        ct = small_scheme.encrypt(z)
+        prod = ev.multiply(ct, ct)
+        q_last = prod.c0.basis.primes[-1]
+        rescaled = ev.rescale(prod)
+        assert math.isclose(rescaled.scale, prod.scale / q_last)
+
+    def test_rescale_bottom_rejected(self, small_scheme, rng):
+        ev = small_scheme.evaluator
+        ct = ev.mod_down_to(small_scheme.encrypt([1.0]), 1)
+        with pytest.raises(ValueError):
+            ev.rescale(ct)
+
+
+class TestRotation:
+    @pytest.mark.parametrize("steps", [1, 2, 3, 5, 8])
+    def test_rotate_left(self, small_scheme, rng, steps):
+        z = rng.normal(size=slots(small_scheme))
+        out = small_scheme.decrypt(
+            small_scheme.evaluator.rotate(small_scheme.encrypt(z), steps))
+        assert np.max(np.abs(out - np.roll(z, -steps))) < TOL
+
+    def test_rotate_zero_is_identity(self, small_scheme, rng):
+        z = rng.normal(size=slots(small_scheme))
+        out = small_scheme.decrypt(
+            small_scheme.evaluator.rotate(small_scheme.encrypt(z), 0))
+        assert np.max(np.abs(out - z)) < TOL
+
+    def test_rotate_composes(self, small_scheme, rng):
+        z = rng.normal(size=slots(small_scheme))
+        ev = small_scheme.evaluator
+        ct = ev.rotate(ev.rotate(small_scheme.encrypt(z), 1), 2)
+        out = small_scheme.decrypt(ct)
+        assert np.max(np.abs(out - np.roll(z, -3))) < 2 * TOL
+
+    def test_conjugate(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        out = small_scheme.decrypt(
+            small_scheme.evaluator.conjugate(small_scheme.encrypt(z)))
+        assert np.max(np.abs(out - np.conj(z))) < TOL
+
+    def test_missing_rotation_key(self, small_scheme):
+        ct = small_scheme.encrypt([1.0])
+        with pytest.raises(KeyError):
+            small_scheme.evaluator.rotate(ct, 7)  # no key for 7
+
+
+class TestMonomial:
+    def test_multiply_by_i(self, small_scheme, rng):
+        n = slots(small_scheme)
+        z = rng.normal(size=n) + 1j * rng.normal(size=n)
+        ev = small_scheme.evaluator
+        out = small_scheme.decrypt(ev.multiply_by_i(small_scheme.encrypt(z)))
+        assert np.max(np.abs(out - 1j * z)) < TOL
+
+    @pytest.mark.parametrize("power", [0, 1, 2, 3])
+    def test_i_powers(self, small_scheme, rng, power):
+        z = rng.normal(size=slots(small_scheme))
+        ev = small_scheme.evaluator
+        out = small_scheme.decrypt(
+            ev.multiply_by_i(small_scheme.encrypt(z), power=power))
+        assert np.max(np.abs(out - (1j ** power) * z)) < TOL
+
+    def test_exactness(self, small_scheme, rng):
+        """Four applications of x->i*x come back exactly (no added noise)."""
+        z = rng.normal(size=slots(small_scheme))
+        ev = small_scheme.evaluator
+        ct = small_scheme.encrypt(z)
+        rotated = ct
+        for _ in range(4):
+            rotated = ev.multiply_by_i(rotated)
+        assert np.array_equal(rotated.c0.limbs, ct.c0.limbs)
+        assert np.array_equal(rotated.c1.limbs, ct.c1.limbs)
+
+
+class TestSparsePacking:
+    def test_sparse_roundtrip(self, small_scheme, rng):
+        z = rng.normal(size=8)
+        ct = small_scheme.encrypt(z, num_slots=8)
+        out = small_scheme.decrypt(ct)
+        assert out.shape == (8,)
+        assert np.max(np.abs(out - z)) < TOL
+
+    def test_sparse_rotation(self, small_scheme, rng):
+        z = rng.normal(size=8)
+        ct = small_scheme.encrypt(z, num_slots=8)
+        out = small_scheme.decrypt(small_scheme.evaluator.rotate(ct, 1))
+        assert np.max(np.abs(out - np.roll(z, -1))) < TOL
+
+    def test_sparse_multiply(self, small_scheme, rng):
+        z1, z2 = rng.normal(size=8), rng.normal(size=8)
+        ev = small_scheme.evaluator
+        ct = ev.rescale(ev.multiply(small_scheme.encrypt(z1, num_slots=8),
+                                    small_scheme.encrypt(z2, num_slots=8)))
+        out = small_scheme.decrypt(ct)
+        assert np.max(np.abs(out - z1 * z2)) < TOL

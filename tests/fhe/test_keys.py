@@ -1,0 +1,118 @@
+"""Unit tests for key generation."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import (CkksContext, CkksParams, KeyGenerator,
+                       conjugation_element, galois_element_for_rotation)
+
+
+@pytest.fixture(scope="module")
+def keyed():
+    ctx = CkksContext(CkksParams(ring_degree=64, num_limbs=6, scale_bits=24,
+                                 dnum=2, hamming_weight=8, seed=55))
+    keygen = KeyGenerator(ctx)
+    secret = keygen.gen_secret_key()
+    return ctx, keygen, secret
+
+
+class TestSecretKey:
+    def test_ternary_structure(self, keyed):
+        _, _, secret = keyed
+        assert set(np.unique(secret.coeffs)) <= {-1, 0, 1}
+        assert np.count_nonzero(secret.coeffs) == 8
+
+    def test_poly_matches_coeffs(self, keyed):
+        ctx, _, secret = keyed
+        ints = secret.poly.integer_coefficients()
+        assert ints == [int(c) for c in secret.coeffs]
+
+    def test_restricted_consistency(self, keyed):
+        ctx, _, secret = keyed
+        sub = secret.restricted(ctx.q_basis)
+        assert sub.basis == ctx.q_basis
+        assert sub.integer_coefficients() == [int(c) for c in secret.coeffs]
+
+
+class TestPublicKey:
+    def test_decryption_identity(self, keyed):
+        """b + a*s must be small (it equals the key-generation error)."""
+        ctx, keygen, secret = keyed
+        pk = keygen.gen_public_key(secret)
+        s = secret.restricted(ctx.q_basis)
+        residual = pk.b + pk.a * s
+        coeffs = residual.integer_coefficients()
+        assert max(abs(c) for c in coeffs) < 8 * 3.2
+
+
+class TestSwitchingKey:
+    def test_digit_count(self, keyed):
+        _, keygen, secret = keyed
+        relin = keygen.gen_relin_key(secret)
+        assert relin.dnum == 2
+
+    def test_key_identity_per_digit(self, keyed):
+        """b_j + a_j*s = e_j + P*q_hat_j*s_src must hold limb-wise."""
+        ctx, keygen, secret = keyed
+        s_sq = secret.poly * secret.poly
+        relin = keygen.gen_switching_key(s_sq, secret, "s^2")
+        p_mod = ctx.p_modulus
+        q_full = ctx.q_basis.modulus
+        digits = ctx.digit_indices(len(ctx.q_basis))
+        for j, (b_j, a_j) in enumerate(relin.pairs):
+            digit_mod = 1
+            for idx in digits[j]:
+                digit_mod *= ctx.moduli[idx]
+            q_over_d = q_full // digit_mod
+            q_hat = q_over_d * pow(q_over_d % digit_mod, -1, digit_mod)
+            lhs = b_j + a_j * secret.poly
+            rhs = s_sq.scalar_multiply(
+                [(p_mod % prime) * (q_hat % prime) % prime
+                 for prime in ctx.full_basis.primes])
+            residual = (lhs - rhs).integer_coefficients()
+            assert max(abs(c) for c in residual) < 8 * 3.2
+
+    def test_size_accounting(self, keyed):
+        ctx, keygen, secret = keyed
+        relin = keygen.gen_relin_key(secret)
+        n = ctx.params.ring_degree
+        limbs = len(ctx.full_basis)
+        expected = 2 * relin.dnum * limbs * n * 8
+        assert relin.size_bytes() == expected
+        assert relin.compressed_size_bytes() == expected // 2
+
+
+class TestGaloisKeys:
+    def test_rotation_element(self):
+        assert galois_element_for_rotation(64, 0) == 1
+        assert galois_element_for_rotation(64, 1) == 5
+        assert galois_element_for_rotation(64, 2) == 25
+
+    def test_rotation_element_wraps(self):
+        n = 64
+        assert (galois_element_for_rotation(n, 5)
+                == galois_element_for_rotation(n, 5 + n // 2))
+
+    def test_negative_rotation(self):
+        n = 64
+        g = galois_element_for_rotation(n, -1)
+        # Rotating left by -1 == left by n/2 - 1.
+        assert g == pow(5, n // 2 - 1, 2 * n)
+
+    def test_conjugation_element(self):
+        assert conjugation_element(64) == 127
+
+    def test_keyset_generation(self, keyed):
+        _, keygen, secret = keyed
+        keys = keygen.gen_galois_keys(secret, rotations=[1, 2],
+                                      include_conjugate=True)
+        assert galois_element_for_rotation(64, 1) in keys
+        assert galois_element_for_rotation(64, 2) in keys
+        assert conjugation_element(64) in keys
+
+    def test_missing_key_raises(self, keyed):
+        _, keygen, secret = keyed
+        keys = keygen.gen_galois_keys(secret, rotations=[],
+                                      include_conjugate=False)
+        with pytest.raises(KeyError):
+            _ = keys[5]

@@ -1,0 +1,123 @@
+"""Unit tests for scalar modular arithmetic helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fhe.modmath import (bit_reverse, bit_reverse_permutation, centered,
+                               centered_list, crt_reconstruct,
+                               crt_reconstruct_centered, ilog2,
+                               is_power_of_two, modinv, modpow)
+
+
+class TestModPow:
+    def test_basic(self):
+        assert modpow(2, 10, 1000) == 24
+
+    def test_zero_exponent(self):
+        assert modpow(7, 0, 13) == 1
+
+    def test_negative_base(self):
+        assert modpow(-2, 3, 11) == (-8) % 11
+
+    def test_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            modpow(2, 3, 0)
+
+
+class TestModInv:
+    def test_small(self):
+        assert modinv(3, 7) == 5
+
+    def test_roundtrip(self):
+        q = 1000003
+        for v in (1, 2, 17, 999999):
+            assert v * modinv(v, q) % q == 1
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            modinv(0, 7)
+
+    def test_non_coprime_raises(self):
+        with pytest.raises(ValueError):
+            modinv(4, 8)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_inverse_property(self, v):
+        q = 2**31 - 1  # Mersenne prime
+        inv = modinv(v, q)
+        assert v * inv % q == 1
+
+
+class TestCentered:
+    def test_small_values_fixed(self):
+        assert centered(0, 7) == 0
+        assert centered(3, 7) == 3
+        assert centered(4, 7) == -3
+        assert centered(6, 7) == -1
+
+    def test_even_modulus(self):
+        # Range is [-q/2, q/2): the midpoint maps to -q/2.
+        assert centered(4, 8) == -4
+        assert centered(5, 8) == -3
+
+    def test_list(self):
+        assert centered_list([0, 6, 3], 7) == [0, -1, 3]
+
+    @given(st.integers(), st.integers(min_value=2, max_value=10**9))
+    def test_range_and_congruence(self, v, q):
+        c = centered(v, q)
+        assert -(q // 2) - 1 <= c < (q + 1) // 2
+        assert (c - v) % q == 0
+
+
+class TestBitReverse:
+    def test_three_bits(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+
+    def test_permutation_is_involution(self):
+        perm = bit_reverse_permutation(16)
+        assert sorted(perm) == list(range(16))
+        for i, p in enumerate(perm):
+            assert perm[p] == i
+
+    def test_non_power_of_two_raises(self):
+        with pytest.raises(ValueError):
+            bit_reverse_permutation(12)
+
+
+class TestPowerOfTwo:
+    def test_examples(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+        assert not is_power_of_two(-4)
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(65536) == 16
+        with pytest.raises(ValueError):
+            ilog2(3)
+
+
+class TestCrt:
+    def test_simple(self):
+        # x = 23 with moduli 5, 7 -> residues 3, 2
+        assert crt_reconstruct([3, 2], [5, 7]) == 23
+
+    def test_centered(self):
+        moduli = [5, 7]
+        x = -4
+        residues = [x % 5, x % 7]
+        assert crt_reconstruct_centered(residues, moduli) == -4
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            crt_reconstruct([1], [3, 5])
+
+    @given(st.integers(min_value=0, max_value=3 * 5 * 7 * 11 - 1))
+    def test_roundtrip_property(self, x):
+        moduli = [3, 5, 7, 11]
+        residues = [x % q for q in moduli]
+        assert crt_reconstruct(residues, moduli) == x

@@ -1,0 +1,199 @@
+"""Unit and property tests for RNS polynomials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fhe.poly import RnsPolynomial
+from repro.fhe.primes import generate_prime_chain
+from repro.fhe.rns import RnsBasis
+
+
+N = 32
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return RnsBasis(generate_prime_chain(3, 24, N, first_bits=26))
+
+
+def random_poly(basis, rng, ntt=False):
+    limbs = np.stack([rng.integers(0, q, N) for q in basis.primes])
+    return RnsPolynomial(N, basis, limbs, is_ntt=ntt)
+
+
+class TestConstruction:
+    def test_zeros(self, basis):
+        p = RnsPolynomial.zeros(N, basis)
+        assert np.all(p.limbs == 0)
+        assert p.is_ntt
+
+    def test_from_int_coeffs_consistent_residues(self, basis):
+        coeffs = [-5, 3, 10**9, 0] + [0] * (N - 4)
+        p = RnsPolynomial.from_int_coeffs(coeffs, N, basis)
+        for i, q in enumerate(basis.primes):
+            assert p.limbs[i, 0] == (-5) % q
+            assert p.limbs[i, 2] == (10**9) % q
+
+    def test_from_big_int_coeffs(self, basis):
+        big = basis.modulus - 1  # = -1 mod Q
+        coeffs = [big] + [0] * (N - 1)
+        p = RnsPolynomial.from_int_coeffs(coeffs, N, basis)
+        for i, q in enumerate(basis.primes):
+            assert p.limbs[i, 0] == q - 1
+
+    def test_shape_validation(self, basis):
+        with pytest.raises(ValueError):
+            RnsPolynomial(N, basis, np.zeros((2, N), dtype=np.int64), False)
+
+    def test_wrong_coeff_count(self, basis):
+        with pytest.raises(ValueError):
+            RnsPolynomial.from_int_coeffs([1, 2], N, basis)
+
+
+class TestRepresentation:
+    def test_ntt_roundtrip(self, basis, rng):
+        p = random_poly(basis, rng)
+        assert p.to_ntt().to_coeff() == p
+
+    def test_to_ntt_idempotent(self, basis, rng):
+        p = random_poly(basis, rng, ntt=True)
+        assert p.to_ntt() is p
+
+    def test_mul_requires_ntt(self, basis, rng):
+        a = random_poly(basis, rng)
+        b = random_poly(basis, rng)
+        with pytest.raises(ValueError):
+            _ = a * b
+
+
+class TestArithmetic:
+    def test_add_sub_roundtrip(self, basis, rng):
+        a = random_poly(basis, rng)
+        b = random_poly(basis, rng)
+        assert (a + b) - b == a
+
+    def test_neg(self, basis, rng):
+        a = random_poly(basis, rng)
+        z = a + (-a)
+        assert np.all(z.limbs == 0)
+
+    def test_mul_matches_integer_convolution(self, basis, rng):
+        # Multiply two small-coefficient polys; compare against exact
+        # integer negacyclic convolution via CRT reconstruction.
+        a_coeffs = rng.integers(-10, 10, N)
+        b_coeffs = rng.integers(-10, 10, N)
+        a = RnsPolynomial.from_int_coeffs(list(a_coeffs), N, basis).to_ntt()
+        b = RnsPolynomial.from_int_coeffs(list(b_coeffs), N, basis).to_ntt()
+        prod = (a * b).integer_coefficients()
+        expected = np.zeros(N, dtype=np.int64)
+        for i in range(N):
+            for j in range(N):
+                k = i + j
+                term = int(a_coeffs[i]) * int(b_coeffs[j])
+                if k >= N:
+                    expected[k - N] -= term
+                else:
+                    expected[k] += term
+        assert list(expected) == prod
+
+    def test_scalar_multiply_int(self, basis, rng):
+        a = random_poly(basis, rng)
+        doubled = a.scalar_multiply(2)
+        assert doubled == a + a
+
+    def test_scalar_multiply_per_limb(self, basis, rng):
+        a = random_poly(basis, rng)
+        scalars = [2, 3, 4]
+        out = a.scalar_multiply(scalars)
+        for i, (s, q) in enumerate(zip(scalars, basis.primes)):
+            assert np.array_equal(out.limbs[i], a.limbs[i] * s % q)
+
+    def test_incompatible_basis_rejected(self, basis, rng):
+        a = random_poly(basis, rng)
+        other = RnsBasis(basis.primes[:2])
+        b = RnsPolynomial.zeros(N, other, is_ntt=False)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_mixed_representation_rejected(self, basis, rng):
+        a = random_poly(basis, rng, ntt=True)
+        b = random_poly(basis, rng, ntt=False)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+
+class TestStructure:
+    def test_drop_last_limbs(self, basis, rng):
+        a = random_poly(basis, rng)
+        dropped = a.drop_last_limbs(1)
+        assert len(dropped.basis) == 2
+        assert np.array_equal(dropped.limbs, a.limbs[:2])
+
+    def test_keep_limbs(self, basis, rng):
+        a = random_poly(basis, rng)
+        kept = a.keep_limbs([0, 2])
+        assert kept.basis.primes == (basis.primes[0], basis.primes[2])
+        assert np.array_equal(kept.limbs[1], a.limbs[2])
+
+    def test_drop_all_rejected(self, basis, rng):
+        a = random_poly(basis, rng)
+        with pytest.raises(ValueError):
+            a.drop_last_limbs(3)
+
+
+class TestAutomorphism:
+    def test_identity_element(self, basis, rng):
+        a = random_poly(basis, rng)
+        assert a.automorphism(1) == a
+
+    def test_even_element_rejected(self, basis, rng):
+        a = random_poly(basis, rng)
+        with pytest.raises(ValueError):
+            a.automorphism(2)
+
+    def test_composition(self, basis, rng):
+        a = random_poly(basis, rng)
+        g1, g2 = 5, 13
+        composed = a.automorphism(g1).automorphism(g2)
+        direct = a.automorphism(g1 * g2 % (2 * N))
+        assert composed == direct
+
+    def test_explicit_small_case(self, basis):
+        # p(x) = x with g = 3 -> x^3.
+        coeffs = [0, 1] + [0] * (N - 2)
+        p = RnsPolynomial.from_int_coeffs(coeffs, N, basis)
+        out = p.automorphism(3)
+        expected = [0] * N
+        expected[3] = 1
+        assert out.integer_coefficients() == expected
+
+    def test_wraparound_sign(self, basis):
+        # p(x) = x^(N-1), g = 3: exponent 3(N-1) = 3N - 3 == x^{N-3} * (x^N)^2
+        # = x^{N-3} (two wraps cancel sign) ... compute exactly:
+        coeffs = [0] * N
+        coeffs[N - 1] = 1
+        p = RnsPolynomial.from_int_coeffs(coeffs, N, basis)
+        out = p.automorphism(3)
+        e = 3 * (N - 1) % (2 * N)
+        expected = [0] * N
+        if e >= N:
+            expected[e - N] = -1
+        else:
+            expected[e] = 1
+        assert out.integer_coefficients() == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 * N - 1))
+    def test_bijective_property(self, basis, g_raw):
+        g = g_raw | 1  # force odd
+        rng_local = np.random.default_rng(g)
+        limbs = np.stack(
+            [rng_local.integers(0, q, N) for q in basis.primes])
+        a = RnsPolynomial(N, basis, limbs, is_ntt=False)
+        image = a.automorphism(g)
+        # Automorphisms preserve the multiset of |coefficients| per limb.
+        for i, q in enumerate(basis.primes):
+            orig = np.minimum(a.limbs[i], q - a.limbs[i])
+            mapped = np.minimum(image.limbs[i], q - image.limbs[i])
+            assert sorted(orig) == sorted(mapped)

@@ -1,0 +1,92 @@
+"""Unit tests for NTT-friendly prime generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fhe.modmath import modpow
+from repro.fhe.primes import (find_ntt_prime, find_primitive_root,
+                              generate_prime_chain, is_prime,
+                              primitive_root_of_unity)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 91, 561, 1105):  # includes Carmichael numbers
+            assert not is_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_prime(2**31 - 1)
+        assert is_prime((1 << 54) - 33)
+
+    def test_large_composite(self):
+        assert not is_prime((2**31 - 1) * (2**13 - 1))
+
+
+class TestFindNttPrime:
+    def test_congruence(self):
+        n = 1024
+        q = find_ntt_prime(28, n)
+        assert is_prime(q)
+        assert q % (2 * n) == 1
+        assert q < (1 << 28)
+
+    def test_avoid(self):
+        n = 64
+        q1 = find_ntt_prime(25, n)
+        q2 = find_ntt_prime(25, n, avoid=[q1])
+        assert q1 != q2
+
+    def test_below(self):
+        n = 64
+        q1 = find_ntt_prime(25, n)
+        q2 = find_ntt_prime(25, n, below=q1)
+        assert q2 < q1
+
+    def test_chain_distinct_and_friendly(self):
+        n = 256
+        chain = generate_prime_chain(6, 25, n, first_bits=29)
+        assert len(set(chain)) == 6
+        assert chain[0].bit_length() == 29
+        for q in chain:
+            assert q % (2 * n) == 1
+        for q in chain[1:]:
+            assert q.bit_length() == 25
+
+    def test_empty_chain(self):
+        assert generate_prime_chain(0, 25, 64) == []
+
+
+class TestRoots:
+    def test_primitive_root_order(self):
+        q = find_ntt_prime(20, 64)
+        g = find_primitive_root(q)
+        # g generates: g^((q-1)/f) != 1 for any prime factor f.
+        assert modpow(g, q - 1, q) == 1
+        assert modpow(g, (q - 1) // 2, q) == q - 1
+
+    def test_root_of_unity_properties(self):
+        n = 128
+        q = find_ntt_prime(24, n)
+        psi = primitive_root_of_unity(2 * n, q)
+        assert modpow(psi, 2 * n, q) == 1
+        assert modpow(psi, n, q) == q - 1  # psi^N = -1 (negacyclic)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            primitive_root_of_unity(64, 23)  # 64 does not divide 22
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.sampled_from([16, 32, 64, 128]))
+    def test_roots_for_various_degrees(self, n):
+        q = find_ntt_prime(22, n)
+        psi = primitive_root_of_unity(2 * n, q)
+        seen = set()
+        acc = 1
+        for _ in range(2 * n):
+            seen.add(acc)
+            acc = acc * psi % q
+        assert len(seen) == 2 * n  # truly primitive

@@ -1,0 +1,156 @@
+"""Hypothesis property tests: scheme-level homomorphism invariants.
+
+Each property runs against the shared small scheme with randomized
+messages; tolerances reflect the toy scale (2^25) noise floor.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+TOL = 2e-3
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def vecs(seed, n, lo=-4.0, hi=4.0):
+    return np.random.default_rng(seed).uniform(lo, hi, n)
+
+
+class TestAdditiveHomomorphism:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, seeds)
+    def test_add_commutes_with_plaintext_add(self, small_scheme, s1, s2):
+        n = small_scheme.params.ring_degree // 2
+        x, y = vecs(s1, n), vecs(s2, n)
+        ev = small_scheme.evaluator
+        out = small_scheme.decrypt(
+            ev.add(small_scheme.encrypt(x), small_scheme.encrypt(y)))
+        assert np.max(np.abs(out - (x + y))) < TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_add_negation_cancels(self, small_scheme, s1):
+        n = small_scheme.params.ring_degree // 2
+        x = vecs(s1, n)
+        ev = small_scheme.evaluator
+        ct = small_scheme.encrypt(x)
+        out = small_scheme.decrypt(ev.add(ct, ev.negate(ct)))
+        assert np.max(np.abs(out)) < TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds, seeds, seeds)
+    def test_add_associative(self, small_scheme, s1, s2, s3):
+        n = small_scheme.params.ring_degree // 2
+        x, y, z = vecs(s1, n), vecs(s2, n), vecs(s3, n)
+        ev = small_scheme.evaluator
+        cts = [small_scheme.encrypt(v) for v in (x, y, z)]
+        left = ev.add(ev.add(cts[0], cts[1]), cts[2])
+        right = ev.add(cts[0], ev.add(cts[1], cts[2]))
+        assert np.max(np.abs(small_scheme.decrypt(left)
+                             - small_scheme.decrypt(right))) < TOL
+
+
+class TestMultiplicativeHomomorphism:
+    @settings(max_examples=10, deadline=None)
+    @given(seeds, seeds)
+    def test_mult_commutative(self, small_scheme, s1, s2):
+        n = small_scheme.params.ring_degree // 2
+        x, y = vecs(s1, n, -2, 2), vecs(s2, n, -2, 2)
+        ev = small_scheme.evaluator
+        a, b = small_scheme.encrypt(x), small_scheme.encrypt(y)
+        ab = small_scheme.decrypt(ev.rescale(ev.multiply(a, b)))
+        ba = small_scheme.decrypt(ev.rescale(ev.multiply(b, a)))
+        assert np.max(np.abs(ab - ba)) < TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_square_equals_self_multiply(self, small_scheme, s1):
+        n = small_scheme.params.ring_degree // 2
+        x = vecs(s1, n, -2, 2)
+        ev = small_scheme.evaluator
+        ct = small_scheme.encrypt(x)
+        sq = small_scheme.decrypt(ev.rescale(ev.square(ct)))
+        mm = small_scheme.decrypt(ev.rescale(ev.multiply(ct, ct)))
+        assert np.max(np.abs(sq - mm)) < TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds, seeds)
+    def test_plain_mult_matches_ct_mult(self, small_scheme, s1, s2):
+        n = small_scheme.params.ring_degree // 2
+        x, y = vecs(s1, n, -2, 2), vecs(s2, n, -2, 2)
+        ev = small_scheme.evaluator
+        ct = small_scheme.encrypt(x)
+        via_pt = small_scheme.decrypt(ev.rescale(
+            ev.multiply_plain(ct, small_scheme.encoder.encode(y))))
+        assert np.max(np.abs(via_pt - x * y)) < TOL
+
+
+class TestRotationGroup:
+    @settings(max_examples=10, deadline=None)
+    @given(seeds, st.sampled_from([1, 2, 3]))
+    def test_rotation_inverse(self, small_scheme, s1, k):
+        """rotate(k) then rotate(n/2 - k) is the identity."""
+        n = small_scheme.params.ring_degree // 2
+        x = vecs(s1, n)
+        ev = small_scheme.evaluator
+        small_scheme.add_rotation_keys([k, n - k])
+        ct = ev.rotate(ev.rotate(small_scheme.encrypt(x), k), n - k)
+        assert np.max(np.abs(small_scheme.decrypt(ct) - x)) < 2 * TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_conjugate_involution(self, small_scheme, s1):
+        n = small_scheme.params.ring_degree // 2
+        rng_local = np.random.default_rng(s1)
+        z = rng_local.normal(size=n) + 1j * rng_local.normal(size=n)
+        ev = small_scheme.evaluator
+        ct = ev.conjugate(ev.conjugate(small_scheme.encrypt(z)))
+        assert np.max(np.abs(small_scheme.decrypt(ct) - z)) < 2 * TOL
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_rotation_preserves_sum(self, small_scheme, s1):
+        n = small_scheme.params.ring_degree // 2
+        x = vecs(s1, n)
+        ev = small_scheme.evaluator
+        rotated = small_scheme.decrypt(
+            ev.rotate(small_scheme.encrypt(x), 2))
+        assert abs(np.sum(np.real(rotated)) - np.sum(x)) < n * TOL
+
+
+class TestLevelInvariants:
+    @settings(max_examples=10, deadline=None)
+    @given(seeds, st.integers(min_value=2, max_value=4))
+    def test_mod_down_preserves_message(self, small_scheme, s1, limbs):
+        n = small_scheme.params.ring_degree // 2
+        x = vecs(s1, n)
+        ev = small_scheme.evaluator
+        ct = ev.mod_down_to(small_scheme.encrypt(x), limbs)
+        assert ct.level_count == limbs
+        assert np.max(np.abs(small_scheme.decrypt(ct) - x)) < TOL
+
+    @settings(max_examples=8, deadline=None)
+    @given(seeds)
+    def test_rescale_preserves_value_semantics(self, small_scheme, s1):
+        n = small_scheme.params.ring_degree // 2
+        x = vecs(s1, n, -2, 2)
+        ev = small_scheme.evaluator
+        prod = ev.multiply(small_scheme.encrypt(x), small_scheme.encrypt(x))
+        before = small_scheme.decrypt(prod)
+        after = small_scheme.decrypt(ev.rescale(prod))
+        assert np.max(np.abs(before - after)) < TOL
+
+
+class TestMatvecRoutine:
+    def test_matvec_matches_numpy(self, small_scheme, rng):
+        from repro.fhe import HomomorphicRoutines
+        routines = HomomorphicRoutines(small_scheme.evaluator,
+                                       small_scheme.encoder)
+        n = small_scheme.params.ring_degree // 2
+        m = rng.normal(size=(n, n))
+        small_scheme.add_rotation_keys(routines.matvec_rotations(m, n))
+        x = rng.normal(size=n)
+        out = small_scheme.decrypt(
+            routines.matvec(m, small_scheme.encrypt(x)))
+        assert np.max(np.abs(out - m @ x)) < 5e-3

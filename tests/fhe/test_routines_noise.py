@@ -1,0 +1,189 @@
+"""Tests for high-level homomorphic routines and the noise estimator."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import (CkksParams, CkksScheme, HomomorphicRoutines,
+                       NoiseEstimator, measure_noise_bits)
+from repro.fhe.routines import rotation_steps_for_sum
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    params = CkksParams(ring_degree=64, num_limbs=7, scale_bits=25,
+                        dnum=2, hamming_weight=8, first_prime_bits=30,
+                        seed=3)
+    return CkksScheme(params, rotations=[1, 2, 4, 8, 16])
+
+
+@pytest.fixture(scope="module")
+def routines(scheme):
+    return HomomorphicRoutines(scheme.evaluator, scheme.encoder)
+
+
+class TestReductions:
+    def test_sum_slots(self, scheme, routines, rng):
+        x = rng.normal(size=32)
+        out = scheme.decrypt(routines.sum_slots(scheme.encrypt(x)))
+        assert np.max(np.abs(out - x.sum())) < 1e-3
+
+    def test_sum_replicated_everywhere(self, scheme, routines, rng):
+        x = rng.normal(size=32)
+        out = scheme.decrypt(routines.sum_slots(scheme.encrypt(x)))
+        assert np.std(np.real(out)) < 1e-3  # all slots equal
+
+    def test_mean(self, scheme, routines, rng):
+        x = rng.normal(size=32)
+        out = scheme.decrypt(routines.mean_slots(scheme.encrypt(x)))
+        assert np.max(np.abs(out - x.mean())) < 1e-3
+
+    def test_inner_product(self, scheme, routines, rng):
+        x, y = rng.normal(size=32), rng.normal(size=32)
+        out = scheme.decrypt(routines.inner_product(
+            scheme.encrypt(x), scheme.encrypt(y)))
+        assert np.max(np.abs(out - x @ y)) < 2e-3
+
+    def test_squared_norm(self, scheme, routines, rng):
+        x = rng.normal(size=32)
+        out = scheme.decrypt(routines.squared_norm(scheme.encrypt(x)))
+        assert np.max(np.abs(out - x @ x)) < 2e-3
+
+    def test_variance(self, scheme, routines, rng):
+        x = rng.normal(size=32)
+        out = scheme.decrypt(routines.variance_slots(scheme.encrypt(x)))
+        assert np.max(np.abs(out - x.var())) < 2e-3
+
+    def test_rotation_steps(self):
+        assert rotation_steps_for_sum(32) == [1, 2, 4, 8, 16]
+        assert rotation_steps_for_sum(1) == []
+
+
+class TestPolynomial:
+    def test_cubic(self, scheme, routines, rng):
+        z = rng.uniform(-1, 1, 32)
+        out = scheme.decrypt(routines.evaluate_polynomial(
+            scheme.encrypt(z), [0.5, -1.0, 0.25, 2.0]))
+        ref = 0.5 - z + 0.25 * z ** 2 + 2 * z ** 3
+        assert np.max(np.abs(out - ref)) < 1e-3
+
+    def test_constant(self, scheme, routines, rng):
+        z = rng.uniform(-1, 1, 32)
+        out = scheme.decrypt(routines.evaluate_polynomial(
+            scheme.encrypt(z), [0.75]))
+        assert np.max(np.abs(out - 0.75)) < 1e-3
+
+    def test_identity(self, scheme, routines, rng):
+        z = rng.uniform(-1, 1, 32)
+        out = scheme.decrypt(routines.evaluate_polynomial(
+            scheme.encrypt(z), [0.0, 1.0]))
+        assert np.max(np.abs(out - z)) < 1e-3
+
+    def test_degree_seven(self, scheme, routines, rng):
+        z = rng.uniform(-1, 1, 32)
+        coeffs = [0.1, 0.2, -0.3, 0.0, 0.5, 0.0, 0.0, -0.25]
+        out = scheme.decrypt(routines.evaluate_polynomial(
+            scheme.encrypt(z), coeffs))
+        ref = sum(c * z ** j for j, c in enumerate(coeffs))
+        assert np.max(np.abs(out - ref)) < 2e-3
+
+    def test_trailing_zeros_trimmed(self, scheme, routines, rng):
+        z = rng.uniform(-1, 1, 32)
+        a = routines.evaluate_polynomial(scheme.encrypt(z),
+                                         [1.0, 2.0, 0.0, 0.0])
+        # Degree is effectively 1: consumes a single level.
+        assert a.level_count >= scheme.params.num_limbs - 1
+
+
+class TestComplexParts:
+    def test_real_part(self, scheme, routines, rng):
+        z = rng.normal(size=32) + 1j * rng.normal(size=32)
+        out = scheme.decrypt(routines.real_part(scheme.encrypt(z)))
+        assert np.max(np.abs(out - z.real)) < 1e-3
+
+    def test_imag_part(self, scheme, routines, rng):
+        z = rng.normal(size=32) + 1j * rng.normal(size=32)
+        out = scheme.decrypt(routines.imag_part(scheme.encrypt(z)))
+        assert np.max(np.abs(out - z.imag)) < 1e-3
+
+
+class TestHoistedRotations:
+    def test_matches_individual_rotations(self, scheme, rng):
+        x = rng.normal(size=32)
+        ct = scheme.encrypt(x)
+        hoisted = scheme.evaluator.rotate_hoisted(ct, [1, 2, 4])
+        for step, out in hoisted.items():
+            individual = scheme.decrypt(scheme.evaluator.rotate(ct, step))
+            assert np.max(np.abs(scheme.decrypt(out) - individual)) < 1e-3
+
+    def test_zero_step_is_copy(self, scheme, rng):
+        x = rng.normal(size=32)
+        ct = scheme.encrypt(x)
+        out = scheme.evaluator.rotate_hoisted(ct, [0])
+        assert np.array_equal(out[0].c0.limbs, ct.c0.limbs)
+
+    def test_decrypts_to_rolled_message(self, scheme, rng):
+        x = rng.normal(size=32)
+        ct = scheme.encrypt(x)
+        out = scheme.evaluator.rotate_hoisted(ct, [2, 4])
+        for step, rotated in out.items():
+            assert np.max(np.abs(scheme.decrypt(rotated)
+                                 - np.roll(x, -step))) < 1e-3
+
+
+class TestNoiseEstimator:
+    @pytest.fixture(scope="class")
+    def estimator(self, scheme):
+        return NoiseEstimator(scheme.context)
+
+    def test_fresh_precision_positive(self, estimator):
+        assert estimator.fresh().precision_bits > 10
+
+    def test_multiply_grows_noise(self, estimator):
+        fresh = estimator.fresh()
+        prod = estimator.multiply(fresh, fresh)
+        assert prod.noise_bits > fresh.noise_bits
+
+    def test_rescale_reduces_noise(self, estimator):
+        fresh = estimator.fresh()
+        prod = estimator.multiply(fresh, fresh)
+        rescaled = estimator.rescale(prod)
+        assert rescaled.noise_bits < prod.noise_bits
+        assert rescaled.scale_bits < prod.scale_bits
+
+    def test_add_requires_matching_scales(self, estimator):
+        from repro.fhe.noise import NoiseBudget
+        with pytest.raises(ValueError):
+            estimator.add(NoiseBudget(5, 20), NoiseBudget(5, 30))
+
+    def test_depth_supported_near_limb_budget(self, estimator, scheme):
+        depth = estimator.depth_supported()
+        assert 1 <= depth <= scheme.params.num_limbs - 1
+
+    def test_estimate_dominates_measurement(self, scheme, estimator, rng):
+        """The a-priori bound must not be wildly below reality."""
+        from repro.fhe.noise import measure_noise_bits
+        x = rng.normal(size=32)
+        ct = scheme.encrypt(x)
+        measured = measure_noise_bits(ct, x, scheme.decryptor,
+                                      scheme.encoder)
+        predicted = estimator.fresh().noise_bits
+        assert predicted >= measured - 2  # allow slack, not underestimate
+
+
+class TestMeasurement:
+    def test_fresh_noise_small(self, scheme, rng):
+        x = rng.normal(size=32)
+        ct = scheme.encrypt(x)
+        bits = measure_noise_bits(ct, x, scheme.decryptor, scheme.encoder)
+        assert bits < scheme.params.scale_bits - 8
+
+    def test_noise_grows_through_circuit(self, scheme, rng):
+        ev = scheme.evaluator
+        x = rng.normal(size=32)
+        ct = scheme.encrypt(x)
+        fresh_bits = measure_noise_bits(ct, x, scheme.decryptor,
+                                        scheme.encoder)
+        rotated = ev.rotate(ev.rotate(ct, 1), 2)
+        rot_bits = measure_noise_bits(rotated, np.roll(x, -3),
+                                      scheme.decryptor, scheme.encoder)
+        assert rot_bits > fresh_bits - 1

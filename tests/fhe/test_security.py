@@ -1,0 +1,64 @@
+"""Tests for the LWE security lookup (paper §2.2 parameter selection)."""
+
+import pytest
+
+from repro.fhe.security import (is_secure, max_log_q, minimum_ring_degree,
+                                security_level)
+
+
+class TestMaxLogQ:
+    def test_standard_values(self):
+        assert max_log_q(16384, 128) == 438
+        assert max_log_q(32768, 128) == 881
+
+    def test_paper_parameter_point(self):
+        """The paper: N = 2^16, log(PQ) = 1728 achieves 128-bit security."""
+        assert max_log_q(65536, 128) >= 1728
+
+    def test_higher_security_shrinks_budget(self):
+        for n in (4096, 16384, 65536):
+            assert max_log_q(n, 128) > max_log_q(n, 192) > max_log_q(n, 256)
+
+    def test_tiny_ring_has_no_budget(self):
+        assert max_log_q(64, 128) == 0
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            max_log_q(16384, 100)
+
+    def test_extrapolation_above_table(self):
+        assert max_log_q(1 << 18, 128) == 2 * max_log_q(1 << 17, 128)
+
+
+class TestIsSecure:
+    def test_paper_set_secure(self):
+        assert is_secure(65536, 1728, 128)
+
+    def test_overfull_modulus_insecure(self):
+        assert not is_secure(65536, 1800, 128)
+
+    def test_heax_parameter_point(self):
+        """HEAX-comparison set: N = 2^14, log Q = 438 (Table 6)."""
+        assert is_secure(16384, 438, 128)
+
+
+class TestSecurityLevel:
+    def test_scales_inversely_with_modulus(self):
+        assert security_level(65536, 900) > security_level(65536, 1800)
+
+    def test_about_128_at_budget(self):
+        level = security_level(65536, 1761)
+        assert 120 <= level <= 136
+
+    def test_invalid_logq(self):
+        with pytest.raises(ValueError):
+            security_level(65536, 0)
+
+
+class TestMinimumRingDegree:
+    def test_known_points(self):
+        assert minimum_ring_degree(438, 128) == 16384
+        assert minimum_ring_degree(439, 128) == 32768
+
+    def test_paper_modulus_needs_n16(self):
+        assert minimum_ring_degree(1728, 128) == 65536

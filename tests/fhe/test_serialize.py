@@ -1,0 +1,102 @@
+"""Tests for serialization and seed-compressed switching keys."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import CkksContext, CkksParams, CkksScheme, KeyGenerator
+from repro.fhe.keyswitch import KeySwitcher
+from repro.fhe.serialize import (deserialize_ciphertext,
+                                 deserialize_switching_key,
+                                 generate_compressed_switching_key,
+                                 regenerate_uniform, serialize_ciphertext,
+                                 serialize_switching_key)
+
+
+class TestCiphertextRoundtrip:
+    def test_roundtrip_preserves_everything(self, small_scheme, rng):
+        z = rng.normal(size=32)
+        ct = small_scheme.encrypt(z)
+        back = deserialize_ciphertext(serialize_ciphertext(ct))
+        assert back.scale == ct.scale
+        assert back.num_slots == ct.num_slots
+        assert np.array_equal(back.c0.limbs, ct.c0.limbs)
+        assert np.array_equal(back.c1.limbs, ct.c1.limbs)
+        assert np.max(np.abs(small_scheme.decrypt(back) - z)) < 1e-3
+
+    def test_roundtrip_after_operations(self, small_scheme, rng):
+        z = rng.normal(size=32)
+        ev = small_scheme.evaluator
+        ct = ev.rescale(ev.square(small_scheme.encrypt(z)))
+        back = deserialize_ciphertext(serialize_ciphertext(ct))
+        assert np.max(np.abs(small_scheme.decrypt(back) - z * z)) < 1e-3
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(b"XXXX" + b"\0" * 64)
+
+
+@pytest.fixture(scope="module")
+def compressed_setup():
+    ctx = CkksContext(CkksParams(ring_degree=64, num_limbs=6,
+                                 scale_bits=24, dnum=2, hamming_weight=8,
+                                 seed=55))
+    keygen = KeyGenerator(ctx)
+    secret = keygen.gen_secret_key()
+    s_sq = secret.poly * secret.poly
+    key = generate_compressed_switching_key(ctx, secret, s_sq,
+                                            seed=0xFAB, tag="s^2")
+    return ctx, secret, s_sq, key
+
+
+class TestSeedCompression:
+    def test_regenerate_deterministic(self, compressed_setup):
+        ctx, *_ = compressed_setup
+        a1 = regenerate_uniform(7, 0, ctx.full_basis, 64)
+        a2 = regenerate_uniform(7, 0, ctx.full_basis, 64)
+        assert np.array_equal(a1.limbs, a2.limbs)
+        a3 = regenerate_uniform(7, 1, ctx.full_basis, 64)
+        assert not np.array_equal(a1.limbs, a3.limbs)
+
+    def test_compressed_key_is_valid(self, compressed_setup):
+        """A seeded key must key-switch correctly."""
+        ctx, secret, s_sq, key = compressed_setup
+        switcher = KeySwitcher(ctx)
+        d = ctx.sample_uniform(ctx.q_basis)
+        u0, u1 = switcher.switch(d, key)
+        s_q = secret.restricted(ctx.q_basis)
+        s_sq_q = s_sq.keep_limbs(range(len(ctx.q_basis)))
+        residual = ((u0 + u1 * s_q) - d * s_sq_q).integer_coefficients()
+        assert max(abs(c) for c in residual) < 2**16
+
+    def test_compressed_wire_roundtrip(self, compressed_setup):
+        _, _, _, key = compressed_setup
+        data = serialize_switching_key(key, compressed=True)
+        back = deserialize_switching_key(data)
+        assert back.dnum == key.dnum
+        assert back.source_tag == key.source_tag
+        for (b1, a1), (b2, a2) in zip(key.pairs, back.pairs):
+            assert np.array_equal(b1.limbs, b2.limbs)
+            assert np.array_equal(a1.limbs, a2.limbs)
+
+    def test_compression_roughly_halves_bytes(self, compressed_setup):
+        """The Fig. 1 claim, realized on the wire."""
+        _, _, _, key = compressed_setup
+        small = len(serialize_switching_key(key, compressed=True))
+        full = len(serialize_switching_key(key, compressed=False))
+        assert small < 0.6 * full
+
+    def test_uncompressed_roundtrip(self, compressed_setup):
+        _, _, _, key = compressed_setup
+        back = deserialize_switching_key(
+            serialize_switching_key(key, compressed=False))
+        for (b1, a1), (b2, a2) in zip(key.pairs, back.pairs):
+            assert np.array_equal(a1.limbs, a2.limbs)
+
+    def test_unseeded_key_cannot_compress(self):
+        ctx = CkksContext(CkksParams(ring_degree=64, num_limbs=4,
+                                     scale_bits=24, seed=9))
+        keygen = KeyGenerator(ctx)
+        secret = keygen.gen_secret_key()
+        key = keygen.gen_relin_key(secret)
+        with pytest.raises(ValueError):
+            serialize_switching_key(key, compressed=True)

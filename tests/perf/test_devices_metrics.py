@@ -1,0 +1,144 @@
+"""Tests for baseline device models, metrics, and key-size accounting."""
+
+import math
+
+import pytest
+
+from repro.perf import (AnalyticDevice, build_baseline_devices,
+                        amortized_mult_per_slot, bootstrap_depth,
+                        cycles_speedup, dnum_sweep, gpu1_spec,
+                        levels_after_bootstrap, limbs_for_budget, speedup,
+                        switching_key_bytes)
+from repro.perf.fab import Fab2Device, FabDevice
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return build_baseline_devices()
+
+
+@pytest.fixture(scope="module")
+def fab():
+    return FabDevice()
+
+
+class TestMetrics:
+    def test_bootstrap_depth_formula(self):
+        assert bootstrap_depth(4) == 17
+        assert bootstrap_depth(1) == 11
+
+    def test_levels_after(self):
+        assert levels_after_bootstrap(23, 4) == 6
+        assert levels_after_bootstrap(10, 4) == 0
+
+    def test_amortized_formula(self):
+        # (1.0 + 0.1 + 0.1) / (2 * 100) = 6 ms.
+        val = amortized_mult_per_slot(1.0, [0.1, 0.1], 100)
+        assert val == pytest.approx(0.006)
+
+    def test_amortized_no_levels_is_infinite(self):
+        assert amortized_mult_per_slot(1.0, [], 100) == float("inf")
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_cycles_speedup(self):
+        # Lattigo at 3.5 GHz vs FAB at 300 MHz: cycle ratio is larger.
+        t = cycles_speedup(10.0, 3.5e9, 1.0, 300e6)
+        assert t == pytest.approx(10 * 3.5e9 / 300e6)
+
+
+class TestDeviceCalibration:
+    def test_roundtrip_anchors(self, devices):
+        """Calibrated devices reproduce their Table 7 anchors."""
+        for name in ("Lattigo", "GPU-1", "GPU-2", "BTS-2"):
+            d = devices[name]
+            assert d.amortized_mult_us() == pytest.approx(
+                d.spec.published["amortized_mult_us"], rel=0.05)
+
+    def test_f1_within_factor(self, devices):
+        """F1's memory floor makes the roundtrip approximate."""
+        d = devices["F1"]
+        assert d.amortized_mult_us() == pytest.approx(254.46, rel=0.35)
+
+    def test_uncalibrated_requires_anchor(self):
+        spec = gpu1_spec()
+        object.__setattr__(spec, "published", {})
+        with pytest.raises(ValueError):
+            AnalyticDevice(spec)
+
+
+class TestTable7Shape:
+    def test_fab_ordering(self, devices, fab):
+        """FAB beats Lattigo, GPU-1/2 and F1; BTS-2 stays ahead."""
+        ours = fab.amortized_mult_us()
+        assert ours < devices["GPU-1"].amortized_mult_us()
+        assert ours < devices["GPU-2"].amortized_mult_us()
+        assert ours < devices["Lattigo"].amortized_mult_us()
+        assert ours > devices["BTS-2"].amortized_mult_us()
+
+    def test_lattigo_speedup_order_of_magnitude(self, devices, fab):
+        """Paper: 213x vs Lattigo; the model lands within ~2x of that."""
+        ratio = devices["Lattigo"].amortized_mult_us() \
+            / fab.amortized_mult_us()
+        assert 100 <= ratio <= 450
+
+
+class TestTable8Shape:
+    def test_lr_ordering(self, devices):
+        """BTS-2 < FAB-2 < FAB-1 < GPU-2 ~ F1 < Lattigo."""
+        fab1 = FabDevice().lr_iteration_seconds()
+        fab2 = Fab2Device().lr_iteration_seconds()
+        lat = devices["Lattigo"].lr_iteration_seconds()
+        gpu2 = devices["GPU-2"].lr_iteration_seconds()
+        f1 = devices["F1"].lr_iteration_seconds()
+        bts = devices["BTS-2"].lr_iteration_seconds()
+        assert bts < fab2 < fab1 < gpu2 < lat
+        assert fab1 < f1 < lat
+
+    def test_fab1_near_paper(self):
+        assert FabDevice().lr_iteration_seconds() == pytest.approx(
+            0.103, rel=0.35)
+
+    def test_fab2_near_paper(self):
+        assert Fab2Device().lr_iteration_seconds() == pytest.approx(
+            0.081, rel=0.35)
+
+    def test_fab2_speedup_below_8x(self):
+        """Amdahl: parallelizing 8 boards gains well under 8x."""
+        ratio = FabDevice().lr_iteration_seconds() \
+            / Fab2Device().lr_iteration_seconds()
+        assert 1.1 < ratio < 3.0
+
+
+class TestKeySize:
+    def test_limbs_for_budget_paper_point(self):
+        """dnum = 3 yields L + 1 = 24 limbs at log PQ = 1728."""
+        assert limbs_for_budget(3) == 24
+
+    def test_budget_respected(self):
+        for dnum in range(1, 8):
+            limbs = limbs_for_budget(dnum)
+            alpha = math.ceil(limbs / dnum)
+            assert (limbs + alpha) * 54 <= 1728
+
+    def test_key_size_paper_point(self):
+        """Uncompressed switching key at dnum = 3: ~84 MB (§4.6)."""
+        size = switching_key_bytes(1 << 16, 24, 3, compressed=False)
+        assert size / (1 << 20) == pytest.approx(84, abs=3)
+
+    def test_compression_halves(self):
+        full = switching_key_bytes(1 << 16, 24, 3, compressed=False)
+        half = switching_key_bytes(1 << 16, 24, 3, compressed=True)
+        assert half == full // 2
+
+    def test_fig1_monotonicity(self):
+        """Fig. 1: levels after bootstrap and key size both grow with
+        dnum."""
+        points = dnum_sweep([1, 2, 3, 4, 5, 6])
+        levels = [p.levels_after_bootstrap for p in points]
+        sizes = [p.key_bytes for p in points]
+        assert levels == sorted(levels)
+        assert sizes == sorted(sizes)
+        assert levels[0] == 0          # dnum = 1 cannot bootstrap
+        assert points[2].levels_after_bootstrap == 6  # the dnum = 3 pick

@@ -1,0 +1,68 @@
+"""Tests for the FAB device adapters (FAB-1 / FAB-2)."""
+
+import pytest
+
+from repro.core import FabConfig, FabOpModel, MultiFpgaSystem
+from repro.perf.fab import Fab2Device, FabDevice
+
+
+@pytest.fixture(scope="module")
+def fab1():
+    return FabDevice()
+
+
+@pytest.fixture(scope="module")
+def fab2():
+    return Fab2Device()
+
+
+class TestFabDevice:
+    def test_bootstrap_matches_core_model(self, fab1):
+        config = FabConfig()
+        core = FabOpModel(config).bootstrap().seconds(config)
+        assert fab1.bootstrap_seconds() == pytest.approx(core)
+
+    def test_amortized_matches_core_model(self, fab1):
+        config = FabConfig()
+        core = FabOpModel(config).amortized_mult_per_slot() * 1e6
+        assert fab1.amortized_mult_us() == pytest.approx(core)
+
+    def test_sparse_bootstrap_cheaper(self, fab1):
+        assert (fab1.bootstrap_seconds(slots=256)
+                < fab1.bootstrap_seconds() / 1.5)
+
+    def test_lr_iteration_composition(self, fab1):
+        total = fab1.lr_iteration_seconds()
+        boot = fab1.bootstrap_seconds(slots=256)
+        update = fab1.lr_update_seconds()
+        assert total == pytest.approx(boot + update)
+
+    def test_lr_update_scales_with_batch(self, fab1):
+        assert (fab1.lr_update_seconds(num_ciphertexts=2048)
+                > fab1.lr_update_seconds(num_ciphertexts=512))
+
+
+class TestFab2Device:
+    def test_faster_than_fab1(self, fab1, fab2):
+        assert fab2.lr_iteration_seconds() < fab1.lr_iteration_seconds()
+
+    def test_includes_communication(self, fab1, fab2):
+        """FAB-2 time exceeds serial + parallel/8 by the comms term."""
+        total1 = fab1.lr_iteration_seconds()
+        boot = fab1.bootstrap_seconds(slots=256)
+        ideal = boot + (total1 - boot) / 8
+        comms = MultiFpgaSystem(
+            FabConfig()).communication_seconds_per_iteration()
+        assert fab2.lr_iteration_seconds() == pytest.approx(ideal + comms,
+                                                            rel=1e-6)
+
+    def test_pool_size_effect(self):
+        t4 = Fab2Device(num_fpgas=4).lr_iteration_seconds()
+        t8 = Fab2Device(num_fpgas=8).lr_iteration_seconds()
+        assert t8 < t4
+
+    def test_diminishing_returns(self):
+        """Doubling 8 -> 16 boards buys much less than 2x (Amdahl)."""
+        t8 = Fab2Device(num_fpgas=8).lr_iteration_seconds()
+        t16 = Fab2Device(num_fpgas=16).lr_iteration_seconds()
+        assert t8 / t16 < 1.3

@@ -1,0 +1,52 @@
+"""Smoke tests: the example scripts must run to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)], capture_output=True,
+        text=True, timeout=timeout)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestFastExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "OK" in out
+
+    def test_multi_fpga_scaling(self):
+        out = run_example("multi_fpga_scaling.py")
+        assert "Amdahl" in out
+
+    def test_design_space_exploration(self):
+        out = run_example("design_space_exploration.py")
+        assert "paper" in out
+        assert "memory-bound" in out
+
+    def test_private_analytics(self):
+        out = run_example("private_analytics.py")
+        assert "bit-exact" in out
+
+    def test_reproduce_paper(self):
+        out = run_example("reproduce_paper.py")
+        for artifact in ("fig1", "fig2", "table3", "table7", "table8"):
+            assert artifact in out
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_lr_training(self):
+        out = run_example("lr_training.py")
+        assert "Table 8" in out
+
+    def test_bootstrap_demo(self):
+        out = run_example("bootstrap_demo.py")
+        assert "OK" in out
