@@ -1,0 +1,33 @@
+"""Serving bench: the mixed multi-tenant scenario on an 8-board pool."""
+
+from repro.runtime import ServingSimulator, build_scenarios
+
+
+def test_bench_serving_mixed(benchmark, fab_config):
+    scenarios = build_scenarios(fab_config, num_devices=8,
+                                duration_s=0.25)
+    simulator = ServingSimulator(fab_config, num_devices=8)
+    report = benchmark(simulator.run, scenarios["mixed"], 1)
+    # All three workload classes must be served.
+    names = {w.name for w in report.per_workload}
+    assert names == {"lr_inference", "lr_training", "analytics"}
+    # Tail ordering and sane utilization.
+    for w in report.per_workload:
+        assert 0 < w.p50_ms <= w.p95_ms <= w.p99_ms
+        assert w.throughput_jps > 0
+    assert 0 < report.device_utilization <= 1.0
+    assert report.mean_batch_size >= 1.0
+
+
+def test_bench_serving_batching_amortizes(benchmark, fab_config):
+    """Batching must beat one-job-at-a-time dispatch on key traffic."""
+    scenarios = build_scenarios(fab_config, num_devices=4,
+                                duration_s=0.25)
+    batched_sim = ServingSimulator(fab_config, num_devices=4, max_batch=8)
+    serial_sim = ServingSimulator(fab_config, num_devices=4, max_batch=1)
+    batched = benchmark(batched_sim.run, scenarios["interactive"], 1)
+    serial = serial_sim.run(scenarios["interactive"], seed=1)
+    assert batched.key_bytes_loaded < serial.key_bytes_loaded
+    inf_b = batched.workload("lr_inference")
+    inf_s = serial.workload("lr_inference")
+    assert inf_b.p99_ms < inf_s.p99_ms

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Multi-tenant FHE serving on a FAB pool: a scenario sweep.
+
+Runs the discrete-event serving simulator over the canned scenarios
+(interactive inference, batch training, private analytics, and the
+mixed tenant soup), then sweeps the two levers a cloud operator holds:
+
+* pool size — how throughput and tail latency scale with boards;
+* batching — how admitting compatible same-tenant jobs together
+  amortizes the XRT launch and the switching-key HBM loads.
+
+Run:  python examples/serving_sim.py
+"""
+
+from repro.core import FabConfig
+from repro.runtime import ServingSimulator, build_scenarios
+
+
+def scenario_sweep() -> None:
+    config = FabConfig()
+    scenarios = build_scenarios(config, num_devices=8, duration_s=0.5)
+    simulator = ServingSimulator(config, num_devices=8)
+    print("== scenario sweep (8 boards, 0.5 s arrival horizon) ==")
+    for name, scenario in scenarios.items():
+        report = simulator.run(scenario, seed=1)
+        print(report.format())
+        print()
+
+
+def pool_size_sweep() -> None:
+    config = FabConfig()
+    print("== mixed scenario vs pool size ==")
+    print(f"{'boards':>7s} {'jobs/s':>8s} {'p50_ms':>8s} {'p99_ms':>8s} "
+          f"{'busy':>6s} {'key hits':>9s}")
+    for boards in (1, 2, 4, 8):
+        scenarios = build_scenarios(config, num_devices=boards,
+                                    duration_s=0.5)
+        simulator = ServingSimulator(config, num_devices=boards)
+        report = simulator.run(scenarios["mixed"], seed=1)
+        total_jps = sum(w.throughput_jps for w in report.per_workload)
+        p50 = max(w.p50_ms for w in report.per_workload)
+        p99 = max(w.p99_ms for w in report.per_workload)
+        print(f"{boards:>7d} {total_jps:>8.1f} {p50:>8.1f} {p99:>8.1f} "
+              f"{100 * report.device_utilization:>5.0f}% "
+              f"{100 * report.key_hit_rate:>8.0f}%")
+    print()
+
+
+def batching_sweep() -> None:
+    config = FabConfig()
+    scenarios = build_scenarios(config, num_devices=4, duration_s=0.5)
+    print("== interactive scenario vs max batch size (4 boards) ==")
+    print(f"{'batch':>6s} {'jobs/s':>8s} {'p50_ms':>8s} {'p99_ms':>8s} "
+          f"{'key GB':>7s}")
+    for max_batch in (1, 2, 4, 8, 16):
+        simulator = ServingSimulator(config, num_devices=4,
+                                     max_batch=max_batch)
+        report = simulator.run(scenarios["interactive"], seed=1)
+        stats = report.workload("lr_inference")
+        print(f"{max_batch:>6d} {stats.throughput_jps:>8.1f} "
+              f"{stats.p50_ms:>8.1f} {stats.p99_ms:>8.1f} "
+              f"{report.key_bytes_loaded / 1e9:>7.2f}")
+    print()
+
+
+def main() -> None:
+    scenario_sweep()
+    pool_size_sweep()
+    batching_sweep()
+    print("serving sweep OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,3 +1,21 @@
-from setuptools import setup
+"""Package metadata: ``pip install -e .`` makes ``import repro`` work
+without PYTHONPATH gymnastics."""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="fab-repro",
+    version="1.0.0",  # kept in sync with repro.__version__
+    description=("Reproduction of FAB: an FPGA-based accelerator for "
+                 "bootstrappable fully homomorphic encryption "
+                 "(HPCA 2023) — functional CKKS library, cycle-level "
+                 "performance model, and a trace-driven serving "
+                 "simulator"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -10,6 +10,9 @@ A faithful Python reproduction of the paper's system:
 * :mod:`repro.perf` — workload op counts, calibrated baseline devices
   (Lattigo CPU, GPU, F1, BTS, HEAX), and the Eq.-2 metric.
 * :mod:`repro.apps.lr` — HELR logistic regression over encrypted data.
+* :mod:`repro.runtime` — the bridge between the two layers: trace
+  capture from the functional evaluator, lowering to FAB task graphs,
+  and a discrete-event multi-tenant serving simulator.
 * :mod:`repro.experiments` — one driver per paper table/figure.
 
 Quickstart::
@@ -22,7 +25,7 @@ Quickstart::
     print(scheme.decrypt(ev.rescale(ev.multiply(ct, ct)))[:3])
 """
 
-from . import apps, core, experiments, fhe, perf
+from . import apps, core, experiments, fhe, perf, runtime
 from .core import FabConfig, FabOpModel
 from .fhe import Bootstrapper, CkksParams, CkksScheme
 
@@ -30,4 +33,4 @@ __version__ = "1.0.0"
 
 __all__ = ["Bootstrapper", "CkksParams", "CkksScheme", "FabConfig",
            "FabOpModel", "apps", "core", "experiments", "fhe", "perf",
-           "__version__"]
+           "runtime", "__version__"]

@@ -5,6 +5,8 @@ Usage::
     python -m repro list                 # available experiments
     python -m repro all                  # run everything
     python -m repro table7 table8        # run specific artifacts
+    python -m repro trace lr_iteration   # lower a trace, print its cost
+    python -m repro serve --scenario mixed   # serving simulation
 """
 
 from __future__ import annotations
@@ -19,10 +21,20 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    if argv[0] == "trace":
+        from .runtime.cli import run_trace
+        return run_trace(argv[1:])
+    if argv[0] == "serve":
+        from .runtime.cli import run_serve
+        return run_serve(argv[1:])
     if argv[0] == "list":
         for key, module in ALL_EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{key:22s} {doc}")
+        print(f"{'trace':22s} Lower a workload trace to a FAB program "
+              f"and cost it.")
+        print(f"{'serve':22s} Simulate multi-tenant serving on a FAB "
+              f"pool.")
         return 0
     targets = list(ALL_EXPERIMENTS) if argv[0] == "all" else argv
     unknown = [t for t in targets if t not in ALL_EXPERIMENTS]

@@ -20,9 +20,12 @@ from .ops import FabOpModel
 from .params import FabConfig
 from .scheduler import ScheduleResult, TaskGraph
 
-#: Operation kinds a program may contain.
+#: Operation kinds a program may contain.  Each names a
+#: :class:`repro.core.ops.FabOpModel` method that prices it;
+#: ``ntt_poly`` (a full-polynomial NTT, the ModRaise primitive) is
+#: included so lowered bootstrap traces can be scheduled.
 OP_KINDS = ("add", "multiply", "multiply_plain", "rescale", "rotate",
-            "rotate_hoisted", "conjugate")
+            "rotate_hoisted", "conjugate", "ntt_poly")
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,42 @@
+"""Trace-driven runtime: capture, lowering, and multi-tenant serving.
+
+The bridge between the functional CKKS layer (:mod:`repro.fhe`) and
+the FAB performance model (:mod:`repro.core`):
+
+* :mod:`~repro.runtime.optrace` — the serializable trace IR.
+* :mod:`~repro.runtime.capture` — a tracing :class:`Evaluator` that
+  records any application's homomorphic ops as it runs.
+* :mod:`~repro.runtime.lowering` — compiles traces to
+  :class:`repro.core.program.FabProgram` task graphs with per-op
+  FAB costs and key-prefetch edges.
+* :mod:`~repro.runtime.reference` — paper-scale traces of the
+  evaluated workloads (LR iteration, bootstrap, inference, analytics).
+* :mod:`~repro.runtime.serving` — a discrete-event, multi-tenant
+  serving simulator over a FAB device pool: batching, per-tenant
+  switching-key HBM residency, throughput and tail latency.
+"""
+
+from .capture import (CountingKeySwitcher, TracingEncoder,
+                      TracingEvaluator, capture)
+from .lowering import (KeyWorkingSet, LoweredCost, LOWERING_MAP,
+                       cost_trace, key_working_set, lower_trace,
+                       switching_key_bytes)
+from .optrace import TRACE_KINDS, OpTrace, TraceOp
+from .reference import (REFERENCE_TRACES, analytics_trace,
+                        bootstrap_trace, build_reference_trace,
+                        lr_inference_trace, lr_iteration_trace)
+from .serving import (Job, JobClass, KeyCache, Scenario, ServingReport,
+                      ServingSimulator, Stream, WorkloadStats,
+                      build_job_classes, build_scenarios, percentile)
+
+__all__ = [
+    "CountingKeySwitcher", "Job", "JobClass", "KeyCache",
+    "KeyWorkingSet", "LOWERING_MAP", "LoweredCost", "OpTrace",
+    "REFERENCE_TRACES", "Scenario", "ServingReport", "ServingSimulator",
+    "Stream", "TRACE_KINDS", "TraceOp", "TracingEncoder",
+    "TracingEvaluator", "WorkloadStats", "analytics_trace",
+    "bootstrap_trace", "build_job_classes", "build_reference_trace",
+    "build_scenarios", "capture", "cost_trace", "key_working_set",
+    "lower_trace", "lr_inference_trace", "lr_iteration_trace",
+    "percentile", "switching_key_bytes",
+]

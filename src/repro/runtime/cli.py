@@ -1,0 +1,127 @@
+"""CLI for the runtime subsystem: ``repro trace`` and ``repro serve``.
+
+``trace`` lowers a workload trace to a FAB program and prints its op
+mix, key working set, and scheduled cost.  By default it uses the
+paper-scale reference traces; ``--capture`` instead runs the
+functional LR app at test-scale parameters under the tracing
+evaluator, proving the capture path end to end.
+
+``serve`` runs the multi-tenant serving simulator on a named scenario
+and prints throughput + tail-latency tables per workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from ..core.params import FabConfig
+from ..experiments.common import print_result
+from .capture import capture
+from .lowering import cost_trace
+from .optrace import OpTrace
+from .reference import REFERENCE_TRACES, build_reference_trace
+from .serving import ServingSimulator, build_scenarios
+
+
+def _capture_lr_trace() -> OpTrace:
+    """Capture a real (tiny-N) encrypted LR iteration."""
+    import numpy as np
+
+    from ..apps.lr.data import Dataset
+    from ..apps.lr.encrypted import EncryptedLrTrainer
+    from ..fhe import CkksParams, CkksScheme
+
+    rng = np.random.default_rng(0)
+    scheme = CkksScheme(CkksParams(ring_degree=64, num_limbs=8,
+                                   scale_bits=30))
+    features = rng.random(size=(4, 3))
+    labels = (rng.random(4) > 0.5).astype(float)
+    dataset = Dataset(features, labels)
+    with capture(scheme, "lr_iteration_captured") as trace:
+        trainer = EncryptedLrTrainer(scheme)
+        state = trainer.init_state(dataset.num_features)
+        trainer.iteration(state, dataset)
+    return trace
+
+
+def run_trace(argv: List[str]) -> int:
+    """Entry point for ``python -m repro trace``."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="lower a workload trace to a FAB program and cost it")
+    parser.add_argument("workload", nargs="?", default="lr_iteration",
+                        choices=sorted(REFERENCE_TRACES) + ["captured_lr"],
+                        help="reference trace (or captured_lr to capture "
+                             "a functional tiny-N LR iteration)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also dump the trace IR as JSON")
+    parser.add_argument("--no-prefetch", action="store_true",
+                        help="schedule without key prefetching")
+    args = parser.parse_args(argv)
+
+    config = FabConfig()
+    if args.workload == "captured_lr":
+        trace = _capture_lr_trace()
+    else:
+        trace = build_reference_trace(args.workload, config)
+    cost = cost_trace(trace, config, prefetch=not args.no_prefetch)
+
+    print(trace.summary())
+    print(f"lowered: {len(cost.report.schedule.tasks)} tasks, "
+          f"{cost.report.num_ops} ops")
+    print(f"cycles: {cost.cycles:,} scheduled "
+          f"({cost.serial_cycles:,} serial) = {cost.seconds * 1e3:.3f} ms "
+          f"at {config.clock_hz / 1e6:.0f} MHz")
+    print(f"utilization: fu={100 * cost.report.fu_utilization:.0f}% "
+          f"hbm={100 * cost.report.hbm_utilization:.0f}%")
+    print(f"switching keys: {cost.keys.num_keys} "
+          f"({cost.keys.total_bytes / 1e6:.1f} MB)")
+    if args.json:
+        trace.save(args.json)
+        print(f"trace written to {args.json}")
+    return 0
+
+
+def run_serve(argv: List[str]) -> int:
+    """Entry point for ``python -m repro serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="simulate multi-tenant serving on a FAB pool")
+    parser.add_argument("--scenario", default="mixed",
+                        help="scenario name or 'all' (default: mixed)")
+    parser.add_argument("--devices", type=int, default=8)
+    parser.add_argument("--duration", type=float, default=2.0,
+                        help="arrival horizon in seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--load", type=float, default=0.6,
+                        help="offered load fraction of pool capacity")
+    args = parser.parse_args(argv)
+    if args.devices < 1:
+        parser.error("--devices must be >= 1")
+    if args.max_batch < 1:
+        parser.error("--max-batch must be >= 1")
+    if args.load <= 0:
+        parser.error("--load must be positive")
+
+    config = FabConfig()
+    scenarios = build_scenarios(config, num_devices=args.devices,
+                                duration_s=args.duration,
+                                target_load=args.load)
+    if args.scenario == "all":
+        selected = list(scenarios)
+    elif args.scenario in scenarios:
+        selected = [args.scenario]
+    else:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"try: {', '.join(scenarios)} or all")
+        return 1
+    simulator = ServingSimulator(config, num_devices=args.devices,
+                                 max_batch=args.max_batch)
+    for name in selected:
+        report = simulator.run(scenarios[name], seed=args.seed)
+        print_result(report.to_experiment_result())
+        print(report.format())
+        print()
+    return 0

@@ -1,0 +1,159 @@
+"""Lowering: compile an :class:`OpTrace` to a FAB task-graph program.
+
+Each trace kind maps to the :data:`repro.core.program.OP_KINDS` entry
+whose :class:`repro.core.ops.FabOpModel` method prices it (the mapping
+collapses cost-equivalent kinds: ``sub`` schedules like ``add``,
+``square`` like ``multiply``).  Limb-management records (``mod_down``)
+lower to nothing — on FAB dropping limbs is bookkeeping.
+
+The result is an ordinary :class:`repro.core.program.FabProgram`, so
+everything the hand-built programs support — key-prefetch edges,
+scheduling, utilization reports, prefetch ablation — applies to traced
+workloads for free.  :func:`key_working_set` additionally derives the
+switching-key material the trace needs resident in HBM, which the
+serving simulator's key cache is modelled on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..core.params import FabConfig
+from ..core.program import FabProgram, ProgramReport
+from .optrace import OpTrace
+
+#: Trace kind -> schedulable program kind (None = lowered away).
+LOWERING_MAP: Dict[str, Optional[str]] = {
+    "add": "add",
+    "sub": "add",                   # same element-wise cost as add
+    "negate": "add",
+    "add_plain": "add",
+    "sub_plain": "add",
+    "multiply": "multiply",
+    "square": "multiply",           # one tensor mult fewer; same model
+    "multiply_plain": "multiply_plain",
+    "multiply_scalar": "multiply_plain",
+    "rescale": "rescale",
+    "rotate": "rotate",
+    "rotate_hoisted": "rotate_hoisted",
+    "conjugate": "conjugate",
+    "ntt_poly": "ntt_poly",
+    "mod_down": None,               # free: limb bookkeeping only
+}
+
+#: Program kinds that consume a switching key when executed.
+_KEYED_KINDS = {"multiply": "relin", "square": "relin",
+                "conjugate": "conj"}
+
+
+def lower_trace(trace: OpTrace,
+                config: Optional[FabConfig] = None) -> FabProgram:
+    """Compile a trace into a schedulable :class:`FabProgram`.
+
+    Levels are clamped to the config's limb chain: traces captured at
+    test-scale parameters (tiny N, few limbs) lower onto the paper's
+    full-scale config unchanged, while synthetic paper-scale traces
+    pass through exactly.
+    """
+    program = FabProgram(config)
+    fhe = program.config.fhe
+    for op in trace:
+        kind = _lowered_kind(op.kind)
+        if kind is None:
+            continue
+        # ntt_poly may legitimately run over the raised basis Q*P
+        # (ModRaise spans L + 1 + alpha limbs); everything else is
+        # bounded by the computation chain.
+        max_level = (fhe.max_raised_limbs if kind == "ntt_poly"
+                     else fhe.num_limbs)
+        program.append(kind, max(1, min(op.level, max_level)))
+    return program
+
+
+def _lowered_kind(trace_kind: str) -> Optional[str]:
+    try:
+        return LOWERING_MAP[trace_kind]
+    except KeyError:
+        raise ValueError(f"no lowering for trace kind {trace_kind!r}; "
+                         f"known: {sorted(LOWERING_MAP)}") from None
+
+
+@dataclass(frozen=True)
+class KeyWorkingSet:
+    """Switching-key material a lowered program needs resident in HBM."""
+
+    key_ids: Tuple[str, ...]
+    bytes_per_key: int
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.key_ids) * self.bytes_per_key
+
+    @property
+    def num_keys(self) -> int:
+        return len(self.key_ids)
+
+
+def switching_key_bytes(config: FabConfig) -> int:
+    """Size of one switching key: dnum digit pairs of raised polys."""
+    fhe = config.fhe
+    return 2 * fhe.dnum * fhe.max_raised_limbs * fhe.limb_bytes
+
+
+def key_working_set(trace: OpTrace,
+                    config: Optional[FabConfig] = None) -> KeyWorkingSet:
+    """The distinct switching keys a trace touches.
+
+    One relinearization key if the trace multiplies, one Galois key per
+    distinct rotation step, one conjugation key if it conjugates.
+    """
+    config = config or FabConfig()
+    key_ids = []
+    for op in trace:
+        key = _KEYED_KINDS.get(op.kind)
+        if op.kind in ("rotate", "rotate_hoisted"):
+            if op.step is None:
+                key = "rot?"
+            elif op.step < 0:
+                # Negative steps encode a raw Galois element recorded
+                # by a direct apply_galois call (see capture.py).
+                key = f"gal{-op.step}"
+            else:
+                key = f"rot{op.step}"
+        if key is not None and key not in key_ids:
+            key_ids.append(key)
+    return KeyWorkingSet(tuple(key_ids), switching_key_bytes(config))
+
+
+@dataclass
+class LoweredCost:
+    """Cost summary of one lowered trace on one FAB device."""
+
+    name: str
+    report: ProgramReport
+    keys: KeyWorkingSet
+    config: FabConfig
+
+    @property
+    def cycles(self) -> int:
+        """Makespan with key prefetch (the FAB schedule)."""
+        return self.report.cycles
+
+    @property
+    def serial_cycles(self) -> int:
+        """Sum of per-op compute cycles (no cross-op overlap)."""
+        return self.report.fu_busy
+
+    @property
+    def seconds(self) -> float:
+        return self.config.cycles_to_seconds(self.report.cycles)
+
+
+def cost_trace(trace: OpTrace, config: Optional[FabConfig] = None,
+               prefetch: bool = True) -> LoweredCost:
+    """Lower, schedule, and summarize a trace in one call."""
+    config = config or FabConfig()
+    program = lower_trace(trace, config)
+    return LoweredCost(trace.name, program.schedule(prefetch=prefetch),
+                       key_working_set(trace, config), config)

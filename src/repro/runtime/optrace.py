@@ -1,0 +1,178 @@
+"""The trace IR: a serializable log of homomorphic operations.
+
+An :class:`OpTrace` is the bridge between the functional CKKS layer
+(:mod:`repro.fhe`) and the performance layer (:mod:`repro.core`): run
+any application once under the tracing evaluator
+(:mod:`repro.runtime.capture`) and every homomorphic operation —
+kind, level, rotation step, operand identities — lands here, ready to
+be lowered to a :class:`repro.core.program.FabProgram` task graph
+(:mod:`repro.runtime.lowering`) or replayed through the serving
+simulator (:mod:`repro.runtime.serving`).
+
+The IR is deliberately tiny: a trace is a list of :class:`TraceOp`
+records plus free-form metadata, serializable to/from JSON so traces
+captured once can be archived and re-costed under different hardware
+configurations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Every operation kind the tracer may record.  A superset of the
+#: schedulable :data:`repro.core.program.OP_KINDS`; the lowering table
+#: in :mod:`repro.runtime.lowering` maps each to its cost-model kind
+#: (or drops it, for limb-management ops that are free on FAB).
+TRACE_KINDS = (
+    "add", "sub", "negate", "add_plain", "sub_plain",
+    "multiply", "square", "multiply_plain", "multiply_scalar",
+    "rescale", "rotate", "rotate_hoisted", "conjugate",
+    "mod_down", "ntt_poly",
+)
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One recorded homomorphic operation.
+
+    Attributes:
+        seq: position in the trace (0-based).
+        kind: one of :data:`TRACE_KINDS`.
+        level: limb count ``l`` the operation ran at (what the cost
+            models key on).
+        step: rotation step for ``rotate``/``rotate_hoisted`` (a
+            negative value encodes a raw Galois element recorded from
+            a direct ``apply_galois`` call); None otherwise.
+        operands: trace ids of the input ciphertexts.
+        result: trace id of the output ciphertext, if any.
+    """
+
+    seq: int
+    kind: str
+    level: int
+    step: Optional[int] = None
+    operands: Tuple[int, ...] = ()
+    result: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in TRACE_KINDS:
+            raise ValueError(f"unknown trace kind {self.kind!r}; "
+                             f"choose from {TRACE_KINDS}")
+        if self.level < 1:
+            raise ValueError(f"level must be >= 1, got {self.level}")
+
+
+class OpTrace:
+    """A recorded (or synthesized) sequence of homomorphic operations."""
+
+    def __init__(self, name: str = "trace",
+                 meta: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.meta: Dict[str, object] = dict(meta or {})
+        self.ops: List[TraceOp] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, level: int, step: Optional[int] = None,
+               operands: Sequence[int] = (),
+               result: Optional[int] = None) -> TraceOp:
+        """Append one operation; returns the record."""
+        op = TraceOp(len(self.ops), kind, level, step, tuple(operands),
+                     result)
+        self.ops.append(op)
+        return op
+
+    def extend(self, other: "OpTrace") -> "OpTrace":
+        """Append another trace's ops (re-sequenced); returns self."""
+        for op in other.ops:
+            self.record(op.kind, op.level, op.step, op.operands, op.result)
+        return self
+
+    def repeated(self, times: int, name: Optional[str] = None) -> "OpTrace":
+        """A new trace with this one's ops repeated ``times`` times."""
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        out = OpTrace(name or f"{self.name}x{times}", self.meta)
+        for _ in range(times):
+            out.extend(self)
+        return out
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[TraceOp]:
+        return iter(self.ops)
+
+    def op_counts(self) -> Dict[str, int]:
+        """Histogram of op kinds, insertion-ordered."""
+        counts: Dict[str, int] = {}
+        for op in self.ops:
+            counts[op.kind] = counts.get(op.kind, 0) + 1
+        return counts
+
+    def rotation_steps(self) -> List[int]:
+        """Distinct rotation steps used (the Galois keys required)."""
+        steps = []
+        for op in self.ops:
+            if op.kind in ("rotate", "rotate_hoisted") \
+                    and op.step is not None and op.step not in steps:
+                steps.append(op.step)
+        return steps
+
+    def levels(self) -> Tuple[int, int]:
+        """(min, max) level across the trace (0, 0 when empty)."""
+        if not self.ops:
+            return (0, 0)
+        lvls = [op.level for op in self.ops]
+        return (min(lvls), max(lvls))
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        lo, hi = self.levels()
+        counts = ", ".join(f"{k}={v}" for k, v in self.op_counts().items())
+        return (f"{self.name}: {len(self.ops)} ops, levels {lo}..{hi}, "
+                f"{len(self.rotation_steps())} rotation keys; {counts}")
+
+    def __repr__(self) -> str:
+        return f"OpTrace({self.name!r}, ops={len(self.ops)})"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialize the full trace (ops + metadata) to JSON."""
+        return json.dumps({
+            "name": self.name,
+            "meta": self.meta,
+            "ops": [asdict(op) for op in self.ops],
+        }, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OpTrace":
+        """Rebuild a trace serialized by :meth:`to_json`."""
+        data = json.loads(text)
+        trace = cls(data.get("name", "trace"), data.get("meta"))
+        for op in data.get("ops", []):
+            trace.record(op["kind"], op["level"], op.get("step"),
+                         tuple(op.get("operands", ())), op.get("result"))
+        return trace
+
+    def save(self, path: str, indent: int = 0) -> None:
+        """Write the trace to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(indent=indent or None))
+
+    @classmethod
+    def load(cls, path: str) -> "OpTrace":
+        """Read a trace written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

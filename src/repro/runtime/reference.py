@@ -1,0 +1,224 @@
+"""Reference traces: paper-scale workloads expressed in the trace IR.
+
+The functional layer runs at test-scale parameters (tiny N), so traces
+captured from it exercise the capture/lowering machinery but not the
+paper's operating point.  This module synthesizes paper-scale traces
+op-for-op from the same workload descriptions the hand-built models in
+:mod:`repro.core` use:
+
+* :func:`lr_iteration_trace` mirrors
+  :meth:`repro.core.program.FabProgram.lr_iteration` (Table 8's update
+  phase) — lowering it must reproduce the hand-built program's cycles
+  exactly, which the test suite asserts to within 1%.
+* :func:`bootstrap_trace` walks the same pipeline as
+  :meth:`repro.core.ops.FabOpModel.bootstrap` (Table 7), tracking the
+  level limb-for-limb; its lowered serial cost must match the
+  hand-built bootstrap cycles to within 1%.
+* :func:`lr_inference_trace` and :func:`analytics_trace` are the
+  serving simulator's interactive workloads (the deployment half of
+  §5.5 and the private-analytics example).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..core.params import FabConfig
+from .optrace import OpTrace
+
+
+def lr_iteration_trace(num_ciphertexts: int = 32,
+                       update_level: int = 6) -> OpTrace:
+    """The update phase of one HELR iteration (§5.5), as a trace.
+
+    Op-for-op identical to ``FabProgram.lr_iteration``: per-ciphertext
+    gradient accumulation, a rotation tree (one full + seven hoisted),
+    the degree-3 sigmoid, and the weight update.
+    """
+    trace = OpTrace("lr_iteration", meta={
+        "num_ciphertexts": num_ciphertexts, "update_level": update_level})
+    for _ in range(num_ciphertexts):
+        trace.record("multiply_plain", update_level)
+        trace.record("multiply_plain", update_level)
+        trace.record("add", update_level)
+        trace.record("add", update_level)
+        trace.record("add", update_level)
+    trace.record("rotate", update_level, step=1)
+    for i in range(7):
+        trace.record("rotate_hoisted", update_level, step=1 << (i + 1))
+    for _ in range(3):
+        trace.record("multiply", update_level)
+        trace.record("rescale", update_level)
+    trace.record("multiply", update_level)
+    trace.record("add", update_level)
+    return trace
+
+
+def _linear_transform_ops(trace: OpTrace, level: int, diagonals: int,
+                          stride: int = 1,
+                          plain_levels: int = 1) -> None:
+    """One BSGS linear-transform factor, mirroring
+    ``FabOpModel._linear_transform``: hoisted baby steps (first at full
+    price), full giant steps, per-diagonal plaintext multiplies, and
+    the trailing rescale(s).
+
+    ``stride`` scales the rotation steps: in a grouped DFT, factor k
+    rotates by multiples of radix^k, so each factor needs its own set
+    of Galois keys — which is what makes the bootstrap's switching-key
+    working set as large as it is.
+    """
+    n1 = 1 << max(0, round(math.log2(max(diagonals, 1)) / 2))
+    n2 = math.ceil(diagonals / n1)
+    baby_rotations = max(n1 - 1, 0)
+    giant_rotations = max(n2 - 1, 0)
+    for idx in range(baby_rotations):
+        kind = "rotate" if idx == 0 else "rotate_hoisted"
+        trace.record(kind, level, step=(idx + 1) * stride)
+    for g in range(giant_rotations):
+        trace.record("rotate", level, step=(g + 1) * n1 * stride)
+    for _ in range(diagonals):
+        trace.record("multiply_plain", level)
+    for _ in range(plain_levels):
+        trace.record("rescale", level)
+
+
+def bootstrap_trace(config: Optional[FabConfig] = None,
+                    fft_iter: Optional[int] = None,
+                    slots: Optional[int] = None,
+                    eval_mod_ct_mults: int = 20,
+                    eval_mod_const_mults: int = 25) -> OpTrace:
+    """The full bootstrapping pipeline (Table 7) as a trace.
+
+    Walks ModRaise, fftIter CoeffToSlot factors, the two-branch
+    EvalMod, and fftIter SlotToCoeff factors with the identical level
+    bookkeeping of ``FabOpModel.bootstrap``.
+    """
+    config = config or FabConfig()
+    fhe = config.fhe
+    fft_iter = fft_iter if fft_iter is not None else fhe.fft_iter
+    n = fhe.ring_degree
+    slots = slots if slots is not None else n // 2
+    log_slots = max(int(math.log2(slots)), 1)
+    level = fhe.num_limbs
+    trace = OpTrace("bootstrap", meta={
+        "slots": slots, "fft_iter": fft_iter, "num_limbs": level})
+
+    # ModRaise: iNTT the last limb and NTT the raised chain, for both
+    # ciphertext polynomials — 2 * (1 + L) limb NTTs.
+    trace.record("ntt_poly", 1 + level)
+    trace.record("ntt_poly", 1 + level)
+
+    radix_bits = math.ceil(log_slots / fft_iter)
+    diagonals = (1 << radix_bits) + 1
+
+    radix = 1 << radix_bits
+
+    # CoeffToSlot: fftIter grouped DFT factors + one conjugation.
+    # Factor k rotates by multiples of radix^k (distinct key sets).
+    for factor in range(fft_iter):
+        _linear_transform_ops(trace, level, diagonals,
+                              stride=radix ** factor)
+        level -= 1
+    trace.record("conjugate", level)
+
+    # EvalMod: the depth-9 sine polynomial on each coefficient half.
+    depth = fhe.eval_mod_depth
+    base = eval_mod_ct_mults // depth
+    extra = eval_mod_ct_mults - base * depth
+    branches = 2 if slots == n // 2 else 1
+    for _half in range(branches):
+        lvl = level
+        for step in range(depth):
+            mults_here = base + (1 if step < extra else 0)
+            for _ in range(mults_here):
+                trace.record("multiply", lvl)
+                trace.record("rescale", lvl)
+            lvl -= 1
+        for _ in range(eval_mod_const_mults):
+            trace.record("multiply_plain", level)
+    level -= depth
+
+    # SlotToCoeff: fftIter factors (strides descending), no fold
+    # constants.
+    for factor in range(fft_iter):
+        _linear_transform_ops(trace, level, diagonals,
+                              stride=radix ** (fft_iter - 1 - factor))
+        level -= 1
+    return trace
+
+
+def lr_inference_trace(level: int = 6, num_slots: int = 256) -> OpTrace:
+    """Scoring one encrypted sample against a plaintext model.
+
+    The deployment workload: one plaintext inner product, a
+    rotation-tree slot sum, and the degree-3 sigmoid.
+    """
+    trace = OpTrace("lr_inference", meta={
+        "level": level, "num_slots": num_slots})
+    trace.record("multiply_plain", level)
+    trace.record("rescale", level)
+    tree_depth = max(int(math.log2(num_slots)), 1)
+    for i in range(tree_depth):
+        trace.record("rotate", level - 1, step=1 << i)
+        trace.record("add", level - 1)
+    # poly_sigmoid: z^2, c3*z, the cubic combine, linear term, adds.
+    trace.record("square", level - 1)
+    trace.record("rescale", level - 1)
+    trace.record("multiply_plain", level - 1)
+    trace.record("rescale", level - 1)
+    trace.record("multiply", level - 2)
+    trace.record("rescale", level - 2)
+    trace.record("multiply_plain", level - 1)
+    trace.record("rescale", level - 1)
+    trace.record("add", level - 3)
+    trace.record("add_plain", level - 3)
+    return trace
+
+
+def analytics_trace(level: int = 8, num_slots: int = 4096) -> OpTrace:
+    """Private aggregate statistics: masked mean + variance over slots.
+
+    The :mod:`repro.apps.stats` workload shape: a masking multiply, a
+    rotation-tree sum (hoisted), and a squared-deviation pass.
+    """
+    trace = OpTrace("analytics", meta={
+        "level": level, "num_slots": num_slots})
+    trace.record("multiply_plain", level)
+    trace.record("rescale", level)
+    tree_depth = max(int(math.log2(num_slots)), 1)
+    for i in range(tree_depth):
+        kind = "rotate" if i == 0 else "rotate_hoisted"
+        trace.record(kind, level - 1, step=1 << i)
+        trace.record("add", level - 1)
+    # Variance: subtract the mean, square, and re-aggregate.
+    trace.record("sub", level - 1)
+    trace.record("square", level - 1)
+    trace.record("rescale", level - 1)
+    for i in range(tree_depth):
+        kind = "rotate" if i == 0 else "rotate_hoisted"
+        trace.record(kind, level - 2, step=1 << i)
+        trace.record("add", level - 2)
+    trace.record("multiply_plain", level - 2)
+    trace.record("rescale", level - 2)
+    return trace
+
+
+#: Registry used by the CLI and the serving scenarios.
+REFERENCE_TRACES = {
+    "lr_iteration": lr_iteration_trace,
+    "bootstrap": bootstrap_trace,
+    "lr_inference": lr_inference_trace,
+    "analytics": analytics_trace,
+}
+
+
+def build_reference_trace(name: str,
+                          config: Optional[FabConfig] = None) -> OpTrace:
+    """Instantiate a reference trace by name at paper-scale defaults."""
+    if name not in REFERENCE_TRACES:
+        raise KeyError(f"unknown reference trace {name!r}; "
+                       f"choose from {sorted(REFERENCE_TRACES)}")
+    if name == "bootstrap":
+        return bootstrap_trace(config)
+    return REFERENCE_TRACES[name]()

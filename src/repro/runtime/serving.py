@@ -1,0 +1,471 @@
+"""Discrete-event multi-tenant FHE serving simulator.
+
+Models a pool of FAB devices (the :class:`MultiFpgaSystem` topology)
+serving streams of traced jobs:
+
+* **Jobs** are lowered traces: a :class:`JobClass` caches the
+  scheduled device cycles and the switching-key working set of one
+  trace (see :mod:`repro.runtime.lowering`).
+* **Admission/batching**: arriving jobs queue per (class, tenant);
+  a free device takes up to ``max_batch`` compatible jobs at once.
+  Compatible means same program *and* same tenant — switching keys
+  are per-tenant secrets, so only same-tenant jobs share key state.
+* **Key residency**: each device's HBM holds a finite LRU cache of
+  switching keys.  A batch whose keys are not resident pays the
+  host-to-HBM PCIe transfer (the §3 offload path) before compute;
+  resident keys ride for free.  Batching therefore amortizes both the
+  XRT launch overhead and the key loads — the serving-level analogue
+  of the paper's intra-op prefetching.
+* **Metrics**: per-workload throughput and p50/p95/p99 latency, device
+  utilization, and key-cache hit rates.
+
+The simulator is deterministic for a given scenario seed, which the
+test suite relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import random
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.hbm import HbmModel
+from ..core.host import HostConfig
+from ..core.params import FabConfig
+from ..core.trace import format_table
+from ..experiments.common import ExperimentResult, ExperimentRow
+from .lowering import cost_trace
+from .optrace import OpTrace
+
+
+# ----------------------------------------------------------------------
+# Workload description
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class JobClass:
+    """A traced program, priced once and shared by all its jobs."""
+
+    name: str
+    cycles: int
+    key_ids: Tuple[str, ...]
+    bytes_per_key: int
+
+    def seconds(self, config: FabConfig) -> float:
+        return config.cycles_to_seconds(self.cycles)
+
+    @property
+    def key_bytes(self) -> int:
+        return len(self.key_ids) * self.bytes_per_key
+
+    @classmethod
+    def from_trace(cls, trace: OpTrace,
+                   config: Optional[FabConfig] = None,
+                   prefetch: bool = True) -> "JobClass":
+        """Lower and schedule a trace into a servable job class."""
+        cost = cost_trace(trace, config, prefetch=prefetch)
+        return cls(trace.name, cost.cycles, cost.keys.key_ids,
+                   cost.keys.bytes_per_key)
+
+
+@dataclass
+class Job:
+    """One request: a job class instance owned by a tenant."""
+
+    job_id: int
+    job_class: JobClass
+    tenant: str
+    arrival_s: float
+    finish_s: Optional[float] = None
+
+    @property
+    def latency_s(self) -> float:
+        if self.finish_s is None:
+            raise ValueError(f"job {self.job_id} has not completed")
+        return self.finish_s - self.arrival_s
+
+
+@dataclass(frozen=True)
+class Stream:
+    """A Poisson arrival stream of one job class across tenants."""
+
+    job_class: JobClass
+    rate_per_s: float
+    num_tenants: int = 1
+    tenant_prefix: str = "tenant"
+    start_s: float = 0.0
+
+    def __post_init__(self):
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.num_tenants < 1:
+            raise ValueError("need at least one tenant")
+
+
+@dataclass
+class Scenario:
+    """A named mix of streams over a finite arrival horizon."""
+
+    name: str
+    duration_s: float
+    streams: List[Stream]
+
+    def generate(self, seed: int = 0) -> List[Job]:
+        """Draw the job arrivals (deterministic per seed)."""
+        rng = random.Random(seed)
+        jobs: List[Job] = []
+        for stream in self.streams:
+            t = stream.start_s
+            while True:
+                t += rng.expovariate(stream.rate_per_s)
+                if t >= self.duration_s:
+                    break
+                tenant = (f"{stream.tenant_prefix}"
+                          f"{rng.randrange(stream.num_tenants)}")
+                jobs.append(Job(0, stream.job_class, tenant, t))
+        jobs.sort(key=lambda j: j.arrival_s)
+        for i, job in enumerate(jobs):
+            job.job_id = i
+        return jobs
+
+
+# ----------------------------------------------------------------------
+# Device state
+# ----------------------------------------------------------------------
+
+class KeyCache:
+    """LRU cache of per-tenant switching keys resident in one HBM."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._resident: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bytes_loaded = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    def request(self, tenant: str, job_class: JobClass) -> int:
+        """Make a job's keys resident; returns bytes that must load."""
+        wanted = [(tenant, key) for key in job_class.key_ids]
+        miss_bytes = 0
+        for entry in wanted:
+            if entry in self._resident:
+                self.hits += 1
+                self._resident.move_to_end(entry)
+            else:
+                self.misses += 1
+                miss_bytes += job_class.bytes_per_key
+                self._resident[entry] = job_class.bytes_per_key
+        pinned = set(wanted)
+        while (self.resident_bytes > self.capacity_bytes
+               and any(e not in pinned for e in self._resident)):
+            for entry in self._resident:
+                if entry not in pinned:
+                    del self._resident[entry]
+                    break
+        self.bytes_loaded += miss_bytes
+        return miss_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class DeviceState:
+    """One FAB board in the serving pool."""
+
+    index: int
+    cache: KeyCache
+    free_at_s: float = 0.0
+    busy_s: float = 0.0
+    key_load_s: float = 0.0
+    jobs_done: int = 0
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sequence."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(int(math.ceil(q / 100.0 * len(sorted_values))) - 1, 0)
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+@dataclass
+class WorkloadStats:
+    """Latency/throughput summary for one job class."""
+
+    name: str
+    jobs: int
+    throughput_jps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    mean_ms: float
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one simulated scenario."""
+
+    scenario: str
+    makespan_s: float
+    jobs_done: int
+    per_workload: List[WorkloadStats]
+    device_utilization: float
+    key_hit_rate: float
+    key_bytes_loaded: int
+    batches: int
+    mean_batch_size: float
+
+    def workload(self, name: str) -> WorkloadStats:
+        for stats in self.per_workload:
+            if stats.name == name:
+                return stats
+        raise KeyError(f"no workload {name!r} in scenario "
+                       f"{self.scenario!r}")
+
+    def format(self) -> str:
+        rows = [(w.name, w.jobs, f"{w.throughput_jps:.1f}",
+                 f"{w.p50_ms:.2f}", f"{w.p95_ms:.2f}", f"{w.p99_ms:.2f}",
+                 f"{w.mean_ms:.2f}") for w in self.per_workload]
+        table = format_table(
+            ("workload", "jobs", "jobs/s", "p50_ms", "p95_ms", "p99_ms",
+             "mean_ms"), rows)
+        return (f"== serve[{self.scenario}]: {self.jobs_done} jobs in "
+                f"{self.makespan_s:.3f}s ==\n{table}\n"
+                f"devices {100 * self.device_utilization:.0f}% busy; "
+                f"key cache {100 * self.key_hit_rate:.0f}% hits "
+                f"({self.key_bytes_loaded / 1e9:.2f} GB loaded); "
+                f"{self.batches} batches, mean size "
+                f"{self.mean_batch_size:.2f}")
+
+    def to_experiment_result(self) -> ExperimentResult:
+        """Render through the standard experiment-table machinery."""
+        rows = [ExperimentRow(w.name, {
+            "jobs": w.jobs, "jobs_per_s": w.throughput_jps,
+            "p50_ms": w.p50_ms, "p95_ms": w.p95_ms, "p99_ms": w.p99_ms,
+        }) for w in self.per_workload]
+        return ExperimentResult(
+            experiment_id=f"serve[{self.scenario}]",
+            title="multi-tenant serving: throughput and tail latency",
+            columns=["jobs", "jobs_per_s", "p50_ms", "p95_ms", "p99_ms"],
+            rows=rows,
+            notes=f"{self.jobs_done} jobs, "
+                  f"{100 * self.device_utilization:.0f}% device busy, "
+                  f"{100 * self.key_hit_rate:.0f}% key-cache hits, "
+                  f"mean batch {self.mean_batch_size:.2f}")
+
+
+# ----------------------------------------------------------------------
+# The simulator
+# ----------------------------------------------------------------------
+
+class ServingSimulator:
+    """Event-driven serving across a FAB device pool."""
+
+    def __init__(self, config: Optional[FabConfig] = None,
+                 num_devices: int = 8,
+                 key_cache_bytes: Optional[int] = None,
+                 host: Optional[HostConfig] = None,
+                 max_batch: int = 8):
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.config = config or FabConfig()
+        self.host = host or HostConfig()
+        self.num_devices = num_devices
+        self.max_batch = max_batch
+        if key_cache_bytes is None:
+            # Keys may occupy HBM not reserved for ciphertexts and
+            # scratch: a quarter of the 8 GB by default.
+            key_cache_bytes = HbmModel(self.config).capacity_bytes // 4
+        self.key_cache_bytes = key_cache_bytes
+
+    # ------------------------------------------------------------------
+
+    def _key_load_seconds(self, miss_bytes: int) -> float:
+        """Host -> HBM switching-key transfer over PCIe."""
+        if miss_bytes == 0:
+            return 0.0
+        return (miss_bytes / (self.host.pcie_gbytes_per_sec * 1e9)
+                + self.host.pcie_latency_s)
+
+    def run(self, scenario: Scenario, seed: int = 0) -> ServingReport:
+        """Simulate one scenario; returns the aggregated report."""
+        jobs = scenario.generate(seed)
+        devices = [DeviceState(i, KeyCache(self.key_cache_bytes))
+                   for i in range(self.num_devices)]
+        free_heap: List[Tuple[float, int]] = [
+            (0.0, d.index) for d in devices]
+        heapq.heapify(free_heap)
+        queues: "OrderedDict[Tuple[str, str], deque]" = OrderedDict()
+        completed: List[Job] = []
+        batches = 0
+        batched_jobs = 0
+        i = 0
+        n = len(jobs)
+
+        def admit(now: float) -> None:
+            nonlocal i
+            while i < n and jobs[i].arrival_s <= now:
+                key = (jobs[i].job_class.name, jobs[i].tenant)
+                queues.setdefault(key, deque()).append(jobs[i])
+                i += 1
+
+        while i < n or any(queues.values()):
+            free_at, device_index = heapq.heappop(free_heap)
+            now = free_at
+            admit(now)
+            if not any(queues.values()):
+                # Idle until the next arrival.
+                now = max(now, jobs[i].arrival_s)
+                admit(now)
+            # Oldest-head-first across (class, tenant) queues: FIFO
+            # fairness between tenants, batching within a queue.
+            key = min((k for k, q in queues.items() if q),
+                      key=lambda k: queues[k][0].arrival_s)
+            queue = queues[key]
+            batch = [queue.popleft()
+                     for _ in range(min(self.max_batch, len(queue)))]
+            device = devices[device_index]
+            miss_bytes = device.cache.request(batch[0].tenant,
+                                              batch[0].job_class)
+            load_s = self._key_load_seconds(miss_bytes)
+            compute_s = len(batch) * batch[0].job_class.seconds(self.config)
+            service_s = (self.host.kernel_launch_overhead_s
+                         + load_s + compute_s)
+            finish = now + service_s
+            for job in batch:
+                job.finish_s = finish
+            completed.extend(batch)
+            device.free_at_s = finish
+            device.busy_s += service_s
+            device.key_load_s += load_s
+            device.jobs_done += len(batch)
+            batches += 1
+            batched_jobs += len(batch)
+            heapq.heappush(free_heap, (finish, device_index))
+
+        return self._report(scenario, completed, devices, batches,
+                            batched_jobs)
+
+    # ------------------------------------------------------------------
+
+    def _report(self, scenario: Scenario, completed: List[Job],
+                devices: List[DeviceState], batches: int,
+                batched_jobs: int) -> ServingReport:
+        makespan = max((j.finish_s or 0.0 for j in completed), default=0.0)
+        per_class: Dict[str, List[float]] = {}
+        for job in completed:
+            per_class.setdefault(job.job_class.name, []).append(
+                job.latency_s)
+        stats = []
+        for name, latencies in per_class.items():
+            latencies.sort()
+            count = len(latencies)
+            stats.append(WorkloadStats(
+                name=name, jobs=count,
+                throughput_jps=count / makespan if makespan else 0.0,
+                p50_ms=percentile(latencies, 50) * 1e3,
+                p95_ms=percentile(latencies, 95) * 1e3,
+                p99_ms=percentile(latencies, 99) * 1e3,
+                mean_ms=sum(latencies) / count * 1e3))
+        busy = sum(d.busy_s for d in devices)
+        hits = sum(d.cache.hits for d in devices)
+        misses = sum(d.cache.misses for d in devices)
+        return ServingReport(
+            scenario=scenario.name,
+            makespan_s=makespan,
+            jobs_done=len(completed),
+            per_workload=stats,
+            device_utilization=(busy / (makespan * len(devices))
+                                if makespan else 0.0),
+            key_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
+            key_bytes_loaded=sum(d.cache.bytes_loaded for d in devices),
+            batches=batches,
+            mean_batch_size=batched_jobs / batches if batches else 0.0)
+
+
+# ----------------------------------------------------------------------
+# Canned scenarios
+# ----------------------------------------------------------------------
+
+def build_job_classes(config: Optional[FabConfig] = None
+                      ) -> Dict[str, JobClass]:
+    """The serving workloads, lowered from the reference traces."""
+    from .optrace import OpTrace
+    from .reference import (analytics_trace, bootstrap_trace,
+                            lr_inference_trace, lr_iteration_trace)
+    config = config or FabConfig()
+    # One training step = sparse bootstrap + the update phase (§5.5).
+    training = OpTrace("lr_training")
+    training.extend(bootstrap_trace(config, slots=256))
+    training.extend(lr_iteration_trace())
+    return {
+        "lr_inference": JobClass.from_trace(lr_inference_trace(), config),
+        "lr_training": JobClass.from_trace(training, config),
+        "analytics": JobClass.from_trace(analytics_trace(), config),
+    }
+
+
+def build_scenarios(config: Optional[FabConfig] = None,
+                    num_devices: int = 8,
+                    duration_s: float = 2.0,
+                    target_load: float = 0.6
+                    ) -> Dict[str, Scenario]:
+    """Standard scenarios, with rates scaled to the pool capacity.
+
+    ``target_load`` is the offered load as a fraction of aggregate
+    device compute capacity, so scenarios remain stable (queues drain)
+    for any config / pool size.
+    """
+    config = config or FabConfig()
+    classes = build_job_classes(config)
+
+    def rate(job_class: JobClass, load: float) -> float:
+        return load * num_devices / job_class.seconds(config)
+
+    interactive = Scenario("interactive", duration_s, [
+        Stream(classes["lr_inference"],
+               rate(classes["lr_inference"], target_load),
+               num_tenants=8, tenant_prefix="user"),
+    ])
+    batch = Scenario("batch", duration_s, [
+        Stream(classes["lr_training"],
+               rate(classes["lr_training"], target_load),
+               num_tenants=2, tenant_prefix="trainer"),
+    ])
+    analytics = Scenario("analytics", duration_s, [
+        Stream(classes["analytics"],
+               rate(classes["analytics"], target_load),
+               num_tenants=4, tenant_prefix="org"),
+    ])
+    share = target_load / 3.0
+    mixed = Scenario("mixed", duration_s, [
+        Stream(classes["lr_inference"],
+               rate(classes["lr_inference"], share),
+               num_tenants=8, tenant_prefix="user"),
+        Stream(classes["lr_training"],
+               rate(classes["lr_training"], share),
+               num_tenants=2, tenant_prefix="trainer"),
+        Stream(classes["analytics"],
+               rate(classes["analytics"], share),
+               num_tenants=4, tenant_prefix="org"),
+    ])
+    return {"interactive": interactive, "batch": batch,
+            "analytics": analytics, "mixed": mixed}

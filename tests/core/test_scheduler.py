@@ -79,6 +79,71 @@ class TestValidation:
             g.add("a", "fu", -1)
 
 
+class TestEdgeCases:
+    def test_cycle_detected(self):
+        """A cycle (only constructible by mutating deps, since add()
+        validates forward references) must be rejected, not hang."""
+        g = TaskGraph()
+        g.add("a", "fu", 1)
+        g.add("b", "fu", 1, deps=["a"])
+        g._tasks["a"].deps = ("b",)
+        with pytest.raises(ValueError, match="cycle"):
+            g.schedule()
+
+    def test_self_cycle_detected(self):
+        g = TaskGraph()
+        g.add("a", "fu", 1)
+        g._tasks["a"].deps = ("a",)
+        with pytest.raises(ValueError, match="cycle"):
+            g.schedule()
+
+    def test_unknown_resource_schedules_independently(self):
+        """Resources are open-world: a task on a never-configured
+        resource gets a default single lane and its own stats row."""
+        g = TaskGraph()
+        g.add("a", "fu", 10)
+        g.add("weird", "quantum_bus", 5)
+        result = g.schedule()
+        assert result.resources["quantum_bus"].busy_cycles == 5
+        assert result.makespan == 10
+
+    def test_multi_lane_serialization(self):
+        """Three equal tasks on two lanes: two run, the third waits."""
+        g = TaskGraph()
+        g.set_resource_lanes("fu", 2)
+        for name in ("a", "b", "c"):
+            g.add(name, "fu", 10)
+        result = g.schedule()
+        assert result.makespan == 20
+        assert sorted(t.start for t in result.tasks.values()) == [0, 0, 10]
+
+    def test_lane_count_validation(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            g.set_resource_lanes("fu", 0)
+
+    def test_lanes_on_unused_resource_harmless(self):
+        g = TaskGraph()
+        g.set_resource_lanes("hbm", 4)
+        g.add("a", "fu", 3)
+        assert g.schedule().makespan == 3
+
+    def test_empty_graph_has_no_resources(self):
+        result = TaskGraph().schedule()
+        assert result.makespan == 0
+        assert result.resources == {}
+        assert result.critical_tasks() == []
+        assert result.bound_by() == "none"
+
+    def test_zero_cycle_task(self):
+        g = TaskGraph()
+        g.add("barrier", "fu", 0)
+        g.add("work", "fu", 5, deps=["barrier"])
+        result = g.schedule()
+        assert result.makespan == 5
+        assert result.tasks["barrier"].finish == 0
+
+
 class TestStats:
     def test_utilization(self):
         g = TaskGraph()

@@ -33,6 +33,47 @@ class TestCli:
         assert "Usage" in capsys.readouterr().out
 
 
+class TestTraceSubcommand:
+    def test_reference_trace(self, capsys):
+        assert cli_main(["trace", "lr_iteration"]) == 0
+        out = capsys.readouterr().out
+        assert "lr_iteration" in out
+        assert "cycles" in out and "switching keys" in out
+
+    def test_bootstrap_trace_no_prefetch(self, capsys):
+        assert cli_main(["trace", "bootstrap", "--no-prefetch"]) == 0
+        out = capsys.readouterr().out
+        assert "bootstrap" in out and "ms" in out
+
+    def test_trace_json_dump(self, capsys, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert cli_main(["trace", "analytics", "--json", path]) == 0
+        from repro.runtime import OpTrace
+        trace = OpTrace.load(path)
+        assert len(trace) > 0
+
+    def test_listed_in_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "serve" in out
+
+
+class TestServeSubcommand:
+    def test_mixed_scenario_three_workloads(self, capsys):
+        assert cli_main(["serve", "--scenario", "mixed",
+                         "--duration", "0.3", "--devices", "2"]) == 0
+        out = capsys.readouterr().out
+        # >= 3 distinct workloads with throughput + tail latencies.
+        for workload in ("lr_inference", "lr_training", "analytics"):
+            assert workload in out
+        for column in ("jobs_per_s", "p50", "p95", "p99"):
+            assert column in out
+
+    def test_unknown_scenario(self, capsys):
+        assert cli_main(["serve", "--scenario", "nope"]) == 1
+        assert "unknown scenario" in capsys.readouterr().out
+
+
 class TestTraceFormatters:
     def test_format_table(self):
         text = format_table(("a", "bb"), [(1, 2), (33, 4)])

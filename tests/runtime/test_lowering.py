@@ -1,0 +1,104 @@
+"""Lowering tests, including the trace-vs-hand-built equivalence that
+validates the whole capture -> lower -> schedule path against the
+paper's Table 7 / Table 8 program models."""
+
+import pytest
+
+from repro.core import FabConfig, FabOpModel, FabProgram
+from repro.runtime import (OpTrace, bootstrap_trace, cost_trace,
+                           key_working_set, lower_trace,
+                           lr_iteration_trace, switching_key_bytes)
+
+
+class TestLowerTrace:
+    def test_cost_equivalent_kinds_collapse(self):
+        trace = OpTrace()
+        trace.record("sub", 5)
+        trace.record("negate", 5)
+        trace.record("square", 5)
+        trace.record("multiply_scalar", 5)
+        program = lower_trace(trace)
+        assert [op.kind for op in program.ops] == [
+            "add", "add", "multiply", "multiply_plain"]
+
+    def test_mod_down_lowers_away(self):
+        trace = OpTrace()
+        trace.record("mod_down", 4)
+        trace.record("add", 4)
+        assert len(lower_trace(trace)) == 1
+
+    def test_level_clamped_to_config_chain(self):
+        trace = OpTrace()
+        trace.record("add", 99)
+        program = lower_trace(trace)
+        assert program.ops[0].level == program.config.fhe.num_limbs
+
+    def test_empty_trace(self):
+        cost = cost_trace(OpTrace("empty"))
+        assert cost.cycles == 0
+        assert cost.keys.num_keys == 0
+
+
+class TestKeyWorkingSet:
+    def test_keys_from_ops(self):
+        config = FabConfig()
+        trace = OpTrace()
+        trace.record("multiply", 6)
+        trace.record("rotate", 6, step=1)
+        trace.record("rotate_hoisted", 6, step=2)
+        trace.record("rotate", 6, step=1)  # duplicate step
+        trace.record("conjugate", 6)
+        keys = key_working_set(trace, config)
+        assert set(keys.key_ids) == {"relin", "rot1", "rot2", "conj"}
+        assert keys.bytes_per_key == switching_key_bytes(config)
+        assert keys.total_bytes == 4 * keys.bytes_per_key
+
+    def test_key_bytes_match_paper_shape(self):
+        """One key = dnum digit pairs of fully raised polynomials."""
+        config = FabConfig()
+        fhe = config.fhe
+        assert switching_key_bytes(config) == \
+            2 * fhe.dnum * fhe.max_raised_limbs * fhe.limb_bytes
+
+
+class TestHandBuiltEquivalence:
+    """Acceptance: traced-and-lowered programs reproduce the hand-built
+    core.program cycle counts within 1%."""
+
+    def test_lr_iteration_matches_hand_built(self):
+        config = FabConfig()
+        hand = FabProgram.lr_iteration(config).schedule()
+        lowered = lower_trace(lr_iteration_trace(), config).schedule()
+        assert lowered.cycles == pytest.approx(hand.cycles, rel=0.01)
+        assert lowered.num_ops == hand.num_ops
+
+    def test_lr_iteration_prefetch_ablation_matches(self):
+        config = FabConfig()
+        hand = FabProgram.lr_iteration(config).schedule(prefetch=False)
+        lowered = lower_trace(lr_iteration_trace(),
+                              config).schedule(prefetch=False)
+        assert lowered.cycles == pytest.approx(hand.cycles, rel=0.01)
+
+    def test_bootstrap_matches_table7_model(self):
+        config = FabConfig()
+        hand = FabOpModel(config).bootstrap()
+        cost = cost_trace(bootstrap_trace(config), config)
+        assert cost.serial_cycles == pytest.approx(hand.cycles, rel=0.01)
+
+    def test_sparse_bootstrap_matches_table7_model(self):
+        """The LR working point: 256-slot sparse bootstrapping."""
+        config = FabConfig()
+        hand = FabOpModel(config).bootstrap(slots=256)
+        cost = cost_trace(bootstrap_trace(config, slots=256), config)
+        assert cost.serial_cycles == pytest.approx(hand.cycles, rel=0.01)
+
+    def test_bootstrap_fft_iter_sweep_matches(self):
+        """Figure 2's knob: the equivalence holds across fftIter."""
+        config = FabConfig()
+        model = FabOpModel(config)
+        for fft_iter in (1, 2, 4):
+            hand = model.bootstrap(fft_iter=fft_iter)
+            cost = cost_trace(bootstrap_trace(config, fft_iter=fft_iter),
+                              config)
+            assert cost.serial_cycles == pytest.approx(hand.cycles,
+                                                       rel=0.01)

@@ -1,0 +1,95 @@
+"""Tests for the trace IR: construction, inspection, serialization."""
+
+import pytest
+
+from repro.runtime import TRACE_KINDS, OpTrace, TraceOp
+
+
+class TestTraceOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceOp(0, "frobnicate", 10)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            TraceOp(0, "add", 0)
+
+    def test_all_kinds_constructible(self):
+        for kind in TRACE_KINDS:
+            TraceOp(0, kind, 5)
+
+
+class TestOpTrace:
+    def test_record_sequencing(self):
+        trace = OpTrace("t")
+        trace.record("add", 5)
+        op = trace.record("rotate", 5, step=3, operands=[0], result=1)
+        assert op.seq == 1 and op.step == 3
+        assert len(trace) == 2
+
+    def test_op_counts(self):
+        trace = OpTrace()
+        trace.record("add", 5)
+        trace.record("add", 4)
+        trace.record("multiply", 5)
+        assert trace.op_counts() == {"add": 2, "multiply": 1}
+
+    def test_rotation_steps_deduplicated(self):
+        trace = OpTrace()
+        trace.record("rotate", 5, step=1)
+        trace.record("rotate_hoisted", 5, step=2)
+        trace.record("rotate", 5, step=1)
+        trace.record("multiply", 5)
+        assert trace.rotation_steps() == [1, 2]
+
+    def test_levels(self):
+        trace = OpTrace()
+        assert trace.levels() == (0, 0)
+        trace.record("add", 3)
+        trace.record("add", 9)
+        assert trace.levels() == (3, 9)
+
+    def test_extend_resequences(self):
+        a = OpTrace("a")
+        a.record("add", 5)
+        b = OpTrace("b")
+        b.record("multiply", 4)
+        a.extend(b)
+        assert [op.seq for op in a] == [0, 1]
+        assert a.ops[1].kind == "multiply"
+
+    def test_repeated(self):
+        trace = OpTrace("unit")
+        trace.record("add", 5)
+        trace.record("rescale", 5)
+        tripled = trace.repeated(3)
+        assert len(tripled) == 6
+        assert len(trace) == 2  # original untouched
+        with pytest.raises(ValueError):
+            trace.repeated(0)
+
+    def test_summary_mentions_counts(self):
+        trace = OpTrace("lr")
+        trace.record("multiply", 6)
+        text = trace.summary()
+        assert "lr" in text and "multiply=1" in text
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        trace = OpTrace("rt", meta={"ring_degree": 64})
+        trace.record("rotate", 5, step=2, operands=[0], result=1)
+        trace.record("rescale", 5, operands=[1], result=2)
+        back = OpTrace.from_json(trace.to_json())
+        assert back.name == "rt"
+        assert back.meta["ring_degree"] == 64
+        assert len(back) == 2
+        assert back.ops[0].step == 2
+        assert back.ops[1].operands == (1,)
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = OpTrace("file")
+        trace.record("add", 7)
+        path = str(tmp_path / "trace.json")
+        trace.save(path)
+        assert len(OpTrace.load(path)) == 1

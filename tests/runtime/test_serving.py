@@ -1,0 +1,179 @@
+"""Tests for the multi-tenant serving simulator."""
+
+import pytest
+
+from repro.core import FabConfig
+from repro.runtime import (JobClass, KeyCache, Scenario,
+                           ServingSimulator, Stream, build_job_classes,
+                           build_scenarios, lr_inference_trace,
+                           percentile)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FabConfig()
+
+
+@pytest.fixture(scope="module")
+def job_classes(config):
+    return build_job_classes(config)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 99) == 4.0
+        assert percentile([7.0], 95) == 7.0
+
+    def test_empty(self):
+        assert percentile([], 50) != percentile([], 50)  # NaN
+
+
+class TestKeyCache:
+    def test_hits_after_first_load(self, job_classes):
+        job = job_classes["lr_inference"]
+        cache = KeyCache(capacity_bytes=10 * job.key_bytes)
+        assert cache.request("t0", job) == job.key_bytes
+        assert cache.request("t0", job) == 0
+        assert cache.hits == len(job.key_ids)
+
+    def test_tenants_do_not_share_keys(self, job_classes):
+        job = job_classes["lr_inference"]
+        cache = KeyCache(capacity_bytes=10 * job.key_bytes)
+        cache.request("t0", job)
+        assert cache.request("t1", job) == job.key_bytes
+
+    def test_lru_eviction_under_pressure(self, job_classes):
+        job = job_classes["lr_inference"]
+        # Room for one tenant's working set only.
+        cache = KeyCache(capacity_bytes=job.key_bytes)
+        cache.request("t0", job)
+        cache.request("t1", job)          # evicts t0
+        assert cache.request("t1", job) == 0
+        assert cache.request("t0", job) == job.key_bytes
+        assert cache.resident_bytes <= cache.capacity_bytes
+
+    def test_working_set_larger_than_capacity(self, job_classes):
+        job = job_classes["lr_inference"]
+        cache = KeyCache(capacity_bytes=job.bytes_per_key)
+        # Loads everything; current request's keys are never evicted
+        # mid-request, so residency may transiently exceed capacity.
+        assert cache.request("t0", job) == job.key_bytes
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            KeyCache(0)
+
+
+class TestJobClass:
+    def test_from_trace(self, config):
+        job = JobClass.from_trace(lr_inference_trace(), config)
+        assert job.cycles > 0
+        assert "relin" in job.key_ids
+        assert job.seconds(config) == pytest.approx(
+            job.cycles / config.clock_hz)
+
+
+class TestSimulator:
+    def test_deterministic_per_seed(self, config, job_classes):
+        scenario = Scenario("det", 0.2, [
+            Stream(job_classes["lr_inference"], rate_per_s=200.0,
+                   num_tenants=4)])
+        sim = ServingSimulator(config, num_devices=2)
+        a = sim.run(scenario, seed=7)
+        b = sim.run(scenario, seed=7)
+        c = sim.run(scenario, seed=8)
+        assert a.jobs_done == b.jobs_done
+        assert a.makespan_s == b.makespan_s
+        assert a.workload("lr_inference").p99_ms == \
+            b.workload("lr_inference").p99_ms
+        assert c.jobs_done != a.jobs_done or c.makespan_s != a.makespan_s
+
+    def test_all_jobs_complete_with_ordered_tails(self, config,
+                                                  job_classes):
+        scenario = Scenario("tails", 0.2, [
+            Stream(job_classes["lr_inference"], rate_per_s=300.0,
+                   num_tenants=2)])
+        report = ServingSimulator(config, num_devices=4).run(scenario,
+                                                             seed=1)
+        stats = report.workload("lr_inference")
+        assert report.jobs_done == stats.jobs > 0
+        assert 0 < stats.p50_ms <= stats.p95_ms <= stats.p99_ms
+        assert 0 < report.device_utilization <= 1.0
+
+    def test_more_devices_serve_faster(self, config, job_classes):
+        scenario = Scenario("scale", 0.2, [
+            Stream(job_classes["lr_inference"], rate_per_s=400.0,
+                   num_tenants=2)])
+        one = ServingSimulator(config, num_devices=1).run(scenario, seed=2)
+        four = ServingSimulator(config, num_devices=4).run(scenario,
+                                                           seed=2)
+        assert four.makespan_s < one.makespan_s
+        assert four.workload("lr_inference").p99_ms < \
+            one.workload("lr_inference").p99_ms
+
+    def test_batching_amortizes_key_loads(self, config, job_classes):
+        scenario = Scenario("batching", 0.2, [
+            Stream(job_classes["lr_inference"], rate_per_s=400.0,
+                   num_tenants=4)])
+        serial = ServingSimulator(config, num_devices=2,
+                                  max_batch=1).run(scenario, seed=3)
+        batched = ServingSimulator(config, num_devices=2,
+                                   max_batch=8).run(scenario, seed=3)
+        assert batched.key_bytes_loaded < serial.key_bytes_loaded
+        assert batched.mean_batch_size > serial.mean_batch_size == 1.0
+        assert batched.workload("lr_inference").p99_ms < \
+            serial.workload("lr_inference").p99_ms
+
+    def test_bigger_key_cache_raises_hit_rate(self, config, job_classes):
+        job = job_classes["lr_inference"]
+        # Unbatched dispatch with repeat per-tenant traffic: a cache
+        # holding every tenant's working set hits from the second
+        # request on; a one-working-set cache thrashes between tenants.
+        scenario = Scenario("cache", 0.5, [
+            Stream(job, rate_per_s=300.0, num_tenants=8)])
+        small = ServingSimulator(
+            config, num_devices=2, max_batch=1,
+            key_cache_bytes=job.key_bytes).run(scenario, seed=4)
+        large = ServingSimulator(
+            config, num_devices=2, max_batch=1,
+            key_cache_bytes=16 * job.key_bytes).run(scenario, seed=4)
+        assert large.key_hit_rate > small.key_hit_rate
+        assert large.key_bytes_loaded < small.key_bytes_loaded
+
+    def test_empty_scenario(self, config, job_classes):
+        scenario = Scenario("quiet", 0.0, [
+            Stream(job_classes["lr_inference"], rate_per_s=1.0)])
+        report = ServingSimulator(config).run(scenario)
+        assert report.jobs_done == 0
+        assert report.makespan_s == 0.0
+
+    def test_invalid_parameters(self, config):
+        with pytest.raises(ValueError):
+            ServingSimulator(config, num_devices=0)
+        with pytest.raises(ValueError):
+            ServingSimulator(config, max_batch=0)
+        with pytest.raises(ValueError):
+            Stream(JobClass("x", 1, (), 1), rate_per_s=0.0)
+
+
+class TestScenarios:
+    def test_build_scenarios_shapes(self, config):
+        scenarios = build_scenarios(config, num_devices=2,
+                                    duration_s=0.1)
+        assert set(scenarios) >= {"interactive", "batch", "analytics",
+                                  "mixed"}
+        assert len(scenarios["mixed"].streams) >= 3
+
+    def test_mixed_serves_three_workloads(self, config):
+        scenarios = build_scenarios(config, num_devices=2,
+                                    duration_s=0.4)
+        report = ServingSimulator(config, num_devices=2).run(
+            scenarios["mixed"], seed=5)
+        names = {w.name for w in report.per_workload}
+        assert names == {"lr_inference", "lr_training", "analytics"}
+        text = report.format()
+        assert "p99" in text and "key cache" in text
+        table = report.to_experiment_result().format()
+        assert "jobs_per_s" in table

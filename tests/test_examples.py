@@ -35,6 +35,11 @@ class TestFastExamples:
         out = run_example("private_analytics.py")
         assert "bit-exact" in out
 
+    def test_serving_sim(self):
+        out = run_example("serving_sim.py")
+        assert "serving sweep OK" in out
+        assert "p99" in out
+
     def test_reproduce_paper(self):
         out = run_example("reproduce_paper.py")
         for artifact in ("fig1", "fig2", "table3", "table7", "table8"):
