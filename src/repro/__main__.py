@@ -7,6 +7,7 @@ Usage::
     python -m repro table7 table8        # run specific artifacts
     python -m repro trace lr_iteration   # lower a trace, print its cost
     python -m repro serve --scenario mixed   # serving simulation
+    python -m repro serve-sweep          # cost-optimal pool sweep
 """
 
 from __future__ import annotations
@@ -27,6 +28,9 @@ def main(argv=None) -> int:
     if argv[0] == "serve":
         from .runtime.cli import run_serve
         return run_serve(argv[1:])
+    if argv[0] == "serve-sweep":
+        from .runtime.cli import run_serve_sweep
+        return run_serve_sweep(argv[1:])
     if argv[0] == "list":
         for key, module in ALL_EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
@@ -35,6 +39,8 @@ def main(argv=None) -> int:
               f"and cost it.")
         print(f"{'serve':22s} Simulate multi-tenant serving on a FAB "
               f"pool.")
+        print(f"{'serve-sweep':22s} Sweep pool x cache x tenants x load "
+              f"for the cost-optimal configuration.")
         return 0
     targets = list(ALL_EXPERIMENTS) if argv[0] == "all" else argv
     unknown = [t for t in targets if t not in ALL_EXPERIMENTS]

@@ -41,6 +41,19 @@ class ProgramOp:
                              f"choose from {OP_KINDS}")
 
 
+#: Interned (kind, level) -> ProgramOp.  A lowered bootstrap trace is
+#: thousands of ops drawn from a few dozen distinct (kind, level)
+#: pairs; sharing one immutable record per pair keeps append() cheap.
+_OP_INTERN: Dict[tuple, ProgramOp] = {}
+
+#: config -> {(kind, level): (compute_cycles, fetch_cycles)}.  The op
+#: models walk the NTT/key-switch datapaths on every call, which used
+#: to dominate lowering; configs are frozen dataclasses, so the priced
+#: result is reusable across every program built for the same config.
+#: The config is hashed once per program (in ``__init__``), not per op.
+_OP_COST_CACHE: Dict["FabConfig", Dict[tuple, tuple]] = {}
+
+
 @dataclass
 class ProgramReport:
     """Scheduling outcome for one program."""
@@ -71,11 +84,15 @@ class FabProgram:
         self.model = FabOpModel(self.config)
         self.hbm = HbmModel(self.config)
         self.ops: List[ProgramOp] = []
+        self._cost_cache = _OP_COST_CACHE.setdefault(self.config, {})
 
     def append(self, kind: str, level: Optional[int] = None) -> "FabProgram":
         """Add an operation (chainable)."""
         level = level if level is not None else self.config.fhe.num_limbs
-        self.ops.append(ProgramOp(kind, level))
+        op = _OP_INTERN.get((kind, level))
+        if op is None:
+            op = _OP_INTERN[(kind, level)] = ProgramOp(kind, level)
+        self.ops.append(op)
         return self
 
     def extend(self, kinds: Sequence[str],
@@ -125,11 +142,17 @@ class FabProgram:
     # ------------------------------------------------------------------
 
     def _op_costs(self, op: ProgramOp):
+        """(compute, fetch) cycles, memoized on (config, kind, level)."""
+        key = (op.kind, op.level)
+        cached = self._cost_cache.get(key)
+        if cached is not None:
+            return cached
         report = getattr(self.model, op.kind)(op.level)
         fetch_cycles = (self.hbm.transfer_cycles(report.hbm_bytes,
                                                  include_latency=True)
                         if report.hbm_bytes else 0)
         compute_cycles = max(report.cycles - 0, 1)
+        self._cost_cache[key] = (compute_cycles, fetch_cycles)
         return compute_cycles, fetch_cycles
 
     def compile(self, prefetch: bool = True) -> TaskGraph:

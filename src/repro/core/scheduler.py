@@ -9,12 +9,27 @@ dependencies; resources serialize their tasks (optionally across
 multiple lanes).  The makespan and per-resource busy time quantify the
 overlap, utilization, and whether a schedule is compute- or
 memory-bound — the paper's central "balanced design" claim.
+
+Two implementations of the same policy live here:
+
+* :meth:`TaskGraph.schedule` — the fast path: one O((V+E) log V) pass
+  over a ready-task heap, with integer-indexed successor lists and
+  in-degree counts.  This is what everything in the repo calls.
+* :meth:`TaskGraph.schedule_reference` — the naive list scheduler that
+  rescans the whole frontier per placement, O(V^2 + VE).  It exists as
+  an executable specification: the property tests assert the heap
+  scheduler reproduces it exactly, and the perf benchmark measures the
+  speedup against it.
+
+The policy both implement: tasks are placed in ascending
+``(ready_cycle, insertion_order)`` order, each on the earliest-free
+lane of its resource, starting at ``max(ready_cycle, lane_free)``.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
@@ -89,6 +104,8 @@ class TaskGraph:
 
     def __init__(self):
         self._tasks: Dict[str, Task] = {}
+        self._order: List[Task] = []        # insertion order, by index
+        self._index: Dict[str, int] = {}    # name -> insertion index
         self._lanes: Dict[str, int] = {}
 
     def set_resource_lanes(self, resource: str, lanes: int) -> None:
@@ -109,7 +126,9 @@ class TaskGraph:
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
         task = Task(name, resource, int(cycles), deps)
+        self._index[name] = len(self._order)
         self._tasks[name] = task
+        self._order.append(task)
         return task
 
     def __len__(self) -> int:
@@ -117,57 +136,121 @@ class TaskGraph:
 
     # ------------------------------------------------------------------
 
+    def _edges(self) -> Tuple[List[int], List[List[int]]]:
+        """(in-degree, successor lists) indexed by insertion order.
+
+        Read from the live ``deps`` tuples so graphs mutated after
+        construction (the cycle-detection tests do this) are seen.
+        """
+        index = self._index
+        indegree = [0] * len(self._order)
+        successors: List[List[int]] = [[] for _ in self._order]
+        for i, task in enumerate(self._order):
+            indegree[i] = len(task.deps)
+            for d in task.deps:
+                successors[index[d]].append(i)
+        return indegree, successors
+
+    def _finalize(self, scheduled: int) -> ScheduleResult:
+        if scheduled != len(self._order):
+            raise ValueError("task graph contains a cycle")
+        makespan = 0
+        busy: Dict[str, int] = {}
+        count: Dict[str, int] = {}
+        for task in self._order:
+            if task.finish > makespan:
+                makespan = task.finish
+            res = task.resource
+            busy[res] = busy.get(res, 0) + task.cycles
+            count[res] = count.get(res, 0) + 1
+        stats = {r: ResourceStats(r, busy[r], count[r]) for r in busy}
+        return ScheduleResult(makespan, dict(self._tasks), stats)
+
     def schedule(self) -> ScheduleResult:
         """List-schedule the DAG; returns the timed result.
 
-        Tasks become ready when all dependencies finish; ready tasks are
-        started in (ready-time, insertion-order) order on the earliest
-        free lane of their resource.
+        A task becomes ready when all dependencies finish; ready tasks
+        are placed in (ready-cycle, insertion-order) order on the
+        earliest free lane of their resource.  One heap-driven pass:
+        O((V + E) log V).
         """
-        order = self._topological_order()
+        order = self._order
+        indegree, successors = self._edges()
+        tasks = len(order)
+        finish_of = [0] * tasks             # finish cycle, by index
+        ready_at = [0] * tasks              # max dep finish, by index
+        ready_heap: List[Tuple[int, int]] = [
+            (0, i) for i in range(tasks) if indegree[i] == 0]
+        heapq.heapify(ready_heap)
         lane_free: Dict[str, List[int]] = {}
-        busy: Dict[str, int] = {}
-        count: Dict[str, int] = {}
-        for task in order:
+        lanes = self._lanes
+        scheduled = 0
+        while ready_heap:
+            ready, i = heapq.heappop(ready_heap)
+            task = order[i]
             res = task.resource
-            lanes = self._lanes.get(res, 1)
-            if res not in lane_free:
-                lane_free[res] = [0] * lanes
-            ready = max((self._tasks[d].finish or 0 for d in task.deps),
-                        default=0)
-            heap = lane_free[res]
+            heap = lane_free.get(res)
+            if heap is None:
+                heap = lane_free[res] = [0] * lanes.get(res, 1)
+            earliest = heapq.heappop(heap)
+            start = ready if ready > earliest else earliest
+            finish = start + task.cycles
+            heapq.heappush(heap, finish)
+            task.start, task.finish = start, finish
+            finish_of[i] = finish
+            scheduled += 1
+            for j in successors[i]:
+                if finish > ready_at[j]:
+                    ready_at[j] = finish
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    heapq.heappush(ready_heap, (ready_at[j], j))
+        return self._finalize(scheduled)
+
+    def schedule_reference(self) -> ScheduleResult:
+        """The naive frontier-scanning list scheduler (same policy).
+
+        Rescans every unplaced task per placement — O(V^2 + VE) — and
+        recomputes each candidate's ready cycle from its dependency
+        list.  Kept as the executable specification :meth:`schedule` is
+        property-tested against, and as the perf-benchmark baseline.
+        """
+        order = self._order
+        index = self._index
+        pending = set(range(len(order)))
+        finish_of: Dict[int, int] = {}
+        lane_free: Dict[str, List[int]] = {}
+        while pending:
+            best: Optional[Tuple[int, int]] = None
+            for i in sorted(pending):
+                task = order[i]
+                ready = 0
+                placeable = True
+                for d in task.deps:
+                    di = index[d]
+                    if di in pending:
+                        placeable = False
+                        break
+                    if finish_of[di] > ready:
+                        ready = finish_of[di]
+                if placeable and (best is None or (ready, i) < best):
+                    best = (ready, i)
+            if best is None:
+                raise ValueError("task graph contains a cycle")
+            ready, i = best
+            task = order[i]
+            res = task.resource
+            heap = lane_free.get(res)
+            if heap is None:
+                heap = lane_free[res] = [0] * self._lanes.get(res, 1)
             earliest = heapq.heappop(heap)
             start = max(ready, earliest)
             finish = start + task.cycles
             heapq.heappush(heap, finish)
             task.start, task.finish = start, finish
-            busy[res] = busy.get(res, 0) + task.cycles
-            count[res] = count.get(res, 0) + 1
-        makespan = max((t.finish or 0 for t in order), default=0)
-        stats = {r: ResourceStats(r, busy[r], count[r]) for r in busy}
-        return ScheduleResult(makespan, dict(self._tasks), stats)
-
-    def _topological_order(self) -> List[Task]:
-        indegree = {name: len(t.deps) for name, t in self._tasks.items()}
-        children: Dict[str, List[str]] = {name: [] for name in self._tasks}
-        for name, task in self._tasks.items():
-            for d in task.deps:
-                children[d].append(name)
-        # Stable queue preserving insertion order among ready tasks.
-        queue = [name for name, deg in indegree.items() if deg == 0]
-        order: List[Task] = []
-        i = 0
-        while i < len(queue):
-            name = queue[i]
-            i += 1
-            order.append(self._tasks[name])
-            for child in children[name]:
-                indegree[child] -= 1
-                if indegree[child] == 0:
-                    queue.append(child)
-        if len(order) != len(self._tasks):
-            raise ValueError("task graph contains a cycle")
-        return order
+            finish_of[i] = finish
+            pending.remove(i)
+        return self._finalize(len(order) - len(pending))
 
 
 def serial_cycles(tasks: Sequence[Tuple[str, int]]) -> int:

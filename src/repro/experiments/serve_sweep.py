@@ -1,0 +1,268 @@
+"""Autoscaling sweep: the cost-optimal FAB serving configuration.
+
+The ROADMAP's autoscaling scenario: sweep the serving-pool design
+space — pool size x HBM key-cache size x tenant count x offered load —
+and report the configuration that serves the paper's workload mix at
+the lowest device cost while meeting a tail-latency SLO.  This is the
+serving-level analogue of the paper's design-space exploration (dnum,
+fftIter): the balanced point is found by measuring the whole grid, not
+by sizing one axis in isolation.
+
+Every grid point runs the deterministic multi-tenant simulator
+(:mod:`repro.runtime.serving`) on a mixed inference/training/analytics
+scenario whose arrival rates are scaled to the point's pool capacity
+and offered load.  Points are independent, so the driver fans out over
+a ``multiprocessing`` pool (``workers=1`` runs inline; results are
+identical either way).  The sweep-scale fast paths (heap scheduler,
+memoized lowering, heap-driven serving loop) are what make paper-scale
+grids cheap enough to run in CI.
+
+Cost model: boards are the scarce resource, so a configuration is
+priced in **device-milliseconds per served job**
+(``devices * makespan / jobs``).  A point is *feasible* when every
+workload's p99 latency meets the SLO and the pool keeps up with the
+offered load (all arrivals served without the backlog outliving the
+arrival horizon by more than the SLO).  The cost-optimal configuration
+is the cheapest feasible point; ties break toward fewer devices, then
+a smaller cache.
+
+CLI::
+
+    python -m repro serve-sweep --duration 2.0 --json sweep.json
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.hbm import HbmModel
+from ..core.params import FabConfig
+from ..runtime.serving import (JobClass, Scenario, ServingSimulator,
+                               Stream, build_job_classes)
+from .common import ExperimentResult, ExperimentRow
+
+#: Default grid: 3 pools x 2 caches x 2 tenant mixes x 4 loads = 48.
+DEFAULT_DEVICES = (4, 8, 16)
+DEFAULT_CACHE_FRACTIONS = (0.125, 0.25)
+DEFAULT_TENANTS = (2, 8)
+DEFAULT_LOADS = (0.3, 0.6, 0.9, 1.2)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One serving configuration under one offered load."""
+
+    devices: int
+    cache_fraction: float     # of HBM capacity, for switching keys
+    tenants: int              # per stream
+    load: float               # offered load / aggregate pool capacity
+
+    def label(self) -> str:
+        return (f"d{self.devices}/c{self.cache_fraction:g}/"
+                f"t{self.tenants}/l{self.load:g}")
+
+
+@dataclass
+class SweepOutcome:
+    """Simulated result of one grid point."""
+
+    point: SweepPoint
+    jobs: int
+    makespan_s: float
+    worst_p99_ms: float
+    throughput_jps: float
+    device_utilization: float
+    key_hit_rate: float
+    cost_device_ms_per_job: float
+    feasible: bool
+
+
+@dataclass
+class SweepReport:
+    """The full grid plus the cost-optimal configuration."""
+
+    outcomes: List[SweepOutcome]
+    slo_p99_ms: float
+    duration_s: float
+    seed: int
+
+    @property
+    def best(self) -> Optional[SweepOutcome]:
+        """Cheapest feasible point (fewest devices, then smallest
+        cache, break remaining ties)."""
+        feasible = [o for o in self.outcomes if o.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda o: (
+            o.cost_device_ms_per_job, o.point.devices,
+            o.point.cache_fraction, o.point.tenants, o.point.load))
+
+    def to_dict(self) -> Dict[str, object]:
+        best = self.best
+        return {
+            "slo_p99_ms": self.slo_p99_ms,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "grid_points": len(self.outcomes),
+            "feasible_points": sum(o.feasible for o in self.outcomes),
+            "best": asdict(best) if best else None,
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+
+    def to_experiment_result(self) -> ExperimentResult:
+        columns = ["devices", "cache_frac", "tenants", "load", "jobs",
+                   "p99_ms", "util", "hit_rate", "cost_dev_ms", "ok"]
+        rows = [ExperimentRow(o.point.label(), {
+            "devices": o.point.devices,
+            "cache_frac": o.point.cache_fraction,
+            "tenants": o.point.tenants,
+            "load": o.point.load,
+            "jobs": o.jobs,
+            "p99_ms": o.worst_p99_ms,
+            "util": o.device_utilization,
+            "hit_rate": o.key_hit_rate,
+            "cost_dev_ms": o.cost_device_ms_per_job,
+            "ok": "yes" if o.feasible else "no",
+        }) for o in self.outcomes]
+        best = self.best
+        notes = (f"cost-optimal: {best.point.label()} at "
+                 f"{best.cost_device_ms_per_job:.2f} device-ms/job, "
+                 f"p99 {best.worst_p99_ms:.1f} ms "
+                 f"(SLO {self.slo_p99_ms:.0f} ms)"
+                 if best else
+                 f"no feasible point under the {self.slo_p99_ms:.0f} ms "
+                 f"p99 SLO")
+        return ExperimentResult(
+            experiment_id="serve_sweep",
+            title="autoscaling sweep: pool x cache x tenants x load",
+            columns=columns, rows=rows, notes=notes)
+
+
+def _build_scenario(classes: Dict[str, JobClass], config: FabConfig,
+                    point: SweepPoint, duration_s: float) -> Scenario:
+    """The mixed workload scaled to one grid point's pool capacity."""
+    share = point.load / len(classes)
+    streams = [
+        Stream(job_class,
+               rate_per_s=share * point.devices / job_class.seconds(config),
+               num_tenants=point.tenants,
+               tenant_prefix=f"{name}-t")
+        for name, job_class in sorted(classes.items())
+    ]
+    return Scenario(f"sweep[{point.label()}]", duration_s, streams)
+
+
+def _simulate_point(args: Tuple) -> SweepOutcome:
+    """Worker body: one grid point through the serving simulator.
+
+    Top-level (picklable) so a multiprocessing pool can run it; all
+    inputs travel by value, so fork and spawn give identical results.
+    """
+    (point, classes, config, duration_s, seed, max_batch,
+     slo_p99_ms) = args
+    cache_bytes = max(
+        int(HbmModel(config).capacity_bytes * point.cache_fraction), 1)
+    scenario = _build_scenario(classes, config, point, duration_s)
+    simulator = ServingSimulator(config, num_devices=point.devices,
+                                 key_cache_bytes=cache_bytes,
+                                 max_batch=max_batch)
+    report = simulator.run(scenario, seed=seed)
+    worst_p99 = max((w.p99_ms for w in report.per_workload), default=0.0)
+    cost = (point.devices * report.makespan_s * 1e3 / report.jobs_done
+            if report.jobs_done else float("inf"))
+    # Feasible: tails meet the SLO and the backlog drains — the last
+    # completion lands within one SLO of the arrival horizon.
+    drains = report.makespan_s <= duration_s + slo_p99_ms / 1e3
+    feasible = (report.jobs_done > 0 and worst_p99 <= slo_p99_ms
+                and drains)
+    return SweepOutcome(
+        point=point,
+        jobs=report.jobs_done,
+        makespan_s=report.makespan_s,
+        worst_p99_ms=worst_p99,
+        throughput_jps=(report.jobs_done / report.makespan_s
+                        if report.makespan_s else 0.0),
+        device_utilization=report.device_utilization,
+        key_hit_rate=report.key_hit_rate,
+        cost_device_ms_per_job=cost,
+        feasible=feasible)
+
+
+def default_slo_p99_ms(classes: Dict[str, JobClass],
+                       config: FabConfig) -> float:
+    """SLO heuristic: 8x the heaviest class's single-job service time.
+
+    Scale-free: holds across pool sizes and hardware configs, loose
+    enough that moderate queueing passes, tight enough that an
+    overloaded pool (load >= 1) fails.
+    """
+    slowest = max(jc.seconds(config) for jc in classes.values())
+    return 8.0 * slowest * 1e3
+
+
+def run_sweep(config: Optional[FabConfig] = None,
+              devices: Sequence[int] = DEFAULT_DEVICES,
+              cache_fractions: Sequence[float] = DEFAULT_CACHE_FRACTIONS,
+              tenants: Sequence[int] = DEFAULT_TENANTS,
+              loads: Sequence[float] = DEFAULT_LOADS,
+              duration_s: float = 1.0,
+              seed: int = 0,
+              max_batch: int = 8,
+              slo_p99_ms: Optional[float] = None,
+              workers: Optional[int] = None) -> SweepReport:
+    """Simulate the full grid; returns the sweep report.
+
+    ``workers=None`` sizes the pool to the machine (capped at the grid
+    size); ``workers=1`` runs inline with no multiprocessing.  Either
+    way the grid points are deterministic, so the report is identical.
+    """
+    config = config or FabConfig()
+    classes = build_job_classes(config)
+    if slo_p99_ms is None:
+        slo_p99_ms = default_slo_p99_ms(classes, config)
+    grid = [SweepPoint(d, c, t, l)
+            for d in devices for c in cache_fractions
+            for t in tenants for l in loads]
+    if not grid:
+        raise ValueError("empty sweep grid")
+    tasks = [(point, classes, config, duration_s, seed, max_batch,
+              slo_p99_ms) for point in grid]
+    if workers is None:
+        workers = min(os.cpu_count() or 1, len(grid))
+    if workers <= 1:
+        outcomes = [_simulate_point(task) for task in tasks]
+    else:
+        # Fork only where it is the safe platform default (Linux);
+        # macOS forking a threaded (numpy/BLAS) process is the
+        # documented crash case, and spawn works everywhere since
+        # _simulate_point and its arguments are all picklable.
+        ctx = (multiprocessing.get_context("fork")
+               if sys.platform.startswith("linux")
+               else multiprocessing.get_context())
+        with ctx.Pool(workers) as pool:
+            outcomes = pool.map(_simulate_point, tasks, chunksize=1)
+    return SweepReport(outcomes=outcomes, slo_p99_ms=slo_p99_ms,
+                       duration_s=duration_s, seed=seed)
+
+
+def run() -> ExperimentResult:
+    """Experiment-registry entry point: the default 48-point grid."""
+    return run_sweep(duration_s=0.5, workers=1).to_experiment_result()
+
+
+def main() -> None:
+    from .common import print_result
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -28,8 +28,10 @@ from .reference import (REFERENCE_TRACES, analytics_trace,
 from .serving import (Job, JobClass, KeyCache, Scenario, ServingReport,
                       ServingSimulator, Stream, WorkloadStats,
                       build_job_classes, build_scenarios, percentile)
+from .serving_baseline import BaselineKeyCache, baseline_run
 
 __all__ = [
+    "BaselineKeyCache", "baseline_run",
     "CountingKeySwitcher", "Job", "JobClass", "KeyCache",
     "KeyWorkingSet", "LOWERING_MAP", "LoweredCost", "OpTrace",
     "REFERENCE_TRACES", "Scenario", "ServingReport", "ServingSimulator",

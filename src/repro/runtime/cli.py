@@ -1,4 +1,4 @@
-"""CLI for the runtime subsystem: ``repro trace`` and ``repro serve``.
+"""CLI for the runtime subsystem: ``trace``, ``serve``, ``serve-sweep``.
 
 ``trace`` lowers a workload trace to a FAB program and prints its op
 mix, key working set, and scheduled cost.  By default it uses the
@@ -8,6 +8,10 @@ evaluator, proving the capture path end to end.
 
 ``serve`` runs the multi-tenant serving simulator on a named scenario
 and prints throughput + tail-latency tables per workload.
+
+``serve-sweep`` fans the simulator out over the pool-size x cache-size
+x tenant-count x load grid (multiprocessing), prints the full grid
+with the cost-optimal configuration, and writes a JSON artifact.
 """
 
 from __future__ import annotations
@@ -124,4 +128,73 @@ def run_serve(argv: List[str]) -> int:
         print_result(report.to_experiment_result())
         print(report.format())
         print()
+    return 0
+
+
+def run_serve_sweep(argv: List[str]) -> int:
+    """Entry point for ``python -m repro serve-sweep``."""
+    from ..experiments.serve_sweep import (DEFAULT_CACHE_FRACTIONS,
+                                           DEFAULT_DEVICES, DEFAULT_LOADS,
+                                           DEFAULT_TENANTS, run_sweep)
+    parser = argparse.ArgumentParser(
+        prog="repro serve-sweep",
+        description="sweep pool x cache x tenants x load for the "
+                    "cost-optimal serving configuration")
+    parser.add_argument("--devices", type=int, nargs="+",
+                        default=list(DEFAULT_DEVICES),
+                        help="pool sizes to sweep")
+    parser.add_argument("--cache-fracs", type=float, nargs="+",
+                        default=list(DEFAULT_CACHE_FRACTIONS),
+                        help="key-cache sizes as fractions of HBM")
+    parser.add_argument("--tenants", type=int, nargs="+",
+                        default=list(DEFAULT_TENANTS),
+                        help="tenants per stream to sweep")
+    parser.add_argument("--loads", type=float, nargs="+",
+                        default=list(DEFAULT_LOADS),
+                        help="offered loads (fraction of pool capacity)")
+    parser.add_argument("--duration", type=float, default=1.0,
+                        help="arrival horizon per grid point (seconds)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--slo-ms", type=float, default=None,
+                        help="p99 SLO in ms (default: 8x the heaviest "
+                             "workload's service time)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation processes (default: one per "
+                             "core, capped at the grid; 1 = inline)")
+    parser.add_argument("--json", metavar="PATH",
+                        default="serve_sweep.json",
+                        help="JSON artifact path ('' to skip)")
+    args = parser.parse_args(argv)
+    if args.duration <= 0:
+        parser.error("--duration must be positive")
+    if any(d < 1 for d in args.devices):
+        parser.error("--devices must be >= 1")
+    if any(not 0 < c <= 1 for c in args.cache_fracs):
+        parser.error("--cache-fracs must be in (0, 1]")
+    if any(t < 1 for t in args.tenants):
+        parser.error("--tenants must be >= 1")
+    if any(l <= 0 for l in args.loads):
+        parser.error("--loads must be positive")
+
+    report = run_sweep(FabConfig(), devices=args.devices,
+                       cache_fractions=args.cache_fracs,
+                       tenants=args.tenants, loads=args.loads,
+                       duration_s=args.duration, seed=args.seed,
+                       max_batch=args.max_batch, slo_p99_ms=args.slo_ms,
+                       workers=args.workers)
+    print_result(report.to_experiment_result())
+    best = report.best
+    if best is None:
+        print("no feasible configuration met the SLO")
+    else:
+        print(f"cost-optimal: {best.point.devices} devices, "
+              f"{best.point.cache_fraction:g} HBM key cache, "
+              f"{best.point.tenants} tenants/stream at load "
+              f"{best.point.load:g} -> "
+              f"{best.cost_device_ms_per_job:.2f} device-ms/job, "
+              f"p99 {best.worst_p99_ms:.1f} ms")
+    if args.json:
+        report.save_json(args.json)
+        print(f"sweep written to {args.json}")
     return 0

@@ -109,7 +109,8 @@ def key_working_set(trace: OpTrace,
     distinct rotation step, one conjugation key if it conjugates.
     """
     config = config or FabConfig()
-    key_ids = []
+    key_ids: list = []
+    seen = set()
     for op in trace:
         key = _KEYED_KINDS.get(op.kind)
         if op.kind in ("rotate", "rotate_hoisted"):
@@ -121,7 +122,8 @@ def key_working_set(trace: OpTrace,
                 key = f"gal{-op.step}"
             else:
                 key = f"rot{op.step}"
-        if key is not None and key not in key_ids:
+        if key is not None and key not in seen:
+            seen.add(key)
             key_ids.append(key)
     return KeyWorkingSet(tuple(key_ids), switching_key_bytes(config))
 

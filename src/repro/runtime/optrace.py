@@ -33,7 +33,7 @@ TRACE_KINDS = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceOp:
     """One recorded homomorphic operation.
 
@@ -64,6 +64,32 @@ class TraceOp:
             raise ValueError(f"level must be >= 1, got {self.level}")
 
 
+def _with_seq(proto: TraceOp, seq: int) -> TraceOp:
+    """Clone an already-validated record at a new trace position.
+
+    Bypasses ``__init__`` (the record is immutable and was validated
+    when first constructed), so re-sequencing in ``extend`` /
+    ``repeated`` and replaying interned records costs six slot writes
+    instead of a full dataclass construction + validation.
+    """
+    op = object.__new__(TraceOp)
+    setattr_ = object.__setattr__
+    setattr_(op, "seq", seq)
+    setattr_(op, "kind", proto.kind)
+    setattr_(op, "level", proto.level)
+    setattr_(op, "step", proto.step)
+    setattr_(op, "operands", proto.operands)
+    setattr_(op, "result", proto.result)
+    return op
+
+
+#: Interned prototypes for dataflow-free records, keyed by
+#: (kind, level, step).  Synthetic reference traces (a bootstrap is
+#: thousands of ops over a few dozen distinct shapes) hit this cache;
+#: captured traces carry per-op operand ids and construct normally.
+_RECORD_INTERN: Dict[Tuple[str, int, Optional[int]], TraceOp] = {}
+
+
 class OpTrace:
     """A recorded (or synthesized) sequence of homomorphic operations."""
 
@@ -81,15 +107,23 @@ class OpTrace:
                operands: Sequence[int] = (),
                result: Optional[int] = None) -> TraceOp:
         """Append one operation; returns the record."""
-        op = TraceOp(len(self.ops), kind, level, step, tuple(operands),
-                     result)
+        if not operands and result is None:
+            key = (kind, level, step)
+            proto = _RECORD_INTERN.get(key)
+            if proto is None:
+                proto = _RECORD_INTERN[key] = TraceOp(0, kind, level, step)
+            op = _with_seq(proto, len(self.ops))
+        else:
+            op = TraceOp(len(self.ops), kind, level, step,
+                         tuple(operands), result)
         self.ops.append(op)
         return op
 
     def extend(self, other: "OpTrace") -> "OpTrace":
         """Append another trace's ops (re-sequenced); returns self."""
+        ops = self.ops
         for op in other.ops:
-            self.record(op.kind, op.level, op.step, op.operands, op.result)
+            ops.append(_with_seq(op, len(ops)))
         return self
 
     def repeated(self, times: int, name: Optional[str] = None) -> "OpTrace":

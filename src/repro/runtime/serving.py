@@ -137,40 +137,56 @@ class Scenario:
 # ----------------------------------------------------------------------
 
 class KeyCache:
-    """LRU cache of per-tenant switching keys resident in one HBM."""
+    """LRU cache of per-tenant switching keys resident in one HBM.
+
+    Backed by an :class:`~collections.OrderedDict` kept in
+    least-recently-used-first order (hits are moved to the MRU end,
+    loads insert there), with a running byte total, so each request is
+    O(keys) and each eviction is O(1): the victim is always the entry
+    at the LRU front.  The keys of the request being admitted are
+    pinned — they were all just touched, so they occupy the MRU end
+    and are never evicted mid-request (residency may transiently
+    exceed capacity when one working set outsizes the cache).
+    """
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         self.capacity_bytes = capacity_bytes
         self._resident: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+        self._resident_bytes = 0
         self.hits = 0
         self.misses = 0
         self.bytes_loaded = 0
 
     @property
     def resident_bytes(self) -> int:
-        return sum(self._resident.values())
+        return self._resident_bytes
 
     def request(self, tenant: str, job_class: JobClass) -> int:
         """Make a job's keys resident; returns bytes that must load."""
-        wanted = [(tenant, key) for key in job_class.key_ids]
+        resident = self._resident
+        bytes_per_key = job_class.bytes_per_key
         miss_bytes = 0
-        for entry in wanted:
-            if entry in self._resident:
+        for key in job_class.key_ids:
+            entry = (tenant, key)
+            if entry in resident:
                 self.hits += 1
-                self._resident.move_to_end(entry)
+                resident.move_to_end(entry)
             else:
                 self.misses += 1
-                miss_bytes += job_class.bytes_per_key
-                self._resident[entry] = job_class.bytes_per_key
-        pinned = set(wanted)
-        while (self.resident_bytes > self.capacity_bytes
-               and any(e not in pinned for e in self._resident)):
-            for entry in self._resident:
-                if entry not in pinned:
-                    del self._resident[entry]
+                miss_bytes += bytes_per_key
+                resident[entry] = bytes_per_key
+                self._resident_bytes += bytes_per_key
+        if self._resident_bytes > self.capacity_bytes:
+            # Every pinned (just-touched) entry sits at the MRU end,
+            # so the LRU front is evictable until only pins remain.
+            pinned = {(tenant, key) for key in job_class.key_ids}
+            while self._resident_bytes > self.capacity_bytes:
+                victim = next(iter(resident))
+                if victim in pinned:
                     break
+                self._resident_bytes -= resident.pop(victim)
         self.bytes_loaded += miss_bytes
         return miss_bytes
 
@@ -306,49 +322,88 @@ class ServingSimulator:
                 + self.host.pcie_latency_s)
 
     def run(self, scenario: Scenario, seed: int = 0) -> ServingReport:
-        """Simulate one scenario; returns the aggregated report."""
+        """Simulate one scenario; returns the aggregated report.
+
+        The loop is driven by two event sources merged per dispatch: a
+        heap of device-completion times and the time-sorted arrival
+        list (consumed by an O(1)-amortized cursor).  Dispatch picks
+        the oldest queue head — FIFO fairness between (class, tenant)
+        queues, batching within one — from a lazily-invalidated heap
+        of heads keyed by (arrival, queue-creation-order), so each
+        batch costs O(log) instead of a scan over every queue.  Each
+        job enters the head heap exactly once; entries whose job was
+        already swept into an earlier batch are discarded on pop.
+
+        The schedule produced is bit-identical to the original
+        frontier-scanning loop preserved in
+        :func:`repro.runtime.serving_baseline.baseline_run`, which the
+        test suite asserts.
+        """
         jobs = scenario.generate(seed)
         devices = [DeviceState(i, KeyCache(self.key_cache_bytes))
                    for i in range(self.num_devices)]
         free_heap: List[Tuple[float, int]] = [
             (0.0, d.index) for d in devices]
         heapq.heapify(free_heap)
-        queues: "OrderedDict[Tuple[str, str], deque]" = OrderedDict()
+        queues: Dict[Tuple[str, str], deque] = {}
+        queue_seq: Dict[Tuple[str, str], int] = {}
+        # (head arrival, queue creation order, queue key, head job id);
+        # the creation order both breaks arrival ties the way the
+        # original insertion-ordered min() scan did and keeps tuple
+        # comparison from ever reaching the key.
+        heads: List[Tuple[float, int, Tuple[str, str], int]] = []
+        queued = 0
         completed: List[Job] = []
         batches = 0
         batched_jobs = 0
         i = 0
         n = len(jobs)
+        launch_overhead_s = self.host.kernel_launch_overhead_s
 
         def admit(now: float) -> None:
-            nonlocal i
+            nonlocal i, queued
             while i < n and jobs[i].arrival_s <= now:
-                key = (jobs[i].job_class.name, jobs[i].tenant)
-                queues.setdefault(key, deque()).append(jobs[i])
+                job = jobs[i]
+                key = (job.job_class.name, job.tenant)
+                queue = queues.get(key)
+                if queue is None:
+                    queue = queues[key] = deque()
+                    queue_seq[key] = len(queue_seq)
+                queue.append(job)
+                if len(queue) == 1:
+                    heapq.heappush(heads, (job.arrival_s, queue_seq[key],
+                                           key, job.job_id))
+                queued += 1
                 i += 1
 
-        while i < n or any(queues.values()):
+        while i < n or queued:
             free_at, device_index = heapq.heappop(free_heap)
             now = free_at
             admit(now)
-            if not any(queues.values()):
+            if not queued:
                 # Idle until the next arrival.
                 now = max(now, jobs[i].arrival_s)
                 admit(now)
-            # Oldest-head-first across (class, tenant) queues: FIFO
-            # fairness between tenants, batching within a queue.
-            key = min((k for k, q in queues.items() if q),
-                      key=lambda k: queues[k][0].arrival_s)
-            queue = queues[key]
+            # Oldest-head-first across (class, tenant) queues; drop
+            # entries invalidated by an earlier batch sweep.
+            while True:
+                _, seq, key, job_id = heapq.heappop(heads)
+                queue = queues[key]
+                if queue and queue[0].job_id == job_id:
+                    break
             batch = [queue.popleft()
                      for _ in range(min(self.max_batch, len(queue)))]
+            queued -= len(batch)
+            if queue:
+                head = queue[0]
+                heapq.heappush(heads, (head.arrival_s, seq, key,
+                                       head.job_id))
             device = devices[device_index]
             miss_bytes = device.cache.request(batch[0].tenant,
                                               batch[0].job_class)
             load_s = self._key_load_seconds(miss_bytes)
             compute_s = len(batch) * batch[0].job_class.seconds(self.config)
-            service_s = (self.host.kernel_launch_overhead_s
-                         + load_s + compute_s)
+            service_s = launch_overhead_s + load_s + compute_s
             finish = now + service_s
             for job in batch:
                 job.finish_s = finish

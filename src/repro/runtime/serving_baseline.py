@@ -1,0 +1,135 @@
+"""The pre-optimization serving event loop, kept as a live baseline.
+
+This module preserves, verbatim in behavior, the serving simulator's
+original inner loop and key-cache bookkeeping:
+
+* admission re-checks ``any(queues.values())`` — a scan over every
+  (class, tenant) queue — once per dispatch;
+* the dispatch queue is chosen with a ``min`` pass over all queue
+  heads per batch;
+* the key cache recomputes its resident byte total by summing the
+  whole table on every eviction check, and each eviction rescans the
+  table from the front — O(R^2) under misses.
+
+The optimized :meth:`repro.runtime.serving.ServingSimulator.run`
+replaces all of that with a lazily-invalidated head heap and an O(1)
+LRU.  Keeping the old loop executable serves two purposes: the test
+suite asserts the fast path is **bit-identical** to it on every
+scenario (same makespans, tail latencies, hit rates, batch counts for
+a fixed seed), and ``benchmarks/test_bench_perf_stack.py`` measures
+the speedup against it in the same run, which is what
+``BENCH_perf_stack.json`` records.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+from typing import List, Tuple
+
+from .serving import (DeviceState, JobClass, Scenario, ServingReport,
+                      ServingSimulator)
+
+
+class BaselineKeyCache:
+    """The original LRU cache: correct, but quadratic under eviction."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._resident: "OrderedDict[Tuple[str, str], int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bytes_loaded = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(self._resident.values())
+
+    def request(self, tenant: str, job_class: JobClass) -> int:
+        """Make a job's keys resident; returns bytes that must load."""
+        wanted = [(tenant, key) for key in job_class.key_ids]
+        miss_bytes = 0
+        for entry in wanted:
+            if entry in self._resident:
+                self.hits += 1
+                self._resident.move_to_end(entry)
+            else:
+                self.misses += 1
+                miss_bytes += job_class.bytes_per_key
+                self._resident[entry] = job_class.bytes_per_key
+        pinned = set(wanted)
+        while (self.resident_bytes > self.capacity_bytes
+               and any(e not in pinned for e in self._resident)):
+            for entry in self._resident:
+                if entry not in pinned:
+                    del self._resident[entry]
+                    break
+        self.bytes_loaded += miss_bytes
+        return miss_bytes
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def baseline_run(simulator: ServingSimulator, scenario: Scenario,
+                 seed: int = 0) -> ServingReport:
+    """Run ``scenario`` through the original (pre-heap) event loop."""
+    jobs = scenario.generate(seed)
+    devices = [DeviceState(i, BaselineKeyCache(simulator.key_cache_bytes))
+               for i in range(simulator.num_devices)]
+    free_heap: List[Tuple[float, int]] = [(0.0, d.index) for d in devices]
+    heapq.heapify(free_heap)
+    queues: "OrderedDict[Tuple[str, str], deque]" = OrderedDict()
+    completed: List = []
+    batches = 0
+    batched_jobs = 0
+    i = 0
+    n = len(jobs)
+
+    def admit(now: float) -> None:
+        nonlocal i
+        while i < n and jobs[i].arrival_s <= now:
+            key = (jobs[i].job_class.name, jobs[i].tenant)
+            queues.setdefault(key, deque()).append(jobs[i])
+            i += 1
+
+    while i < n or any(queues.values()):
+        free_at, device_index = heapq.heappop(free_heap)
+        now = free_at
+        admit(now)
+        if not any(queues.values()):
+            # Idle until the next arrival.
+            now = max(now, jobs[i].arrival_s)
+            admit(now)
+        # Oldest-head-first across (class, tenant) queues: FIFO
+        # fairness between tenants, batching within a queue.
+        key = min((k for k, q in queues.items() if q),
+                  key=lambda k: queues[k][0].arrival_s)
+        queue = queues[key]
+        batch = [queue.popleft()
+                 for _ in range(min(simulator.max_batch, len(queue)))]
+        device = devices[device_index]
+        miss_bytes = device.cache.request(batch[0].tenant,
+                                          batch[0].job_class)
+        load_s = simulator._key_load_seconds(miss_bytes)
+        compute_s = len(batch) * batch[0].job_class.seconds(simulator.config)
+        service_s = (simulator.host.kernel_launch_overhead_s
+                     + load_s + compute_s)
+        finish = now + service_s
+        for job in batch:
+            job.finish_s = finish
+        completed.extend(batch)
+        device.free_at_s = finish
+        device.busy_s += service_s
+        device.key_load_s += load_s
+        device.jobs_done += len(batch)
+        batches += 1
+        batched_jobs += len(batch)
+        heapq.heappush(free_heap, (finish, device_index))
+
+    return simulator._report(scenario, completed, devices, batches,
+                             batched_jobs)

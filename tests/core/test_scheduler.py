@@ -186,3 +186,90 @@ class TestProperties:
         result = g.schedule()
         assert result.makespan >= max(per_resource.values())
         assert result.makespan <= sum(c for _, c in tasks)
+
+
+def _random_dag(spec):
+    """Build a TaskGraph from a drawn spec: per task a resource, a
+    duration, and a set of dependency back-references."""
+    lanes, tasks = spec
+    g = TaskGraph()
+    for res, count in lanes.items():
+        g.set_resource_lanes(res, count)
+    for i, (res, cyc, backrefs) in enumerate(tasks):
+        deps = sorted({f"t{b % i}" for b in backrefs} if i else set())
+        g.add(f"t{i}", res, cyc, deps=deps)
+    return g
+
+
+_dag_specs = st.tuples(
+    st.fixed_dictionaries({
+        "fu": st.integers(min_value=1, max_value=3),
+        "hbm": st.integers(min_value=1, max_value=2),
+    }),
+    st.lists(st.tuples(st.sampled_from(["fu", "hbm", "cmac"]),
+                       st.integers(min_value=0, max_value=50),
+                       st.lists(st.integers(min_value=0, max_value=10_000),
+                                max_size=3)),
+             min_size=1, max_size=40))
+
+
+class TestHeapMatchesReference:
+    """The O((V+E) log V) heap scheduler must reproduce the naive
+    frontier-scanning reference scheduler exactly."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(_dag_specs)
+    def test_randomized_dags(self, spec):
+        fast = _random_dag(spec).schedule()
+        naive = _random_dag(spec).schedule_reference()
+        assert fast.makespan == naive.makespan
+        for name, task in naive.tasks.items():
+            assert fast.tasks[name].start == task.start
+            assert fast.tasks[name].finish == task.finish
+        assert {r: (s.busy_cycles, s.tasks)
+                for r, s in fast.resources.items()} == \
+               {r: (s.busy_cycles, s.tasks)
+                for r, s in naive.resources.items()}
+
+    @settings(max_examples=20, deadline=None)
+    @given(_dag_specs)
+    def test_schedule_is_deterministic(self, spec):
+        a = _random_dag(spec).schedule()
+        b = _random_dag(spec).schedule()
+        assert {n: (t.start, t.finish) for n, t in a.tasks.items()} == \
+               {n: (t.start, t.finish) for n, t in b.tasks.items()}
+
+    def test_reference_programs(self):
+        """Same schedules on the Table 7/8 programs (prefetch on/off)."""
+        from repro.core.program import FabProgram
+        from repro.runtime.lowering import lower_trace
+        from repro.runtime.reference import bootstrap_trace
+
+        programs = [FabProgram.lr_iteration(),
+                    lower_trace(bootstrap_trace())]
+        for program in programs:
+            for prefetch in (True, False):
+                fast = program.compile(prefetch).schedule()
+                naive = program.compile(prefetch).schedule_reference()
+                assert fast.makespan == naive.makespan
+                assert {n: (t.start, t.finish)
+                        for n, t in fast.tasks.items()} == \
+                       {n: (t.start, t.finish)
+                        for n, t in naive.tasks.items()}
+
+    def test_reference_detects_cycle(self):
+        g = TaskGraph()
+        g.add("a", "fu", 1)
+        g.add("b", "fu", 1, deps=["a"])
+        g._tasks["a"].deps = ("b",)
+        with pytest.raises(ValueError, match="cycle"):
+            g.schedule_reference()
+
+    def test_reference_multi_lane(self):
+        g = TaskGraph()
+        g.set_resource_lanes("fu", 2)
+        for name in ("a", "b", "c"):
+            g.add(name, "fu", 10)
+        result = g.schedule_reference()
+        assert result.makespan == 20
+        assert sorted(t.start for t in result.tasks.values()) == [0, 0, 10]

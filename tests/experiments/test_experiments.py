@@ -123,7 +123,7 @@ class TestTables:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 12
+        assert len(ALL_EXPERIMENTS) == 13
 
     def test_run_all_returns_everything(self):
         results = run_all(verbose=False)

@@ -1,0 +1,188 @@
+"""Capture coverage: trace the functional bootstrap, reconcile the mix.
+
+The ROADMAP item this discharges: run the *functional* bootstrap
+pipeline (tiny N) under the tracing evaluator and reconcile its op mix
+against the synthetic paper-scale generator
+:func:`repro.runtime.reference.bootstrap_trace`.  The functional
+pipeline evaluates each linear transform as one dense BSGS product —
+fftIter = 1 — so the reference is instantiated at ``fft_iter=1`` with
+the EvalMod multiply counts the capture measured.
+
+Reconciliation is exact, kind by kind:
+
+* kinds both sides model identically — ``conjugate``, ``multiply``
+  (ct-ct), and the lowered ``multiply_plain`` family — must match
+  outright;
+* kinds where the two differ structurally are pinned to their own
+  closed-form counts (BSGS rotation formulas, the grouped-DFT wrap
+  diagonal, ModRaise living below the evaluator API), so any drift in
+  either the capture hooks or the generator fails the test.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.params import FabConfig
+from repro.fhe import BootstrapConfig, Bootstrapper, CkksParams, CkksScheme
+from repro.fhe.bootstrap import bsgs_split
+from repro.runtime import (OpTrace, capture, key_working_set, lower_trace,
+                           LOWERING_MAP)
+from repro.runtime.reference import bootstrap_trace
+
+SLOTS = 32
+
+
+@pytest.fixture(scope="module")
+def captured_stages():
+    """One functional bootstrap, captured stage by stage.
+
+    Returns {stage: OpTrace} for mod_raise (incl. SubSum),
+    coeff_to_slot, the two EvalMod branches, and slot_to_coeff.
+    """
+    params = CkksParams(ring_degree=2 * SLOTS, num_limbs=19,
+                        scale_bits=25, dnum=4, hamming_weight=8,
+                        first_prime_bits=30, seed=7,
+                        num_extension_limbs=8)
+    scheme = CkksScheme(params)
+    rng = np.random.default_rng(1)
+    ct = scheme.evaluator.mod_down_to(
+        scheme.encrypt(rng.uniform(-0.5, 0.5, SLOTS)), 1)
+    stages = {}
+    with capture(scheme, "bootstrap_captured"):
+        boot = Bootstrapper(scheme, BootstrapConfig(eval_mod_degree=63,
+                                                    modulus_range=8))
+        tracer = scheme.evaluator
+
+        def stage(name: str) -> None:
+            stages[name] = tracer.trace = OpTrace(name)
+
+        stage("mod_raise")
+        raised = boot.sub_sum(boot.mod_raise(ct))
+        stage("cts")
+        real_part, imag_part = boot.coeff_to_slot(raised)
+        stage("em_real")
+        real_red = boot.eval_mod(real_part)
+        stage("em_imag")
+        imag_red = boot.eval_mod(imag_part)
+        stage("stc")
+        boot.slot_to_coeff(real_red, imag_red)
+    return stages
+
+
+@pytest.fixture(scope="module")
+def merged(captured_stages):
+    """The whole pipeline as one trace (stage order preserved)."""
+    trace = OpTrace("bootstrap_merged")
+    for name in ("mod_raise", "cts", "em_real", "em_imag", "stc"):
+        trace.extend(captured_stages[name])
+    return trace
+
+
+def _em_params(captured_stages):
+    """EvalMod knob values measured from one captured branch."""
+    counts = captured_stages["em_real"].op_counts()
+    ct_mults = counts.get("multiply", 0) + counts.get("square", 0)
+    const_mults = (counts.get("multiply_plain", 0)
+                   + counts.get("multiply_scalar", 0))
+    return ct_mults, const_mults
+
+
+@pytest.fixture(scope="module")
+def reference(captured_stages):
+    """bootstrap_trace at the functional design point: fftIter = 1,
+    the captured slot count, the captured EvalMod multiply counts."""
+    ct_mults, const_mults = _em_params(captured_stages)
+    config = FabConfig().with_fhe(ring_degree=2 * SLOTS, num_limbs=19,
+                                  dnum=4)
+    return bootstrap_trace(config, fft_iter=1, slots=SLOTS,
+                           eval_mod_ct_mults=ct_mults,
+                           eval_mod_const_mults=const_mults)
+
+
+class TestCaptureCoverage:
+    def test_every_captured_kind_lowers(self, merged):
+        for kind, count in merged.op_counts().items():
+            assert kind in LOWERING_MAP, f"unlowerable capture: {kind}"
+            assert count > 0
+        program = lower_trace(merged)
+        dropped = merged.op_counts().get("mod_down", 0)
+        assert len(program.ops) == len(merged) - dropped
+        assert program.schedule().cycles > 0
+
+    def test_mod_raise_below_evaluator_api(self, captured_stages,
+                                           reference):
+        """ModRaise is raw polynomial surgery, not evaluator calls: the
+        capture sees nothing; the generator models it as 2 ntt_poly."""
+        assert captured_stages["mod_raise"].op_counts() == {}
+        assert reference.op_counts()["ntt_poly"] == 2
+
+    def test_conjugate_matches(self, merged, reference):
+        assert merged.op_counts()["conjugate"] == 1
+        assert reference.op_counts()["conjugate"] == 1
+
+    def test_ct_multiplies_match(self, merged, reference):
+        """Ciphertext-ciphertext multiplies (relin-key consumers)."""
+        counts = merged.op_counts()
+        captured = counts.get("multiply", 0) + counts.get("square", 0)
+        assert captured == reference.op_counts()["multiply"]
+
+    def test_plaintext_multiplies_match_after_lowering(self, merged,
+                                                       reference):
+        """multiply_plain + multiply_scalar collapse to one lowered
+        kind; totals must agree once EvalMod knobs are measured."""
+        def lowered_mp(trace):
+            return sum(c for k, c in trace.op_counts().items()
+                       if LOWERING_MAP.get(k) == "multiply_plain")
+        assert lowered_mp(merged) == lowered_mp(reference)
+
+    def test_linear_transform_rotations(self, captured_stages):
+        """Each dense BSGS factor uses the rotation-minimal split:
+        (n1-1) hoisted-family baby steps + (n/n1 - 1) giant steps."""
+        n1 = bsgs_split(SLOTS, SLOTS)
+        expected = (n1 - 1) + (math.ceil(SLOTS / n1) - 1)
+        for stage in ("cts", "stc"):
+            counts = captured_stages[stage].op_counts()
+            rotations = counts.get("rotate", 0) + counts.get(
+                "rotate_hoisted", 0)
+            assert rotations == expected
+            # First baby rotation carries the shared ModUp (full
+            # price); the remaining baby steps are hoisted.
+            assert counts.get("rotate_hoisted", 0) == n1 - 2
+
+    def test_rotation_reconciliation(self, merged, reference):
+        """The generator prices the grouped-DFT wrap diagonal (radix+1
+        diagonals per factor) that a dense factor does not have; with
+        its own BSGS split that is one extra rotation per factor."""
+        diagonals = SLOTS + 1       # 2^ceil(log2(n)/fftIter) + 1
+        n1 = 1 << max(0, round(math.log2(diagonals) / 2))
+        per_factor = (n1 - 1) + (math.ceil(diagonals / n1) - 1)
+        ref_counts = reference.op_counts()
+        ref_rotations = (ref_counts["rotate"]
+                         + ref_counts["rotate_hoisted"])
+        assert ref_rotations == 2 * per_factor
+        cap_counts = merged.op_counts()
+        cap_rotations = (cap_counts["rotate"]
+                         + cap_counts["rotate_hoisted"])
+        assert ref_rotations == cap_rotations + 2
+
+    def test_key_working_set(self, merged):
+        """The captured trace derives a servable key working set."""
+        keys = key_working_set(merged)
+        assert "relin" in keys.key_ids
+        assert "conj" in keys.key_ids
+        rotation_keys = [k for k in keys.key_ids if k.startswith("rot")]
+        assert len(rotation_keys) == len(set(merged.rotation_steps()))
+        assert keys.total_bytes > 0
+
+    def test_stage_histograms_compose(self, captured_stages, merged):
+        total: dict = {}
+        for trace in captured_stages.values():
+            for kind, count in trace.op_counts().items():
+                total[kind] = total.get(kind, 0) + count
+        assert total == merged.op_counts()
+
+    def test_eval_mod_branches_identical(self, captured_stages):
+        assert (captured_stages["em_real"].op_counts()
+                == captured_stages["em_imag"].op_counts())

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.core import FabConfig
-from repro.runtime import (JobClass, KeyCache, Scenario,
-                           ServingSimulator, Stream, build_job_classes,
-                           build_scenarios, lr_inference_trace,
-                           percentile)
+from repro.runtime import (BaselineKeyCache, JobClass, KeyCache, Scenario,
+                           ServingSimulator, Stream, baseline_run,
+                           build_job_classes, build_scenarios,
+                           lr_inference_trace, percentile)
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +64,59 @@ class TestKeyCache:
     def test_bad_capacity(self):
         with pytest.raises(ValueError):
             KeyCache(0)
+
+    def test_eviction_is_true_lru(self):
+        """Regression: the victim must be the least-recently-*used*
+        entry, not the least-recently-*inserted* one."""
+        one_key = JobClass("k", 100, ("rot1",), 10)
+        cache = KeyCache(capacity_bytes=20)     # room for two keys
+        cache.request("t0", one_key)            # resident: t0
+        cache.request("t1", one_key)            # resident: t0, t1
+        cache.request("t0", one_key)            # hit refreshes t0
+        assert cache.hits == 1
+        cache.request("t2", one_key)            # evicts t1, NOT t0
+        assert cache.request("t0", one_key) == 0           # still hot
+        assert cache.request("t1", one_key) == one_key.key_bytes
+        assert cache.resident_bytes <= cache.capacity_bytes
+
+    def test_eviction_order_walks_lru_front(self):
+        """Evicting a multi-key working set removes coldest-first."""
+        one_key = JobClass("k", 100, ("rot1",), 10)
+        big = JobClass("b", 100, ("rot1", "rot2", "rot3"), 10)
+        cache = KeyCache(capacity_bytes=30)
+        for tenant in ("t0", "t1", "t2"):
+            cache.request(tenant, one_key)
+        cache.request("t1", one_key)            # LRU order: t0, t2, t1
+        cache.request("t3", big)                # needs all 30 bytes
+        assert cache.request("t3", big) == 0    # pins survived
+        # The three singles were evicted; reloading each misses.
+        for tenant in ("t0", "t2", "t1"):
+            assert cache.request(tenant, one_key) == one_key.key_bytes
+
+    def test_resident_bytes_tracks_contents(self, job_classes):
+        job = job_classes["lr_inference"]
+        cache = KeyCache(capacity_bytes=10 * job.key_bytes)
+        assert cache.resident_bytes == 0
+        cache.request("t0", job)
+        assert cache.resident_bytes == job.key_bytes
+        cache.request("t0", job)                # all hits: unchanged
+        assert cache.resident_bytes == job.key_bytes
+
+    def test_matches_baseline_cache(self, job_classes):
+        """The O(1) LRU must mirror the original quadratic cache."""
+        import random
+        classes = list(job_classes.values())
+        fast = KeyCache(capacity_bytes=3 * classes[0].key_bytes)
+        slow = BaselineKeyCache(capacity_bytes=3 * classes[0].key_bytes)
+        rng = random.Random(42)
+        for _ in range(400):
+            tenant = f"t{rng.randrange(6)}"
+            job = rng.choice(classes)
+            assert fast.request(tenant, job) == slow.request(tenant, job)
+            assert fast.resident_bytes == slow.resident_bytes
+        assert (fast.hits, fast.misses, fast.bytes_loaded) == \
+               (slow.hits, slow.misses, slow.bytes_loaded)
+        assert list(fast._resident) == list(slow._resident)
 
 
 class TestJobClass:
@@ -156,6 +209,55 @@ class TestSimulator:
             ServingSimulator(config, max_batch=0)
         with pytest.raises(ValueError):
             Stream(JobClass("x", 1, (), 1), rate_per_s=0.0)
+
+
+class TestFastLoopMatchesBaseline:
+    """The heap-driven event loop must be bit-identical to the original
+    frontier-scanning loop preserved in ``serving_baseline``."""
+
+    def _assert_identical(self, fast, slow):
+        assert fast.makespan_s == slow.makespan_s
+        assert fast.jobs_done == slow.jobs_done
+        assert fast.device_utilization == slow.device_utilization
+        assert fast.key_hit_rate == slow.key_hit_rate
+        assert fast.key_bytes_loaded == slow.key_bytes_loaded
+        assert fast.batches == slow.batches
+        assert fast.mean_batch_size == slow.mean_batch_size
+        got = {w.name: (w.jobs, w.p50_ms, w.p95_ms, w.p99_ms, w.mean_ms)
+               for w in fast.per_workload}
+        want = {w.name: (w.jobs, w.p50_ms, w.p95_ms, w.p99_ms, w.mean_ms)
+                for w in slow.per_workload}
+        assert got == want
+
+    @pytest.mark.parametrize("name", ["interactive", "batch",
+                                      "analytics", "mixed"])
+    def test_canned_scenarios(self, config, name):
+        scenarios = build_scenarios(config, num_devices=4,
+                                    duration_s=0.5)
+        sim = ServingSimulator(config, num_devices=4)
+        for seed in (0, 3):
+            self._assert_identical(sim.run(scenarios[name], seed=seed),
+                                   baseline_run(sim, scenarios[name],
+                                                seed=seed))
+
+    def test_tenant_heavy_small_cache(self, config, job_classes):
+        """Contended regime: many queues, constant eviction."""
+        job = job_classes["lr_inference"]
+        scenario = Scenario("contended", 0.4, [
+            Stream(cls, rate_per_s=400.0, num_tenants=16)
+            for cls in job_classes.values()])
+        sim = ServingSimulator(config, num_devices=3, max_batch=2,
+                               key_cache_bytes=2 * job.key_bytes)
+        self._assert_identical(sim.run(scenario, seed=9),
+                               baseline_run(sim, scenario, seed=9))
+
+    def test_single_device_serial_batches(self, config, job_classes):
+        scenario = Scenario("serial", 0.3, [
+            Stream(job_classes["lr_inference"], rate_per_s=150.0,
+                   num_tenants=2)])
+        sim = ServingSimulator(config, num_devices=1, max_batch=1)
+        self._assert_identical(sim.run(scenario, seed=5),
+                               baseline_run(sim, scenario, seed=5))
 
 
 class TestScenarios:
