@@ -8,6 +8,7 @@ Usage::
     python -m repro trace lr_iteration   # lower a trace, print its cost
     python -m repro serve --scenario mixed   # serving simulation
     python -m repro serve-sweep          # cost-optimal pool sweep
+    python -m repro stripe-scale         # FAB-2 trace-striping sweep
 """
 
 from __future__ import annotations
@@ -31,6 +32,9 @@ def main(argv=None) -> int:
     if argv[0] == "serve-sweep":
         from .runtime.cli import run_serve_sweep
         return run_serve_sweep(argv[1:])
+    if argv[0] == "stripe-scale":
+        from .runtime.cli import run_stripe_scale
+        return run_stripe_scale(argv[1:])
     if argv[0] == "list":
         for key, module in ALL_EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
@@ -41,6 +45,8 @@ def main(argv=None) -> int:
               f"pool.")
         print(f"{'serve-sweep':22s} Sweep pool x cache x tenants x load "
               f"for the cost-optimal configuration.")
+        print(f"{'stripe-scale':22s} Stripe a trace across the FAB-2 "
+              f"pool; reconcile vs the analytic model.")
         return 0
     targets = list(ALL_EXPERIMENTS) if argv[0] == "all" else argv
     unknown = [t for t in targets if t not in ALL_EXPERIMENTS]

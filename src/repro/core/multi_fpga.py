@@ -11,6 +11,13 @@ Bootstrapping itself runs on a single board (parallelizing it across
 boards is future work in the paper), so FAB-2's speedup over FAB-1 is
 bounded by the serial bootstrap fraction — Amdahl's law, which
 :meth:`MultiFpgaSystem.iteration_seconds` reproduces.
+
+This module is the *analytic* (closed-form) model.  The trace-driven
+counterpart lives in :mod:`repro.runtime.striped_lowering`: it shards
+one captured :class:`~repro.runtime.optrace.OpTrace` across the pool,
+injects CMAC gather/broadcast tasks priced by
+:meth:`MultiFpgaSystem.limb_transmit_cycles`, and schedules the merged
+graph on per-board lanes; ``repro stripe-scale`` reconciles the two.
 """
 
 from __future__ import annotations
@@ -83,9 +90,20 @@ class MultiFpgaSystem:
         rate = min(kernel_rate, eth_rate)
         return math.ceil(bits / rate * c.clock_hz)
 
-    def ciphertext_transmit_cycles(self) -> int:
-        """Cycles to ship a full two-element ciphertext."""
-        return 2 * self.config.fhe.num_limbs * self.limb_transmit_cycles()
+    def ciphertext_transmit_cycles(self, level: Optional[float] = None
+                                   ) -> int:
+        """Cycles to ship a two-element ciphertext at ``level`` limbs.
+
+        Defaults to the full computation chain (the paper's ~546,980
+        cycles); the trace-driven striping passes the actual level at
+        each synchronization point (a fractional mean level is accepted
+        when reconciling several rounds at once), which is why the
+        trace-driven communication bill undercuts the analytic one.
+        """
+        limbs = level if level is not None else self.config.fhe.num_limbs
+        if limbs < 1:
+            raise ValueError("level must be >= 1")
+        return math.ceil(2 * limbs * self.limb_transmit_cycles())
 
     def broadcast_seconds(self) -> float:
         """Master broadcasting one ciphertext to every other board.
@@ -97,11 +115,17 @@ class MultiFpgaSystem:
         cycles = self.ciphertext_transmit_cycles()
         return self.config.cycles_to_seconds(cycles)
 
-    def communication_seconds_per_iteration(self,
-                                            rounds: int = 2) -> float:
-        """Inter-FPGA communication per LR iteration (~12 ms, §5.5)."""
-        per_round = self.ciphertext_transmit_cycles()
-        # Each round is a gather + broadcast across the pool.
+    def communication_seconds_per_iteration(
+            self, rounds: int = 2,
+            level: Optional[float] = None) -> float:
+        """Inter-FPGA communication per LR iteration (~12 ms, §5.5).
+
+        ``level`` prices the shipped ciphertexts at a given limb count
+        (default: the full chain, the paper's figure); the trace-driven
+        reconciliation passes the level at its sync points.
+        """
+        per_round = self.ciphertext_transmit_cycles(level)
+        # Each round is a log2(pool)-deep tree of ciphertext hops.
         cycles = rounds * per_round * math.ceil(math.log2(
             max(self.num_fpgas, 2)))
         return self.config.cycles_to_seconds(cycles)
@@ -112,7 +136,8 @@ class MultiFpgaSystem:
 
     def iteration_seconds(self, single_fpga_seconds: float,
                           serial_seconds: float,
-                          rounds: int = 2) -> float:
+                          rounds: int = 2,
+                          level: Optional[float] = None) -> float:
         """FAB-2 iteration time from the FAB-1 time.
 
         ``serial_seconds`` is the non-parallelizable part (bootstrapping
@@ -123,10 +148,19 @@ class MultiFpgaSystem:
             raise ValueError("serial fraction exceeds total time")
         parallel = single_fpga_seconds - serial_seconds
         return (serial_seconds + parallel / self.num_fpgas
-                + self.communication_seconds_per_iteration(rounds))
+                + self.communication_seconds_per_iteration(rounds, level))
 
     def speedup(self, single_fpga_seconds: float,
-                serial_seconds: float) -> float:
-        """FAB-2 speedup over FAB-1 for the same workload."""
+                serial_seconds: float,
+                rounds: int = 2,
+                level: Optional[float] = None) -> float:
+        """FAB-2 speedup over FAB-1 for the same workload.
+
+        ``rounds`` is the number of gather/broadcast rounds per
+        iteration (2 for LR, §5.5); the trace-driven reconciliation in
+        ``repro stripe-scale`` passes the number of synchronization
+        rounds its striping actually injected and the ciphertext level
+        they shipped at.
+        """
         return single_fpga_seconds / self.iteration_seconds(
-            single_fpga_seconds, serial_seconds)
+            single_fpga_seconds, serial_seconds, rounds, level)

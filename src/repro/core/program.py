@@ -155,6 +155,18 @@ class FabProgram:
         self._cost_cache[key] = (compute_cycles, fetch_cycles)
         return compute_cycles, fetch_cycles
 
+    def op_cost(self, kind: str, level: int):
+        """Public (compute, fetch) cycles for one op on this config.
+
+        Shares the per-config memo with :meth:`compile`, so external
+        graph builders (the striped multi-FPGA lowering) price ops
+        exactly as the single-board path does.
+        """
+        op = _OP_INTERN.get((kind, level))
+        if op is None:
+            op = _OP_INTERN[(kind, level)] = ProgramOp(kind, level)
+        return self._op_costs(op)
+
     def compile(self, prefetch: bool = True) -> TaskGraph:
         """Build the task graph.
 

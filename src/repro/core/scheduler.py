@@ -42,6 +42,11 @@ class Task:
         resource: resource name (e.g. ``"fu"``, ``"hbm"``).
         cycles: duration in kernel cycles.
         deps: names of tasks that must finish first.
+        device: optional board index for multi-FPGA graphs (the striped
+            lowering tags every task with the board it runs on; ``None``
+            for single-board graphs and shared resources like the CMAC
+            link).  Purely an annotation — placement is driven by
+            ``resource`` alone, so single-board scheduling is unchanged.
     """
 
     name: str
@@ -50,6 +55,7 @@ class Task:
     deps: Tuple[str, ...] = ()
     start: Optional[int] = None
     finish: Optional[int] = None
+    device: Optional[int] = None
 
 
 @dataclass
@@ -66,12 +72,50 @@ class ResourceStats:
 
 
 @dataclass
+class DeviceStats:
+    """Per-board summary of a device-annotated (multi-FPGA) schedule.
+
+    ``busy_cycles`` sums every task on the board across all of its
+    resources (FU + HBM), so it may exceed ``finish`` when compute and
+    fetch overlap; ``finish`` is when the board's last task completes.
+    """
+
+    device: Optional[int]
+    busy_cycles: int
+    tasks: int
+    finish: int
+
+    def utilization(self, makespan: int) -> float:
+        """Busy fraction of the whole schedule's makespan."""
+        return self.busy_cycles / makespan if makespan else 0.0
+
+
+@dataclass
 class ScheduleResult:
     """Outcome of scheduling a task graph."""
 
     makespan: int
     tasks: Dict[str, Task]
     resources: Dict[str, ResourceStats]
+
+    def device_stats(self) -> Dict[Optional[int], DeviceStats]:
+        """Aggregate the schedule per annotated device (board).
+
+        Tasks with ``device=None`` (single-board graphs, shared links)
+        land under the ``None`` key; a plain single-board schedule thus
+        reports one ``None`` entry covering everything.
+        """
+        stats: Dict[Optional[int], DeviceStats] = {}
+        for task in self.tasks.values():
+            entry = stats.get(task.device)
+            if entry is None:
+                entry = stats[task.device] = DeviceStats(
+                    task.device, 0, 0, 0)
+            entry.busy_cycles += task.cycles
+            entry.tasks += 1
+            if task.finish is not None and task.finish > entry.finish:
+                entry.finish = task.finish
+        return stats
 
     def critical_tasks(self) -> List[Task]:
         """Tasks on a critical path (finish == makespan chain)."""
@@ -115,7 +159,8 @@ class TaskGraph:
         self._lanes[resource] = lanes
 
     def add(self, name: str, resource: str, cycles: int,
-            deps: Iterable[str] = ()) -> Task:
+            deps: Iterable[str] = (),
+            device: Optional[int] = None) -> Task:
         """Add a task; returns it for chaining."""
         if name in self._tasks:
             raise ValueError(f"duplicate task {name}")
@@ -125,7 +170,7 @@ class TaskGraph:
                 raise ValueError(f"task {name} depends on unknown {d}")
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
-        task = Task(name, resource, int(cycles), deps)
+        task = Task(name, resource, int(cycles), deps, device=device)
         self._index[name] = len(self._order)
         self._tasks[name] = task
         self._order.append(task)

@@ -14,13 +14,16 @@ the FAB performance model (:mod:`repro.core`):
 * :mod:`~repro.runtime.serving` — a discrete-event, multi-tenant
   serving simulator over a FAB device pool: batching, per-tenant
   switching-key HBM residency, throughput and tail latency.
+* :mod:`~repro.runtime.striped_lowering` — FAB-2 trace striping: shard
+  one trace's batch dimension across the pool, schedule per-board
+  lanes with CMAC gather/broadcast traffic.
 """
 
 from .capture import (CountingKeySwitcher, TracingEncoder,
                       TracingEvaluator, capture)
 from .lowering import (KeyWorkingSet, LoweredCost, LOWERING_MAP,
                        cost_trace, key_working_set, lower_trace,
-                       switching_key_bytes)
+                       lowered_op, switching_key_bytes)
 from .optrace import TRACE_KINDS, OpTrace, TraceOp
 from .reference import (REFERENCE_TRACES, analytics_trace,
                         bootstrap_trace, build_reference_trace,
@@ -29,16 +32,27 @@ from .serving import (Job, JobClass, KeyCache, Scenario, ServingReport,
                       ServingSimulator, Stream, WorkloadStats,
                       build_job_classes, build_scenarios, percentile)
 from .serving_baseline import BaselineKeyCache, baseline_run
+from .striped_lowering import (BOARD_POLICIES, BoardStriper, StripePlan,
+                               StripedCost, StripedProgram,
+                               StripedReport, StripedTrace,
+                               TraceSection, cost_striped_trace,
+                               infer_plan, lower_striped_trace,
+                               stripe_trace)
 
 __all__ = [
-    "BaselineKeyCache", "baseline_run",
+    "BOARD_POLICIES", "BaselineKeyCache", "BoardStriper",
+    "baseline_run",
     "CountingKeySwitcher", "Job", "JobClass", "KeyCache",
     "KeyWorkingSet", "LOWERING_MAP", "LoweredCost", "OpTrace",
     "REFERENCE_TRACES", "Scenario", "ServingReport", "ServingSimulator",
-    "Stream", "TRACE_KINDS", "TraceOp", "TracingEncoder",
+    "Stream", "StripePlan", "StripedCost", "StripedProgram",
+    "StripedReport", "StripedTrace", "TRACE_KINDS", "TraceOp",
+    "TraceSection", "TracingEncoder",
     "TracingEvaluator", "WorkloadStats", "analytics_trace",
     "bootstrap_trace", "build_job_classes", "build_reference_trace",
-    "build_scenarios", "capture", "cost_trace", "key_working_set",
-    "lower_trace", "lr_inference_trace", "lr_iteration_trace",
-    "percentile", "switching_key_bytes",
+    "build_scenarios", "capture", "cost_striped_trace", "cost_trace",
+    "infer_plan", "key_working_set",
+    "lower_striped_trace", "lower_trace", "lowered_op",
+    "lr_inference_trace", "lr_iteration_trace",
+    "percentile", "stripe_trace", "switching_key_bytes",
 ]

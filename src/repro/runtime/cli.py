@@ -1,4 +1,5 @@
-"""CLI for the runtime subsystem: ``trace``, ``serve``, ``serve-sweep``.
+"""CLI for the runtime subsystem: ``trace``, ``serve``, ``serve-sweep``,
+``stripe-scale``.
 
 ``trace`` lowers a workload trace to a FAB program and prints its op
 mix, key working set, and scheduled cost.  By default it uses the
@@ -7,11 +8,17 @@ functional LR app at test-scale parameters under the tracing
 evaluator, proving the capture path end to end.
 
 ``serve`` runs the multi-tenant serving simulator on a named scenario
-and prints throughput + tail-latency tables per workload.
+and prints throughput + tail-latency tables per workload; ``--stripe
+K`` additionally stripes the training workload across K boards per job
+(the FAB-2 gang-scheduling mode).
 
 ``serve-sweep`` fans the simulator out over the pool-size x cache-size
 x tenant-count x load grid (multiprocessing), prints the full grid
 with the cost-optimal configuration, and writes a JSON artifact.
+
+``stripe-scale`` sweeps boards x batch x board-assignment policy for
+one trace striped across the FAB-2 pool and reconciles the
+trace-driven speedup against the analytic ``MultiFpgaSystem`` model.
 """
 
 from __future__ import annotations
@@ -101,6 +108,9 @@ def run_serve(argv: List[str]) -> int:
     parser.add_argument("--max-batch", type=int, default=8)
     parser.add_argument("--load", type=float, default=0.6,
                         help="offered load fraction of pool capacity")
+    parser.add_argument("--stripe", type=int, default=1, metavar="K",
+                        help="stripe each training job across K boards "
+                             "(FAB-2 gang scheduling; default 1)")
     args = parser.parse_args(argv)
     if args.devices < 1:
         parser.error("--devices must be >= 1")
@@ -108,11 +118,18 @@ def run_serve(argv: List[str]) -> int:
         parser.error("--max-batch must be >= 1")
     if args.load <= 0:
         parser.error("--load must be positive")
+    if args.stripe < 1:
+        parser.error("--stripe must be >= 1")
+    if args.stripe > 1 and args.stripe % 2:
+        parser.error("--stripe must be 1 or even (boards pair up)")
+    if args.stripe > args.devices:
+        parser.error("--stripe cannot exceed --devices")
 
     config = FabConfig()
     scenarios = build_scenarios(config, num_devices=args.devices,
                                 duration_s=args.duration,
-                                target_load=args.load)
+                                target_load=args.load,
+                                training_stripe=args.stripe)
     if args.scenario == "all":
         selected = list(scenarios)
     elif args.scenario in scenarios:
@@ -194,6 +211,55 @@ def run_serve_sweep(argv: List[str]) -> int:
               f"{best.point.load:g} -> "
               f"{best.cost_device_ms_per_job:.2f} device-ms/job, "
               f"p99 {best.worst_p99_ms:.1f} ms")
+    if args.json:
+        report.save_json(args.json)
+        print(f"sweep written to {args.json}")
+    return 0
+
+
+def run_stripe_scale(argv: List[str]) -> int:
+    """Entry point for ``python -m repro stripe-scale``."""
+    from ..experiments.striping_scale import (DEFAULT_BATCHES,
+                                              DEFAULT_BOARDS,
+                                              DEFAULT_POLICIES,
+                                              run_sweep)
+    parser = argparse.ArgumentParser(
+        prog="repro stripe-scale",
+        description="stripe one trace across the FAB-2 pool and "
+                    "reconcile the trace-driven speedup against the "
+                    "analytic MultiFpgaSystem model")
+    parser.add_argument("--boards", type=int, nargs="+",
+                        default=list(DEFAULT_BOARDS),
+                        help="pool sizes to sweep (1 or even)")
+    parser.add_argument("--batches", type=int, nargs="+",
+                        default=list(DEFAULT_BATCHES),
+                        help="batched ciphertexts per training step")
+    parser.add_argument("--policies", nargs="+",
+                        default=list(DEFAULT_POLICIES),
+                        choices=list(DEFAULT_POLICIES),
+                        help="board-assignment policies to sweep")
+    parser.add_argument("--no-prefetch", action="store_true",
+                        help="schedule without key prefetching")
+    parser.add_argument("--json", metavar="PATH",
+                        default="stripe_scale.json",
+                        help="JSON artifact path ('' to skip)")
+    args = parser.parse_args(argv)
+    if any(k < 1 or (k > 1 and k % 2) for k in args.boards):
+        parser.error("--boards must be 1 or even (boards pair up)")
+    if any(b < 1 for b in args.batches):
+        parser.error("--batches must be >= 1")
+
+    report = run_sweep(FabConfig(), boards=args.boards,
+                       batches=args.batches, policies=args.policies,
+                       prefetch=not args.no_prefetch)
+    print_result(report.to_experiment_result())
+    worst = report.worst_round_robin_error
+    if worst is None:
+        print("no multi-board round-robin points: nothing reconciled "
+              "against the analytic model")
+    else:
+        print(f"worst round-robin |rel error| vs analytic: "
+              f"{100 * worst:.3f}%")
     if args.json:
         report.save_json(args.json)
         print(f"sweep written to {args.json}")

@@ -47,27 +47,40 @@ _KEYED_KINDS = {"multiply": "relin", "square": "relin",
                 "conjugate": "conj"}
 
 
-def lower_trace(trace: OpTrace,
-                config: Optional[FabConfig] = None) -> FabProgram:
-    """Compile a trace into a schedulable :class:`FabProgram`.
+def lowered_op(fhe, trace_kind: str, level: int
+               ) -> Optional[Tuple[str, int]]:
+    """Map one trace op to its schedulable (kind, clamped level).
 
-    Levels are clamped to the config's limb chain: traces captured at
+    Returns ``None`` for ops that lower away (``mod_down``).  Levels
+    are clamped to the config's limb chain: traces captured at
     test-scale parameters (tiny N, few limbs) lower onto the paper's
     full-scale config unchanged, while synthetic paper-scale traces
-    pass through exactly.
+    pass through exactly.  Shared by the single-board
+    :func:`lower_trace` and the multi-FPGA
+    :mod:`repro.runtime.striped_lowering` so both price an op
+    identically.
     """
+    kind = _lowered_kind(trace_kind)
+    if kind is None:
+        return None
+    # ntt_poly may legitimately run over the raised basis Q*P
+    # (ModRaise spans L + 1 + alpha limbs); everything else is
+    # bounded by the computation chain.
+    max_level = (fhe.max_raised_limbs if kind == "ntt_poly"
+                 else fhe.num_limbs)
+    return kind, max(1, min(level, max_level))
+
+
+def lower_trace(trace: OpTrace,
+                config: Optional[FabConfig] = None) -> FabProgram:
+    """Compile a trace into a schedulable :class:`FabProgram`."""
     program = FabProgram(config)
     fhe = program.config.fhe
     for op in trace:
-        kind = _lowered_kind(op.kind)
-        if kind is None:
+        lowered = lowered_op(fhe, op.kind, op.level)
+        if lowered is None:
             continue
-        # ntt_poly may legitimately run over the raised basis Q*P
-        # (ModRaise spans L + 1 + alpha limbs); everything else is
-        # bounded by the computation chain.
-        max_level = (fhe.max_raised_limbs if kind == "ntt_poly"
-                     else fhe.num_limbs)
-        program.append(kind, max(1, min(op.level, max_level)))
+        program.append(*lowered)
     return program
 
 
@@ -81,14 +94,40 @@ def _lowered_kind(trace_kind: str) -> Optional[str]:
 
 @dataclass(frozen=True)
 class KeyWorkingSet:
-    """Switching-key material a lowered program needs resident in HBM."""
+    """Switching-key material a lowered program needs resident in HBM.
+
+    For a trace striped across ``num_boards`` FPGAs the switching keys
+    are *replicated* on every board (each board key-switches its own
+    shard), so per-board and pool-wide footprints differ by a factor of
+    ``num_boards`` and must not be conflated: HBM capacity planning is
+    per board, host-offload traffic is pool-total.
+    """
 
     key_ids: Tuple[str, ...]
     bytes_per_key: int
+    num_boards: int = 1
+
+    @property
+    def per_board_bytes(self) -> int:
+        """Bytes resident in ONE board's HBM (the capacity question)."""
+        return len(self.key_ids) * self.bytes_per_key
+
+    @property
+    def pool_bytes(self) -> int:
+        """Bytes across the whole pool (the offload-traffic question):
+        keys are replicated, so this is ``num_boards`` x per-board."""
+        return self.num_boards * self.per_board_bytes
 
     @property
     def total_bytes(self) -> int:
-        return len(self.key_ids) * self.bytes_per_key
+        """Per-board footprint (kept as the pre-striping name).
+
+        Deliberately NOT the pool total: callers sizing a single HBM
+        key cache (the serving simulator) must never see the keys
+        double-counted across boards.  Use :attr:`pool_bytes` for the
+        replicated pool-wide figure.
+        """
+        return self.per_board_bytes
 
     @property
     def num_keys(self) -> int:
@@ -102,12 +141,18 @@ def switching_key_bytes(config: FabConfig) -> int:
 
 
 def key_working_set(trace: OpTrace,
-                    config: Optional[FabConfig] = None) -> KeyWorkingSet:
+                    config: Optional[FabConfig] = None,
+                    num_fpgas: int = 1) -> KeyWorkingSet:
     """The distinct switching keys a trace touches.
 
     One relinearization key if the trace multiplies, one Galois key per
     distinct rotation step, one conjugation key if it conjugates.
+    ``num_fpgas > 1`` records that the set is replicated on every board
+    of a striped pool — see :class:`KeyWorkingSet` for the per-board
+    vs pool-total distinction.
     """
+    if num_fpgas < 1:
+        raise ValueError("num_fpgas must be >= 1")
     config = config or FabConfig()
     key_ids: list = []
     seen = set()
@@ -125,7 +170,8 @@ def key_working_set(trace: OpTrace,
         if key is not None and key not in seen:
             seen.add(key)
             key_ids.append(key)
-    return KeyWorkingSet(tuple(key_ids), switching_key_bytes(config))
+    return KeyWorkingSet(tuple(key_ids), switching_key_bytes(config),
+                         num_boards=num_fpgas)
 
 
 @dataclass

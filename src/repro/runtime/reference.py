@@ -204,6 +204,41 @@ def analytics_trace(level: int = 8, num_slots: int = 4096) -> OpTrace:
     return trace
 
 
+#: Ops per batched ciphertext in the HELR update phase: two plaintext
+#: multiplies + three adds (the block :func:`lr_iteration_trace`
+#: repeats per ciphertext — the unit the FAB-2 striping deals out).
+OPS_PER_CIPHERTEXT = 5
+
+
+def lr_training_trace(config: Optional[FabConfig] = None,
+                      batch: int = 32, slots: int = 256):
+    """One FAB-2 training step and its striping plan.
+
+    The §5.5 structure stated explicitly: bootstrapping the weight
+    vector is serial on the master board (parallelizing it across
+    boards is the paper's future work), the ``batch`` per-ciphertext
+    gradient blocks are the stripeable batch dimension, and the
+    rotation-tree/sigmoid/update tail is serial again.  Returns
+    ``(trace, plan)`` — the one canonical definition shared by the
+    serving workloads and the ``stripe-scale`` sweep.
+    """
+    from .striped_lowering import StripePlan
+    config = config or FabConfig()
+    boot = bootstrap_trace(config, slots=slots)
+    update = lr_iteration_trace(num_ciphertexts=batch)
+    trace = OpTrace(f"lr_training_b{batch}" if batch != 32
+                    else "lr_training",
+                    meta={"batch": batch, "slots": slots})
+    trace.extend(boot).extend(update)
+    tail = len(update) - batch * OPS_PER_CIPHERTEXT
+    plan = StripePlan.chain([
+        (len(boot), False, 1),
+        (batch * OPS_PER_CIPHERTEXT, True, OPS_PER_CIPHERTEXT),
+        (tail, False, 1),
+    ])
+    return trace, plan
+
+
 #: Registry used by the CLI and the serving scenarios.
 REFERENCE_TRACES = {
     "lr_iteration": lr_iteration_trace,

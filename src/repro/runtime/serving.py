@@ -5,7 +5,10 @@ serving streams of traced jobs:
 
 * **Jobs** are lowered traces: a :class:`JobClass` caches the
   scheduled device cycles and the switching-key working set of one
-  trace (see :mod:`repro.runtime.lowering`).
+  trace (see :mod:`repro.runtime.lowering`).  A *striped* class
+  (``num_fpgas > 1``, lowered by
+  :mod:`repro.runtime.striped_lowering`) gang-occupies that many
+  boards per batch, FAB-2 style.
 * **Admission/batching**: arriving jobs queue per (class, tenant);
   a free device takes up to ``max_batch`` compatible jobs at once.
   Compatible means same program *and* same tenant — switching keys
@@ -47,28 +50,62 @@ from .optrace import OpTrace
 
 @dataclass(frozen=True)
 class JobClass:
-    """A traced program, priced once and shared by all its jobs."""
+    """A traced program, priced once and shared by all its jobs.
+
+    ``num_fpgas > 1`` marks a *striped* class (see
+    :mod:`repro.runtime.striped_lowering`): each job gang-occupies that
+    many boards at once for ``cycles`` kernel cycles, and its switching
+    keys are replicated into every occupied board's HBM.
+    """
 
     name: str
     cycles: int
     key_ids: Tuple[str, ...]
     bytes_per_key: int
+    num_fpgas: int = 1
+
+    def __post_init__(self):
+        if self.num_fpgas < 1:
+            raise ValueError("num_fpgas must be >= 1")
 
     def seconds(self, config: FabConfig) -> float:
         return config.cycles_to_seconds(self.cycles)
 
     @property
     def key_bytes(self) -> int:
+        """Key working set of ONE board (keys replicate per board)."""
         return len(self.key_ids) * self.bytes_per_key
 
     @classmethod
     def from_trace(cls, trace: OpTrace,
                    config: Optional[FabConfig] = None,
-                   prefetch: bool = True) -> "JobClass":
-        """Lower and schedule a trace into a servable job class."""
-        cost = cost_trace(trace, config, prefetch=prefetch)
-        return cls(trace.name, cost.cycles, cost.keys.key_ids,
-                   cost.keys.bytes_per_key)
+                   prefetch: bool = True,
+                   num_fpgas: int = 1,
+                   policy: str = "round_robin",
+                   plan=None,
+                   comm_scale: float = 1.0) -> "JobClass":
+        """Lower and schedule a trace into a servable job class.
+
+        With ``num_fpgas > 1`` the trace is striped across that many
+        boards (``policy``/``plan``/``comm_scale`` as in
+        :mod:`repro.runtime.striped_lowering`): the class's ``cycles``
+        is the striped pool makespan — including CMAC synchronization
+        — and each job occupies the whole gang.  ``comm_scale=0``
+        zeroes the communication bill while keeping the
+        synchronization structure (the equivalence tests' knob).
+        """
+        if num_fpgas == 1:
+            cost = cost_trace(trace, config, prefetch=prefetch)
+            return cls(trace.name, cost.cycles, cost.keys.key_ids,
+                       cost.keys.bytes_per_key)
+        from .lowering import key_working_set
+        from .striped_lowering import lower_striped_trace
+        report = lower_striped_trace(
+            trace, num_fpgas, config, policy=policy, plan=plan,
+            comm_scale=comm_scale).schedule(prefetch=prefetch)
+        keys = key_working_set(trace, config, num_fpgas=num_fpgas)
+        return cls(trace.name, report.cycles, keys.key_ids,
+                   keys.bytes_per_key, num_fpgas=num_fpgas)
 
 
 @dataclass
@@ -246,6 +283,9 @@ class ServingReport:
     key_bytes_loaded: int
     batches: int
     mean_batch_size: float
+    #: Jobs credited per device; each job counts exactly once pool-wide
+    #: (a striped gang credits its master), so this sums to jobs_done.
+    per_device_jobs: Tuple[int, ...] = ()
 
     def workload(self, name: str) -> WorkloadStats:
         for stats in self.per_workload:
@@ -340,6 +380,12 @@ class ServingSimulator:
         test suite asserts.
         """
         jobs = scenario.generate(seed)
+        for stream in scenario.streams:
+            if stream.job_class.num_fpgas > self.num_devices:
+                raise ValueError(
+                    f"job class {stream.job_class.name!r} stripes over "
+                    f"{stream.job_class.num_fpgas} boards but the pool "
+                    f"has {self.num_devices}")
         devices = [DeviceState(i, KeyCache(self.key_cache_bytes))
                    for i in range(self.num_devices)]
         free_heap: List[Tuple[float, int]] = [
@@ -398,23 +444,44 @@ class ServingSimulator:
                 head = queue[0]
                 heapq.heappush(heads, (head.arrival_s, seq, key,
                                        head.job_id))
-            device = devices[device_index]
-            miss_bytes = device.cache.request(batch[0].tenant,
-                                              batch[0].job_class)
-            load_s = self._key_load_seconds(miss_bytes)
-            compute_s = len(batch) * batch[0].job_class.seconds(self.config)
+            job_class = batch[0].job_class
+            gang = [devices[device_index]]
+            start = now
+            if job_class.num_fpgas > 1:
+                # Gang-schedule a striped batch: grab the next-free
+                # boards; the stripe holds all of them until it
+                # finishes (compute can only start once the slowest
+                # gang member frees up).
+                for _ in range(job_class.num_fpgas - 1):
+                    extra_free, extra_index = heapq.heappop(free_heap)
+                    gang.append(devices[extra_index])
+                    if extra_free > start:
+                        start = extra_free
+            # Switching keys replicate into every gang board's HBM;
+            # the per-board PCIe loads run in parallel, so the batch
+            # waits for the slowest board's misses.
+            load_s = 0.0
+            for member in gang:
+                member_load_s = self._key_load_seconds(
+                    member.cache.request(batch[0].tenant, job_class))
+                member.key_load_s += member_load_s
+                if member_load_s > load_s:
+                    load_s = member_load_s
+            compute_s = len(batch) * job_class.seconds(self.config)
             service_s = launch_overhead_s + load_s + compute_s
-            finish = now + service_s
+            finish = start + service_s
             for job in batch:
                 job.finish_s = finish
             completed.extend(batch)
-            device.free_at_s = finish
-            device.busy_s += service_s
-            device.key_load_s += load_s
-            device.jobs_done += len(batch)
+            for member in gang:
+                member.free_at_s = finish
+                member.busy_s += service_s
+                heapq.heappush(free_heap, (finish, member.index))
+            # Each job counts once pool-wide (the baseline's
+            # semantics): credit the gang master, not every member.
+            gang[0].jobs_done += len(batch)
             batches += 1
             batched_jobs += len(batch)
-            heapq.heappush(free_heap, (finish, device_index))
 
         return self._report(scenario, completed, devices, batches,
                             batched_jobs)
@@ -453,27 +520,35 @@ class ServingSimulator:
             key_hit_rate=hits / (hits + misses) if hits + misses else 0.0,
             key_bytes_loaded=sum(d.cache.bytes_loaded for d in devices),
             batches=batches,
-            mean_batch_size=batched_jobs / batches if batches else 0.0)
+            mean_batch_size=batched_jobs / batches if batches else 0.0,
+            per_device_jobs=tuple(d.jobs_done for d in devices))
 
 
 # ----------------------------------------------------------------------
 # Canned scenarios
 # ----------------------------------------------------------------------
 
-def build_job_classes(config: Optional[FabConfig] = None
+def build_job_classes(config: Optional[FabConfig] = None,
+                      training_stripe: int = 1
                       ) -> Dict[str, JobClass]:
-    """The serving workloads, lowered from the reference traces."""
-    from .optrace import OpTrace
-    from .reference import (analytics_trace, bootstrap_trace,
-                            lr_inference_trace, lr_iteration_trace)
+    """The serving workloads, lowered from the reference traces.
+
+    ``training_stripe > 1`` stripes the training job FAB-2 style: the
+    bootstrap stays serial on the gang master, the 32 per-ciphertext
+    gradient blocks split across ``training_stripe`` boards, and each
+    training job gang-occupies the whole stripe.
+    """
+    from .reference import (analytics_trace, lr_inference_trace,
+                            lr_training_trace)
     config = config or FabConfig()
-    # One training step = sparse bootstrap + the update phase (§5.5).
-    training = OpTrace("lr_training")
-    training.extend(bootstrap_trace(config, slots=256))
-    training.extend(lr_iteration_trace())
+    # One training step = sparse bootstrap + the update phase (§5.5);
+    # the trace and its striping plan are the canonical ones in
+    # reference.py, shared with the stripe-scale sweep.
+    training, plan = lr_training_trace(config)
     return {
         "lr_inference": JobClass.from_trace(lr_inference_trace(), config),
-        "lr_training": JobClass.from_trace(training, config),
+        "lr_training": JobClass.from_trace(
+            training, config, num_fpgas=training_stripe, plan=plan),
         "analytics": JobClass.from_trace(analytics_trace(), config),
     }
 
@@ -481,19 +556,25 @@ def build_job_classes(config: Optional[FabConfig] = None
 def build_scenarios(config: Optional[FabConfig] = None,
                     num_devices: int = 8,
                     duration_s: float = 2.0,
-                    target_load: float = 0.6
+                    target_load: float = 0.6,
+                    training_stripe: int = 1
                     ) -> Dict[str, Scenario]:
     """Standard scenarios, with rates scaled to the pool capacity.
 
     ``target_load`` is the offered load as a fraction of aggregate
     device compute capacity, so scenarios remain stable (queues drain)
-    for any config / pool size.
+    for any config / pool size.  ``training_stripe`` stripes the
+    training workload across that many boards per job (see
+    :func:`build_job_classes`).
     """
     config = config or FabConfig()
-    classes = build_job_classes(config)
+    classes = build_job_classes(config, training_stripe=training_stripe)
 
     def rate(job_class: JobClass, load: float) -> float:
-        return load * num_devices / job_class.seconds(config)
+        # A striped job consumes num_fpgas boards at once, so the
+        # per-job capacity share scales down accordingly.
+        return (load * num_devices
+                / (job_class.seconds(config) * job_class.num_fpgas))
 
     interactive = Scenario("interactive", duration_s, [
         Stream(classes["lr_inference"],

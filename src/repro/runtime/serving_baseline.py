@@ -77,7 +77,18 @@ class BaselineKeyCache:
 
 def baseline_run(simulator: ServingSimulator, scenario: Scenario,
                  seed: int = 0) -> ServingReport:
-    """Run ``scenario`` through the original (pre-heap) event loop."""
+    """Run ``scenario`` through the original (pre-heap) event loop.
+
+    Single-board job classes only: the baseline predates multi-FPGA
+    striping, and the equivalence suite uses it as the ground truth a
+    zero-communication striped run must collapse to.
+    """
+    for stream in scenario.streams:
+        if stream.job_class.num_fpgas > 1:
+            raise ValueError(
+                f"baseline_run predates striping; job class "
+                f"{stream.job_class.name!r} needs "
+                f"{stream.job_class.num_fpgas} boards")
     jobs = scenario.generate(seed)
     devices = [DeviceState(i, BaselineKeyCache(simulator.key_cache_bytes))
                for i in range(simulator.num_devices)]

@@ -1,0 +1,681 @@
+"""Trace-striped multi-FPGA lowering: one :class:`OpTrace`, k boards.
+
+The FAB-2 configuration (§3, §5.5) earns its speedup by splitting the
+batched ciphertexts of one workload across eight boards and paying CMAC
+gather/broadcast traffic at every synchronization point, while the
+serial phases (bootstrapping) stay on a single board.  The closed-form
+version of that tradeoff lives in
+:class:`repro.core.multi_fpga.MultiFpgaSystem`; this module is the
+*trace-driven* counterpart:
+
+1.  :func:`infer_plan` partitions a trace into *batch-parallel*
+    sections (maximal runs of a repeating op block — one repetition per
+    batched ciphertext) and *serial* sections (everything else:
+    rotation trees, bootstrap chains, sigmoid evaluation).
+2.  :func:`stripe_trace` assigns each parallel batch group to a board
+    through a :class:`BoardStriper` — the
+    :class:`repro.core.striping.PortStriper` policy framework with
+    boards standing in for HBM pseudo-channels — and materializes
+    per-board shard traces (serial ops land on the master, board 0).
+3.  :class:`StripedProgram` lowers the assignment to ONE merged task
+    graph: per-board ``fu``/``hbm`` lanes priced by the same memoized
+    :meth:`repro.core.program.FabProgram.op_cost` oracle as the
+    single-board path, plus CMAC gather/broadcast task chains — priced
+    from :meth:`MultiFpgaSystem.limb_transmit_cycles` at the *actual*
+    ciphertext level of each sync point — injected at every
+    cross-board dependency (parallel→serial gathers, serial→parallel
+    broadcasts, and a trailing gather for in-flight partials).
+
+With ``num_fpgas=1`` the whole machinery steps aside and delegates to
+:func:`repro.runtime.lowering.lower_trace`, so the single-board path
+stays bit-identical — the property suite in
+``tests/runtime/test_striped_lowering.py`` pins this, and
+``repro stripe-scale`` reconciles the multi-board makespans against
+the analytic :meth:`MultiFpgaSystem.speedup` model.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.multi_fpga import MultiFpgaSystem
+from ..core.params import FabConfig
+from ..core.program import FabProgram
+from ..core.scheduler import ScheduleResult, TaskGraph
+from ..core.striping import LimbTransfer, PortStriper
+from .lowering import lower_trace, lowered_op
+from .optrace import OpTrace
+
+#: Board-assignment policies, mirroring the PortStriper names
+#: ("single_board" is the pathological everything-on-master baseline,
+#: the analogue of the striper's "single_port").
+BOARD_POLICIES = ("round_robin", "hash", "single_board")
+
+#: The master board: runs serial sections, sources broadcasts, sinks
+#: gathers (the paper's broadcast-master role).
+MASTER = 0
+
+
+# ----------------------------------------------------------------------
+# Plans: which ops are batch-parallel, and at what granularity
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceSection:
+    """A contiguous ``[start, stop)`` op range of one kind of work.
+
+    Parallel sections carry ``group_size``: the number of consecutive
+    ops forming one batch group (one batched ciphertext's worth of
+    work), the unit of board assignment.
+    """
+
+    start: int
+    stop: int
+    parallel: bool
+    group_size: int = 1
+
+    def __post_init__(self):
+        if not 0 <= self.start < self.stop:
+            raise ValueError(f"bad section range [{self.start}, "
+                             f"{self.stop})")
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+
+    @property
+    def num_ops(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def num_groups(self) -> int:
+        """Batch groups in this section (serial sections are 1 group)."""
+        if not self.parallel:
+            return 1
+        return math.ceil(self.num_ops / self.group_size)
+
+
+@dataclass(frozen=True)
+class StripePlan:
+    """An ordered, gap-free partition of a trace into sections."""
+
+    sections: Tuple[TraceSection, ...]
+
+    def __post_init__(self):
+        expect = 0
+        for section in self.sections:
+            if section.start != expect:
+                raise ValueError(f"sections must tile the trace; got "
+                                 f"start {section.start}, expected "
+                                 f"{expect}")
+            expect = section.stop
+
+    @property
+    def num_ops(self) -> int:
+        return self.sections[-1].stop if self.sections else 0
+
+    @property
+    def parallel_op_count(self) -> int:
+        return sum(s.num_ops for s in self.sections if s.parallel)
+
+    @property
+    def serial_op_count(self) -> int:
+        return sum(s.num_ops for s in self.sections if not s.parallel)
+
+    @classmethod
+    def all_serial(cls, num_ops: int) -> "StripePlan":
+        """Everything on the master — the paper's bootstrap stance."""
+        if num_ops == 0:
+            return cls(())
+        return cls((TraceSection(0, num_ops, parallel=False),))
+
+    @classmethod
+    def all_parallel(cls, num_ops: int,
+                     group_size: int = 1) -> "StripePlan":
+        """One fully data-parallel section (an embarrassing batch)."""
+        if num_ops == 0:
+            return cls(())
+        return cls((TraceSection(0, num_ops, parallel=True,
+                                 group_size=group_size),))
+
+    @classmethod
+    def chain(cls, segments: Sequence[Tuple[int, bool, int]]
+              ) -> "StripePlan":
+        """Build a plan from ``(num_ops, parallel, group_size)`` runs.
+
+        The explicit-knowledge constructor: a caller composing a job
+        from known pieces (a serial bootstrap trace followed by a
+        batch-parallel update trace, the paper's FAB-2 structure)
+        states the sections directly instead of relying on
+        :func:`infer_plan`'s repetition heuristic.
+        """
+        sections: List[TraceSection] = []
+        start = 0
+        for num_ops, parallel, group_size in segments:
+            if num_ops == 0:
+                continue
+            sections.append(TraceSection(start, start + num_ops,
+                                         parallel=parallel,
+                                         group_size=group_size))
+            start += num_ops
+        return cls(tuple(sections))
+
+
+def infer_plan(trace: OpTrace, min_repetitions: int = 4,
+               max_block: int = 8) -> StripePlan:
+    """Detect batch-parallel structure by block repetition.
+
+    A run of ``r >= min_repetitions`` consecutive repetitions of the
+    same op block (matched on kind, level and rotation step) is read as
+    ``r`` independent batch items — e.g. the 32x five-op gradient
+    blocks of the HELR update phase, or the per-diagonal plaintext
+    multiplies of a BSGS linear transform.  Short repeats stay serial:
+    ``min_repetitions=4`` keeps dependent chains like the degree-3
+    sigmoid's multiply/rescale pairs (3 repeats) on one board.
+    Everything outside a detected run — rotation trees, EvalMod
+    squaring chains, ModRaise — is serial on the master.
+    """
+    if min_repetitions < 2:
+        raise ValueError("min_repetitions must be >= 2")
+    if max_block < 1:
+        raise ValueError("max_block must be >= 1")
+    shapes = [(op.kind, op.level, op.step) for op in trace]
+    n = len(shapes)
+    sections: List[TraceSection] = []
+    serial_start: Optional[int] = None
+    i = 0
+    while i < n:
+        best: Optional[Tuple[int, int]] = None   # (coverage, block)
+        for block in range(1, min(max_block, (n - i) // 2) + 1):
+            proto = shapes[i:i + block]
+            reps = 1
+            while shapes[i + reps * block:
+                         i + (reps + 1) * block] == proto:
+                reps += 1
+            if reps >= min_repetitions:
+                coverage = reps * block
+                # Prefer more coverage; break ties toward the smaller
+                # block (finer groups stripe more evenly).
+                if best is None or coverage > best[0]:
+                    best = (coverage, block)
+        if best is None:
+            if serial_start is None:
+                serial_start = i
+            i += 1
+            continue
+        if serial_start is not None:
+            sections.append(TraceSection(serial_start, i, parallel=False))
+            serial_start = None
+        coverage, block = best
+        sections.append(TraceSection(i, i + coverage, parallel=True,
+                                     group_size=block))
+        i += coverage
+    if serial_start is not None:
+        sections.append(TraceSection(serial_start, n, parallel=False))
+    return StripePlan(tuple(sections))
+
+
+# ----------------------------------------------------------------------
+# Board assignment: the PortStriper policy framework, boards as ports
+# ----------------------------------------------------------------------
+
+class _DeterministicPortStriper(PortStriper):
+    """PortStriper with a process-independent ``hash`` policy.
+
+    The parent hashes ``(tag, limb_index)`` with the builtin ``hash``,
+    which is salted per interpreter run for strings; board assignments
+    must be reproducible across runs (CI pins them), so the hash policy
+    is re-based on crc32.
+    """
+
+    def port_for(self, transfer: LimbTransfer,
+                 sequence_index: int) -> int:
+        if self.policy == "hash":
+            word = f"{transfer.tag}:{transfer.limb_index}".encode()
+            return zlib.crc32(word) % self.config.hbm_ports
+        return super().port_for(transfer, sequence_index)
+
+
+class BoardStriper:
+    """Assigns batch groups to boards via the PortStriper policies.
+
+    Reuses :class:`repro.core.striping.PortStriper` wholesale by
+    presenting the pool as a config with ``num_fpgas`` "ports":
+    ``round_robin`` deals groups out in order, ``hash`` scatters by
+    group identity, ``single_board`` (the striper's ``single_port``)
+    piles everything on the master — the no-striping baseline.
+    The striper's load/imbalance metrics carry over unchanged.
+    """
+
+    def __init__(self, num_fpgas: int, policy: str = "round_robin",
+                 config: Optional[FabConfig] = None):
+        if num_fpgas < 1:
+            raise ValueError("need at least one board")
+        if policy not in BOARD_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from "
+                             f"{BOARD_POLICIES}")
+        self.num_fpgas = num_fpgas
+        self.policy = policy
+        port_policy = ("single_port" if policy == "single_board"
+                       else policy)
+        self._striper = _DeterministicPortStriper(
+            replace(config or FabConfig(), hbm_ports=num_fpgas),
+            port_policy)
+
+    def board_for(self, tag: str, group_index: int,
+                  sequence_index: int) -> int:
+        """The board serving one batch group."""
+        transfer = LimbTransfer(tag=tag, limb_index=group_index,
+                                num_bytes=1)
+        return self._striper.port_for(transfer, sequence_index)
+
+    def group_counts(self, assignment: Sequence[int]) -> Dict[int, int]:
+        """Groups per board for an assignment (all boards keyed)."""
+        counts = {b: 0 for b in range(self.num_fpgas)}
+        for board in assignment:
+            counts[board] += 1
+        return counts
+
+    def imbalance(self, assignment: Sequence[int]) -> float:
+        """Max board load over mean load (1.0 = perfectly even)."""
+        counts = self.group_counts(assignment)
+        loads = list(counts.values())
+        mean = sum(loads) / len(loads)
+        return max(loads) / mean if mean else 1.0
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+
+@dataclass
+class StripedTrace:
+    """One trace sharded over a pool: per-board traces + assignment."""
+
+    source: OpTrace
+    num_fpgas: int
+    policy: str
+    plan: StripePlan
+    shards: Tuple[OpTrace, ...]      # one per board, master first
+    assignment: Tuple[int, ...]      # op index -> board
+
+    @property
+    def name(self) -> str:
+        return self.source.name
+
+    def board_op_counts(self) -> List[Dict[str, int]]:
+        """Per-board op-kind histograms (sum == source histogram)."""
+        return [shard.op_counts() for shard in self.shards]
+
+    def parallel_group_boards(self) -> List[int]:
+        """Board of each parallel batch group, in trace order.
+
+        The unit the assignment policy operated on — feed it back to
+        :meth:`BoardStriper.imbalance` for the load-balance metric.
+        """
+        boards: List[int] = []
+        for section in self.plan.sections:
+            if not section.parallel:
+                continue
+            for gi in range(section.num_groups):
+                boards.append(
+                    self.assignment[section.start
+                                    + gi * section.group_size])
+        return boards
+
+    def split(self) -> Tuple[OpTrace, OpTrace]:
+        """(serial-section ops, parallel-section ops) as sub-traces.
+
+        The serial half is what the analytic Amdahl model calls the
+        non-parallelizable fraction.
+        """
+        serial = OpTrace(f"{self.source.name}/serial")
+        parallel = OpTrace(f"{self.source.name}/parallel")
+        ops = self.source.ops
+        for section in self.plan.sections:
+            target = parallel if section.parallel else serial
+            for op in ops[section.start:section.stop]:
+                target.record(op.kind, op.level, op.step)
+        return serial, parallel
+
+
+def stripe_trace(trace: OpTrace, num_fpgas: int,
+                 policy: str = "round_robin",
+                 plan: Optional[StripePlan] = None,
+                 config: Optional[FabConfig] = None) -> StripedTrace:
+    """Shard a trace's batch dimension over ``num_fpgas`` boards.
+
+    Parallel-section batch groups are dealt to boards by ``policy``
+    (see :class:`BoardStriper`); serial-section ops stay on the master.
+    ``num_fpgas`` must be 1 or even — boards pair up (the FAB-2
+    primary/secondary topology), which :class:`MultiFpgaSystem`
+    enforces.  With ``num_fpgas=1`` the single shard IS the trace.
+    """
+    config = config or FabConfig()
+    if num_fpgas > 1:
+        MultiFpgaSystem(config, num_fpgas)   # validates pool shape
+    if plan is None:
+        plan = infer_plan(trace)
+    if plan.num_ops != len(trace):
+        raise ValueError(f"plan covers {plan.num_ops} ops, trace has "
+                         f"{len(trace)}")
+    striper = BoardStriper(num_fpgas, policy, config)
+    ops = trace.ops
+    assignment: List[int] = [MASTER] * len(ops)
+    gseq = 0                          # global parallel-group counter
+    for si, section in enumerate(plan.sections):
+        if not section.parallel:
+            continue
+        for gi in range(section.num_groups):
+            board = striper.board_for(f"sec{si}", gi, gseq)
+            gseq += 1
+            lo = section.start + gi * section.group_size
+            hi = min(lo + section.group_size, section.stop)
+            for idx in range(lo, hi):
+                assignment[idx] = board
+    shards = tuple(OpTrace(f"{trace.name}@b{b}of{num_fpgas}",
+                           meta=dict(trace.meta))
+                   for b in range(num_fpgas))
+    for idx, op in enumerate(ops):
+        shards[assignment[idx]].record(op.kind, op.level, op.step,
+                                       op.operands, op.result)
+    return StripedTrace(trace, num_fpgas, policy, plan, shards,
+                        tuple(assignment))
+
+
+# ----------------------------------------------------------------------
+# Lowering the sharded trace to one merged task graph
+# ----------------------------------------------------------------------
+
+@dataclass
+class StripedReport:
+    """Scheduling outcome of one striped program."""
+
+    cycles: int
+    schedule: ScheduleResult
+    fu_busy: int                 # compute cycles across all boards
+    hbm_busy: int                # fetch cycles across all boards
+    comm_busy: int               # CMAC cycles (gathers + broadcasts)
+    comm_rounds: int             # sync rounds injected
+    comm_levels: Tuple[int, ...]  # ciphertext level shipped per round
+    num_ops: int
+    num_fpgas: int
+
+    def seconds(self, config: FabConfig) -> float:
+        return config.cycles_to_seconds(self.cycles)
+
+    @property
+    def total_work_cycles(self) -> int:
+        """Sum of every task's cycles: compute + fetch + comm."""
+        return self.fu_busy + self.hbm_busy + self.comm_busy
+
+    def per_board(self):
+        """Per-device busy/finish stats from the annotated schedule."""
+        return self.schedule.device_stats()
+
+
+class StripedProgram:
+    """A sharded trace compiled to per-board lanes + a CMAC link.
+
+    Resources: ``fu{b}``/``hbm{b}`` per board ``b`` (device-annotated
+    in the task graph) and one shared ``cmac`` resource serializing all
+    inter-board traffic through the master's egress link, matching the
+    analytic model's assumption.  ``comm_scale`` scales the priced CMAC
+    cycles (0.0 models free communication while keeping every
+    synchronization dependency in place — used by the serving
+    equivalence tests).
+
+    With ``num_fpgas == 1`` compilation and scheduling delegate to the
+    unmodified single-board :func:`lower_trace` program, bit for bit.
+    """
+
+    def __init__(self, striped: StripedTrace,
+                 config: Optional[FabConfig] = None,
+                 comm_scale: float = 1.0):
+        if comm_scale < 0:
+            raise ValueError("comm_scale must be non-negative")
+        self.striped = striped
+        self.config = config or FabConfig()
+        self.num_fpgas = striped.num_fpgas
+        self.comm_scale = comm_scale
+        self.comm_rounds = 0
+        self.comm_busy = 0
+        self.comm_levels: Tuple[int, ...] = ()
+        if self.num_fpgas == 1:
+            self._single: Optional[FabProgram] = lower_trace(
+                striped.source, self.config)
+            self.system: Optional[MultiFpgaSystem] = None
+        else:
+            self._single = None
+            self.system = MultiFpgaSystem(self.config, self.num_fpgas)
+        # The cost oracle shares the per-config (kind, level) memo with
+        # every single-board program, so op pricing is identical.
+        self._oracle = FabProgram(self.config)
+
+    # ------------------------------------------------------------------
+
+    def _round_cycles(self, level: int) -> int:
+        """Priced CMAC cycles of ONE tree stage at a sync point.
+
+        A gather (or broadcast) is a ceil(log2 k)-deep tree of
+        ciphertext hops; each stage ships one two-element ciphertext at
+        the level the data actually has — the trace-driven refinement
+        over the analytic model's always-full-chain pricing.
+        """
+        assert self.system is not None
+        cycles = self.system.ciphertext_transmit_cycles(level)
+        return int(round(self.comm_scale * cycles))
+
+    def compile(self, prefetch: bool = True) -> TaskGraph:
+        """Build the merged task graph (single-board: delegate).
+
+        Sets :attr:`comm_rounds` / :attr:`comm_busy` as a side effect
+        (both zero for ``num_fpgas=1``).
+        """
+        if self._single is not None:
+            self.comm_rounds = 0
+            self.comm_busy = 0
+            self.comm_levels = ()
+            return self._single.compile(prefetch)
+        k = self.num_fpgas
+        graph = TaskGraph()
+        fhe = self.config.fhe
+        stages = max(1, math.ceil(math.log2(k)))
+        prev: List[Optional[str]] = [None] * k
+        unsynced: Set[int] = set()   # boards holding un-gathered work
+        pending_master = False       # master holds un-broadcast state
+        self.comm_rounds = 0
+        self.comm_busy = 0
+        comm_levels: List[int] = []
+        last_level = fhe.num_limbs
+        comm_idx = 0
+
+        def add_round(label: str, deps: List[str]) -> str:
+            """One gather/broadcast round: a chain of tree stages."""
+            nonlocal comm_idx
+            per_stage = self._round_cycles(last_level)
+            prev_stage: Optional[str] = None
+            for s in range(stages):
+                name = f"{label}{comm_idx}_s{s}"
+                graph.add(name, "cmac", per_stage,
+                          deps=deps if prev_stage is None
+                          else [prev_stage])
+                prev_stage = name
+                self.comm_busy += per_stage
+            comm_idx += 1
+            self.comm_rounds += 1
+            comm_levels.append(last_level)
+            assert prev_stage is not None
+            return prev_stage
+
+        def gather() -> str:
+            """Collect every board's partials onto the master."""
+            nonlocal pending_master
+            deps = sorted({prev[b] for b in unsynced
+                           if prev[b] is not None}
+                          | ({prev[MASTER]} if prev[MASTER] else set()))
+            done = add_round("gather", deps)
+            unsynced.clear()
+            prev[MASTER] = done
+            pending_master = True     # master now holds the result
+            return done
+
+        def broadcast() -> None:
+            """Fan the master's state out to every board."""
+            nonlocal pending_master
+            done = add_round("bcast", [prev[MASTER]])
+            for b in range(k):
+                prev[b] = done
+            pending_master = False
+
+        ops = self.striped.source.ops
+        assignment = self.striped.assignment
+        idx = 0
+        for section in self.striped.plan.sections:
+            section_ops = ops[section.start:section.stop]
+            if not section_ops:
+                continue
+            if section.parallel:
+                # Entering parallel work: boards about to compute need
+                # the latest state (no comm if it all stays on-master).
+                fans_out = any(
+                    assignment[i] != MASTER
+                    for i in range(section.start, section.stop))
+                if unsynced - {MASTER}:
+                    gather()           # parallel -> parallel boundary
+                    if fans_out:
+                        broadcast()
+                elif pending_master and fans_out:
+                    broadcast()        # serial -> parallel boundary
+            else:
+                # Entering serial work: master needs every partial.
+                if unsynced - {MASTER}:
+                    gather()
+            for offset, op in enumerate(section_ops):
+                lowered = lowered_op(fhe, op.kind, op.level)
+                if lowered is None:
+                    continue
+                kind, level = lowered
+                board = (assignment[section.start + offset]
+                         if section.parallel else MASTER)
+                compute_cycles, fetch_cycles = self._oracle.op_cost(
+                    kind, level)
+                deps: List[str] = []
+                if fetch_cycles:
+                    fetch_deps: List[str] = []
+                    if not prefetch and prev[board] is not None:
+                        fetch_deps.append(prev[board])
+                    graph.add(f"fetch{idx}", f"hbm{board}", fetch_cycles,
+                              deps=fetch_deps, device=board)
+                    deps.append(f"fetch{idx}")
+                if prev[board] is not None:
+                    deps.append(prev[board])
+                name = f"op{idx}_{kind}"
+                graph.add(name, f"fu{board}", compute_cycles, deps=deps,
+                          device=board)
+                prev[board] = name
+                last_level = level
+                idx += 1
+                if section.parallel:
+                    unsynced.add(board)
+                if board == MASTER:
+                    pending_master = True
+        # Partials still distributed at the end of the trace must land
+        # on the master — the job has one result.
+        if unsynced - {MASTER}:
+            gather()
+        self.comm_levels = tuple(comm_levels)
+        return graph
+
+    def schedule(self, prefetch: bool = True) -> StripedReport:
+        """Compile, schedule, and summarize the striped program."""
+        result = self.compile(prefetch).schedule()
+        fu_busy = hbm_busy = comm_busy = num_ops = 0
+        for res_name, stats in result.resources.items():
+            if res_name.startswith("fu"):
+                fu_busy += stats.busy_cycles
+                num_ops += stats.tasks
+            elif res_name.startswith("hbm"):
+                hbm_busy += stats.busy_cycles
+            elif res_name == "cmac":
+                comm_busy += stats.busy_cycles
+        return StripedReport(
+            cycles=result.makespan,
+            schedule=result,
+            fu_busy=fu_busy,
+            hbm_busy=hbm_busy,
+            comm_busy=comm_busy,
+            comm_rounds=self.comm_rounds,
+            comm_levels=self.comm_levels,
+            num_ops=num_ops,
+            num_fpgas=self.num_fpgas)
+
+
+def lower_striped_trace(trace: OpTrace, num_fpgas: int,
+                        config: Optional[FabConfig] = None,
+                        policy: str = "round_robin",
+                        plan: Optional[StripePlan] = None,
+                        comm_scale: float = 1.0) -> StripedProgram:
+    """Shard + lower a trace across a pool in one call."""
+    config = config or FabConfig()
+    striped = stripe_trace(trace, num_fpgas, policy=policy, plan=plan,
+                           config=config)
+    return StripedProgram(striped, config, comm_scale=comm_scale)
+
+
+@dataclass
+class StripedCost:
+    """Cost summary of one striped trace, single-board side by side."""
+
+    name: str
+    num_fpgas: int
+    policy: str
+    report: StripedReport
+    single_cycles: int
+    serial_cycles: int            # scheduled cycles of the serial half
+    striped: StripedTrace         # the sharding behind the report
+
+    @property
+    def speedup(self) -> float:
+        """Trace-driven pool speedup over one board."""
+        return (self.single_cycles / self.report.cycles
+                if self.report.cycles else 1.0)
+
+
+def cost_striped_trace(trace: OpTrace, num_fpgas: int,
+                       config: Optional[FabConfig] = None,
+                       policy: str = "round_robin",
+                       plan: Optional[StripePlan] = None,
+                       comm_scale: float = 1.0,
+                       prefetch: bool = True,
+                       single_cycles: Optional[int] = None,
+                       serial_cycles: Optional[int] = None
+                       ) -> StripedCost:
+    """Lower, schedule, and summarize a striped trace in one call.
+
+    ``serial_cycles`` (the serial sections scheduled alone on one
+    board) is what :meth:`MultiFpgaSystem.speedup` calls the
+    non-parallelizable fraction, so the analytic prediction for the
+    same job is ``MultiFpgaSystem(config, k).speedup(single_seconds,
+    serial_seconds, rounds=report.comm_rounds)``.
+
+    Both single-board figures depend only on ``(trace, plan,
+    prefetch)``; a sweep varying boards/policies over one trace can
+    schedule them once and pass them in instead of re-deriving them at
+    every grid point.
+    """
+    config = config or FabConfig()
+    program = lower_striped_trace(trace, num_fpgas, config,
+                                  policy=policy, plan=plan,
+                                  comm_scale=comm_scale)
+    report = program.schedule(prefetch=prefetch)
+    if single_cycles is None:
+        single_cycles = lower_trace(trace, config).schedule(
+            prefetch=prefetch).cycles
+    if serial_cycles is None:
+        serial, _parallel = program.striped.split()
+        serial_cycles = (lower_trace(serial, config).schedule(
+            prefetch=prefetch).cycles if len(serial) else 0)
+    return StripedCost(trace.name, num_fpgas, policy, report,
+                       single_cycles, serial_cycles, program.striped)

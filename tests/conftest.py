@@ -6,10 +6,23 @@ and tests must not mutate them (create fresh ciphertexts instead).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.fhe import CkksParams, CkksScheme
+
+# Hypothesis profiles: "ci" derandomizes every property test (examples
+# are derived from the test body, not an RNG), so CI runs — including
+# the striped-lowering suite — are reproducible run to run.  Locally
+# the default profile keeps exploring fresh examples.  Select with
+# HYPOTHESIS_PROFILE=ci (the workflow sets it).
+settings.register_profile("ci", derandomize=True, deadline=None,
+                          print_blob=True)
+settings.register_profile("default", settings.default)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

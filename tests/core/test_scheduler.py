@@ -273,3 +273,48 @@ class TestHeapMatchesReference:
         result = g.schedule_reference()
         assert result.makespan == 20
         assert sorted(t.start for t in result.tasks.values()) == [0, 0, 10]
+
+
+class TestDeviceAnnotation:
+    """Multi-FPGA graphs tag tasks with a board; scheduling behavior
+    must be unaffected, and per-device stats must aggregate cleanly."""
+
+    def _two_board_graph(self):
+        g = TaskGraph()
+        g.add("f0", "hbm0", 30, device=0)
+        g.add("a0", "fu0", 100, deps=["f0"], device=0)
+        g.add("a1", "fu1", 80, device=1)
+        g.add("x", "cmac", 40, deps=["a0", "a1"])   # shared link
+        return g
+
+    def test_device_is_pure_annotation(self):
+        annotated = self._two_board_graph().schedule()
+        plain = TaskGraph()
+        plain.add("f0", "hbm0", 30)
+        plain.add("a0", "fu0", 100, deps=["f0"])
+        plain.add("a1", "fu1", 80)
+        plain.add("x", "cmac", 40, deps=["a0", "a1"])
+        unannotated = plain.schedule()
+        assert annotated.makespan == unannotated.makespan
+        assert {n: (t.start, t.finish)
+                for n, t in annotated.tasks.items()} == \
+               {n: (t.start, t.finish)
+                for n, t in unannotated.tasks.items()}
+
+    def test_device_stats_aggregate_per_board(self):
+        result = self._two_board_graph().schedule()
+        stats = result.device_stats()
+        assert set(stats) == {0, 1, None}
+        assert stats[0].busy_cycles == 130      # fetch + compute
+        assert stats[0].tasks == 2
+        assert stats[1].busy_cycles == 80
+        assert stats[None].busy_cycles == 40    # the shared CMAC task
+        assert stats[0].finish == result.tasks["a0"].finish
+        assert stats[None].finish == result.makespan
+        assert 0 < stats[1].utilization(result.makespan) <= 1.0
+
+    def test_default_device_is_none(self):
+        g = TaskGraph()
+        g.add("a", "fu", 10)
+        result = g.schedule()
+        assert set(result.device_stats()) == {None}

@@ -73,6 +73,39 @@ class TestServeSubcommand:
         assert cli_main(["serve", "--scenario", "nope"]) == 1
         assert "unknown scenario" in capsys.readouterr().out
 
+    def test_striped_training(self, capsys):
+        assert cli_main(["serve", "--scenario", "batch",
+                         "--duration", "0.3", "--devices", "4",
+                         "--stripe", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lr_training" in out and "p99" in out
+
+    def test_stripe_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--stripe", "3"])       # odd
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--devices", "2", "--stripe", "4"])
+
+
+class TestStripeScaleSubcommand:
+    def test_sweep_reports_reconciliation(self, capsys, tmp_path):
+        path = str(tmp_path / "stripe.json")
+        assert cli_main(["stripe-scale", "--boards", "1", "2",
+                         "--batches", "32", "--policies", "round_robin",
+                         "--json", path]) == 0
+        out = capsys.readouterr().out
+        assert "stripe_scale" in out
+        assert "rel error" in out
+        assert "written to" in out
+
+    def test_board_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["stripe-scale", "--boards", "3"])
+
+    def test_listed_in_list(self, capsys):
+        assert cli_main(["list"]) == 0
+        assert "stripe-scale" in capsys.readouterr().out
+
 
 class TestTraceFormatters:
     def test_format_table(self):

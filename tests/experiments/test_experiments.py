@@ -123,7 +123,8 @@ class TestTables:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 13
+        assert len(ALL_EXPERIMENTS) == 14
+        assert "stripe_scale" in ALL_EXPERIMENTS
 
     def test_run_all_returns_everything(self):
         results = run_all(verbose=False)

@@ -1,0 +1,93 @@
+"""Tests for the stripe-scale sweep driver (the acceptance gate:
+``repro stripe-scale`` reports trace-driven 8-board speedup within
+tolerance of ``MultiFpgaSystem.speedup``)."""
+
+import json
+
+import pytest
+
+from repro.core import FabConfig
+from repro.experiments.striping_scale import (StripePoint,
+                                              training_trace, run_sweep)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FabConfig()
+
+
+@pytest.fixture(scope="module")
+def small_sweep(config):
+    return run_sweep(config, boards=(1, 2, 8), batches=(64,),
+                     policies=("round_robin", "single_board"))
+
+
+class TestStripeScaleSweep:
+    def test_grid_is_complete(self, small_sweep):
+        points = {o.point for o in small_sweep.outcomes}
+        assert points == {StripePoint(k, 64, p)
+                          for k in (1, 2, 8)
+                          for p in ("round_robin", "single_board")}
+
+    def test_eight_board_speedup_within_tolerance(self, small_sweep):
+        """The acceptance criterion, at the driver level."""
+        o = small_sweep.outcome(8, 64, "round_robin")
+        assert o.analytic_speedup > 0
+        assert abs(o.rel_error) <= 0.01
+        assert small_sweep.worst_round_robin_error <= 0.01
+
+    def test_single_board_policy_pins_speedup_one(self, small_sweep):
+        for k in (2, 8):
+            o = small_sweep.outcome(k, 64, "single_board")
+            assert o.traced_speedup == 1.0
+            assert o.analytic_speedup == 1.0
+            assert o.comm_rounds == 0
+            assert o.imbalance == float(k)
+
+    def test_one_board_is_the_identity(self, small_sweep):
+        for policy in ("round_robin", "single_board"):
+            o = small_sweep.outcome(1, 64, policy)
+            assert o.traced_speedup == 1.0
+            assert o.striped_cycles == o.single_cycles
+            assert o.comm_rounds == 0
+
+    def test_serial_fraction_and_comm_reported(self, small_sweep):
+        o = small_sweep.outcome(8, 64, "round_robin")
+        assert 0 < o.serial_fraction < 1
+        assert o.comm_rounds == 2
+        assert o.comm_ms > 0
+
+    def test_training_trace_tiles_exactly(self, config):
+        trace, plan = training_trace(config, batch=16)
+        assert plan.num_ops == len(trace)
+        parallel = [s for s in plan.sections if s.parallel]
+        assert len(parallel) == 1
+        assert parallel[0].num_ops == 16 * 5
+
+    def test_json_roundtrip(self, small_sweep, tmp_path):
+        path = tmp_path / "stripe.json"
+        small_sweep.save_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["grid_points"] == len(small_sweep.outcomes)
+        assert data["worst_round_robin_rel_error"] == \
+            small_sweep.worst_round_robin_error
+        assert len(data["outcomes"]) == data["grid_points"]
+
+    def test_experiment_result_renders(self, small_sweep):
+        result = small_sweep.to_experiment_result()
+        text = result.format()
+        assert "traced_x" in text and "analytic_x" in text
+        assert "stripe_scale" in text
+
+    def test_registry_entry(self):
+        from repro.experiments import ALL_EXPERIMENTS
+        assert "stripe_scale" in ALL_EXPERIMENTS
+
+    def test_no_reconciliation_points_reported_as_none(self, config):
+        """Regression: a grid with nothing to reconcile must not read
+        as a measured perfect (0.0) model match."""
+        sweep = run_sweep(config, boards=(1,), batches=(16,),
+                          policies=("hash",))
+        assert sweep.worst_round_robin_error is None
+        assert sweep.to_dict()["worst_round_robin_rel_error"] is None
+        assert "nothing reconciled" in sweep.to_experiment_result().notes
