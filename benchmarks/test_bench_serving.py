@@ -1,6 +1,8 @@
 """Serving bench: the mixed multi-tenant scenario on an 8-board pool."""
 
-from repro.runtime import ServingSimulator, build_scenarios
+from repro.runtime import (ServingSimulator, build_scenarios,
+                           build_slo_scenario)
+from repro.runtime.policies import PriceSignal
 
 
 def test_bench_serving_mixed(benchmark, fab_config):
@@ -31,3 +33,34 @@ def test_bench_serving_batching_amortizes(benchmark, fab_config):
     inf_b = batched.workload("lr_inference")
     inf_s = serial.workload("lr_inference")
     assert inf_b.p99_ms < inf_s.p99_ms
+
+
+def test_bench_serving_edf_admission(benchmark, fab_config):
+    """Deadline-checked admission on the SLO scenario: the policy
+    layer's dispatch-time service preview must not blow up the event
+    loop's throughput, and admitted work must meet its deadlines."""
+    scenario = build_slo_scenario(fab_config, num_devices=8,
+                                  duration_s=0.25, target_load=1.2)
+    simulator = ServingSimulator(fab_config, num_devices=8)
+    report = benchmark(simulator.run, scenario, 1, "edf")
+    offered = len(scenario.generate(1))
+    assert report.jobs_done + report.rejected_jobs == offered
+    # EDF admission is safe: every completed deadline job met its
+    # deadline, so attainment is exactly the admitted fraction.
+    assert report.slo_attainment == report.jobs_done / offered
+
+
+def test_bench_serving_deferrable_window(benchmark, fab_config):
+    """Price-aware deferral under a diurnal signal: batch work lands
+    in cheap slots, strictly cheaper than greedy fifo dispatch."""
+    scenario = build_slo_scenario(fab_config, num_devices=8,
+                                  duration_s=0.25, target_load=1.2)
+    price = PriceSignal.diurnal(slot_s=0.0625)
+    simulator = ServingSimulator(fab_config, num_devices=8)
+    report = benchmark(simulator.run, scenario, 1,
+                       "deferrable-window", price)
+    fifo = simulator.run(scenario, seed=1, policy="fifo", price=price)
+    assert report.cost_price_units < fifo.cost_price_units
+    inf_dw = report.workload("lr_inference")
+    inf_fifo = fifo.workload("lr_inference")
+    assert inf_dw.slo_attainment >= inf_fifo.slo_attainment

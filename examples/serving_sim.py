@@ -7,13 +7,17 @@ mixed tenant soup), then sweeps the two levers a cloud operator holds:
 
 * pool size — how throughput and tail latency scale with boards;
 * batching — how admitting compatible same-tenant jobs together
-  amortizes the XRT launch and the switching-key HBM loads.
+  amortizes the XRT launch and the switching-key HBM loads;
+* scheduling policy — what deadline-aware admission (`edf`) and
+  price-aware deferral (`deferrable-window`) buy over greedy `fifo`
+  on an SLO-annotated two-tier scenario under a diurnal price signal.
 
 Run:  python examples/serving_sim.py
 """
 
 from repro.core import FabConfig
-from repro.runtime import ServingSimulator, build_scenarios
+from repro.runtime import (PriceSignal, ServingSimulator,
+                           build_scenarios, build_slo_scenario)
 
 
 def scenario_sweep() -> None:
@@ -63,10 +67,32 @@ def batching_sweep() -> None:
     print()
 
 
+def policy_sweep() -> None:
+    config = FabConfig()
+    scenario = build_slo_scenario(config, num_devices=4, duration_s=0.4,
+                                  target_load=1.2)
+    price = PriceSignal.diurnal(slot_s=0.1)
+    simulator = ServingSimulator(config, num_devices=4)
+    print("== SLO scenario vs policy (4 boards, 1.2x offered load, "
+          "diurnal price) ==")
+    print(f"{'policy':>18s} {'slo%':>6s} {'int p99':>8s} {'rej':>5s} "
+          f"{'defer':>6s} {'cost':>7s}")
+    for policy in ("fifo", "edf", "deferrable-window"):
+        report = simulator.run(scenario, seed=1, policy=policy,
+                               price=price)
+        inf = report.workload("lr_inference")
+        print(f"{policy:>18s} {100 * report.slo_attainment:>5.1f}% "
+              f"{inf.p99_ms:>8.1f} {report.rejected_jobs:>5d} "
+              f"{report.deferred_jobs:>6d} "
+              f"{report.cost_price_units * 1e3:>7.1f}")
+    print()
+
+
 def main() -> None:
     scenario_sweep()
     pool_size_sweep()
     batching_sweep()
+    policy_sweep()
     print("serving sweep OK")
 
 

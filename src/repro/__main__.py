@@ -8,6 +8,7 @@ Usage::
     python -m repro trace lr_iteration   # lower a trace, print its cost
     python -m repro serve --scenario mixed   # serving simulation
     python -m repro serve-sweep          # cost-optimal pool sweep
+    python -m repro slo-sweep            # policy x load x mix SLO sweep
     python -m repro stripe-scale         # FAB-2 trace-striping sweep
 """
 
@@ -32,6 +33,9 @@ def main(argv=None) -> int:
     if argv[0] == "serve-sweep":
         from .runtime.cli import run_serve_sweep
         return run_serve_sweep(argv[1:])
+    if argv[0] == "slo-sweep":
+        from .runtime.cli import run_slo_sweep
+        return run_slo_sweep(argv[1:])
     if argv[0] == "stripe-scale":
         from .runtime.cli import run_stripe_scale
         return run_stripe_scale(argv[1:])
@@ -45,6 +49,8 @@ def main(argv=None) -> int:
               f"pool.")
         print(f"{'serve-sweep':22s} Sweep pool x cache x tenants x load "
               f"for the cost-optimal configuration.")
+        print(f"{'slo-sweep':22s} Sweep policy x load x mix x pool "
+              f"size; cost/SLO Pareto frontier.")
         print(f"{'stripe-scale':22s} Stripe a trace across the FAB-2 "
               f"pool; reconcile vs the analytic model.")
         return 0

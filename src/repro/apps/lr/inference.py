@@ -12,7 +12,6 @@ model without seeing either.  Two settings:
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 import numpy as np
 

@@ -14,7 +14,7 @@ documented per statistic so callers can size their modulus chain.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -14,9 +14,8 @@ against 30 training iterations.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 from .params import FabConfig
 

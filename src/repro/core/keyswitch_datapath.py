@@ -27,10 +27,10 @@ HBM traffic, which these task-graph models quantify.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from .hbm import HbmModel, TrafficMeter
+from .hbm import HbmModel
 from .memory import OnChipMemory
 from .ntt_datapath import NttDatapath
 from .params import FabConfig

@@ -21,7 +21,7 @@ datapath scheduler allocates against.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from .params import FabConfig
 

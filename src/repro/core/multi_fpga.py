@@ -23,8 +23,8 @@ graph on per-board lanes; ``repro stripe-scale`` reconciles the two.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from .params import FabConfig
 

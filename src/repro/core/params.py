@@ -13,7 +13,6 @@ instantiating a different config.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
 
 
 @dataclass(frozen=True)

@@ -12,7 +12,7 @@ The prefetch on/off comparison quantifies that claim.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from .hbm import HbmModel

@@ -14,7 +14,7 @@ parameters in :class:`FabConfig`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .params import FabConfig

@@ -12,7 +12,7 @@ bandwidth (a single hot port serializes everything behind it).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .params import FabConfig

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from .ops import BootstrapReport, OpReport
 from .params import FabConfig

@@ -6,9 +6,10 @@ complete evaluation section.
 """
 
 from . import (ablation_keyswitch, extras_balance, fig1_dnum, fig2_fftiter,
-               leveled_vs_bootstrap, serve_sweep, striping_scale,
-               table2_params, table3_resources, table4_comparison,
-               table5_basic_ops, table6_heax, table7_bootstrap, table8_lr)
+               leveled_vs_bootstrap, serve_sweep, slo_sweep,
+               striping_scale, table2_params, table3_resources,
+               table4_comparison, table5_basic_ops, table6_heax,
+               table7_bootstrap, table8_lr)
 from .common import ExperimentResult, ExperimentRow, print_result
 
 ALL_EXPERIMENTS = {
@@ -25,6 +26,7 @@ ALL_EXPERIMENTS = {
     "leveled_vs_bootstrap": leveled_vs_bootstrap,
     "extras_balance": extras_balance,
     "serve_sweep": serve_sweep,
+    "slo_sweep": slo_sweep,
     "stripe_scale": striping_scale,
 }
 

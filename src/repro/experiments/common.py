@@ -8,8 +8,35 @@ harness in ``benchmarks/`` wraps the same ``run()`` functions.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import sys
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Sequence
+
+
+def fan_out(worker: Callable, tasks: Sequence, workers=None) -> List:
+    """Map ``worker`` over ``tasks``, optionally on a process pool.
+
+    The shared fan-out used by the sweep drivers (``serve_sweep``,
+    ``slo_sweep``).  ``workers=None`` sizes the pool to the machine,
+    capped at the task count; ``workers=1`` runs inline.  Results are
+    identical either way — ``worker`` and every task must be picklable
+    and deterministic.  Fork only where it is the safe platform
+    default (Linux); macOS forking a threaded (numpy/BLAS) process is
+    the documented crash case, and spawn works everywhere since the
+    inputs all travel by value.
+    """
+    if workers is None:
+        workers = min(os.cpu_count() or 1, len(tasks))
+    if workers <= 1 or len(tasks) <= 1:
+        return [worker(task) for task in tasks]
+    if sys.platform.startswith("linux"):
+        ctx = multiprocessing.get_context("fork")
+    else:
+        ctx = multiprocessing.get_context()
+    with ctx.Pool(workers) as pool:
+        return pool.map(worker, tasks, chunksize=1)
 
 
 @dataclass

@@ -34,9 +34,6 @@ CLI::
 from __future__ import annotations
 
 import json
-import multiprocessing
-import os
-import sys
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -44,7 +41,7 @@ from ..core.hbm import HbmModel
 from ..core.params import FabConfig
 from ..runtime.serving import (JobClass, Scenario, ServingSimulator,
                                Stream, build_job_classes)
-from .common import ExperimentResult, ExperimentRow
+from .common import ExperimentResult, ExperimentRow, fan_out
 
 #: Default grid: 3 pools x 2 caches x 2 tenant mixes x 4 loads = 48.
 DEFAULT_DEVICES = (4, 8, 16)
@@ -229,27 +226,14 @@ def run_sweep(config: Optional[FabConfig] = None,
     classes = build_job_classes(config)
     if slo_p99_ms is None:
         slo_p99_ms = default_slo_p99_ms(classes, config)
-    grid = [SweepPoint(d, c, t, l)
+    grid = [SweepPoint(d, c, t, load)
             for d in devices for c in cache_fractions
-            for t in tenants for l in loads]
+            for t in tenants for load in loads]
     if not grid:
         raise ValueError("empty sweep grid")
     tasks = [(point, classes, config, duration_s, seed, max_batch,
               slo_p99_ms) for point in grid]
-    if workers is None:
-        workers = min(os.cpu_count() or 1, len(grid))
-    if workers <= 1:
-        outcomes = [_simulate_point(task) for task in tasks]
-    else:
-        # Fork only where it is the safe platform default (Linux);
-        # macOS forking a threaded (numpy/BLAS) process is the
-        # documented crash case, and spawn works everywhere since
-        # _simulate_point and its arguments are all picklable.
-        ctx = (multiprocessing.get_context("fork")
-               if sys.platform.startswith("linux")
-               else multiprocessing.get_context())
-        with ctx.Pool(workers) as pool:
-            outcomes = pool.map(_simulate_point, tasks, chunksize=1)
+    outcomes = fan_out(_simulate_point, tasks, workers=workers)
     return SweepReport(outcomes=outcomes, slo_p99_ms=slo_p99_ms,
                        duration_s=duration_s, seed=seed)
 

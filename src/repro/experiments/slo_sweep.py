@@ -1,0 +1,369 @@
+"""SLO sweep: admission/scheduling policy x load x mix x pool size.
+
+The serving simulator dispatches through a pluggable policy
+(:mod:`repro.runtime.policies`); this driver quantifies what each
+policy buys on a two-tier scenario — latency-sensitive inference with
+per-job deadlines sharing the pool with deferrable batch work that may
+run anywhere inside an execution window — under a diurnal price/carbon
+signal (cf. the deferrable-workload scheduling literature, e.g.
+pennsail/cr):
+
+* ``fifo`` — the historical greedy order: no admission, no deferral.
+* ``edf`` — earliest-deadline-first with admission control: at high
+  load it sheds infeasible jobs instead of cascading lateness, so SLO
+  attainment strictly improves over ``fifo``.
+* ``deferrable-window`` — batch work yields to interactive traffic
+  and runs in cheap slots of the price signal, cutting
+  cost-under-price-signal with zero interactive SLO regressions.
+
+Every (pool size, offered load, interactive fraction) grid point runs
+all policies on the *same* arrival sequence and price signal, so the
+per-point comparisons are exact.  The report carries the full grid,
+per-point policy comparisons, and the cost/SLO Pareto frontier; the
+JSON artifact is uploaded by CI and refreshed by the weekly scheduled
+run.
+
+CLI::
+
+    python -m repro slo-sweep --duration 0.5 --json slo_sweep.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.params import FabConfig
+from ..runtime.policies import POLICIES, PriceSignal
+from ..runtime.serving import ServingSimulator, build_slo_scenario
+from .common import ExperimentResult, ExperimentRow, fan_out
+
+#: Default grid: 2 pools x 3 loads x 2 mixes, every policy = 36 runs.
+DEFAULT_POLICIES = ("fifo", "edf", "deferrable-window")
+DEFAULT_DEVICES = (4, 8)
+DEFAULT_LOADS = (0.5, 0.9, 1.4)
+DEFAULT_MIXES = (0.5, 0.8)
+
+#: Price signal defaults: an expensive half-period, then a cheap one.
+DEFAULT_PEAK = 2.0
+DEFAULT_TROUGH = 0.5
+
+#: Loads at or above this count as "high load" in headline checks.
+HIGH_LOAD = 1.0
+
+
+@dataclass(frozen=True)
+class SloPoint:
+    """One pool configuration under one offered load and tier mix."""
+
+    devices: int
+    load: float
+    mix: float  # interactive fraction of the offered load
+
+    def label(self) -> str:
+        return f"d{self.devices}/l{self.load:g}/m{self.mix:g}"
+
+
+@dataclass
+class PolicyOutcome:
+    """One policy's result on one grid point's arrival sequence."""
+
+    point: SloPoint
+    policy: str
+    jobs_done: int
+    rejected: int
+    deferred: int
+    slo_attainment: float
+    interactive_slo: float
+    interactive_p99_ms: float
+    batch_slo: Optional[float]
+    cost_price_units: float
+    cost_per_job: float
+    makespan_s: float
+
+
+@dataclass
+class SloSweepReport:
+    """The full grid plus per-point comparisons and the frontier."""
+
+    outcomes: List[PolicyOutcome]
+    policies: Tuple[str, ...]
+    duration_s: float
+    seed: int
+    peak: float
+    trough: float
+
+    def by_point(self) -> Dict[str, Dict[str, PolicyOutcome]]:
+        """``{point label: {policy: outcome}}`` over the whole grid."""
+        table: Dict[str, Dict[str, PolicyOutcome]] = {}
+        for outcome in self.outcomes:
+            table.setdefault(outcome.point.label(), {})[outcome.policy] = outcome
+        return table
+
+    def pareto_frontier(self) -> List[PolicyOutcome]:
+        """Non-dominated outcomes: minimize price-units per served
+        job, maximize SLO attainment.
+
+        Per-job cost keeps points with different offered loads
+        comparable.  An outcome is dominated when another one costs no
+        more per job *and* attains no less SLO, with at least one
+        strict; the frontier is returned cheapest-first.
+        """
+        frontier = []
+        for candidate in self.outcomes:
+            dominated = False
+            for other in self.outcomes:
+                if other is candidate:
+                    continue
+                no_worse = (
+                    other.cost_per_job <= candidate.cost_per_job
+                    and other.slo_attainment >= candidate.slo_attainment
+                )
+                strictly = (
+                    other.cost_per_job < candidate.cost_per_job
+                    or other.slo_attainment > candidate.slo_attainment
+                )
+                if no_worse and strictly:
+                    dominated = True
+                    break
+            if not dominated:
+                frontier.append(candidate)
+        return sorted(
+            frontier,
+            key=lambda o: (o.cost_per_job, -o.slo_attainment),
+        )
+
+    def headline(self) -> Dict[str, object]:
+        """The two comparisons the acceptance criteria pin down.
+
+        ``edf_vs_fifo_high_load`` lists (label, fifo, edf) overall SLO
+        attainment at every high-load point; ``deferrable_vs_fifo``
+        lists (label, fifo cost, deferrable cost, fifo interactive
+        SLO, deferrable interactive SLO) at every point.
+        """
+        edf_rows = []
+        deferrable_rows = []
+        for label, per_policy in sorted(self.by_point().items()):
+            fifo = per_policy.get("fifo")
+            edf = per_policy.get("edf")
+            deferrable = per_policy.get("deferrable-window")
+            if fifo and edf and fifo.point.load >= HIGH_LOAD:
+                edf_rows.append((label, fifo.slo_attainment, edf.slo_attainment))
+            if fifo and deferrable:
+                deferrable_rows.append(
+                    (
+                        label,
+                        fifo.cost_price_units,
+                        deferrable.cost_price_units,
+                        fifo.interactive_slo,
+                        deferrable.interactive_slo,
+                    )
+                )
+        return {
+            "edf_vs_fifo_high_load": edf_rows,
+            "deferrable_vs_fifo": deferrable_rows,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policies": list(self.policies),
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "price": {"peak": self.peak, "trough": self.trough},
+            "grid_points": len(self.by_point()),
+            "headline": self.headline(),
+            "pareto": [
+                {
+                    "point": o.point.label(),
+                    "policy": o.policy,
+                    "cost_price_units": o.cost_price_units,
+                    "cost_per_job": o.cost_per_job,
+                    "slo_attainment": o.slo_attainment,
+                }
+                for o in self.pareto_frontier()
+            ],
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+
+    def to_experiment_result(self) -> ExperimentResult:
+        columns = [
+            "policy",
+            "devices",
+            "load",
+            "mix",
+            "jobs",
+            "slo_pct",
+            "int_slo_pct",
+            "int_p99_ms",
+            "rejected",
+            "deferred",
+            "cost",
+        ]
+        rows = [
+            ExperimentRow(
+                f"{o.point.label()}/{o.policy}",
+                {
+                    "policy": o.policy,
+                    "devices": o.point.devices,
+                    "load": o.point.load,
+                    "mix": o.point.mix,
+                    "jobs": o.jobs_done,
+                    "slo_pct": 100 * o.slo_attainment,
+                    "int_slo_pct": 100 * o.interactive_slo,
+                    "int_p99_ms": o.interactive_p99_ms,
+                    "rejected": o.rejected,
+                    "deferred": o.deferred,
+                    "cost": o.cost_price_units * 1e3,
+                },
+            )
+            for o in self.outcomes
+        ]
+        frontier = self.pareto_frontier()
+        notes = (
+            f"{len(self.by_point())} grid points x "
+            f"{len(self.policies)} policies; Pareto frontier: "
+            + ", ".join(f"{o.point.label()}/{o.policy}" for o in frontier[:4])
+            + (" ..." if len(frontier) > 4 else "")
+        )
+        return ExperimentResult(
+            experiment_id="slo_sweep",
+            title="SLO sweep: policy x load x mix x pool size",
+            columns=columns,
+            rows=rows,
+            notes=notes,
+        )
+
+
+def _simulate_point(args: Tuple) -> PolicyOutcome:
+    """Worker body: one (grid point, policy) pair through the sim.
+
+    Top-level (picklable) so a multiprocessing pool can run it; all
+    inputs travel by value, so fork and spawn give identical results.
+    """
+    (point, policy, scenario, config, price, seed, max_batch) = args
+    simulator = ServingSimulator(
+        config,
+        num_devices=point.devices,
+        max_batch=max_batch,
+    )
+    report = simulator.run(scenario, seed=seed, policy=policy, price=price)
+    interactive = None
+    batch_slo = None
+    for stats in report.per_workload:
+        if stats.name == "lr_inference":
+            interactive = stats
+        else:
+            batch_slo = stats.slo_attainment
+    if interactive is not None:
+        interactive_slo = interactive.slo_attainment or 0.0
+        interactive_p99_ms = interactive.p99_ms
+    else:
+        # A pure-batch point (mix 0) has no interactive tier: its SLO
+        # is vacuously attained and there is no tail to report.
+        interactive_slo = 1.0
+        interactive_p99_ms = 0.0
+    if report.jobs_done:
+        cost_per_job = report.cost_price_units / report.jobs_done
+    else:
+        cost_per_job = float("inf")
+    return PolicyOutcome(
+        point=point,
+        policy=policy,
+        jobs_done=report.jobs_done,
+        rejected=report.rejected_jobs,
+        deferred=report.deferred_jobs,
+        slo_attainment=report.slo_attainment or 0.0,
+        interactive_slo=interactive_slo,
+        interactive_p99_ms=interactive_p99_ms,
+        batch_slo=batch_slo,
+        cost_price_units=report.cost_price_units,
+        cost_per_job=cost_per_job,
+        makespan_s=report.makespan_s,
+    )
+
+
+def run_sweep(
+    config: Optional[FabConfig] = None,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    devices: Sequence[int] = DEFAULT_DEVICES,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    mixes: Sequence[float] = DEFAULT_MIXES,
+    duration_s: float = 0.5,
+    seed: int = 0,
+    max_batch: int = 8,
+    training_stripe: int = 1,
+    peak: float = DEFAULT_PEAK,
+    trough: float = DEFAULT_TROUGH,
+    workers: Optional[int] = None,
+) -> SloSweepReport:
+    """Simulate the full policy grid; returns the sweep report.
+
+    Every policy at one grid point sees the same scenario (same
+    arrival sequence for the point's seed) and the same diurnal price
+    signal — two slots per half-horizon, so a batch window equal to
+    the horizon always contains a cheap slot.  ``workers=None`` sizes
+    the pool to the machine; ``workers=1`` runs inline.  Either way
+    the grid is deterministic, so the report is identical.
+    """
+    config = config or FabConfig()
+    unknown = [p for p in policies if p not in POLICIES]
+    if unknown:
+        raise ValueError(f"unknown policies {unknown!r}; try: {sorted(POLICIES)}")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    price = PriceSignal.diurnal(
+        peak=peak,
+        trough=trough,
+        slot_s=duration_s / 4.0,
+    )
+    grid = [SloPoint(d, load, m) for d in devices for load in loads for m in mixes]
+    if not grid:
+        raise ValueError("empty sweep grid")
+    tasks = []
+    for point in grid:
+        scenario = build_slo_scenario(
+            config,
+            num_devices=point.devices,
+            duration_s=duration_s,
+            target_load=point.load,
+            interactive_fraction=point.mix,
+            training_stripe=training_stripe,
+        )
+        for policy in policies:
+            tasks.append((point, policy, scenario, config, price, seed, max_batch))
+    outcomes = fan_out(_simulate_point, tasks, workers=workers)
+    return SloSweepReport(
+        outcomes=outcomes,
+        policies=tuple(policies),
+        duration_s=duration_s,
+        seed=seed,
+        peak=peak,
+        trough=trough,
+    )
+
+
+def run() -> ExperimentResult:
+    """Experiment-registry entry point: a reduced inline grid."""
+    report = run_sweep(
+        devices=(4,),
+        loads=(0.6, 1.4),
+        mixes=(0.6,),
+        duration_s=0.4,
+        workers=1,
+    )
+    return report.to_experiment_result()
+
+
+def main() -> None:
+    from .common import print_result
+
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -19,18 +19,17 @@ at reduced ring sizes, not a performance path.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
 from .ciphertext import Ciphertext
 from .context import CkksContext, CkksParams
-from .keys import (GaloisKeySet, KeyGenerator, SecretKey, SwitchingKey,
+from .keys import (KeyGenerator,
                    conjugation_element, galois_element_for_rotation)
 from .keyswitch import KeySwitcher
-from .modmath import bit_reverse, centered, crt_reconstruct_centered
+from .modmath import bit_reverse
 from .ntt import get_ntt_context
 from .poly import RnsPolynomial
 

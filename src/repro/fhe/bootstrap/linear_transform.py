@@ -19,7 +19,7 @@ are mirrored analytically by :mod:`repro.perf.opcounts`.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Optional, Set
 
 import numpy as np
 

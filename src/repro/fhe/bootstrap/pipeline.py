@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Set
+from typing import Optional, Set
 
 import numpy as np
 

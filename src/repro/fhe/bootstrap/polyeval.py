@@ -18,7 +18,7 @@ scale exactly, avoiding scale-mismatch noise.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 

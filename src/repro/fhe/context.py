@@ -13,8 +13,8 @@ by the analytic performance model in :mod:`repro.core` / :mod:`repro.perf`.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

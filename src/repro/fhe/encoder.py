@@ -14,7 +14,7 @@ of a length-2N discrete Fourier transform, indexed by the powers of 5
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 

@@ -8,7 +8,7 @@ and level management, all on top of the hybrid :class:`KeySwitcher`.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence, Union
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

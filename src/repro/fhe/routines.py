@@ -8,7 +8,6 @@ Conjugate) with correct scale management.
 
 from __future__ import annotations
 
-import math
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -14,7 +14,6 @@ from typing import Optional
 from ..core.multi_fpga import MultiFpgaSystem
 from ..core.ops import FabOpModel
 from ..core.params import FabConfig
-from .metrics import amortized_mult_per_slot
 
 
 class FabDevice:

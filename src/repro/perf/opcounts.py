@@ -11,8 +11,8 @@ in Tables 5–8 is evaluated on identical workloads.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Optional, Tuple
 
 
 @dataclass
@@ -104,22 +104,22 @@ class OpCounter:
     # ------------------------------------------------------------------
 
     def add(self, level: Optional[int] = None) -> PrimitiveCounts:
-        l = self._level(level)
-        return PrimitiveCounts(modadds=2 * l * self.ring_degree)
+        lvl = self._level(level)
+        return PrimitiveCounts(modadds=2 * lvl * self.ring_degree)
 
     def multiply_plain(self, level: Optional[int] = None) -> PrimitiveCounts:
-        l = self._level(level)
-        return PrimitiveCounts(modmults=2 * l * self.ring_degree)
+        lvl = self._level(level)
+        return PrimitiveCounts(modmults=2 * lvl * self.ring_degree)
 
     def keyswitch(self, level: Optional[int] = None,
                   hoisted: bool = False) -> PrimitiveCounts:
         """Hybrid key switch with the smart-scheduling optimization."""
-        l = self._level(level)
+        lvl = self._level(level)
         n = self.ring_degree
         k = self.num_extension_limbs
-        raised = l + k
+        raised = lvl + k
         digits = []
-        remaining = l
+        remaining = lvl
         while remaining > 0:
             digits.append(min(self.alpha, remaining))
             remaining -= self.alpha
@@ -138,28 +138,28 @@ class OpCounter:
         for _poly in range(2):                            # ModDown
             counts += self.ntt(k)
             counts += PrimitiveCounts(
-                modmults=k * n + l * k * n + l * n,
-                modadds=l * k * n + l * n)
-            counts += self.ntt(l)
+                modmults=k * n + lvl * k * n + lvl * n,
+                modadds=lvl * k * n + lvl * n)
+            counts += self.ntt(lvl)
         return counts
 
     def multiply(self, level: Optional[int] = None) -> PrimitiveCounts:
-        l = self._level(level)
+        lvl = self._level(level)
         n = self.ring_degree
-        tensor = PrimitiveCounts(modmults=4 * l * n, modadds=3 * l * n)
-        return tensor + self.keyswitch(l)
+        tensor = PrimitiveCounts(modmults=4 * lvl * n, modadds=3 * lvl * n)
+        return tensor + self.keyswitch(lvl)
 
     def rescale(self, level: Optional[int] = None) -> PrimitiveCounts:
-        l = self._level(level)
+        lvl = self._level(level)
         n = self.ring_degree
-        return self.ntt(2 * l) + PrimitiveCounts(
-            modmults=2 * (l - 1) * n, modadds=2 * (l - 1) * n)
+        return self.ntt(2 * lvl) + PrimitiveCounts(
+            modmults=2 * (lvl - 1) * n, modadds=2 * (lvl - 1) * n)
 
     def rotate(self, level: Optional[int] = None,
                hoisted: bool = False) -> PrimitiveCounts:
-        l = self._level(level)
-        return self.keyswitch(l, hoisted=hoisted) + PrimitiveCounts(
-            automorph_elems=2 * l * self.ring_degree)
+        lvl = self._level(level)
+        return self.keyswitch(lvl, hoisted=hoisted) + PrimitiveCounts(
+            automorph_elems=2 * lvl * self.ring_degree)
 
     # ------------------------------------------------------------------
     # Bootstrapping

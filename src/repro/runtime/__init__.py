@@ -14,6 +14,10 @@ the FAB performance model (:mod:`repro.core`):
 * :mod:`~repro.runtime.serving` — a discrete-event, multi-tenant
   serving simulator over a FAB device pool: batching, per-tenant
   switching-key HBM residency, throughput and tail latency.
+* :mod:`~repro.runtime.policies` — pluggable admission/scheduling
+  policies for the simulator: ``fifo``, ``edf`` (deadline-ordered
+  with admission control), and ``deferrable-window`` (price-aware
+  batch windows), plus the :class:`PriceSignal` they schedule around.
 * :mod:`~repro.runtime.striped_lowering` — FAB-2 trace striping: shard
   one trace's batch dimension across the pool, schedule per-board
   lanes with CMAC gather/broadcast traffic.
@@ -25,12 +29,17 @@ from .lowering import (KeyWorkingSet, LoweredCost, LOWERING_MAP,
                        cost_trace, key_working_set, lower_trace,
                        lowered_op, switching_key_bytes)
 from .optrace import TRACE_KINDS, OpTrace, TraceOp
+from .policies import (POLICIES, DeferrableWindowPolicy, EdfPolicy,
+                       FifoPolicy, PolicyContext, PriceSignal,
+                       SchedulingPolicy, make_policy)
 from .reference import (REFERENCE_TRACES, analytics_trace,
                         bootstrap_trace, build_reference_trace,
                         lr_inference_trace, lr_iteration_trace)
 from .serving import (Job, JobClass, KeyCache, Scenario, ServingReport,
                       ServingSimulator, Stream, WorkloadStats,
-                      build_job_classes, build_scenarios, percentile)
+                      build_job_classes, build_scenarios,
+                      build_slo_scenario, default_interactive_slo_ms,
+                      percentile)
 from .serving_baseline import BaselineKeyCache, baseline_run
 from .striped_lowering import (BOARD_POLICIES, BoardStriper, StripePlan,
                                StripedCost, StripedProgram,
@@ -42,17 +51,21 @@ from .striped_lowering import (BOARD_POLICIES, BoardStriper, StripePlan,
 __all__ = [
     "BOARD_POLICIES", "BaselineKeyCache", "BoardStriper",
     "baseline_run",
-    "CountingKeySwitcher", "Job", "JobClass", "KeyCache",
+    "CountingKeySwitcher", "DeferrableWindowPolicy", "EdfPolicy",
+    "FifoPolicy", "Job", "JobClass", "KeyCache",
     "KeyWorkingSet", "LOWERING_MAP", "LoweredCost", "OpTrace",
-    "REFERENCE_TRACES", "Scenario", "ServingReport", "ServingSimulator",
+    "POLICIES", "PolicyContext", "PriceSignal",
+    "REFERENCE_TRACES", "Scenario", "SchedulingPolicy",
+    "ServingReport", "ServingSimulator",
     "Stream", "StripePlan", "StripedCost", "StripedProgram",
     "StripedReport", "StripedTrace", "TRACE_KINDS", "TraceOp",
     "TraceSection", "TracingEncoder",
     "TracingEvaluator", "WorkloadStats", "analytics_trace",
     "bootstrap_trace", "build_job_classes", "build_reference_trace",
-    "build_scenarios", "capture", "cost_striped_trace", "cost_trace",
-    "infer_plan", "key_working_set",
+    "build_scenarios", "build_slo_scenario", "capture",
+    "cost_striped_trace", "cost_trace",
+    "default_interactive_slo_ms", "infer_plan", "key_working_set",
     "lower_striped_trace", "lower_trace", "lowered_op",
-    "lr_inference_trace", "lr_iteration_trace",
+    "lr_inference_trace", "lr_iteration_trace", "make_policy",
     "percentile", "stripe_trace", "switching_key_bytes",
 ]

@@ -1,5 +1,5 @@
 """CLI for the runtime subsystem: ``trace``, ``serve``, ``serve-sweep``,
-``stripe-scale``.
+``slo-sweep``, ``stripe-scale``.
 
 ``trace`` lowers a workload trace to a FAB program and prints its op
 mix, key working set, and scheduled cost.  By default it uses the
@@ -10,11 +10,20 @@ evaluator, proving the capture path end to end.
 ``serve`` runs the multi-tenant serving simulator on a named scenario
 and prints throughput + tail-latency tables per workload; ``--stripe
 K`` additionally stripes the training workload across K boards per job
-(the FAB-2 gang-scheduling mode).
+(the FAB-2 gang-scheduling mode), ``--policy`` selects the
+admission/scheduling policy (``fifo``, ``edf``,
+``deferrable-window``), and ``--price diurnal`` turns on the square-
+wave price/carbon signal the ``slo_mixed`` scenario's deferrable tier
+schedules around.
 
 ``serve-sweep`` fans the simulator out over the pool-size x cache-size
 x tenant-count x load grid (multiprocessing), prints the full grid
 with the cost-optimal configuration, and writes a JSON artifact.
+
+``slo-sweep`` fans out over policy x load x interactive/batch mix x
+pool size on the SLO-annotated two-tier scenario, prints per-point
+policy comparisons with the cost/SLO Pareto frontier, and writes a
+JSON artifact.
 
 ``stripe-scale`` sweeps boards x batch x board-assignment policy for
 one trace striped across the FAB-2 pool and reconciles the
@@ -24,15 +33,17 @@ trace-driven speedup against the analytic ``MultiFpgaSystem`` model.
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional
+from typing import List
 
 from ..core.params import FabConfig
 from ..experiments.common import print_result
 from .capture import capture
 from .lowering import cost_trace
 from .optrace import OpTrace
+from .policies import POLICIES, PriceSignal
 from .reference import REFERENCE_TRACES, build_reference_trace
-from .serving import ServingSimulator, build_scenarios
+from .serving import (ServingSimulator, build_scenarios,
+                      build_slo_scenario)
 
 
 def _capture_lr_trace() -> OpTrace:
@@ -111,9 +122,20 @@ def run_serve(argv: List[str]) -> int:
     parser.add_argument("--stripe", type=int, default=1, metavar="K",
                         help="stripe each training job across K boards "
                              "(FAB-2 gang scheduling; default 1)")
+    parser.add_argument("--policy", default="fifo",
+                        choices=sorted(POLICIES),
+                        help="admission/scheduling policy (default: "
+                             "fifo, the historical order)")
+    parser.add_argument("--price", default="flat",
+                        choices=["flat", "diurnal"],
+                        help="price/carbon signal: flat unit price or "
+                             "a square wave with four slots per "
+                             "arrival horizon (default: flat)")
     args = parser.parse_args(argv)
     if args.devices < 1:
         parser.error("--devices must be >= 1")
+    if args.duration <= 0:
+        parser.error("--duration must be positive")
     if args.max_batch < 1:
         parser.error("--max-batch must be >= 1")
     if args.load <= 0:
@@ -130,6 +152,9 @@ def run_serve(argv: List[str]) -> int:
                                 duration_s=args.duration,
                                 target_load=args.load,
                                 training_stripe=args.stripe)
+    scenarios["slo_mixed"] = build_slo_scenario(
+        config, num_devices=args.devices, duration_s=args.duration,
+        target_load=args.load, training_stripe=args.stripe)
     if args.scenario == "all":
         selected = list(scenarios)
     elif args.scenario in scenarios:
@@ -138,10 +163,13 @@ def run_serve(argv: List[str]) -> int:
         print(f"unknown scenario {args.scenario!r}; "
               f"try: {', '.join(scenarios)} or all")
         return 1
+    price = (PriceSignal.diurnal(slot_s=args.duration / 4.0)
+             if args.price == "diurnal" else PriceSignal.flat())
     simulator = ServingSimulator(config, num_devices=args.devices,
                                  max_batch=args.max_batch)
     for name in selected:
-        report = simulator.run(scenarios[name], seed=args.seed)
+        report = simulator.run(scenarios[name], seed=args.seed,
+                               policy=args.policy, price=price)
         print_result(report.to_experiment_result())
         print(report.format())
         print()
@@ -191,7 +219,7 @@ def run_serve_sweep(argv: List[str]) -> int:
         parser.error("--cache-fracs must be in (0, 1]")
     if any(t < 1 for t in args.tenants):
         parser.error("--tenants must be >= 1")
-    if any(l <= 0 for l in args.loads):
+    if any(load <= 0 for load in args.loads):
         parser.error("--loads must be positive")
 
     report = run_sweep(FabConfig(), devices=args.devices,
@@ -211,6 +239,82 @@ def run_serve_sweep(argv: List[str]) -> int:
               f"{best.point.load:g} -> "
               f"{best.cost_device_ms_per_job:.2f} device-ms/job, "
               f"p99 {best.worst_p99_ms:.1f} ms")
+    if args.json:
+        report.save_json(args.json)
+        print(f"sweep written to {args.json}")
+    return 0
+
+
+def run_slo_sweep(argv: List[str]) -> int:
+    """Entry point for ``python -m repro slo-sweep``."""
+    from ..experiments.slo_sweep import (DEFAULT_DEVICES, DEFAULT_LOADS,
+                                         DEFAULT_MIXES, DEFAULT_PEAK,
+                                         DEFAULT_POLICIES, DEFAULT_TROUGH,
+                                         run_sweep)
+    parser = argparse.ArgumentParser(
+        prog="repro slo-sweep",
+        description="sweep policy x load x mix x pool size on the "
+                    "SLO-annotated two-tier scenario; report per-point "
+                    "comparisons and the cost/SLO Pareto frontier")
+    parser.add_argument("--policies", nargs="+",
+                        default=list(DEFAULT_POLICIES),
+                        choices=list(DEFAULT_POLICIES),
+                        help="policies to sweep")
+    parser.add_argument("--devices", type=int, nargs="+",
+                        default=list(DEFAULT_DEVICES),
+                        help="pool sizes to sweep")
+    parser.add_argument("--loads", type=float, nargs="+",
+                        default=list(DEFAULT_LOADS),
+                        help="offered loads (fraction of pool capacity)")
+    parser.add_argument("--mixes", type=float, nargs="+",
+                        default=list(DEFAULT_MIXES),
+                        help="interactive fraction of the offered load")
+    parser.add_argument("--duration", type=float, default=0.5,
+                        help="arrival horizon per grid point (seconds)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--stripe", type=int, default=1, metavar="K",
+                        help="stripe the batch tier across K boards "
+                             "(gang scheduling; default 1)")
+    parser.add_argument("--peak", type=float, default=DEFAULT_PEAK,
+                        help="price during expensive slots")
+    parser.add_argument("--trough", type=float, default=DEFAULT_TROUGH,
+                        help="price during cheap slots")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation processes (default: one per "
+                             "core, capped at the grid; 1 = inline)")
+    parser.add_argument("--json", metavar="PATH",
+                        default="slo_sweep.json",
+                        help="JSON artifact path ('' to skip)")
+    args = parser.parse_args(argv)
+    if args.duration <= 0:
+        parser.error("--duration must be positive")
+    if any(d < 1 for d in args.devices):
+        parser.error("--devices must be >= 1")
+    if any(load <= 0 for load in args.loads):
+        parser.error("--loads must be positive")
+    if any(not 0 <= m <= 1 for m in args.mixes):
+        parser.error("--mixes must be in [0, 1]")
+    if args.stripe < 1 or (args.stripe > 1 and args.stripe % 2):
+        parser.error("--stripe must be 1 or even (boards pair up)")
+    if args.stripe > min(args.devices):
+        parser.error("--stripe cannot exceed the smallest pool")
+    if args.peak < args.trough or args.trough < 0:
+        parser.error("need 0 <= --trough <= --peak")
+
+    report = run_sweep(FabConfig(), policies=args.policies,
+                       devices=args.devices, loads=args.loads,
+                       mixes=args.mixes, duration_s=args.duration,
+                       seed=args.seed, max_batch=args.max_batch,
+                       training_stripe=args.stripe, peak=args.peak,
+                       trough=args.trough, workers=args.workers)
+    print_result(report.to_experiment_result())
+    frontier = report.pareto_frontier()
+    print("cost/SLO Pareto frontier (price-units/job, attainment):")
+    for outcome in frontier:
+        print(f"  {outcome.point.label():>16s} {outcome.policy:>18s} "
+              f"{outcome.cost_per_job * 1e3:8.2f} "
+              f"{100 * outcome.slo_attainment:6.1f}%")
     if args.json:
         report.save_json(args.json)
         print(f"sweep written to {args.json}")

@@ -18,7 +18,7 @@ configurations.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Every operation kind the tracer may record.  A superset of the

@@ -13,6 +13,18 @@ serving streams of traced jobs:
   a free device takes up to ``max_batch`` compatible jobs at once.
   Compatible means same program *and* same tenant — switching keys
   are per-tenant secrets, so only same-tenant jobs share key state.
+  *Which* queue runs next — and whether a job is admitted at all —
+  is delegated to a pluggable :mod:`repro.runtime.policies` policy:
+  ``fifo`` (the historical order, bit-identical to the preserved
+  baseline loop), ``edf`` (deadline-ordered with admission control),
+  or ``deferrable-window`` (batch jobs yield to interactive traffic
+  and run in cheap slots of a time-varying price signal).
+* **SLO annotations**: a :class:`Stream` may carry ``slo_ms`` (each
+  job's deadline is its arrival plus the SLO) or be ``deferrable``
+  with a ``window_s`` execution window; reports then grow SLO
+  attainment (overall, per workload, and per tenant), rejection and
+  deferral counts, and the device-time cost integrated under the
+  price signal.
 * **Key residency**: each device's HBM holds a finite LRU cache of
   switching keys.  A batch whose keys are not resident pays the
   host-to-HBM PCIe transfer (the §3 offload path) before compute;
@@ -31,8 +43,8 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.hbm import HbmModel
@@ -42,6 +54,8 @@ from ..core.trace import format_table
 from ..experiments.common import ExperimentResult, ExperimentRow
 from .lowering import cost_trace
 from .optrace import OpTrace
+from .policies import (DispatchView, PolicyContext, PriceSignal,
+                       make_policy)
 
 
 # ----------------------------------------------------------------------
@@ -110,13 +124,25 @@ class JobClass:
 
 @dataclass
 class Job:
-    """One request: a job class instance owned by a tenant."""
+    """One request: a job class instance owned by a tenant.
+
+    ``deadline_s`` is the job's SLO deadline (absolute sim time);
+    ``window_end_s`` bounds a ``deferrable`` job's execution window.
+    ``rejected`` marks a job an admission-controlled policy dropped;
+    ``deferred`` marks one the deferrable tier explicitly held back
+    at least once.
+    """
 
     job_id: int
     job_class: JobClass
     tenant: str
     arrival_s: float
     finish_s: Optional[float] = None
+    deadline_s: Optional[float] = None
+    window_end_s: Optional[float] = None
+    deferrable: bool = False
+    rejected: bool = False
+    deferred: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -124,22 +150,48 @@ class Job:
             raise ValueError(f"job {self.job_id} has not completed")
         return self.finish_s - self.arrival_s
 
+    @property
+    def effective_deadline_s(self) -> float:
+        """The time this job must finish by: its SLO deadline, else
+        its window end, else infinity (no constraint)."""
+        if self.deadline_s is not None:
+            return self.deadline_s
+        if self.window_end_s is not None:
+            return self.window_end_s
+        return math.inf
+
 
 @dataclass(frozen=True)
 class Stream:
-    """A Poisson arrival stream of one job class across tenants."""
+    """A Poisson arrival stream of one job class across tenants.
+
+    ``slo_ms`` stamps each job with a deadline (arrival + SLO).
+    ``deferrable`` marks the stream's jobs as batch work that may be
+    deferred within a ``window_s``-second execution window after
+    arrival (required when deferrable — an unbounded deferrable job
+    could be postponed forever).
+    """
 
     job_class: JobClass
     rate_per_s: float
     num_tenants: int = 1
     tenant_prefix: str = "tenant"
     start_s: float = 0.0
+    slo_ms: Optional[float] = None
+    deferrable: bool = False
+    window_s: Optional[float] = None
 
     def __post_init__(self):
         if self.rate_per_s <= 0:
             raise ValueError("rate_per_s must be positive")
         if self.num_tenants < 1:
             raise ValueError("need at least one tenant")
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ValueError("slo_ms must be positive")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.deferrable and self.window_s is None:
+            raise ValueError("a deferrable stream needs a window_s")
 
 
 @dataclass
@@ -162,7 +214,14 @@ class Scenario:
                     break
                 tenant = (f"{stream.tenant_prefix}"
                           f"{rng.randrange(stream.num_tenants)}")
-                jobs.append(Job(0, stream.job_class, tenant, t))
+                jobs.append(Job(
+                    0, stream.job_class, tenant, t,
+                    deadline_s=(t + stream.slo_ms / 1e3
+                                if stream.slo_ms is not None else None),
+                    window_end_s=(t + stream.window_s
+                                  if stream.window_s is not None
+                                  else None),
+                    deferrable=stream.deferrable))
         jobs.sort(key=lambda j: j.arrival_s)
         for i, job in enumerate(jobs):
             job.job_id = i
@@ -199,6 +258,14 @@ class KeyCache:
     @property
     def resident_bytes(self) -> int:
         return self._resident_bytes
+
+    def peek_miss_bytes(self, tenant: str, job_class: JobClass) -> int:
+        """Bytes :meth:`request` would load right now, without
+        touching residency or LRU order (the admission preview)."""
+        resident = self._resident
+        return sum(job_class.bytes_per_key
+                   for key in job_class.key_ids
+                   if (tenant, key) not in resident)
 
     def request(self, tenant: str, job_class: JobClass) -> int:
         """Make a job's keys resident; returns bytes that must load."""
@@ -259,7 +326,13 @@ def percentile(sorted_values: Sequence[float], q: float) -> float:
 
 @dataclass
 class WorkloadStats:
-    """Latency/throughput summary for one job class."""
+    """Latency/throughput summary for one job class.
+
+    ``slo_attainment`` is the fraction of this class's
+    deadline-carrying jobs (completed *or* rejected) that finished by
+    their effective deadline; ``None`` when the class carries no
+    deadlines.  ``rejected`` counts jobs admission control dropped.
+    """
 
     name: str
     jobs: int
@@ -268,6 +341,8 @@ class WorkloadStats:
     p95_ms: float
     p99_ms: float
     mean_ms: float
+    slo_attainment: Optional[float] = None
+    rejected: int = 0
 
 
 @dataclass
@@ -286,6 +361,27 @@ class ServingReport:
     #: Jobs credited per device; each job counts exactly once pool-wide
     #: (a striped gang credits its master), so this sums to jobs_done.
     per_device_jobs: Tuple[int, ...] = ()
+    #: Name of the scheduling policy that produced this report.
+    policy: str = "fifo"
+    #: Jobs dropped by admission control (they never ran).
+    rejected_jobs: int = 0
+    #: Distinct jobs the deferrable tier explicitly held back.
+    deferred_jobs: int = 0
+    #: Busy device-time integrated under the price signal (equals
+    #: busy device-seconds under the default flat unit price).
+    cost_price_units: float = 0.0
+    #: Fraction of deadline-carrying jobs that met their effective
+    #: deadline (None when the scenario carries no deadlines).
+    slo_attainment: Optional[float] = None
+    #: Per-tenant SLO attainment, sorted by tenant name.
+    per_tenant_slo: Tuple[Tuple[str, float], ...] = ()
+
+    def tenant_slo(self, tenant: str) -> float:
+        for name, attained in self.per_tenant_slo:
+            if name == tenant:
+                return attained
+        raise KeyError(f"no SLO-annotated jobs for tenant {tenant!r} "
+                       f"in scenario {self.scenario!r}")
 
     def workload(self, name: str) -> WorkloadStats:
         for stats in self.per_workload:
@@ -301,34 +397,82 @@ class ServingReport:
         table = format_table(
             ("workload", "jobs", "jobs/s", "p50_ms", "p95_ms", "p99_ms",
              "mean_ms"), rows)
-        return (f"== serve[{self.scenario}]: {self.jobs_done} jobs in "
+        text = (f"== serve[{self.scenario}]: {self.jobs_done} jobs in "
                 f"{self.makespan_s:.3f}s ==\n{table}\n"
                 f"devices {100 * self.device_utilization:.0f}% busy; "
                 f"key cache {100 * self.key_hit_rate:.0f}% hits "
                 f"({self.key_bytes_loaded / 1e9:.2f} GB loaded); "
                 f"{self.batches} batches, mean size "
                 f"{self.mean_batch_size:.2f}")
+        # The policy line appears whenever there is something
+        # policy-related to say — SLO accounting, a non-default
+        # policy, or admission/deferral activity — not only on
+        # annotated scenarios (cost and policy are always populated).
+        if (self.slo_attainment is not None or self.policy != "fifo"
+                or self.rejected_jobs or self.deferred_jobs):
+            slo = (f"{100 * self.slo_attainment:.1f}% SLO attainment, "
+                   if self.slo_attainment is not None else "")
+            text += (f"\npolicy {self.policy}: {slo}"
+                     f"{self.rejected_jobs} rejected, "
+                     f"{self.deferred_jobs} deferred, "
+                     f"cost {self.cost_price_units * 1e3:.2f} "
+                     f"price-unit-ms")
+        return text
 
     def to_experiment_result(self) -> ExperimentResult:
         """Render through the standard experiment-table machinery."""
-        rows = [ExperimentRow(w.name, {
-            "jobs": w.jobs, "jobs_per_s": w.throughput_jps,
-            "p50_ms": w.p50_ms, "p95_ms": w.p95_ms, "p99_ms": w.p99_ms,
-        }) for w in self.per_workload]
+        columns = ["jobs", "jobs_per_s", "p50_ms", "p95_ms", "p99_ms"]
+        with_slo = any(w.slo_attainment is not None
+                       for w in self.per_workload)
+        if with_slo:
+            columns += ["slo_pct", "rejected"]
+        rows = []
+        for w in self.per_workload:
+            values = {
+                "jobs": w.jobs, "jobs_per_s": w.throughput_jps,
+                "p50_ms": w.p50_ms, "p95_ms": w.p95_ms,
+                "p99_ms": w.p99_ms,
+            }
+            if with_slo:
+                values["slo_pct"] = (100 * w.slo_attainment
+                                     if w.slo_attainment is not None
+                                     else "-")
+                values["rejected"] = w.rejected
+            rows.append(ExperimentRow(w.name, values))
+        notes = (f"{self.jobs_done} jobs, "
+                 f"{100 * self.device_utilization:.0f}% device busy, "
+                 f"{100 * self.key_hit_rate:.0f}% key-cache hits, "
+                 f"mean batch {self.mean_batch_size:.2f}")
+        if with_slo:
+            notes += (f"; policy {self.policy}, "
+                      f"{self.rejected_jobs} rejected, "
+                      f"{self.deferred_jobs} deferred, cost "
+                      f"{self.cost_price_units * 1e3:.2f} price-unit-ms")
         return ExperimentResult(
             experiment_id=f"serve[{self.scenario}]",
             title="multi-tenant serving: throughput and tail latency",
-            columns=["jobs", "jobs_per_s", "p50_ms", "p95_ms", "p99_ms"],
+            columns=columns,
             rows=rows,
-            notes=f"{self.jobs_done} jobs, "
-                  f"{100 * self.device_utilization:.0f}% device busy, "
-                  f"{100 * self.key_hit_rate:.0f}% key-cache hits, "
-                  f"mean batch {self.mean_batch_size:.2f}")
+            notes=notes)
 
 
 # ----------------------------------------------------------------------
 # The simulator
 # ----------------------------------------------------------------------
+
+def key_load_seconds(host: HostConfig, miss_bytes: int) -> float:
+    """Host -> HBM switching-key transfer over PCIe.
+
+    The one place the PCIe cost model lives: the simulator's service
+    arithmetic, the policies' admission bounds, and the default SLO
+    heuristic all price key traffic through this function, so they
+    cannot drift apart.
+    """
+    if miss_bytes == 0:
+        return 0.0
+    return (miss_bytes / (host.pcie_gbytes_per_sec * 1e9)
+            + host.pcie_latency_s)
+
 
 class ServingSimulator:
     """Event-driven serving across a FAB device pool."""
@@ -356,28 +500,56 @@ class ServingSimulator:
 
     def _key_load_seconds(self, miss_bytes: int) -> float:
         """Host -> HBM switching-key transfer over PCIe."""
-        if miss_bytes == 0:
-            return 0.0
-        return (miss_bytes / (self.host.pcie_gbytes_per_sec * 1e9)
-                + self.host.pcie_latency_s)
+        return key_load_seconds(self.host, miss_bytes)
 
-    def run(self, scenario: Scenario, seed: int = 0) -> ServingReport:
+    def service_bound_s(self, job_class: JobClass,
+                        batch_size: int) -> float:
+        """Conservative upper bound on one batch's service time.
+
+        Launch overhead + the worst-case key load (every key of one
+        board's replica misses) + compute.  The actual service time
+        never exceeds this — misses load at most the full working
+        set — so admission decisions made against the bound are safe:
+        an admitted batch can only finish earlier than predicted.
+        """
+        return (self.host.kernel_launch_overhead_s
+                + self._key_load_seconds(job_class.key_bytes)
+                + batch_size * job_class.seconds(self.config))
+
+    def best_case_service_s(self, job_class: JobClass,
+                            batch_size: int) -> float:
+        """Lower bound on one batch's service time: launch overhead +
+        compute with every switching key already resident.  No board
+        can serve the batch faster, so a deadline missed even against
+        this bound is infeasible pool-wide — the admission-control
+        policies use it to make rejection final rather than
+        board-local."""
+        return (self.host.kernel_launch_overhead_s
+                + batch_size * job_class.seconds(self.config))
+
+    def run(self, scenario: Scenario, seed: int = 0,
+            policy="fifo",
+            price: Optional[PriceSignal] = None) -> ServingReport:
         """Simulate one scenario; returns the aggregated report.
 
         The loop is driven by two event sources merged per dispatch: a
         heap of device-completion times and the time-sorted arrival
-        list (consumed by an O(1)-amortized cursor).  Dispatch picks
-        the oldest queue head — FIFO fairness between (class, tenant)
-        queues, batching within one — from a lazily-invalidated heap
-        of heads keyed by (arrival, queue-creation-order), so each
-        batch costs O(log) instead of a scan over every queue.  Each
-        job enters the head heap exactly once; entries whose job was
-        already swept into an earlier batch are discarded on pop.
+        list (consumed by an O(1)-amortized cursor).  *Which* queued
+        batch a free device takes — and whether a job is admitted at
+        all — is delegated to ``policy`` (a name from
+        :data:`repro.runtime.policies.POLICIES` or a policy
+        instance); a policy may also defer, leaving the device idle
+        until the next arrival, price change, or forced start.
+        ``price`` is the time-varying price/carbon signal the
+        ``deferrable-window`` policy schedules around and every
+        report's ``cost_price_units`` integrates (default: flat 1.0,
+        making cost equal busy device-seconds).
 
-        The schedule produced is bit-identical to the original
-        frontier-scanning loop preserved in
-        :func:`repro.runtime.serving_baseline.baseline_run`, which the
-        test suite asserts.
+        Under the default ``fifo`` policy the schedule produced is
+        bit-identical to the original frontier-scanning loop
+        preserved in
+        :func:`repro.runtime.serving_baseline.baseline_run`, which
+        the test suite asserts.
         """
         jobs = scenario.generate(seed)
         for stream in scenario.streams:
@@ -386,64 +558,106 @@ class ServingSimulator:
                     f"job class {stream.job_class.name!r} stripes over "
                     f"{stream.job_class.num_fpgas} boards but the pool "
                     f"has {self.num_devices}")
+        policy = make_policy(policy)
+        price = price if price is not None else PriceSignal.flat()
         devices = [DeviceState(i, KeyCache(self.key_cache_bytes))
                    for i in range(self.num_devices)]
         free_heap: List[Tuple[float, int]] = [
             (0.0, d.index) for d in devices]
         heapq.heapify(free_heap)
-        queues: Dict[Tuple[str, str], deque] = {}
-        queue_seq: Dict[Tuple[str, str], int] = {}
-        # (head arrival, queue creation order, queue key, head job id);
-        # the creation order both breaks arrival ties the way the
-        # original insertion-ordered min() scan did and keeps tuple
-        # comparison from ever reaching the key.
-        heads: List[Tuple[float, int, Tuple[str, str], int]] = []
-        queued = 0
         completed: List[Job] = []
+        rejected: List[Job] = []
         batches = 0
         batched_jobs = 0
+        cost_price_units = 0.0
         i = 0
         n = len(jobs)
         launch_overhead_s = self.host.kernel_launch_overhead_s
+        policy.begin(PolicyContext(
+            max_batch=self.max_batch, price=price,
+            service_bound_s=self.service_bound_s,
+            best_case_s=self.best_case_service_s,
+            reject=rejected.append))
 
         def admit(now: float) -> None:
-            nonlocal i, queued
+            nonlocal i
             while i < n and jobs[i].arrival_s <= now:
-                job = jobs[i]
-                key = (job.job_class.name, job.tenant)
-                queue = queues.get(key)
-                if queue is None:
-                    queue = queues[key] = deque()
-                    queue_seq[key] = len(queue_seq)
-                queue.append(job)
-                if len(queue) == 1:
-                    heapq.heappush(heads, (job.arrival_s, queue_seq[key],
-                                           key, job.job_id))
-                queued += 1
+                policy.enqueue(jobs[i])
                 i += 1
 
-        while i < n or queued:
+        # Dispatch-view helpers, hoisted out of the event loop: they
+        # close over the loop's live ``now``/``device_index``, and the
+        # single DispatchView is updated in place per dispatch (it is
+        # only valid for the duration of one ``next_batch`` call), so
+        # the default fifo path pays no per-dispatch closure or
+        # allocation cost for machinery it never reads.
+        now = 0.0
+        device_index = 0
+
+        def gang_start(k: int) -> float:
+            # Earliest time k boards (this one + the k-1 next free)
+            # could all start; peeking matches the pops a dispatched
+            # gang performs below.  A board sleeping on a deferral
+            # timer has been *physically* idle since its last finish,
+            # so availability reads DeviceState.free_at_s — its heap
+            # key is a re-evaluation time, not a busy-until time.
+            if k <= 1:
+                return now
+            extra = heapq.nsmallest(k - 1, free_heap)
+            free = max((devices[index].free_at_s for _, index in extra),
+                       default=now)
+            return max(now, free)
+
+        def service_s(job: Job, batch_size: int) -> float:
+            # Exact dispatch-time service preview: the same gang the
+            # dispatch below would grab, each member's key misses
+            # peeked without touching residency, the batch waiting on
+            # the slowest board's load — so an admission test against
+            # this oracle predicts the real finish time exactly.
+            job_class = job.job_class
+            members = [devices[device_index]]
+            if job_class.num_fpgas > 1:
+                members += [
+                    devices[index] for _, index in heapq.nsmallest(
+                        job_class.num_fpgas - 1, free_heap)]
+            load_s = max(
+                self._key_load_seconds(
+                    member.cache.peek_miss_bytes(job.tenant, job_class))
+                for member in members)
+            return (launch_overhead_s + load_s
+                    + batch_size * job_class.seconds(self.config))
+
+        view = DispatchView(now=0.0, gang_start=gang_start,
+                            service_s=service_s)
+
+        while i < n or policy.pending:
             free_at, device_index = heapq.heappop(free_heap)
             now = free_at
             admit(now)
-            if not queued:
+            if not policy.pending:
                 # Idle until the next arrival.
                 now = max(now, jobs[i].arrival_s)
                 admit(now)
-            # Oldest-head-first across (class, tenant) queues; drop
-            # entries invalidated by an earlier batch sweep.
-            while True:
-                _, seq, key, job_id = heapq.heappop(heads)
-                queue = queues[key]
-                if queue and queue[0].job_id == job_id:
-                    break
-            batch = [queue.popleft()
-                     for _ in range(min(self.max_batch, len(queue)))]
-            queued -= len(batch)
-            if queue:
-                head = queue[0]
-                heapq.heappush(heads, (head.arrival_s, seq, key,
-                                       head.job_id))
+
+            view.now = now
+            batch = policy.next_batch(view)
+            if not batch:
+                if policy.pending:
+                    # Deferred: sleep the board until the policy's
+                    # next event or the next arrival.  Progress is
+                    # guaranteed — policies only defer to a strictly
+                    # later time — but never trust it blindly.
+                    wake = policy.next_event_s(now)
+                    if i < n:
+                        wake = min(wake, jobs[i].arrival_s)
+                    if wake <= now:
+                        wake = math.nextafter(now, math.inf)
+                    heapq.heappush(free_heap, (wake, device_index))
+                else:
+                    # Everything queued was rejected; the board is
+                    # free again at ``now`` for future arrivals.
+                    heapq.heappush(free_heap, (now, device_index))
+                continue
             job_class = batch[0].job_class
             gang = [devices[device_index]]
             start = now
@@ -451,12 +665,17 @@ class ServingSimulator:
                 # Gang-schedule a striped batch: grab the next-free
                 # boards; the stripe holds all of them until it
                 # finishes (compute can only start once the slowest
-                # gang member frees up).
+                # gang member frees up).  Availability is the member's
+                # free_at_s, not its heap key — a deferral pushes a
+                # wake *timer* into the heap while the board sits
+                # physically idle, and reading the timer as busy time
+                # would delay (or spuriously reject) a feasible gang.
                 for _ in range(job_class.num_fpgas - 1):
-                    extra_free, extra_index = heapq.heappop(free_heap)
-                    gang.append(devices[extra_index])
-                    if extra_free > start:
-                        start = extra_free
+                    _, extra_index = heapq.heappop(free_heap)
+                    member = devices[extra_index]
+                    gang.append(member)
+                    if member.free_at_s > start:
+                        start = member.free_at_s
             # Switching keys replicate into every gang board's HBM;
             # the per-board PCIe loads run in parallel, so the batch
             # waits for the slowest board's misses.
@@ -482,20 +701,54 @@ class ServingSimulator:
             gang[0].jobs_done += len(batch)
             batches += 1
             batched_jobs += len(batch)
+            cost_price_units += len(gang) * price.integral(start, finish)
 
         return self._report(scenario, completed, devices, batches,
-                            batched_jobs)
+                            batched_jobs, policy=policy.name,
+                            rejected=rejected,
+                            deferred_jobs=policy.deferred_jobs,
+                            cost_price_units=cost_price_units)
 
     # ------------------------------------------------------------------
 
     def _report(self, scenario: Scenario, completed: List[Job],
                 devices: List[DeviceState], batches: int,
-                batched_jobs: int) -> ServingReport:
+                batched_jobs: int, policy: str = "fifo",
+                rejected: Sequence[Job] = (),
+                deferred_jobs: int = 0,
+                cost_price_units: Optional[float] = None
+                ) -> ServingReport:
         makespan = max((j.finish_s or 0.0 for j in completed), default=0.0)
         per_class: Dict[str, List[float]] = {}
         for job in completed:
             per_class.setdefault(job.job_class.name, []).append(
                 job.latency_s)
+        # SLO accounting: every deadline-carrying job — completed or
+        # rejected — counts in the denominator; only completed jobs
+        # that finished by their effective deadline count as met.
+        slo_met: Dict[str, int] = {}
+        slo_total: Dict[str, int] = {}
+        tenant_met: Dict[str, int] = {}
+        tenant_total: Dict[str, int] = {}
+        rejected_per_class: Dict[str, int] = {}
+        for job in completed:
+            deadline = job.effective_deadline_s
+            if deadline != math.inf:
+                name = job.job_class.name
+                met = int(job.finish_s <= deadline)
+                slo_met[name] = slo_met.get(name, 0) + met
+                slo_total[name] = slo_total.get(name, 0) + 1
+                tenant_met[job.tenant] = (
+                    tenant_met.get(job.tenant, 0) + met)
+                tenant_total[job.tenant] = (
+                    tenant_total.get(job.tenant, 0) + 1)
+        for job in rejected:
+            name = job.job_class.name
+            rejected_per_class[name] = rejected_per_class.get(name, 0) + 1
+            slo_total[name] = slo_total.get(name, 0) + 1
+            slo_met.setdefault(name, 0)
+            tenant_total[job.tenant] = tenant_total.get(job.tenant, 0) + 1
+            tenant_met.setdefault(job.tenant, 0)
         stats = []
         for name, latencies in per_class.items():
             latencies.sort()
@@ -506,10 +759,22 @@ class ServingSimulator:
                 p50_ms=percentile(latencies, 50) * 1e3,
                 p95_ms=percentile(latencies, 95) * 1e3,
                 p99_ms=percentile(latencies, 99) * 1e3,
-                mean_ms=sum(latencies) / count * 1e3))
+                mean_ms=sum(latencies) / count * 1e3,
+                slo_attainment=(slo_met[name] / slo_total[name]
+                                if slo_total.get(name) else None),
+                rejected=rejected_per_class.get(name, 0)))
+        # A class may be rejected out of existence: report it anyway.
+        for name, dropped in rejected_per_class.items():
+            if name not in per_class:
+                stats.append(WorkloadStats(
+                    name=name, jobs=0, throughput_jps=0.0,
+                    p50_ms=float("nan"), p95_ms=float("nan"),
+                    p99_ms=float("nan"), mean_ms=float("nan"),
+                    slo_attainment=0.0, rejected=dropped))
         busy = sum(d.busy_s for d in devices)
         hits = sum(d.cache.hits for d in devices)
         misses = sum(d.cache.misses for d in devices)
+        total_slo = sum(slo_total.values())
         return ServingReport(
             scenario=scenario.name,
             makespan_s=makespan,
@@ -521,7 +786,17 @@ class ServingSimulator:
             key_bytes_loaded=sum(d.cache.bytes_loaded for d in devices),
             batches=batches,
             mean_batch_size=batched_jobs / batches if batches else 0.0,
-            per_device_jobs=tuple(d.jobs_done for d in devices))
+            per_device_jobs=tuple(d.jobs_done for d in devices),
+            policy=policy,
+            rejected_jobs=len(rejected),
+            deferred_jobs=deferred_jobs,
+            cost_price_units=(busy if cost_price_units is None
+                              else cost_price_units),
+            slo_attainment=(sum(slo_met.values()) / total_slo
+                            if total_slo else None),
+            per_tenant_slo=tuple(
+                (tenant, tenant_met[tenant] / tenant_total[tenant])
+                for tenant in sorted(tenant_total)))
 
 
 # ----------------------------------------------------------------------
@@ -605,3 +880,89 @@ def build_scenarios(config: Optional[FabConfig] = None,
     ])
     return {"interactive": interactive, "batch": batch,
             "analytics": analytics, "mixed": mixed}
+
+
+def default_interactive_slo_ms(job_class: JobClass,
+                               config: FabConfig,
+                               host: Optional[HostConfig] = None,
+                               slack: float = 3.0) -> float:
+    """SLO heuristic for interactive traffic: ``slack`` x the
+    single-job *cold-start* service time (launch overhead + a full
+    switching-key working-set load over PCIe + compute).
+
+    The cold key load dominates FHE service times (hundreds of MB of
+    switching keys vs milliseconds of compute), so an SLO keyed to
+    compute alone would be unmeetable even on an idle board.  Keying
+    it to the cold bound is scale-free across configs: a lightly
+    loaded pool meets it comfortably, an overloaded one visibly
+    misses it."""
+    host = host or HostConfig()
+    cold_s = (host.kernel_launch_overhead_s
+              + key_load_seconds(host, job_class.key_bytes)
+              + job_class.seconds(config))
+    return slack * cold_s * 1e3
+
+
+def build_slo_scenario(config: Optional[FabConfig] = None,
+                       num_devices: int = 8,
+                       duration_s: float = 1.0,
+                       target_load: float = 0.9,
+                       interactive_fraction: float = 0.7,
+                       interactive_slo_ms: Optional[float] = None,
+                       batch_window_s: Optional[float] = None,
+                       training_stripe: int = 1,
+                       host: Optional[HostConfig] = None) -> Scenario:
+    """An SLO-annotated two-tier scenario: interactive + deferrable.
+
+    Latency-sensitive inference traffic carries a per-job deadline
+    (``interactive_slo_ms``, defaulting to
+    :func:`default_interactive_slo_ms` — 3x its cold-start service
+    bound) while
+    throughput-oriented batch work is ``deferrable`` inside a
+    ``batch_window_s`` execution window after arrival (default: the
+    arrival horizon, so a diurnal price signal always exposes a cheap
+    slot inside the window).  ``interactive_fraction`` splits the
+    offered load between the tiers; ``training_stripe > 1`` swaps the
+    batch tier to the gang-scheduled striped training class, so the
+    scenario exercises policy x gang composition.  When the simulator
+    runs with a non-default :class:`HostConfig` (different PCIe
+    numbers), pass the same ``host`` here so the default SLO prices
+    the cold key load with the cost model that will actually serve
+    the jobs.
+    """
+    if not 0.0 <= interactive_fraction <= 1.0:
+        raise ValueError("interactive_fraction must be in [0, 1]")
+    config = config or FabConfig()
+    classes = build_job_classes(config, training_stripe=training_stripe)
+    inference = classes["lr_inference"]
+    batch_class = (classes["lr_training"] if training_stripe > 1
+                   else classes["analytics"])
+    if interactive_slo_ms is None:
+        interactive_slo_ms = default_interactive_slo_ms(inference, config,
+                                                        host=host)
+    if batch_window_s is None:
+        batch_window_s = max(duration_s, 1e-3)
+
+    def rate(job_class: JobClass, load: float) -> float:
+        return (load * num_devices
+                / (job_class.seconds(config) * job_class.num_fpgas))
+
+    streams = []
+    interactive_load = target_load * interactive_fraction
+    if interactive_load > 0:
+        # Two interactive tenants: both working sets fit the default
+        # per-board key cache, so misses reflect scheduling (tenant
+        # interleaving), not unavoidable capacity thrash.
+        streams.append(Stream(
+            inference, rate(inference, interactive_load),
+            num_tenants=2, tenant_prefix="user",
+            slo_ms=interactive_slo_ms))
+    batch_load = target_load * (1.0 - interactive_fraction)
+    if batch_load > 0:
+        streams.append(Stream(
+            batch_class, rate(batch_class, batch_load),
+            num_tenants=2, tenant_prefix="batch",
+            deferrable=True, window_s=batch_window_s))
+    if not streams:
+        raise ValueError("target_load must be positive")
+    return Scenario("slo_mixed", duration_s, streams)

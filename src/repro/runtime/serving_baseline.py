@@ -19,6 +19,15 @@ scenario (same makespans, tail latencies, hit rates, batch counts for
 a fixed seed), and ``benchmarks/test_bench_perf_stack.py`` measures
 the speedup against it in the same run, which is what
 ``BENCH_perf_stack.json`` records.
+
+The policy subsystem (:mod:`repro.runtime.policies`) keeps this loop
+as its ground truth too: ``run(..., policy="fifo")`` must reproduce
+this schedule bit-identically, which
+``tests/runtime/test_policy_fifo_regression.py`` asserts across the
+regression matrix.  The loop accumulates the flat-price cost integral
+per batch in dispatch order — the same floating-point operations the
+policy-driven loop performs — so even ``cost_price_units`` compares
+exactly equal.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ import heapq
 from collections import OrderedDict, deque
 from typing import List, Tuple
 
+from .policies import PriceSignal
 from .serving import (DeviceState, JobClass, Scenario, ServingReport,
                       ServingSimulator)
 
@@ -98,6 +108,8 @@ def baseline_run(simulator: ServingSimulator, scenario: Scenario,
     completed: List = []
     batches = 0
     batched_jobs = 0
+    cost_price_units = 0.0
+    price = PriceSignal.flat()
     i = 0
     n = len(jobs)
 
@@ -140,7 +152,9 @@ def baseline_run(simulator: ServingSimulator, scenario: Scenario,
         device.jobs_done += len(batch)
         batches += 1
         batched_jobs += len(batch)
+        cost_price_units += 1 * price.integral(now, finish)
         heapq.heappush(free_heap, (finish, device_index))
 
     return simulator._report(scenario, completed, devices, batches,
-                             batched_jobs)
+                             batched_jobs,
+                             cost_price_units=cost_price_units)

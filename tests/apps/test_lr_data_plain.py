@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.apps.lr import (Dataset, PlainLrTrainer, poly3_sigmoid, sigmoid,
+from repro.apps.lr import (PlainLrTrainer, poly3_sigmoid, sigmoid,
                            synthetic_mnist_3v8)
 from repro.apps.lr.plain import gradient_step_reference
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import FabConfig
-from repro.core.host import HostConfig, HostInterface, OffloadPlan
+from repro.core.host import HostInterface, OffloadPlan
 
 
 @pytest.fixture()

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import (FabConfig, LimbTransfer, PortStriper,
+from repro.core import (FabConfig, PortStriper,
                         compare_striping_policies,
                         keyswitch_transfer_sequence)
 

@@ -123,8 +123,9 @@ class TestTables:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 14
+        assert len(ALL_EXPERIMENTS) == 15
         assert "stripe_scale" in ALL_EXPERIMENTS
+        assert "slo_sweep" in ALL_EXPERIMENTS
 
     def test_run_all_returns_everything(self):
         results = run_all(verbose=False)

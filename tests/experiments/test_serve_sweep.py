@@ -26,8 +26,8 @@ class TestSweep:
     def test_grid_is_complete(self, small_sweep):
         assert len(small_sweep.outcomes) == 4
         points = {o.point for o in small_sweep.outcomes}
-        assert points == {SweepPoint(d, 0.25, 2, l)
-                          for d in (2, 4) for l in (0.4, 0.8)}
+        assert points == {SweepPoint(d, 0.25, 2, load)
+                          for d in (2, 4) for load in (0.4, 0.8)}
 
     def test_every_point_served_jobs(self, small_sweep):
         for outcome in small_sweep.outcomes:

@@ -1,0 +1,214 @@
+"""Acceptance tests for the SLO sweep (policy x load x mix x pool).
+
+The two headline claims the ISSUE pins down, asserted on a fixed grid
+and seed so they are regressions rather than vibes:
+
+* at high load ``edf`` strictly improves SLO attainment (and the
+  interactive p99) over ``fifo`` — admission control sheds infeasible
+  work instead of cascading lateness;
+* ``deferrable-window`` reduces cost-under-price-signal versus
+  ``fifo`` with zero interactive SLO regressions at every grid point —
+  batch work moves into cheap slots without trampling the tier that
+  owns the pool.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import slo_sweep
+from repro.experiments.slo_sweep import HIGH_LOAD, run_sweep
+
+DEVICES = (4,)
+LOADS = (0.6, 1.4)
+MIXES = (0.5, 0.8)
+DURATION_S = 0.4
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_sweep(
+        devices=DEVICES,
+        loads=LOADS,
+        mixes=MIXES,
+        duration_s=DURATION_S,
+        seed=SEED,
+        workers=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def by_point(report):
+    table = report.by_point()
+    assert len(table) == len(DEVICES) * len(LOADS) * len(MIXES)
+    return table
+
+
+class TestHeadlineClaims:
+    def test_every_policy_sees_the_same_arrivals(self, by_point):
+        for per_policy in by_point.values():
+            offered = {o.jobs_done + o.rejected for o in per_policy.values()}
+            assert len(offered) == 1
+
+    def test_edf_strictly_improves_slo_at_high_load(self, by_point):
+        high_load_points = 0
+        for per_policy in by_point.values():
+            fifo = per_policy["fifo"]
+            edf = per_policy["edf"]
+            if fifo.point.load < HIGH_LOAD:
+                continue
+            high_load_points += 1
+            assert edf.slo_attainment > fifo.slo_attainment
+            assert edf.interactive_slo > fifo.interactive_slo
+            assert edf.interactive_p99_ms < fifo.interactive_p99_ms
+        assert high_load_points > 0
+
+    def test_fifo_never_rejects(self, report):
+        for outcome in report.outcomes:
+            if outcome.policy == "fifo":
+                assert outcome.rejected == 0
+                assert outcome.deferred == 0
+
+    def test_deferrable_window_cuts_cost_without_regressions(self, by_point):
+        for per_policy in by_point.values():
+            fifo = per_policy["fifo"]
+            deferrable = per_policy["deferrable-window"]
+            assert deferrable.cost_price_units < fifo.cost_price_units
+            # Zero interactive SLO regressions: the latency-sensitive
+            # tier never does worse than under greedy fifo.
+            assert deferrable.interactive_slo >= fifo.interactive_slo
+        # The signal actually bites: batch work was really deferred.
+        deferrables = [p["deferrable-window"] for p in by_point.values()]
+        assert any(o.deferred > 0 for o in deferrables)
+
+    def test_headline_mirrors_the_claims(self, report):
+        headline = report.headline()
+        assert headline["edf_vs_fifo_high_load"]
+        for _, fifo_slo, edf_slo in headline["edf_vs_fifo_high_load"]:
+            assert edf_slo > fifo_slo
+        assert headline["deferrable_vs_fifo"]
+        for row in headline["deferrable_vs_fifo"]:
+            _, fifo_cost, dw_cost, fifo_int, dw_int = row
+            assert dw_cost < fifo_cost
+            assert dw_int >= fifo_int
+
+
+class TestParetoFrontier:
+    def test_frontier_is_non_dominated_and_sorted(self, report):
+        frontier = report.pareto_frontier()
+        assert frontier
+        costs = [o.cost_per_job for o in frontier]
+        assert costs == sorted(costs)
+        for candidate in frontier:
+            for other in report.outcomes:
+                dominates = (
+                    other.cost_per_job < candidate.cost_per_job
+                    and other.slo_attainment >= candidate.slo_attainment
+                ) or (
+                    other.cost_per_job <= candidate.cost_per_job
+                    and other.slo_attainment > candidate.slo_attainment
+                )
+                assert not dominates
+
+    def test_frontier_contains_the_extremes(self, report):
+        frontier = report.pareto_frontier()
+        best_slo = max(o.slo_attainment for o in report.outcomes)
+        cheapest = min(o.cost_per_job for o in report.outcomes)
+        assert any(o.slo_attainment == best_slo for o in frontier)
+        assert any(o.cost_per_job == cheapest for o in frontier)
+
+
+class TestArtifactAndRegistry:
+    def test_json_roundtrip(self, report, tmp_path):
+        path = tmp_path / "slo_sweep.json"
+        report.save_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["policies"] == list(report.policies)
+        assert payload["grid_points"] == len(report.by_point())
+        assert len(payload["outcomes"]) == len(report.outcomes)
+        assert payload["pareto"]
+        assert payload["headline"]["edf_vs_fifo_high_load"]
+        for outcome in payload["outcomes"]:
+            assert set(outcome) >= {
+                "policy",
+                "jobs_done",
+                "rejected",
+                "slo_attainment",
+                "cost_price_units",
+            }
+
+    def test_experiment_table(self, report):
+        result = report.to_experiment_result()
+        assert result.experiment_id == "slo_sweep"
+        assert len(result.rows) == len(report.outcomes)
+        text = result.format()
+        assert "slo_pct" in text
+        assert "deferrable-window" in text
+
+    def test_registry_entry_runs_reduced_grid(self):
+        result = slo_sweep.run()
+        assert result.experiment_id == "slo_sweep"
+        assert result.rows
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError, match="unknown policies"):
+            run_sweep(policies=("lifo",))
+        with pytest.raises(ValueError, match="duration"):
+            run_sweep(duration_s=0.0)
+        with pytest.raises(ValueError, match="empty"):
+            run_sweep(devices=())
+
+    @pytest.mark.parametrize("mix", (0.0, 1.0))
+    def test_single_tier_mixes_are_valid_points(self, mix):
+        """Regression: mix 0 (pure batch) has no interactive workload
+        to look up, and mix 1 (pure interactive) has no batch tier —
+        both are CLI-reachable and must sweep cleanly."""
+        report = run_sweep(
+            devices=(2,),
+            loads=(0.8,),
+            mixes=(mix,),
+            duration_s=0.2,
+            workers=1,
+        )
+        for outcome in report.outcomes:
+            assert outcome.jobs_done + outcome.rejected > 0
+            if mix == 0.0:
+                # No interactive tier: vacuously attained, no tail.
+                assert outcome.interactive_slo == 1.0
+                assert outcome.interactive_p99_ms == 0.0
+            else:
+                assert outcome.batch_slo is None
+
+
+class TestGangComposition:
+    def test_striped_batch_tier_composes_with_every_policy(self):
+        report = run_sweep(
+            devices=(4,),
+            loads=(0.9,),
+            mixes=(0.5,),
+            duration_s=0.3,
+            training_stripe=2,
+            workers=1,
+        )
+        per_policy = report.by_point()["d4/l0.9/m0.5"]
+        assert set(per_policy) == set(report.policies)
+        offered = {o.jobs_done + o.rejected for o in per_policy.values()}
+        assert len(offered) == 1
+        for outcome in per_policy.values():
+            assert outcome.jobs_done > 0
+
+    def test_workers_do_not_change_results(self):
+        kwargs = dict(
+            devices=(4,),
+            loads=(1.4,),
+            mixes=(0.8,),
+            duration_s=0.2,
+        )
+        inline = run_sweep(workers=1, **kwargs)
+        fanned = run_sweep(workers=2, **kwargs)
+
+        def key(outcomes):
+            return [(o.policy, o.jobs_done, o.cost_price_units) for o in outcomes]
+
+        assert key(inline.outcomes) == key(fanned.outcomes)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.fhe.encoder import CkksEncoder, rotation_group_indices
+from repro.fhe.encoder import rotation_group_indices
 
 
 @pytest.fixture(scope="module")

@@ -5,7 +5,6 @@ messages; tolerances reflect the toy scale (2^25) noise floor.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 TOL = 2e-3

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fhe import CkksContext, CkksParams, CkksScheme, KeyGenerator
+from repro.fhe import CkksContext, CkksParams, KeyGenerator
 from repro.fhe.keyswitch import KeySwitcher
 from repro.fhe.serialize import (deserialize_ciphertext,
                                  deserialize_switching_key,

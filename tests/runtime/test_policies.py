@@ -1,0 +1,440 @@
+"""Property tests for the admission/scheduling policy subsystem.
+
+The load-bearing guarantees, hammered with hypothesis over random
+scenarios:
+
+* **EDF admission is safe**: no admitted job ever finishes after its
+  deadline under the simulator clock.  Expressed as an exact aggregate
+  identity — when every job carries a deadline, SLO attainment must
+  equal ``completed / (completed + rejected)``, i.e. *every* completed
+  job met its deadline and only explicit rejections count as misses.
+* **Deferral never starves**: a ``deferrable`` job either completes
+  inside its execution window or is explicitly rejected — the same
+  identity, per workload class.
+* **Conservation**: every generated job is either completed or
+  rejected; none are lost in a queue.
+
+Plus deterministic regressions for the :class:`PriceSignal` float
+slot-boundary bug (``0.125 // 0.025 == 4.0`` made ``integral`` loop
+forever) and for batch admission against the *tightest* deadline in
+the batch, not just the head's.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FabConfig
+from repro.runtime import (
+    JobClass,
+    Scenario,
+    ServingSimulator,
+    Stream,
+    make_policy,
+)
+from repro.runtime.policies import POLICIES, PriceSignal
+
+CONFIG = FabConfig()
+
+
+# ----------------------------------------------------------------------
+# PriceSignal
+# ----------------------------------------------------------------------
+
+
+class TestPriceSignal:
+    def test_flat_is_always_cheap(self):
+        sig = PriceSignal.flat(3.0)
+        assert sig.price_at(0.0) == 3.0
+        assert sig.is_cheap(12.34)
+        assert sig.next_change(5.0) == math.inf
+        assert sig.next_cheap(5.0) == 5.0
+        assert sig.integral(1.0, 3.0) == pytest.approx(6.0)
+
+    def test_diurnal_alternates(self):
+        sig = PriceSignal.diurnal(peak=2.0, trough=0.5, slot_s=1.0)
+        assert sig.price_at(0.5) == 2.0
+        assert sig.price_at(1.5) == 0.5
+        assert not sig.is_cheap(0.5)
+        assert sig.is_cheap(1.5)
+        assert sig.next_cheap(0.25) == pytest.approx(1.0)
+        assert sig.next_cheap(1.25) == 1.25
+        assert sig.period_s == 2.0
+
+    def test_integral_piecewise(self):
+        sig = PriceSignal.diurnal(peak=2.0, trough=0.5, slot_s=1.0)
+        # Half an expensive slot + a full cheap slot + half expensive.
+        assert sig.integral(0.5, 2.5) == pytest.approx(
+            0.5 * 2.0 + 1.0 * 0.5 + 0.5 * 2.0
+        )
+        assert sig.integral(3.0, 3.0) == 0.0
+        assert sig.integral(2.0, 1.0) == 0.0
+
+    def test_slot_boundary_regression(self):
+        """float('0.125') // float('0.025') == 4.0 — the naive slot
+        computation attributed an exact boundary to the slot before
+        it, and ``integral`` looped forever with ``upper == t``."""
+        sig = PriceSignal.diurnal(peak=2.0, trough=0.5, slot_s=0.025)
+        assert 0.125 // 0.025 == 4.0  # the float quirk itself
+        assert sig._slot(0.125) == 5
+        assert sig.next_change(0.125) > 0.125
+        # The exact arguments the serving loop hung on.
+        value = sig.integral(0.05459623353660049, 0.13148760420326716)
+        expected = (
+            (0.075 - 0.05459623353660049) * 2.0
+            + 0.025 * 0.5
+            + 0.025 * 2.0
+            + (0.13148760420326716 - 0.125) * 0.5
+        )
+        assert value == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriceSignal(())
+        with pytest.raises(ValueError):
+            PriceSignal((1.0, -0.5))
+        with pytest.raises(ValueError):
+            PriceSignal((1.0,), slot_s=0.0)
+
+    def test_never_cheap_threshold_rejected(self):
+        """Regression: a threshold below every level means no slot is
+        ever cheap — next_cheap would crash (flat signal) or break its
+        contract, and deferral would wait forever."""
+        with pytest.raises(ValueError, match="no slot would ever"):
+            PriceSignal((2.0,), cheap_threshold=1.0)
+        with pytest.raises(ValueError, match="no slot would ever"):
+            PriceSignal((2.0, 3.0), cheap_threshold=1.99)
+        # At or above the minimum level is fine.
+        sig = PriceSignal((2.0, 3.0), cheap_threshold=2.5)
+        assert sig.is_cheap(0.0)
+        assert not sig.is_cheap(1.0)
+
+    @given(
+        levels=st.lists(
+            st.floats(0.1, 5.0, allow_nan=False), min_size=1, max_size=4
+        ),
+        slot_s=st.floats(0.01, 1.0, allow_nan=False),
+        t0=st.floats(0.0, 10.0, allow_nan=False),
+        span=st.floats(0.0, 5.0, allow_nan=False),
+        cut=st.floats(0.0, 1.0, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_integral_properties(self, levels, slot_s, t0, span, cut):
+        sig = PriceSignal(tuple(levels), slot_s=slot_s)
+        t1 = t0 + span
+        total = sig.integral(t0, t1)
+        assert min(levels) * span <= total + 1e-12
+        assert total <= max(levels) * span + 1e-12
+        mid = t0 + cut * span
+        parts = sig.integral(t0, mid) + sig.integral(mid, t1)
+        assert parts == pytest.approx(total, abs=1e-9)
+        if span > 0:
+            assert sig.next_change(t0) > t0
+            cheap_at = sig.next_cheap(t0)
+            assert cheap_at >= t0
+            assert sig.is_cheap(cheap_at)
+
+
+# ----------------------------------------------------------------------
+# Policy registry
+# ----------------------------------------------------------------------
+
+
+class TestMakePolicy:
+    def test_known_names(self):
+        for name in ("fifo", "edf", "deferrable-window"):
+            assert name in POLICIES
+            assert make_policy(name).name == name
+
+    def test_instance_passthrough(self):
+        policy = make_policy("edf")
+        assert make_policy(policy) is policy
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            make_policy("lifo")
+
+
+# ----------------------------------------------------------------------
+# Stream SLO annotations
+# ----------------------------------------------------------------------
+
+ONE_KEY = JobClass("w", 500_000, ("k0",), 10_000_000)
+
+
+class TestStreamAnnotations:
+    def test_deferrable_needs_window(self):
+        with pytest.raises(ValueError, match="window_s"):
+            Stream(ONE_KEY, rate_per_s=10.0, deferrable=True)
+
+    def test_positive_slo_and_window(self):
+        with pytest.raises(ValueError):
+            Stream(ONE_KEY, rate_per_s=10.0, slo_ms=0.0)
+        with pytest.raises(ValueError):
+            Stream(ONE_KEY, rate_per_s=10.0, deferrable=True, window_s=-1.0)
+
+    def test_jobs_carry_deadlines(self):
+        scenario = Scenario(
+            "ann",
+            0.1,
+            [
+                Stream(ONE_KEY, rate_per_s=200.0, slo_ms=25.0),
+            ],
+        )
+        jobs = scenario.generate(seed=3)
+        assert jobs
+        for job in jobs:
+            assert job.deadline_s == pytest.approx(job.arrival_s + 0.025)
+            assert job.effective_deadline_s == job.deadline_s
+            assert not job.deferrable
+
+    def test_jobs_carry_windows(self):
+        scenario = Scenario(
+            "win",
+            0.1,
+            [
+                Stream(
+                    ONE_KEY,
+                    rate_per_s=200.0,
+                    deferrable=True,
+                    window_s=0.5,
+                ),
+            ],
+        )
+        jobs = scenario.generate(seed=3)
+        assert jobs
+        for job in jobs:
+            assert job.deferrable
+            assert job.window_end_s == pytest.approx(job.arrival_s + 0.5)
+            assert job.effective_deadline_s == job.window_end_s
+
+
+# ----------------------------------------------------------------------
+# Hypothesis harness over random scenarios
+# ----------------------------------------------------------------------
+
+
+def _job_class(draw, name):
+    cycles = draw(st.integers(100_000, 3_000_000))
+    keys = draw(st.integers(1, 3))
+    bytes_per_key = draw(st.integers(1_000_000, 80_000_000))
+    return JobClass(
+        name, cycles, tuple(f"{name}{i}" for i in range(keys)), bytes_per_key
+    )
+
+
+@st.composite
+def edf_cases(draw):
+    """A deadline-annotated scenario plus a simulator to run it."""
+    interactive = _job_class(draw, "int")
+    streams = [
+        Stream(
+            interactive,
+            rate_per_s=draw(st.floats(50.0, 500.0)),
+            num_tenants=draw(st.integers(1, 3)),
+            slo_ms=draw(st.floats(2.0, 120.0)),
+        )
+    ]
+    if draw(st.booleans()):
+        # Same class and tenant namespace, tighter SLO: later arrivals
+        # can carry an *earlier* deadline than the queue head, so
+        # batch admission must honor the prefix minimum.
+        streams.append(
+            Stream(
+                interactive,
+                rate_per_s=draw(st.floats(50.0, 300.0)),
+                num_tenants=1,
+                slo_ms=draw(st.floats(1.0, 20.0)),
+            )
+        )
+    scenario = Scenario("edf-case", draw(st.floats(0.02, 0.12)), streams)
+    simulator = ServingSimulator(
+        CONFIG,
+        num_devices=draw(st.integers(1, 3)),
+        max_batch=draw(st.integers(1, 4)),
+        key_cache_bytes=draw(st.integers(50_000_000, 500_000_000)),
+    )
+    return scenario, simulator, draw(st.integers(0, 2**16))
+
+
+@st.composite
+def deferrable_cases(draw):
+    """Interactive + deferrable tiers under a diurnal price signal."""
+    interactive = _job_class(draw, "int")
+    batch = _job_class(draw, "bat")
+    duration = draw(st.floats(0.02, 0.12))
+    streams = []
+    if draw(st.booleans()):
+        streams.append(
+            Stream(
+                interactive,
+                rate_per_s=draw(st.floats(50.0, 400.0)),
+                num_tenants=draw(st.integers(1, 2)),
+                slo_ms=draw(st.floats(5.0, 120.0)),
+            )
+        )
+    streams.append(
+        Stream(
+            batch,
+            rate_per_s=draw(st.floats(30.0, 300.0)),
+            num_tenants=draw(st.integers(1, 2)),
+            tenant_prefix="bat",
+            deferrable=True,
+            window_s=draw(st.floats(0.005, 0.4)),
+        )
+    )
+    scenario = Scenario("dw-case", duration, streams)
+    simulator = ServingSimulator(
+        CONFIG,
+        num_devices=draw(st.integers(1, 3)),
+        max_batch=draw(st.integers(1, 4)),
+        key_cache_bytes=draw(st.integers(50_000_000, 500_000_000)),
+    )
+    price = PriceSignal.diurnal(
+        peak=draw(st.floats(1.0, 4.0)),
+        trough=draw(st.floats(0.1, 1.0)),
+        slot_s=draw(st.floats(0.005, 0.1)),
+    )
+    return scenario, simulator, price, draw(st.integers(0, 2**16))
+
+
+def _assert_admission_is_safe(report, scenario, seed):
+    """The aggregate form of "no admitted job misses its deadline".
+
+    Every job in these scenarios carries an effective deadline, so the
+    denominator of ``slo_attainment`` is completed + rejected; the
+    identity ``attainment == completed / (completed + rejected)``
+    holds iff every completed job finished by its deadline.
+    """
+    generated = len(scenario.generate(seed))
+    assert report.jobs_done + report.rejected_jobs == generated
+    if generated == 0:
+        return
+    assert report.slo_attainment == report.jobs_done / generated
+    for stats in report.per_workload:
+        total = stats.jobs + stats.rejected
+        assert stats.slo_attainment == stats.jobs / total
+
+
+class TestEdfAdmission:
+    @given(case=edf_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_no_admitted_job_misses_its_deadline(self, case):
+        scenario, simulator, seed = case
+        report = simulator.run(scenario, seed=seed, policy="edf")
+        _assert_admission_is_safe(report, scenario, seed)
+
+    @given(case=edf_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_per_tenant_slo_is_consistent(self, case):
+        scenario, simulator, seed = case
+        report = simulator.run(scenario, seed=seed, policy="edf")
+        for tenant, attained in report.per_tenant_slo:
+            assert 0.0 <= attained <= 1.0
+            assert report.tenant_slo(tenant) == attained
+
+
+class TestDeferrableWindow:
+    @given(case=deferrable_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_deferral_never_starves_past_window_end(self, case):
+        scenario, simulator, price, seed = case
+        report = simulator.run(
+            scenario, seed=seed, policy="deferrable-window", price=price
+        )
+        # Completed batch jobs finished inside their windows (the
+        # attainment identity), and nothing was silently dropped.
+        _assert_admission_is_safe(report, scenario, seed)
+
+    @given(case=deferrable_cases())
+    @settings(max_examples=30, deadline=None)
+    def test_deferral_accounting(self, case):
+        scenario, simulator, price, seed = case
+        report = simulator.run(
+            scenario, seed=seed, policy="deferrable-window", price=price
+        )
+        generated = len(scenario.generate(seed))
+        assert 0 <= report.deferred_jobs <= generated
+        assert report.cost_price_units >= 0.0
+
+
+class TestStripedGangAdmission:
+    """Gang dispatch must compose with deadline-checked admission: a
+    striped batch admits only when all k boards can meet the deadline,
+    and the safety identity still holds."""
+
+    STRIPE = 2
+
+    def _gang_class(self):
+        return JobClass(
+            "gang", 800_000, ("g0", "g1"), 20_000_000, num_fpgas=self.STRIPE
+        )
+
+    def _scenario(self):
+        return Scenario(
+            "gang-slo",
+            0.15,
+            [
+                Stream(
+                    self._gang_class(),
+                    rate_per_s=150.0,
+                    num_tenants=2,
+                    slo_ms=40.0,
+                ),
+                Stream(
+                    JobClass("solo", 400_000, ("s0",), 10_000_000),
+                    rate_per_s=200.0,
+                    num_tenants=2,
+                    slo_ms=25.0,
+                ),
+            ],
+        )
+
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_gang_admission_is_safe(self, policy):
+        scenario = self._scenario()
+        simulator = ServingSimulator(CONFIG, num_devices=4, max_batch=4)
+        report = simulator.run(scenario, seed=5, policy=policy)
+        generated = len(scenario.generate(5))
+        assert report.jobs_done + report.rejected_jobs == generated
+        if policy == "fifo":
+            assert report.rejected_jobs == 0
+        else:
+            assert report.slo_attainment == report.jobs_done / generated
+        assert sum(report.per_device_jobs) == report.jobs_done
+
+    def test_sleeping_board_does_not_block_a_gang(self):
+        """Regression: a deferral pushes a wake *timer* into the free
+        heap while the board sits idle; gang availability must read
+        the board's real free time, or an idle pool would delay (or
+        spuriously reject) feasible striped batch jobs.  With windows
+        comfortably wider than a price period plus the service bound,
+        every deferred gang job must run — none rejected."""
+        gang = JobClass("gang", 600_000, ("g0",), 15_000_000, num_fpgas=self.STRIPE)
+        scenario = Scenario(
+            "gang-defer",
+            0.2,
+            [
+                Stream(
+                    gang,
+                    rate_per_s=80.0,
+                    num_tenants=1,
+                    tenant_prefix="bat",
+                    deferrable=True,
+                    window_s=0.5,
+                ),
+            ],
+        )
+        simulator = ServingSimulator(CONFIG, num_devices=2, max_batch=2)
+        price = PriceSignal.diurnal(peak=3.0, trough=0.5, slot_s=0.05)
+        report = simulator.run(
+            scenario, seed=6, policy="deferrable-window", price=price
+        )
+        generated = len(scenario.generate(6))
+        assert generated > 0
+        assert report.jobs_done == generated
+        assert report.rejected_jobs == 0
+        assert report.slo_attainment == 1.0
+        assert report.deferred_jobs > 0
