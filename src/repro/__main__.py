@@ -10,6 +10,7 @@ Usage::
     python -m repro serve-sweep          # cost-optimal pool sweep
     python -m repro slo-sweep            # policy x load x mix SLO sweep
     python -m repro stripe-scale         # FAB-2 trace-striping sweep
+    python -m repro timeline metrics.json    # render a metrics artifact
 """
 
 from __future__ import annotations
@@ -39,6 +40,9 @@ def main(argv=None) -> int:
     if argv[0] == "stripe-scale":
         from .runtime.cli import run_stripe_scale
         return run_stripe_scale(argv[1:])
+    if argv[0] == "timeline":
+        from .runtime.cli import run_timeline
+        return run_timeline(argv[1:])
     if argv[0] == "list":
         for key, module in ALL_EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
@@ -53,6 +57,8 @@ def main(argv=None) -> int:
               f"size; cost/SLO Pareto frontier.")
         print(f"{'stripe-scale':22s} Stripe a trace across the FAB-2 "
               f"pool; reconcile vs the analytic model.")
+        print(f"{'timeline':22s} Render a serve --metrics artifact as "
+              f"a terminal summary.")
         return 0
     targets = list(ALL_EXPERIMENTS) if argv[0] == "all" else argv
     unknown = [t for t in targets if t not in ALL_EXPERIMENTS]

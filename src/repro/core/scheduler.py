@@ -142,6 +142,35 @@ class ScheduleResult:
         return max(self.resources.values(),
                    key=lambda r: r.busy_cycles).name
 
+    def record_timeline(self, recorder, *, seconds_per_cycle: float,
+                        group: str = "schedule",
+                        origin_s: float = 0.0) -> None:
+        """Emit every placed task as a span on ``recorder`` (a
+        :class:`repro.obs.Recorder`; duck-typed so the core layer
+        gains no import on the observability package).
+
+        Tasks land on one track per resource name — the striped
+        lowering's ``fu{board}``/``hbm{board}`` resources thus get a
+        track per board and the shared CMAC link its own — with the
+        board index (the striped lowering's device annotation) passed
+        through.  ``seconds_per_cycle`` converts schedule cycles to
+        recorder seconds (``1 / config.clock_hz``); ``origin_s``
+        offsets the whole schedule, e.g. to pin it at a serving
+        batch's start time.  Zero-length tasks are skipped — they
+        carry no visible span.
+        """
+        if not getattr(recorder, "enabled", False):
+            return
+        for task in sorted(self.tasks.values(),
+                           key=lambda t: (t.start or 0, t.name)):
+            if task.finish is None or task.finish == task.start:
+                continue
+            recorder.schedule_task(
+                group=group, track=task.resource, name=task.name,
+                start_s=origin_s + task.start * seconds_per_cycle,
+                finish_s=origin_s + task.finish * seconds_per_cycle,
+                device=task.device)
+
 
 class TaskGraph:
     """A DAG of tasks to be scheduled on named resources."""

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.hbm import HbmModel
 from ..core.params import FabConfig
+from ..obs import MetricsRecorder, provenance
 from ..runtime.serving import (JobClass, Scenario, ServingSimulator,
                                Stream, build_job_classes)
 from .common import ExperimentResult, ExperimentRow, fan_out
@@ -77,6 +78,9 @@ class SweepOutcome:
     key_hit_rate: float
     cost_device_ms_per_job: float
     feasible: bool
+    #: Windowed-metrics roll-up (:meth:`repro.obs.MetricsRecorder.
+    #: summary`) when the sweep ran with ``point_metrics=True``.
+    metrics: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -87,6 +91,9 @@ class SweepReport:
     slo_p99_ms: float
     duration_s: float
     seed: int
+    #: Seed / config-digest / git-describe stamp, embedded in the JSON
+    #: artifact so every sweep file is traceable to its inputs.
+    provenance: Optional[Dict[str, object]] = None
 
     @property
     def best(self) -> Optional[SweepOutcome]:
@@ -105,6 +112,7 @@ class SweepReport:
             "slo_p99_ms": self.slo_p99_ms,
             "duration_s": self.duration_s,
             "seed": self.seed,
+            "provenance": self.provenance,
             "grid_points": len(self.outcomes),
             "feasible_points": sum(o.feasible for o in self.outcomes),
             "best": asdict(best) if best else None,
@@ -165,14 +173,17 @@ def _simulate_point(args: Tuple) -> SweepOutcome:
     inputs travel by value, so fork and spawn give identical results.
     """
     (point, classes, config, duration_s, seed, max_batch,
-     slo_p99_ms) = args
+     slo_p99_ms, point_metrics) = args
     cache_bytes = max(
         int(HbmModel(config).capacity_bytes * point.cache_fraction), 1)
     scenario = _build_scenario(classes, config, point, duration_s)
     simulator = ServingSimulator(config, num_devices=point.devices,
                                  key_cache_bytes=cache_bytes,
                                  max_batch=max_batch)
-    report = simulator.run(scenario, seed=seed)
+    metrics = (MetricsRecorder(window_s=duration_s / 20,
+                               meta={"point": point.label()})
+               if point_metrics else None)
+    report = simulator.run(scenario, seed=seed, recorder=metrics)
     worst_p99 = max((w.p99_ms for w in report.per_workload), default=0.0)
     cost = (point.devices * report.makespan_s * 1e3 / report.jobs_done
             if report.jobs_done else float("inf"))
@@ -191,7 +202,8 @@ def _simulate_point(args: Tuple) -> SweepOutcome:
         device_utilization=report.device_utilization,
         key_hit_rate=report.key_hit_rate,
         cost_device_ms_per_job=cost,
-        feasible=feasible)
+        feasible=feasible,
+        metrics=metrics.summary() if metrics is not None else None)
 
 
 def default_slo_p99_ms(classes: Dict[str, JobClass],
@@ -215,12 +227,17 @@ def run_sweep(config: Optional[FabConfig] = None,
               seed: int = 0,
               max_batch: int = 8,
               slo_p99_ms: Optional[float] = None,
-              workers: Optional[int] = None) -> SweepReport:
+              workers: Optional[int] = None,
+              point_metrics: bool = False) -> SweepReport:
     """Simulate the full grid; returns the sweep report.
 
     ``workers=None`` sizes the pool to the machine (capped at the grid
     size); ``workers=1`` runs inline with no multiprocessing.  Either
     way the grid points are deterministic, so the report is identical.
+    ``point_metrics=True`` attaches a windowed-metrics summary
+    (utilization, peak queue depth, SLO attainment, key traffic) to
+    every outcome; the recorder hooks are exercised but the simulated
+    schedule is bit-identical either way.
     """
     config = config or FabConfig()
     classes = build_job_classes(config)
@@ -232,10 +249,12 @@ def run_sweep(config: Optional[FabConfig] = None,
     if not grid:
         raise ValueError("empty sweep grid")
     tasks = [(point, classes, config, duration_s, seed, max_batch,
-              slo_p99_ms) for point in grid]
+              slo_p99_ms, point_metrics) for point in grid]
     outcomes = fan_out(_simulate_point, tasks, workers=workers)
     return SweepReport(outcomes=outcomes, slo_p99_ms=slo_p99_ms,
-                       duration_s=duration_s, seed=seed)
+                       duration_s=duration_s, seed=seed,
+                       provenance=dict(provenance(seed=seed,
+                                                  config=config)))
 
 
 def run() -> ExperimentResult:

@@ -35,6 +35,7 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.params import FabConfig
+from ..obs import MetricsRecorder, provenance
 from ..runtime.policies import POLICIES, PriceSignal
 from ..runtime.serving import ServingSimulator, build_slo_scenario
 from .common import ExperimentResult, ExperimentRow, fan_out
@@ -81,6 +82,9 @@ class PolicyOutcome:
     cost_price_units: float
     cost_per_job: float
     makespan_s: float
+    #: Windowed-metrics roll-up (:meth:`repro.obs.MetricsRecorder.
+    #: summary`) when the sweep ran with ``point_metrics=True``.
+    metrics: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -93,6 +97,9 @@ class SloSweepReport:
     seed: int
     peak: float
     trough: float
+    #: Seed / config-digest / git-describe stamp, embedded in the JSON
+    #: artifact so every sweep file is traceable to its inputs.
+    provenance: Optional[Dict[str, object]] = None
 
     def by_point(self) -> Dict[str, Dict[str, PolicyOutcome]]:
         """``{point label: {policy: outcome}}`` over the whole grid."""
@@ -170,6 +177,7 @@ class SloSweepReport:
             "policies": list(self.policies),
             "duration_s": self.duration_s,
             "seed": self.seed,
+            "provenance": self.provenance,
             "price": {"peak": self.peak, "trough": self.trough},
             "grid_points": len(self.by_point()),
             "headline": self.headline(),
@@ -245,13 +253,23 @@ def _simulate_point(args: Tuple) -> PolicyOutcome:
     Top-level (picklable) so a multiprocessing pool can run it; all
     inputs travel by value, so fork and spawn give identical results.
     """
-    (point, policy, scenario, config, price, seed, max_batch) = args
+    (point, policy, scenario, config, price, seed, max_batch, point_metrics) = args
     simulator = ServingSimulator(
         config,
         num_devices=point.devices,
         max_batch=max_batch,
     )
-    report = simulator.run(scenario, seed=seed, policy=policy, price=price)
+    metrics = (
+        MetricsRecorder(
+            window_s=scenario.duration_s / 20,
+            meta={"point": point.label(), "policy": policy},
+        )
+        if point_metrics
+        else None
+    )
+    report = simulator.run(
+        scenario, seed=seed, policy=policy, price=price, recorder=metrics
+    )
     interactive = None
     batch_slo = None
     for stats in report.per_workload:
@@ -284,6 +302,7 @@ def _simulate_point(args: Tuple) -> PolicyOutcome:
         cost_price_units=report.cost_price_units,
         cost_per_job=cost_per_job,
         makespan_s=report.makespan_s,
+        metrics=metrics.summary() if metrics is not None else None,
     )
 
 
@@ -300,6 +319,7 @@ def run_sweep(
     peak: float = DEFAULT_PEAK,
     trough: float = DEFAULT_TROUGH,
     workers: Optional[int] = None,
+    point_metrics: bool = False,
 ) -> SloSweepReport:
     """Simulate the full policy grid; returns the sweep report.
 
@@ -335,7 +355,18 @@ def run_sweep(
             training_stripe=training_stripe,
         )
         for policy in policies:
-            tasks.append((point, policy, scenario, config, price, seed, max_batch))
+            tasks.append(
+                (
+                    point,
+                    policy,
+                    scenario,
+                    config,
+                    price,
+                    seed,
+                    max_batch,
+                    point_metrics,
+                )
+            )
     outcomes = fan_out(_simulate_point, tasks, workers=workers)
     return SloSweepReport(
         outcomes=outcomes,
@@ -344,6 +375,7 @@ def run_sweep(
         seed=seed,
         peak=peak,
         trough=trough,
+        provenance=dict(provenance(seed=seed, config=config)),
     )
 
 

@@ -1,0 +1,28 @@
+"""``repro.obs``: zero-overhead observability for the FAB stack.
+
+A :class:`Recorder` observes the scheduler + serving simulators
+without perturbing them: the default :data:`NULL_RECORDER` keeps every
+instrumented hot path bit-identical to the uninstrumented code, while
+:class:`TimelineRecorder` emits Perfetto-loadable Chrome trace-event
+timelines and :class:`MetricsRecorder` collects windowed time-series
+(utilization, queue depth, key-cache churn, SLO attainment, price).
+:func:`provenance` stamps every JSON artifact with seed + config
+digest + git revision; :func:`render_metrics` is the ``repro
+timeline`` terminal view.
+
+This package is a dependency leaf: it never imports from the rest of
+:mod:`repro`, so any layer may record into it.
+"""
+
+from .metrics import MetricsRecorder
+from .provenance import config_digest, git_describe, provenance
+from .recorder import (NULL_RECORDER, CompositeRecorder, NullRecorder,
+                       Recorder, compose)
+from .render import render_metrics
+from .timeline import TimelineRecorder
+
+__all__ = [
+    "Recorder", "NullRecorder", "NULL_RECORDER", "CompositeRecorder",
+    "compose", "TimelineRecorder", "MetricsRecorder", "provenance",
+    "config_digest", "git_describe", "render_metrics",
+]

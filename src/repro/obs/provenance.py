@@ -1,0 +1,62 @@
+"""Reproducibility stamps for emitted JSON artifacts.
+
+Every artifact the CLI writes (serving reports, timelines, metrics,
+sweep grids) embeds the same three-field provenance dict: the RNG
+seed, a digest of the :class:`~repro.core.params.FabConfig` the run
+priced against, and the repository's ``git describe`` string — enough
+to re-run the exact experiment that produced a file found on disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import subprocess
+from typing import Any, Dict, Optional
+
+
+def config_digest(config: Any) -> str:
+    """Stable short digest of a configuration object.
+
+    Dataclasses (e.g. ``FabConfig``) digest their field dict, so two
+    configs digest equal iff their parameters are; anything else
+    digests its ``repr``.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload: Any = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        payload = config
+    else:
+        payload = repr(config)
+    blob = json.dumps(payload, sort_keys=True, default=repr)
+    return "sha256:" + hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def git_describe(cwd: Optional[str] = None) -> str:
+    """``git describe --always --dirty`` of the source tree, or
+    ``"unknown"`` outside a repository (artifacts must still write)."""
+    try:
+        result = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True, text=True, timeout=10,
+            cwd=cwd or os.path.dirname(os.path.abspath(__file__)))
+        if result.returncode == 0 and result.stdout.strip():
+            return result.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def provenance(seed: Optional[int] = None, config: Any = None,
+               **extra: Any) -> Dict[str, Any]:
+    """The standard artifact stamp: seed + config digest + git rev."""
+    info: Dict[str, Any] = {
+        "seed": seed,
+        "config_digest": (config_digest(config)
+                          if config is not None else None),
+        "git": git_describe(),
+    }
+    info.update(extra)
+    return info

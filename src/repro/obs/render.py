@@ -1,0 +1,127 @@
+"""Terminal rendering of a metrics artifact (``repro timeline``).
+
+Turns a :meth:`repro.obs.metrics.MetricsRecorder.to_dict` document
+into a plain-text utilization / queue-depth strip chart: one row per
+time window with pool-utilization and queue-depth bars, SLO and price
+columns when the run recorded them, then per-board and per-queue
+roll-ups.  Pure string formatting over the JSON — no simulator
+imports — so saved artifacts from other machines render too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+_BAR = "#"
+
+
+def _bar(fraction: float, width: int) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return _BAR * filled + "." * (width - filled)
+
+
+def _fmt_opt(value: Optional[float], spec: str, empty: str = "    -"
+             ) -> str:
+    return empty if value is None else format(value, spec)
+
+
+def render_metrics(data: Dict[str, Any], width: int = 24,
+                   max_rows: int = 48) -> str:
+    """Render a metrics JSON document as a terminal summary."""
+    windows = data.get("windows", {})
+    t0: List[float] = windows.get("t0", [])
+    board_util: List[List[float]] = windows.get("board_util", [])
+    queue_depth: List[float] = windows.get("queue_depth", [])
+    count = len(t0)
+    if count == 0:
+        return "(empty metrics artifact: no windows recorded)"
+    # Aggregate pool utilization per window.
+    boards = max(len(board_util), 1)
+    pool_util = [
+        sum(series[i] for series in board_util) / boards
+        for i in range(count)]
+    peak_queue = max(queue_depth, default=0.0)
+    queue_scale = max(peak_queue, 1.0)
+    slo = windows.get("slo_rolling", [None] * count)
+    price = windows.get("price_mean")
+    rejections = windows.get("rejections", [0.0] * count)
+
+    meta = data.get("meta", {})
+    head = [
+        f"== {data.get('scenario', '?')} | policy "
+        f"{data.get('policy', '?')} | {data.get('num_devices', boards)} "
+        f"boards | {data.get('jobs_done', 0)} jobs in "
+        f"{data.get('makespan_s', 0.0):.3f}s ==",
+    ]
+    stamp = ", ".join(f"{key}={meta[key]}"
+                      for key in ("seed", "config_digest", "git")
+                      if meta.get(key) is not None)
+    if stamp:
+        head.append(f"provenance: {stamp}")
+
+    columns = f"{'t0':>8s}  {'util':<{width}s} {'%':>4s}  " \
+              f"{'queue':<{width}s} {'depth':>6s}  {'slo%':>5s}"
+    if price is not None:
+        columns += f"  {'price':>6s}"
+    lines = head + ["", columns]
+    # Decimate long runs to at most ``max_rows`` rows (every k-th
+    # window) so the chart fits a terminal; the roll-ups below always
+    # cover every window.
+    step = max(1, -(-count // max_rows))
+    for i in range(0, count, step):
+        slo_pct = (None if i >= len(slo) or slo[i] is None
+                   else 100.0 * slo[i])
+        row = (f"{t0[i]:8.3f}  {_bar(pool_util[i], width)} "
+               f"{100 * pool_util[i]:4.0f}  "
+               f"{_bar(queue_depth[i] / queue_scale, width)} "
+               f"{queue_depth[i]:6.1f}  {_fmt_opt(slo_pct, '5.1f')}")
+        if price is not None:
+            row += f"  {price[i]:6.2f}"
+        if i < len(rejections) and rejections[i]:
+            row += f"  !{int(rejections[i])} rejected"
+        lines.append(row)
+    if step > 1:
+        lines.append(f"({count} windows, showing every {step}rd/th)")
+
+    lines.append("")
+    busy = data.get("device_busy_s", [])
+    makespan = data.get("makespan_s", 0.0) or 0.0
+    board_ids = data.get("boards", list(range(len(board_util))))
+    window_s = data.get("window_s", 0.0)
+    for row_index, series in enumerate(board_util):
+        integral = sum(series) * window_s
+        util = integral / makespan if makespan else 0.0
+        line = (f"board {board_ids[row_index]:>2}: "
+                f"{_bar(util, width)} {100 * util:5.1f}% busy "
+                f"({integral:.4f}s)")
+        if row_index < len(busy):
+            line += f" [device {busy[row_index]:.4f}s]"
+        lines.append(line)
+
+    per_queue = windows.get("per_queue_depth", {})
+    if per_queue:
+        lines.append("")
+        lines.append("mean queue depth by (class/tenant):")
+        means = sorted(
+            ((sum(series) / count, name)
+             for name, series in per_queue.items()), reverse=True)
+        for mean, name in means[:8]:
+            lines.append(f"  {name:<32s} {mean:8.2f}")
+        if len(means) > 8:
+            lines.append(f"  ... and {len(means) - 8} more queues")
+
+    summary = data.get("summary", {})
+    if summary:
+        slo_pct = summary.get("slo_attainment")
+        lines.append("")
+        lines.append(
+            f"totals: mean util "
+            f"{100 * summary.get('mean_util', 0.0):.1f}%, peak queue "
+            f"{summary.get('peak_queue_depth', 0)}, "
+            f"slo {_fmt_opt(None if slo_pct is None else 100 * slo_pct, '.1f')}%, "
+            f"cost {summary.get('cost_price_units', 0.0) * 1e3:.2f} "
+            f"price-unit-ms, "
+            f"{summary.get('key_bytes_loaded', 0) / 1e9:.2f} GB keys, "
+            f"{summary.get('rejections', 0)} rejected")
+    return "\n".join(lines)

@@ -33,10 +33,14 @@ trace-driven speedup against the analytic ``MultiFpgaSystem`` model.
 from __future__ import annotations
 
 import argparse
-from typing import List
+import dataclasses
+import json
+from typing import List, Optional
 
 from ..core.params import FabConfig
 from ..experiments.common import print_result
+from ..obs import (MetricsRecorder, TimelineRecorder, compose,
+                   provenance, render_metrics)
 from .capture import capture
 from .lowering import cost_trace
 from .optrace import OpTrace
@@ -78,6 +82,9 @@ def run_trace(argv: List[str]) -> int:
                              "a functional tiny-N LR iteration)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also dump the trace IR as JSON")
+    parser.add_argument("--timeline", metavar="PATH", default=None,
+                        help="write the scheduled program as a "
+                             "Perfetto-loadable Chrome trace")
     parser.add_argument("--no-prefetch", action="store_true",
                         help="schedule without key prefetching")
     args = parser.parse_args(argv)
@@ -102,6 +109,15 @@ def run_trace(argv: List[str]) -> int:
     if args.json:
         trace.save(args.json)
         print(f"trace written to {args.json}")
+    if args.timeline:
+        recorder = TimelineRecorder(
+            meta=provenance(config=config, workload=args.workload))
+        cost.report.schedule.record_timeline(
+            recorder, seconds_per_cycle=config.cycles_to_seconds(1),
+            group=f"{trace.name} schedule")
+        recorder.save(args.timeline)
+        print(f"timeline written to {args.timeline} "
+              f"(open at ui.perfetto.dev)")
     return 0
 
 
@@ -131,6 +147,20 @@ def run_serve(argv: List[str]) -> int:
                         help="price/carbon signal: flat unit price or "
                              "a square wave with four slots per "
                              "arrival horizon (default: flat)")
+    parser.add_argument("--timeline", metavar="PATH", default=None,
+                        help="write a Perfetto-loadable Chrome trace "
+                             "of the run (single scenario only)")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write windowed time-series metrics JSON "
+                             "(single scenario only; render with "
+                             "'repro timeline PATH')")
+    parser.add_argument("--metrics-window", type=float, default=None,
+                        metavar="S",
+                        help="metrics window width in seconds "
+                             "(default: duration / 40)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the serving report(s) as "
+                             "JSON with provenance")
     args = parser.parse_args(argv)
     if args.devices < 1:
         parser.error("--devices must be >= 1")
@@ -163,16 +193,93 @@ def run_serve(argv: List[str]) -> int:
         print(f"unknown scenario {args.scenario!r}; "
               f"try: {', '.join(scenarios)} or all")
         return 1
+    if (args.timeline or args.metrics) and len(selected) != 1:
+        parser.error("--timeline/--metrics record one run: pick a "
+                     "single --scenario, not 'all'")
     price = (PriceSignal.diurnal(slot_s=args.duration / 4.0)
              if args.price == "diurnal" else PriceSignal.flat())
     simulator = ServingSimulator(config, num_devices=args.devices,
                                  max_batch=args.max_batch)
+    stamp = provenance(seed=args.seed, config=config,
+                       policy=args.policy, price=args.price)
+    timeline: Optional[TimelineRecorder] = None
+    metrics: Optional[MetricsRecorder] = None
+    if args.timeline:
+        timeline = TimelineRecorder(meta=dict(stamp))
+    if args.metrics:
+        window_s = (args.metrics_window if args.metrics_window
+                    else args.duration / 40.0)
+        if window_s <= 0:
+            parser.error("--metrics-window must be positive")
+        metrics = MetricsRecorder(window_s=window_s, meta=dict(stamp))
+    recorder = compose(timeline, metrics)
+    reports = []
     for name in selected:
         report = simulator.run(scenarios[name], seed=args.seed,
-                               policy=args.policy, price=price)
+                               policy=args.policy, price=price,
+                               recorder=recorder)
+        reports.append(report)
         print_result(report.to_experiment_result())
         print(report.format())
         print()
+    if timeline is not None:
+        if args.stripe > 1:
+            # Embed the striped training schedule as its own process:
+            # per-board FU/HBM tracks plus the shared CMAC link, so
+            # the gang spans on the serving tracks can be opened up
+            # into the intra-job synchronization structure.
+            from .reference import lr_training_trace
+            from .striped_lowering import lower_striped_trace
+            training, plan = lr_training_trace(config)
+            lower_striped_trace(
+                training, args.stripe, config,
+                plan=plan).schedule().record_timeline(timeline, config)
+        timeline.save(args.timeline)
+        print(f"timeline written to {args.timeline} "
+              f"(open at ui.perfetto.dev)")
+    if metrics is not None:
+        metrics.save(args.metrics)
+        print(f"metrics written to {args.metrics} "
+              f"(render with: python -m repro timeline "
+              f"{args.metrics})")
+    if args.json:
+        payload = {
+            "meta": stamp,
+            "reports": [dataclasses.asdict(r) for r in reports],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=1)
+        print(f"report written to {args.json}")
+    return 0
+
+
+def run_timeline(argv: List[str]) -> int:
+    """Entry point for ``python -m repro timeline``: render a metrics
+    artifact (``repro serve --metrics``) as a terminal summary."""
+    parser = argparse.ArgumentParser(
+        prog="repro timeline",
+        description="render a serving metrics artifact as a terminal "
+                    "utilization/queue-depth summary")
+    parser.add_argument("artifact", help="metrics JSON written by "
+                                         "'repro serve --metrics'")
+    parser.add_argument("--width", type=int, default=24,
+                        help="bar width in characters (default 24)")
+    parser.add_argument("--rows", type=int, default=48,
+                        help="max chart rows before decimation")
+    args = parser.parse_args(argv)
+    if args.width < 1 or args.rows < 1:
+        parser.error("--width and --rows must be >= 1")
+    with open(args.artifact) as fh:
+        data = json.load(fh)
+    if "traceEvents" in data:
+        print(f"{args.artifact} is a timeline artifact — load it at "
+              f"ui.perfetto.dev; this command renders --metrics "
+              f"output")
+        return 1
+    if "windows" not in data:
+        print(f"{args.artifact} is not a serving metrics artifact")
+        return 1
+    print(render_metrics(data, width=args.width, max_rows=args.rows))
     return 0
 
 
@@ -210,6 +317,9 @@ def run_serve_sweep(argv: List[str]) -> int:
     parser.add_argument("--json", metavar="PATH",
                         default="serve_sweep.json",
                         help="JSON artifact path ('' to skip)")
+    parser.add_argument("--point-metrics", action="store_true",
+                        help="attach a windowed-metrics summary to "
+                             "every grid point in the JSON artifact")
     args = parser.parse_args(argv)
     if args.duration <= 0:
         parser.error("--duration must be positive")
@@ -227,7 +337,8 @@ def run_serve_sweep(argv: List[str]) -> int:
                        tenants=args.tenants, loads=args.loads,
                        duration_s=args.duration, seed=args.seed,
                        max_batch=args.max_batch, slo_p99_ms=args.slo_ms,
-                       workers=args.workers)
+                       workers=args.workers,
+                       point_metrics=args.point_metrics)
     print_result(report.to_experiment_result())
     best = report.best
     if best is None:
@@ -286,6 +397,9 @@ def run_slo_sweep(argv: List[str]) -> int:
     parser.add_argument("--json", metavar="PATH",
                         default="slo_sweep.json",
                         help="JSON artifact path ('' to skip)")
+    parser.add_argument("--point-metrics", action="store_true",
+                        help="attach a windowed-metrics summary to "
+                             "every grid point in the JSON artifact")
     args = parser.parse_args(argv)
     if args.duration <= 0:
         parser.error("--duration must be positive")
@@ -307,7 +421,8 @@ def run_slo_sweep(argv: List[str]) -> int:
                        mixes=args.mixes, duration_s=args.duration,
                        seed=args.seed, max_batch=args.max_batch,
                        training_stripe=args.stripe, peak=args.peak,
-                       trough=args.trough, workers=args.workers)
+                       trough=args.trough, workers=args.workers,
+                       point_metrics=args.point_metrics)
     print_result(report.to_experiment_result())
     frontier = report.pareto_frontier()
     print("cost/SLO Pareto frontier (price-units/job, attainment):")

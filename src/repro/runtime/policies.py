@@ -53,6 +53,8 @@ from typing import (
     Tuple,
 )
 
+from ..obs import NULL_RECORDER, Recorder
+
 if TYPE_CHECKING:
     from .serving import Job, JobClass
 
@@ -210,6 +212,10 @@ class PolicyContext:
     service_bound_s: Callable[["JobClass", int], float]
     best_case_s: Callable[["JobClass", int], float]
     reject: Callable[["Job"], None]
+    #: Observes policy decision points (skips, deferrals, forced
+    #: starts); disabled by default, and policies must gate every hook
+    #: on ``recorder.enabled`` so unobserved runs stay bit-identical.
+    recorder: Recorder = NULL_RECORDER
 
 
 @dataclass
@@ -281,6 +287,11 @@ class SchedulingPolicy:
     def deferral_events(self) -> int:
         """Decision points at which queued work was held back."""
         return 0
+
+    def queue_depths(self) -> Dict[Tuple[str, str], int]:
+        """Pending jobs per (class, tenant) queue — recorder food,
+        only called when a recorder is live."""
+        return {}
 
 
 # ----------------------------------------------------------------------
@@ -360,6 +371,11 @@ class _QueueSet:
         self.pending -= 1
         job.rejected = True
         reject(job)
+
+    def depths(self) -> Dict[Tuple[str, str], int]:
+        """Live queue lengths (empty queues omitted)."""
+        return {key: len(queue)
+                for key, queue in self._queues.items() if queue}
 
     def __bool__(self) -> bool:
         return self.pending > 0
@@ -441,6 +457,11 @@ def _edf_admit(
                         # Only this board (cold keys) misses: leave
                         # the job queued for a warmer/later dispatch.
                         skipped.append(key)
+                        if ctx.recorder.enabled:
+                            ctx.recorder.policy_event(
+                                t=view.now, name="skip cold board",
+                                job_class=key[0], tenant=key[1],
+                                job_id=head.job_id)
                     continue
             batch = qset.take(queue, size)
             qset.requeue_head(key)
@@ -487,6 +508,9 @@ class FifoPolicy(SchedulingPolicy):
         self._queues.requeue_head(key)
         return batch
 
+    def queue_depths(self) -> Dict[Tuple[str, str], int]:
+        return self._queues.depths()
+
 
 class EdfPolicy(SchedulingPolicy):
     """Earliest deadline first with conservative admission control.
@@ -511,6 +535,9 @@ class EdfPolicy(SchedulingPolicy):
 
     def next_batch(self, view: DispatchView) -> Optional[List["Job"]]:
         return _edf_admit(self._queues, self.ctx, view)
+
+    def queue_depths(self) -> Dict[Tuple[str, str], int]:
+        return self._queues.depths()
 
 
 class DeferrableWindowPolicy(SchedulingPolicy):
@@ -567,8 +594,13 @@ class DeferrableWindowPolicy(SchedulingPolicy):
     def deferral_events(self) -> int:
         return self._deferral_events
 
-    def _mark_deferred(self) -> None:
+    def _mark_deferred(self, now: float) -> None:
         self._deferral_events += 1
+        if self.ctx.recorder.enabled:
+            self.ctx.recorder.policy_event(
+                t=now, name="defer batch tier",
+                pending=self._deferrable.pending,
+                cheap=self.ctx.price.is_cheap(now))
 
     def _note_held_back(self, job: "Job") -> None:
         """Mark a batch job that waited through >= 1 deferral event.
@@ -610,11 +642,16 @@ class DeferrableWindowPolicy(SchedulingPolicy):
         if priority is not None and priority[0] <= view.now:
             batch = self._batch_admit(view, urgent_only=True)
             if batch is not None:
+                if self.ctx.recorder.enabled:
+                    self.ctx.recorder.policy_event(
+                        t=view.now, name="forced start",
+                        job_class=batch[0].job_class.name,
+                        tenant=batch[0].tenant, batch=len(batch))
                 return batch
         # 2. Interactive traffic owns the pool otherwise.
         if self._interactive.pending:
             if self._deferrable.pending:
-                self._mark_deferred()
+                self._mark_deferred(view.now)
             batch = _edf_admit(self._interactive, self.ctx, view)
             if batch is not None:
                 return batch
@@ -622,8 +659,14 @@ class DeferrableWindowPolicy(SchedulingPolicy):
         if self._deferrable.pending:
             if self.ctx.price.is_cheap(view.now):
                 return self._batch_admit(view)
-            self._mark_deferred()
+            self._mark_deferred(view.now)
         return None
+
+    def queue_depths(self) -> Dict[Tuple[str, str], int]:
+        depths = self._interactive.depths()
+        for key, depth in self._deferrable.depths().items():
+            depths[key] = depths.get(key, 0) + depth
+        return depths
 
     def next_event_s(self, now: float) -> float:
         wake = math.inf

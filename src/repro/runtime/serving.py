@@ -52,6 +52,7 @@ from ..core.host import HostConfig
 from ..core.params import FabConfig
 from ..core.trace import format_table
 from ..experiments.common import ExperimentResult, ExperimentRow
+from ..obs import NULL_RECORDER, Recorder
 from .lowering import cost_trace
 from .optrace import OpTrace
 from .policies import (DispatchView, PolicyContext, PriceSignal,
@@ -254,6 +255,8 @@ class KeyCache:
         self.hits = 0
         self.misses = 0
         self.bytes_loaded = 0
+        self.evictions = 0
+        self.bytes_evicted = 0
 
     @property
     def resident_bytes(self) -> int:
@@ -290,14 +293,33 @@ class KeyCache:
                 victim = next(iter(resident))
                 if victim in pinned:
                     break
-                self._resident_bytes -= resident.pop(victim)
+                victim_bytes = resident.pop(victim)
+                self._resident_bytes -= victim_bytes
+                self.evictions += 1
+                self.bytes_evicted += victim_bytes
         self.bytes_loaded += miss_bytes
         return miss_bytes
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        if total == 0:
+            # A never-used cache has no meaningful rate; report 0
+            # rather than raising (reports aggregate over idle boards).
+            return 0.0
+        return self.hits / total
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters plus current residency, as one dict
+        (what recorders snapshot per batch)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_loaded": self.bytes_loaded,
+            "evictions": self.evictions,
+            "bytes_evicted": self.bytes_evicted,
+            "resident_bytes": self._resident_bytes,
+        }
 
 
 @dataclass
@@ -529,7 +551,8 @@ class ServingSimulator:
 
     def run(self, scenario: Scenario, seed: int = 0,
             policy="fifo",
-            price: Optional[PriceSignal] = None) -> ServingReport:
+            price: Optional[PriceSignal] = None,
+            recorder: Optional[Recorder] = None) -> ServingReport:
         """Simulate one scenario; returns the aggregated report.
 
         The loop is driven by two event sources merged per dispatch: a
@@ -545,12 +568,22 @@ class ServingSimulator:
         report's ``cost_price_units`` integrates (default: flat 1.0,
         making cost equal busy device-seconds).
 
+        ``recorder`` (a :class:`repro.obs.Recorder`) observes the run:
+        arrivals, rejections, batch services, deferral windows, and
+        queue depths.  Observation never perturbs the simulation —
+        with no recorder (or a disabled one, e.g.
+        :class:`repro.obs.NullRecorder`) the guarded hooks are skipped
+        entirely and the report is bit-identical to an unrecorded
+        run, which the regression suite asserts.
+
         Under the default ``fifo`` policy the schedule produced is
         bit-identical to the original frontier-scanning loop
         preserved in
         :func:`repro.runtime.serving_baseline.baseline_run`, which
         the test suite asserts.
         """
+        rec = (recorder if recorder is not None and recorder.enabled
+               else None)
         jobs = scenario.generate(seed)
         for stream in scenario.streams:
             if stream.job_class.num_fpgas > self.num_devices:
@@ -573,18 +606,6 @@ class ServingSimulator:
         i = 0
         n = len(jobs)
         launch_overhead_s = self.host.kernel_launch_overhead_s
-        policy.begin(PolicyContext(
-            max_batch=self.max_batch, price=price,
-            service_bound_s=self.service_bound_s,
-            best_case_s=self.best_case_service_s,
-            reject=rejected.append))
-
-        def admit(now: float) -> None:
-            nonlocal i
-            while i < n and jobs[i].arrival_s <= now:
-                policy.enqueue(jobs[i])
-                i += 1
-
         # Dispatch-view helpers, hoisted out of the event loop: they
         # close over the loop's live ``now``/``device_index``, and the
         # single DispatchView is updated in place per dispatch (it is
@@ -593,6 +614,45 @@ class ServingSimulator:
         # allocation cost for machinery it never reads.
         now = 0.0
         device_index = 0
+
+        if rec is None:
+            reject_job = rejected.append
+        else:
+            rec.run_begin(scenario=scenario.name,
+                          num_devices=self.num_devices,
+                          policy=policy.name, price=price,
+                          max_batch=self.max_batch)
+
+            def reject_job(job: Job) -> None:
+                rejected.append(job)
+                deadline = job.effective_deadline_s
+                rec.job_rejected(
+                    t=now, job_id=job.job_id,
+                    job_class=job.job_class.name, tenant=job.tenant,
+                    deadline_s=(None if deadline == math.inf
+                                else deadline))
+
+        policy.begin(PolicyContext(
+            max_batch=self.max_batch, price=price,
+            service_bound_s=self.service_bound_s,
+            best_case_s=self.best_case_service_s,
+            reject=reject_job,
+            recorder=recorder if rec is not None else NULL_RECORDER))
+
+        def admit(now: float) -> None:
+            nonlocal i
+            while i < n and jobs[i].arrival_s <= now:
+                job = jobs[i]
+                policy.enqueue(job)
+                if rec is not None:
+                    deadline = job.effective_deadline_s
+                    rec.job_arrival(
+                        t=job.arrival_s, job_id=job.job_id,
+                        job_class=job.job_class.name, tenant=job.tenant,
+                        deadline_s=(None if deadline == math.inf
+                                    else deadline),
+                        deferrable=job.deferrable)
+                i += 1
 
         def gang_start(k: int) -> float:
             # Earliest time k boards (this one + the k-1 next free)
@@ -640,6 +700,9 @@ class ServingSimulator:
                 admit(now)
 
             view.now = now
+            if rec is not None:
+                rec.queue_sample(t=now, total=policy.pending,
+                                 depths=policy.queue_depths())
             batch = policy.next_batch(view)
             if not batch:
                 if policy.pending:
@@ -652,6 +715,8 @@ class ServingSimulator:
                         wake = min(wake, jobs[i].arrival_s)
                     if wake <= now:
                         wake = math.nextafter(now, math.inf)
+                    if rec is not None:
+                        rec.defer(board=device_index, t=now, wake=wake)
                     heapq.heappush(free_heap, (wake, device_index))
                 else:
                     # Everything queued was rejected; the board is
@@ -680,10 +745,15 @@ class ServingSimulator:
             # the per-board PCIe loads run in parallel, so the batch
             # waits for the slowest board's misses.
             load_s = 0.0
+            member_loads = [] if rec is not None else None
             for member in gang:
-                member_load_s = self._key_load_seconds(
-                    member.cache.request(batch[0].tenant, job_class))
+                miss_bytes = member.cache.request(batch[0].tenant,
+                                                  job_class)
+                member_load_s = self._key_load_seconds(miss_bytes)
                 member.key_load_s += member_load_s
+                if member_loads is not None:
+                    member_loads.append(
+                        (member.index, member_load_s, miss_bytes))
                 if member_load_s > load_s:
                     load_s = member_load_s
             compute_s = len(batch) * job_class.seconds(self.config)
@@ -701,8 +771,31 @@ class ServingSimulator:
             gang[0].jobs_done += len(batch)
             batches += 1
             batched_jobs += len(batch)
-            cost_price_units += len(gang) * price.integral(start, finish)
+            batch_cost = len(gang) * price.integral(start, finish)
+            cost_price_units += batch_cost
+            if rec is not None:
+                slo_met = slo_total = 0
+                for job in batch:
+                    deadline = job.effective_deadline_s
+                    if deadline != math.inf:
+                        slo_total += 1
+                        if finish <= deadline:
+                            slo_met += 1
+                rec.batch(
+                    start=start, finish=finish,
+                    job_class=job_class.name, tenant=batch[0].tenant,
+                    batch_size=len(batch), launch_s=launch_overhead_s,
+                    members=member_loads,
+                    cache_stats=tuple(m.cache.stats() for m in gang),
+                    slo_met=slo_met, slo_total=slo_total,
+                    cost=batch_cost)
 
+        if rec is not None:
+            rec.run_end(
+                makespan_s=max((j.finish_s or 0.0 for j in completed),
+                               default=0.0),
+                device_busy_s=tuple(d.busy_s for d in devices),
+                jobs_done=len(completed))
         return self._report(scenario, completed, devices, batches,
                             batched_jobs, policy=policy.name,
                             rejected=rejected,

@@ -34,8 +34,9 @@ from __future__ import annotations
 
 import heapq
 from collections import OrderedDict, deque
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from ..obs import Recorder
 from .policies import PriceSignal
 from .serving import (DeviceState, JobClass, Scenario, ServingReport,
                       ServingSimulator)
@@ -52,6 +53,8 @@ class BaselineKeyCache:
         self.hits = 0
         self.misses = 0
         self.bytes_loaded = 0
+        self.evictions = 0
+        self.bytes_evicted = 0
 
     @property
     def resident_bytes(self) -> int:
@@ -74,6 +77,8 @@ class BaselineKeyCache:
                and any(e not in pinned for e in self._resident)):
             for entry in self._resident:
                 if entry not in pinned:
+                    self.evictions += 1
+                    self.bytes_evicted += self._resident[entry]
                     del self._resident[entry]
                     break
         self.bytes_loaded += miss_bytes
@@ -82,17 +87,40 @@ class BaselineKeyCache:
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def stats(self) -> Dict[str, int]:
+        """Counter dict mirroring :meth:`repro.runtime.serving.
+        KeyCache.stats` (the parity test compares them)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_loaded": self.bytes_loaded,
+            "evictions": self.evictions,
+            "bytes_evicted": self.bytes_evicted,
+            "resident_bytes": self.resident_bytes,
+        }
 
 
 def baseline_run(simulator: ServingSimulator, scenario: Scenario,
-                 seed: int = 0) -> ServingReport:
+                 seed: int = 0,
+                 recorder: Optional[Recorder] = None) -> ServingReport:
     """Run ``scenario`` through the original (pre-heap) event loop.
 
     Single-board job classes only: the baseline predates multi-FPGA
     striping, and the equivalence suite uses it as the ground truth a
     zero-communication striped run must collapse to.
+
+    ``recorder`` hooks mirror the optimized loop's (guarded the same
+    way, so an unrecorded baseline run is bit-identical to before):
+    arrivals, per-batch service spans with key loads and cache
+    snapshots, and the run roll-up.  The fifo policy has no
+    rejections or deferrals, so those hooks never fire here.
     """
+    rec = (recorder if recorder is not None and recorder.enabled
+           else None)
     for stream in scenario.streams:
         if stream.job_class.num_fpgas > 1:
             raise ValueError(
@@ -112,12 +140,23 @@ def baseline_run(simulator: ServingSimulator, scenario: Scenario,
     price = PriceSignal.flat()
     i = 0
     n = len(jobs)
+    if rec is not None:
+        rec.run_begin(scenario=scenario.name,
+                      num_devices=simulator.num_devices,
+                      policy="fifo", price=price,
+                      max_batch=simulator.max_batch)
 
     def admit(now: float) -> None:
         nonlocal i
         while i < n and jobs[i].arrival_s <= now:
-            key = (jobs[i].job_class.name, jobs[i].tenant)
-            queues.setdefault(key, deque()).append(jobs[i])
+            job = jobs[i]
+            key = (job.job_class.name, job.tenant)
+            queues.setdefault(key, deque()).append(job)
+            if rec is not None:
+                rec.job_arrival(t=job.arrival_s, job_id=job.job_id,
+                                job_class=job.job_class.name,
+                                tenant=job.tenant,
+                                deferrable=job.deferrable)
             i += 1
 
     while i < n or any(queues.values()):
@@ -152,9 +191,28 @@ def baseline_run(simulator: ServingSimulator, scenario: Scenario,
         device.jobs_done += len(batch)
         batches += 1
         batched_jobs += len(batch)
-        cost_price_units += 1 * price.integral(now, finish)
+        batch_cost = 1 * price.integral(now, finish)
+        cost_price_units += batch_cost
         heapq.heappush(free_heap, (finish, device_index))
+        if rec is not None:
+            rec.queue_sample(
+                t=now, total=sum(len(q) for q in queues.values()),
+                depths={k: len(q) for k, q in queues.items() if q})
+            rec.batch(
+                start=now, finish=finish,
+                job_class=batch[0].job_class.name,
+                tenant=batch[0].tenant, batch_size=len(batch),
+                launch_s=simulator.host.kernel_launch_overhead_s,
+                members=((device_index, load_s, miss_bytes),),
+                cache_stats=(device.cache.stats(),),
+                cost=batch_cost)
 
+    if rec is not None:
+        rec.run_end(
+            makespan_s=max((j.finish_s or 0.0 for j in completed),
+                           default=0.0),
+            device_busy_s=tuple(d.busy_s for d in devices),
+            jobs_done=len(completed))
     return simulator._report(scenario, completed, devices, batches,
                              batched_jobs,
                              cost_price_units=cost_price_units)

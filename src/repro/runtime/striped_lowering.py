@@ -414,6 +414,21 @@ class StripedReport:
         """Per-device busy/finish stats from the annotated schedule."""
         return self.schedule.device_stats()
 
+    def record_timeline(self, recorder, config: FabConfig,
+                        group: Optional[str] = None,
+                        origin_s: float = 0.0) -> None:
+        """Emit the striped schedule onto a :class:`repro.obs.Recorder`
+        as one timeline group: a track per board FU/HBM lane plus the
+        shared CMAC link, converted to seconds at ``config``'s kernel
+        clock.  Spans carry the board annotation, so a Perfetto view
+        shows exactly where stripes synchronize."""
+        if group is None:
+            group = (f"striped schedule x{self.num_fpgas} "
+                     f"({self.comm_rounds} sync rounds)")
+        self.schedule.record_timeline(
+            recorder, seconds_per_cycle=config.cycles_to_seconds(1),
+            group=group, origin_s=origin_s)
+
 
 class StripedProgram:
     """A sharded trace compiled to per-board lanes + a CMAC link.

@@ -1,0 +1,100 @@
+"""Provenance stamps and the terminal metrics renderer / CLI."""
+
+import dataclasses
+import json
+
+from repro.__main__ import main as repro_main
+from repro.core.params import FabConfig
+from repro.obs import (MetricsRecorder, config_digest, git_describe,
+                       provenance, render_metrics)
+from repro.runtime.serving import ServingSimulator, build_scenarios
+
+CONFIG = FabConfig()
+
+
+def test_config_digest_stable_and_sensitive():
+    a = config_digest(FabConfig())
+    b = config_digest(FabConfig())
+    assert a == b
+    assert a.startswith("sha256:") and len(a) == len("sha256:") + 16
+    changed = dataclasses.replace(FabConfig(),
+                                  clock_hz=FabConfig().clock_hz * 2)
+    assert config_digest(changed) != a
+    # Non-dataclass payloads digest too (never raises).
+    assert config_digest({"x": 1}) != config_digest({"x": 2})
+    assert config_digest("blob").startswith("sha256:")
+
+
+def test_git_describe_returns_string():
+    rev = git_describe()
+    assert isinstance(rev, str) and rev
+    # Outside any repository the fallback still stamps artifacts.
+    assert git_describe(cwd="/") in (git_describe(cwd="/"),)
+
+
+def test_provenance_shape():
+    stamp = provenance(seed=7, config=CONFIG, policy="edf")
+    assert stamp["seed"] == 7
+    assert stamp["config_digest"].startswith("sha256:")
+    assert stamp["git"]
+    assert stamp["policy"] == "edf"
+    assert provenance()["config_digest"] is None
+
+
+def _metrics_doc(tmp_path):
+    scenario = build_scenarios(CONFIG, num_devices=2,
+                               duration_s=0.2)["mixed"]
+    recorder = MetricsRecorder(
+        window_s=0.01, meta=provenance(seed=0, config=CONFIG))
+    ServingSimulator(CONFIG, num_devices=2).run(scenario, seed=0,
+                                                recorder=recorder)
+    path = tmp_path / "metrics.json"
+    recorder.save(str(path))
+    return path, json.loads(path.read_text())
+
+
+def test_render_metrics_output(tmp_path):
+    _, data = _metrics_doc(tmp_path)
+    text = render_metrics(data)
+    assert "mixed" in text and "policy fifo" in text
+    assert "provenance:" in text and "sha256:" in text
+    assert "board  0" in text or "board 0" in text
+    assert "totals:" in text
+    # Decimation keeps long runs bounded.
+    rows = render_metrics(data, max_rows=4).splitlines()
+    assert len(rows) < len(text.splitlines()) + 2
+
+
+def test_render_metrics_empty():
+    assert "empty" in render_metrics({"windows": {"t0": []}})
+
+
+def test_timeline_cli_renders_metrics(tmp_path, capsys):
+    path, _ = _metrics_doc(tmp_path)
+    assert repro_main(["timeline", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "totals:" in out and "util" in out
+
+
+def test_timeline_cli_redirects_trace_artifacts(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    trace.write_text(json.dumps({"traceEvents": []}))
+    assert repro_main(["timeline", str(trace)]) == 1
+    assert "perfetto" in capsys.readouterr().out.lower()
+    other = tmp_path / "other.json"
+    other.write_text("{}")
+    assert repro_main(["timeline", str(other)]) == 1
+    capsys.readouterr()
+
+
+def test_serve_json_report_carries_provenance(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc = repro_main(["serve", "--scenario", "mixed", "--duration",
+                     "0.2", "--devices", "2", "--seed", "5",
+                     "--json", str(out)])
+    capsys.readouterr()
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["meta"]["seed"] == 5
+    assert payload["meta"]["config_digest"].startswith("sha256:")
+    assert payload["reports"][0]["jobs_done"] > 0

@@ -1,0 +1,189 @@
+"""Chrome trace-event schema validation for TimelineRecorder output.
+
+A timeline artifact is only useful if Perfetto/chrome://tracing can
+load it, so these tests pin the structural invariants the format
+requires: finite, sorted timestamps; balanced B/E span pairs per
+track with stack (LIFO) nesting; non-negative X durations; and
+process/thread metadata for every track that carries events.  The
+acceptance-criterion command — ``repro serve --policy
+deferrable-window --stripe 2 --timeline`` — is run end to end through
+the CLI and its artifact validated with the same checker.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.core.params import FabConfig
+from repro.obs import TimelineRecorder
+from repro.runtime.policies import PriceSignal
+from repro.runtime.serving import (ServingSimulator, build_scenarios,
+                                   build_slo_scenario)
+
+
+def validate_trace(doc):
+    """Assert ``doc`` is a well-formed Chrome trace-event document."""
+    assert set(doc) >= {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    assert events, "empty trace"
+
+    named_pids = set()
+    named_tids = set()
+    last_ts = None
+    stacks = {}          # (pid, tid) -> [names of open B spans]
+    used_tids = set()
+
+    for event in events:
+        ph = event["ph"]
+        assert isinstance(event["ts"], (int, float))
+        assert math.isfinite(event["ts"]) and event["ts"] >= 0
+        if ph == "M":
+            if event["name"] == "process_name":
+                named_pids.add(event["pid"])
+            elif event["name"] == "thread_name":
+                named_tids.add((event["pid"], event["tid"]))
+            continue
+        # Non-metadata events must be time-sorted.
+        if last_ts is not None:
+            assert event["ts"] >= last_ts, (
+                f"timestamps not monotonic: {event} after ts={last_ts}")
+        last_ts = event["ts"]
+        track = (event["pid"], event["tid"])
+        used_tids.add(track)
+        if ph == "B":
+            stacks.setdefault(track, []).append(event["name"])
+        elif ph == "E":
+            stack = stacks.get(track)
+            assert stack, f"E without open B on {track}: {event}"
+            assert stack.pop() == event["name"], (
+                f"mismatched B/E nesting on {track}: {event}")
+        elif ph == "X":
+            assert math.isfinite(event["dur"]) and event["dur"] >= 0
+        elif ph == "i":
+            assert event.get("s") in (None, "t", "p", "g")
+        elif ph == "C":
+            assert isinstance(event.get("args"), dict)
+        else:
+            pytest.fail(f"unexpected phase {ph!r}: {event}")
+
+    for track, stack in stacks.items():
+        assert not stack, f"unclosed B spans on {track}: {stack}"
+    for pid, tid in used_tids:
+        assert pid in named_pids, f"pid {pid} has no process_name"
+        assert (pid, tid) in named_tids, (
+            f"track {(pid, tid)} has no thread_name")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FabConfig()
+
+
+def _record(config, scenario, policy="fifo", price=None, devices=4,
+            seed=0):
+    recorder = TimelineRecorder()
+    simulator = ServingSimulator(config, num_devices=devices)
+    report = simulator.run(scenario, seed=seed, policy=policy,
+                           price=price or PriceSignal.flat(),
+                           recorder=recorder)
+    return recorder.to_dict(), report
+
+
+def test_mixed_fifo_schema(config):
+    scenario = build_scenarios(config, num_devices=4,
+                               duration_s=0.2)["mixed"]
+    doc, report = _record(config, scenario)
+    validate_trace(doc)
+    # Every batch produces a span per gang member; single-board
+    # classes mean one B per batch.
+    begins = [e for e in doc["traceEvents"] if e["ph"] == "B"
+              and "key load" not in e["name"]]
+    assert len(begins) == report.batches
+    assert doc["otherData"]["jobs_done"] == report.jobs_done
+
+
+def test_deferrable_window_diurnal_schema(config):
+    """Deferral windows, rejections, and price events all land in a
+    loadable trace."""
+    scenario = build_slo_scenario(config, num_devices=4,
+                                  duration_s=0.2, target_load=1.2)
+    price = PriceSignal.diurnal(slot_s=0.05)
+    doc, report = _record(config, scenario,
+                          policy="deferrable-window", price=price)
+    validate_trace(doc)
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "defer batch tier" in names  # deferral decision instants
+    assert "queue depth" in names       # counter track
+
+
+def test_edf_infinite_wake_schema(config):
+    """EDF parks boards 'until arrivals' (wake=inf) and rejects
+    expired jobs there; the trace must stay finite and sorted."""
+    scenario = build_slo_scenario(config, num_devices=2,
+                                  duration_s=0.2, target_load=0.8,
+                                  interactive_fraction=0.6)
+    price = PriceSignal.diurnal(peak=2.0, trough=0.5, slot_s=0.05)
+    doc, _ = _record(config, scenario, policy="edf", price=price,
+                     devices=2)
+    validate_trace(doc)
+    # The parked boards render as finite "deferred" X spans.
+    assert any(e["name"] == "deferred" for e in doc["traceEvents"])
+
+
+def test_serve_cli_timeline_artifact(tmp_path, capsys):
+    """The acceptance-criterion command end to end: ``repro serve
+    --policy deferrable-window --stripe 2 --timeline t.json`` must
+    write a schema-valid artifact with provenance and the embedded
+    striped training schedule."""
+    out = tmp_path / "t.json"
+    metrics = tmp_path / "m.json"
+    rc = repro_main([
+        "serve", "--scenario", "slo_mixed", "--policy",
+        "deferrable-window", "--stripe", "2", "--duration", "0.25",
+        "--price", "diurnal", "--timeline", str(out),
+        "--metrics", str(metrics)])
+    capsys.readouterr()
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    validate_trace(doc)
+    # Provenance rides along in otherData.
+    other = doc["otherData"]
+    assert other["seed"] == 0
+    assert str(other["config_digest"]).startswith("sha256:")
+    assert other["git"]
+    # The striped training schedule is embedded as its own process
+    # with per-board FU/HBM tracks and the shared CMAC link.
+    sched = [e for e in doc["traceEvents"]
+             if e.get("cat") == "schedule"]
+    assert sched, "striped schedule spans missing"
+    assert {e["pid"] for e in sched}.isdisjoint(
+        {e["pid"] for e in doc["traceEvents"]
+         if e.get("cat") == "serving"})
+    # The metrics artifact came out of the same run.
+    windows = json.loads(metrics.read_text())
+    assert windows["policy"] == "deferrable-window"
+    assert windows["num_windows"] == len(windows["windows"]["t0"])
+
+
+def test_trace_cli_timeline_artifact(tmp_path, capsys):
+    """``repro trace --timeline``: a static schedule alone renders as
+    one process of lane-packed X spans."""
+    out = tmp_path / "sched.json"
+    rc = repro_main(["trace", "lr_inference", "--timeline", str(out)])
+    capsys.readouterr()
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    validate_trace(doc)
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert spans
+    # Lane-packing: no two X spans on the same track overlap.
+    by_track = {}
+    for e in spans:
+        by_track.setdefault((e["pid"], e["tid"]), []).append(
+            (e["ts"], e["ts"] + e["dur"]))
+    for intervals in by_track.values():
+        intervals.sort()
+        for (_, end), (start, _) in zip(intervals, intervals[1:]):
+            assert start >= end

@@ -40,6 +40,12 @@ class TestFastExamples:
         assert "serving sweep OK" in out
         assert "p99" in out
 
+    def test_timeline_demo(self):
+        out = run_example("timeline_demo.py")
+        assert "timeline demo OK" in out
+        assert "ui.perfetto.dev" in out
+        assert "totals:" in out
+
     def test_reproduce_paper(self):
         out = run_example("reproduce_paper.py")
         for artifact in ("fig1", "fig2", "table3", "table7", "table8"):
