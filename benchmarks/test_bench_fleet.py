@@ -1,0 +1,128 @@
+"""Fleet-scale bench: exact DES vs the vectorized fast engine.
+
+Runs the SLO scenario at ~10k / ~100k (and, with ``PERF_SMOKE=1``,
+~1M) jobs through both engines of
+:meth:`repro.runtime.serving.ServingSimulator.run` and records
+simulated jobs per wall-second for each, plus a per-arrival-process
+breakdown (Poisson, diurnal, MMPP, flash crowd) of the fast engine at
+the 100k point.  Results land in ``BENCH_fleet.json`` at the repo
+root — the fleet-scale series of the tracked perf trajectory.
+
+Gates (CI perf-smoke, ``PERF_SMOKE=1``):
+
+* fast engine >= 5x DES at the 100k smoke point;
+* fast engine >= 10x DES at the 1M point — the headline acceptance
+  criterion for the two-engine refactor.
+
+Without ``PERF_SMOKE`` only a loose sanity floor applies (shared
+runners are noisy); the report-parity check on a shared exact arrival
+sequence always runs.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+from repro.core.params import FabConfig
+from repro.runtime.serving import ServingSimulator, build_slo_scenario
+
+BENCH_PATH = (pathlib.Path(__file__).resolve().parent.parent
+              / "BENCH_fleet.json")
+
+#: Arrival horizon (seconds) per scale label; the SLO scenario at
+#: ``target_load=1.5`` offers ~2.8k jobs per horizon second.
+SCALES = {"10k": 3.7, "100k": 37.0, "1M": 370.0}
+
+ARRIVAL_SPECS = ("poisson", "diurnal", "mmpp:burst=6,duty=0.2",
+                 "flash:factor=8")
+
+
+def _best_of(fn, repeats=3):
+    """Best-of-N wall time: robust against CI scheduling noise."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_bench_fleet():
+    config = FabConfig()
+    perf_smoke = bool(os.environ.get("PERF_SMOKE"))
+    labels = ["10k", "100k"] + (["1M"] if perf_smoke else [])
+    results = {"scales": {}, "arrival_processes": {}}
+
+    for label in labels:
+        repeats = 1 if label == "1M" else 2
+        scenario = build_slo_scenario(config, duration_s=SCALES[label],
+                                      target_load=1.5)
+        simulator = ServingSimulator(config, max_batch=32)
+        des_s, des_report = _best_of(
+            lambda: simulator.run(scenario, seed=0, policy="fifo"),
+            repeats=repeats)
+        fast_s, fast_report = _best_of(
+            lambda: simulator.run(scenario, seed=0, policy="fifo",
+                                  engine="fast",
+                                  arrival_mode="vectorized"),
+            repeats=repeats + 1)
+        jobs = fast_report.jobs_done + fast_report.rejected_jobs
+        results["scales"][label] = {
+            "jobs": jobs,
+            "des_s": des_s,
+            "fast_s": fast_s,
+            "speedup": des_s / fast_s,
+            "des_jobs_per_s": jobs / des_s,
+            "fast_jobs_per_s": jobs / fast_s,
+        }
+        assert des_report.jobs_done > 0
+        assert fast_report.jobs_done > 0
+
+    # Parity evidence on a *shared* exact arrival sequence: the fast
+    # engine's report must equal the DES oracle's, field for field.
+    scenario = build_slo_scenario(config, duration_s=SCALES["10k"],
+                                  target_load=1.5)
+    simulator = ServingSimulator(config, max_batch=32)
+    des_report = simulator.run(scenario, seed=0, policy="fifo")
+    fast_report = simulator.run(scenario, seed=0, policy="fifo",
+                                engine="fast")
+    assert fast_report == des_report
+    results["exact_arrival_parity"] = True
+
+    # Per-arrival-process breakdown: the fast engine sustains its
+    # event rate across traffic shapes, not just Poisson.
+    shape_scenario = build_slo_scenario(
+        config, duration_s=SCALES["100k"], target_load=1.5)
+    for spec in ARRIVAL_SPECS:
+        shaped = shape_scenario.with_arrivals(spec)
+        fast_s, report = _best_of(
+            lambda: simulator.run(shaped, seed=0, policy="fifo",
+                                  engine="fast",
+                                  arrival_mode="vectorized"),
+            repeats=2)
+        jobs = report.jobs_done + report.rejected_jobs
+        name = spec.split(":")[0]
+        results["arrival_processes"][name] = {
+            "spec": spec,
+            "jobs": jobs,
+            "fast_s": fast_s,
+            "fast_jobs_per_s": jobs / fast_s,
+        }
+        assert report.jobs_done > 0
+
+    BENCH_PATH.write_text(json.dumps(results, indent=1) + "\n")
+
+    smoke = results["scales"]["100k"]["speedup"]
+    # Loose floor always; the real gates run on CI's quiet runner.
+    assert smoke >= 1.5, (
+        f"fast engine only {smoke:.1f}x DES at the 100k point")
+    if perf_smoke:
+        assert smoke >= 5.0, (
+            f"fast engine {smoke:.1f}x DES at the 100k smoke point "
+            f"(gate: >= 5x)")
+        fleet = results["scales"]["1M"]["speedup"]
+        assert fleet >= 10.0, (
+            f"fast engine {fleet:.1f}x DES at the 1M point "
+            f"(gate: >= 10x)")

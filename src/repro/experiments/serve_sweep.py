@@ -153,7 +153,8 @@ class SweepReport:
 
 
 def _build_scenario(classes: Dict[str, JobClass], config: FabConfig,
-                    point: SweepPoint, duration_s: float) -> Scenario:
+                    point: SweepPoint, duration_s: float,
+                    arrivals: Optional[str] = None) -> Scenario:
     """The mixed workload scaled to one grid point's pool capacity."""
     share = point.load / len(classes)
     streams = [
@@ -163,7 +164,8 @@ def _build_scenario(classes: Dict[str, JobClass], config: FabConfig,
                tenant_prefix=f"{name}-t")
         for name, job_class in sorted(classes.items())
     ]
-    return Scenario(f"sweep[{point.label()}]", duration_s, streams)
+    scenario = Scenario(f"sweep[{point.label()}]", duration_s, streams)
+    return scenario.with_arrivals(arrivals) if arrivals else scenario
 
 
 def _simulate_point(args: Tuple) -> SweepOutcome:
@@ -173,17 +175,19 @@ def _simulate_point(args: Tuple) -> SweepOutcome:
     inputs travel by value, so fork and spawn give identical results.
     """
     (point, classes, config, duration_s, seed, max_batch,
-     slo_p99_ms, point_metrics) = args
+     slo_p99_ms, point_metrics, engine, arrivals) = args
     cache_bytes = max(
         int(HbmModel(config).capacity_bytes * point.cache_fraction), 1)
-    scenario = _build_scenario(classes, config, point, duration_s)
+    scenario = _build_scenario(classes, config, point, duration_s,
+                               arrivals)
     simulator = ServingSimulator(config, num_devices=point.devices,
                                  key_cache_bytes=cache_bytes,
                                  max_batch=max_batch)
     metrics = (MetricsRecorder(window_s=duration_s / 20,
                                meta={"point": point.label()})
                if point_metrics else None)
-    report = simulator.run(scenario, seed=seed, recorder=metrics)
+    report = simulator.run(scenario, seed=seed, recorder=metrics,
+                           engine=engine)
     worst_p99 = max((w.p99_ms for w in report.per_workload), default=0.0)
     cost = (point.devices * report.makespan_s * 1e3 / report.jobs_done
             if report.jobs_done else float("inf"))
@@ -228,7 +232,9 @@ def run_sweep(config: Optional[FabConfig] = None,
               max_batch: int = 8,
               slo_p99_ms: Optional[float] = None,
               workers: Optional[int] = None,
-              point_metrics: bool = False) -> SweepReport:
+              point_metrics: bool = False,
+              engine: str = "des",
+              arrivals: Optional[str] = None) -> SweepReport:
     """Simulate the full grid; returns the sweep report.
 
     ``workers=None`` sizes the pool to the machine (capped at the grid
@@ -237,7 +243,13 @@ def run_sweep(config: Optional[FabConfig] = None,
     ``point_metrics=True`` attaches a windowed-metrics summary
     (utilization, peak queue depth, SLO attainment, key traffic) to
     every outcome; the recorder hooks are exercised but the simulated
-    schedule is bit-identical either way.
+    schedule is bit-identical either way.  ``engine="fast"`` runs
+    every point through the vectorized engine (identical reports on
+    the same arrival sequences — the parity suite's guarantee — at a
+    fraction of the wall clock for long horizons); ``arrivals`` is an
+    optional process spec (see
+    :func:`repro.runtime.arrivals.make_process`) applied to every
+    stream, e.g. ``"diurnal"`` or ``"mmpp:burst=6"``.
     """
     config = config or FabConfig()
     classes = build_job_classes(config)
@@ -249,12 +261,14 @@ def run_sweep(config: Optional[FabConfig] = None,
     if not grid:
         raise ValueError("empty sweep grid")
     tasks = [(point, classes, config, duration_s, seed, max_batch,
-              slo_p99_ms, point_metrics) for point in grid]
+              slo_p99_ms, point_metrics, engine, arrivals)
+             for point in grid]
     outcomes = fan_out(_simulate_point, tasks, workers=workers)
     return SweepReport(outcomes=outcomes, slo_p99_ms=slo_p99_ms,
                        duration_s=duration_s, seed=seed,
                        provenance=dict(provenance(seed=seed,
-                                                  config=config)))
+                                                  config=config,
+                                                  engine=engine)))
 
 
 def run() -> ExperimentResult:

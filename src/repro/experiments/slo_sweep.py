@@ -253,7 +253,9 @@ def _simulate_point(args: Tuple) -> PolicyOutcome:
     Top-level (picklable) so a multiprocessing pool can run it; all
     inputs travel by value, so fork and spawn give identical results.
     """
-    (point, policy, scenario, config, price, seed, max_batch, point_metrics) = args
+    (point, policy, scenario, config, price, seed, max_batch, point_metrics, engine) = (
+        args
+    )
     simulator = ServingSimulator(
         config,
         num_devices=point.devices,
@@ -268,7 +270,8 @@ def _simulate_point(args: Tuple) -> PolicyOutcome:
         else None
     )
     report = simulator.run(
-        scenario, seed=seed, policy=policy, price=price, recorder=metrics
+        scenario, seed=seed, policy=policy, price=price, recorder=metrics,
+        engine=engine
     )
     interactive = None
     batch_slo = None
@@ -320,6 +323,8 @@ def run_sweep(
     trough: float = DEFAULT_TROUGH,
     workers: Optional[int] = None,
     point_metrics: bool = False,
+    engine: str = "des",
+    arrivals: Optional[str] = None,
 ) -> SloSweepReport:
     """Simulate the full policy grid; returns the sweep report.
 
@@ -329,6 +334,10 @@ def run_sweep(
     the horizon always contains a cheap slot.  ``workers=None`` sizes
     the pool to the machine; ``workers=1`` runs inline.  Either way
     the grid is deterministic, so the report is identical.
+    ``engine="fast"`` runs every point through the vectorized engine
+    (identical reports on shared arrival sequences); ``arrivals`` is
+    an optional process spec applied to every stream (see
+    :func:`repro.runtime.arrivals.make_process`).
     """
     config = config or FabConfig()
     unknown = [p for p in policies if p not in POLICIES]
@@ -354,6 +363,8 @@ def run_sweep(
             interactive_fraction=point.mix,
             training_stripe=training_stripe,
         )
+        if arrivals:
+            scenario = scenario.with_arrivals(arrivals)
         for policy in policies:
             tasks.append(
                 (
@@ -365,6 +376,7 @@ def run_sweep(
                     seed,
                     max_batch,
                     point_metrics,
+                    engine,
                 )
             )
     outcomes = fan_out(_simulate_point, tasks, workers=workers)
@@ -375,7 +387,7 @@ def run_sweep(
         seed=seed,
         peak=peak,
         trough=trough,
-        provenance=dict(provenance(seed=seed, config=config)),
+        provenance=dict(provenance(seed=seed, config=config, engine=engine)),
     )
 
 

@@ -18,13 +18,26 @@ the FAB performance model (:mod:`repro.core`):
   policies for the simulator: ``fifo``, ``edf`` (deadline-ordered
   with admission control), and ``deferrable-window`` (price-aware
   batch windows), plus the :class:`PriceSignal` they schedule around.
+* :mod:`~repro.runtime.fast_engine` — the vectorized second engine
+  behind ``ServingSimulator.run(engine="fast")``: numpy-batched
+  arrivals and bookkeeping at ~10x the DES event rate, held to the
+  exact engine by a parity suite.
+* :mod:`~repro.runtime.arrivals` — the arrival-process library both
+  engines draw from: Poisson (seed-for-seed the historical default),
+  diurnal curves, MMPP bursts, flash crowds, JSONL trace replay.
+* :mod:`~repro.runtime.stats` — streaming percentile estimators
+  (P-squared, bottom-k reservoir) for fleet-scale reports.
 * :mod:`~repro.runtime.striped_lowering` — FAB-2 trace striping: shard
   one trace's batch dimension across the pool, schedule per-board
   lanes with CMAC gather/broadcast traffic.
 """
 
+from .arrivals import (ARRIVAL_PROCESSES, ArrivalProcess, DiurnalProcess,
+                       FlashCrowdProcess, MMPPProcess, PoissonProcess,
+                       RateCurveProcess, TraceReplayProcess, make_process)
 from .capture import (CountingKeySwitcher, TracingEncoder,
                       TracingEvaluator, capture)
+from .fast_engine import (STREAMING_AUTO_THRESHOLD, SetKeyCache, run_fast)
 from .lowering import (KeyWorkingSet, LoweredCost, LOWERING_MAP,
                        cost_trace, key_working_set, lower_trace,
                        lowered_op, switching_key_bytes)
@@ -35,12 +48,13 @@ from .policies import (POLICIES, DeferrableWindowPolicy, EdfPolicy,
 from .reference import (REFERENCE_TRACES, analytics_trace,
                         bootstrap_trace, build_reference_trace,
                         lr_inference_trace, lr_iteration_trace)
-from .serving import (Job, JobClass, KeyCache, Scenario, ServingReport,
-                      ServingSimulator, Stream, WorkloadStats,
-                      build_job_classes, build_scenarios,
+from .serving import (ENGINES, ArrivalChunk, Job, JobClass, KeyCache,
+                      Scenario, ServingReport, ServingSimulator, Stream,
+                      WorkloadStats, build_job_classes, build_scenarios,
                       build_slo_scenario, default_interactive_slo_ms,
                       percentile)
 from .serving_baseline import BaselineKeyCache, baseline_run
+from .stats import LatencyAccumulator, P2Quantile, ReservoirQuantiles
 from .striped_lowering import (BOARD_POLICIES, BoardStriper, StripePlan,
                                StripedCost, StripedProgram,
                                StripedReport, StripedTrace,
@@ -49,16 +63,22 @@ from .striped_lowering import (BOARD_POLICIES, BoardStriper, StripePlan,
                                stripe_trace)
 
 __all__ = [
+    "ARRIVAL_PROCESSES", "ArrivalChunk", "ArrivalProcess",
     "BOARD_POLICIES", "BaselineKeyCache", "BoardStriper",
     "baseline_run",
-    "CountingKeySwitcher", "DeferrableWindowPolicy", "EdfPolicy",
-    "FifoPolicy", "Job", "JobClass", "KeyCache",
-    "KeyWorkingSet", "LOWERING_MAP", "LoweredCost", "OpTrace",
-    "POLICIES", "PolicyContext", "PriceSignal",
-    "REFERENCE_TRACES", "Scenario", "SchedulingPolicy",
-    "ServingReport", "ServingSimulator",
+    "CountingKeySwitcher", "DeferrableWindowPolicy", "DiurnalProcess",
+    "EdfPolicy", "ENGINES",
+    "FifoPolicy", "FlashCrowdProcess", "Job", "JobClass", "KeyCache",
+    "KeyWorkingSet", "LOWERING_MAP", "LatencyAccumulator",
+    "LoweredCost", "MMPPProcess", "OpTrace",
+    "P2Quantile", "POLICIES", "PoissonProcess", "PolicyContext",
+    "PriceSignal",
+    "REFERENCE_TRACES", "RateCurveProcess", "ReservoirQuantiles",
+    "STREAMING_AUTO_THRESHOLD", "Scenario", "SchedulingPolicy",
+    "ServingReport", "ServingSimulator", "SetKeyCache",
     "Stream", "StripePlan", "StripedCost", "StripedProgram",
-    "StripedReport", "StripedTrace", "TRACE_KINDS", "TraceOp",
+    "StripedReport", "StripedTrace", "TRACE_KINDS",
+    "TraceOp", "TraceReplayProcess",
     "TraceSection", "TracingEncoder",
     "TracingEvaluator", "WorkloadStats", "analytics_trace",
     "bootstrap_trace", "build_job_classes", "build_reference_trace",
@@ -67,5 +87,6 @@ __all__ = [
     "default_interactive_slo_ms", "infer_plan", "key_working_set",
     "lower_striped_trace", "lower_trace", "lowered_op",
     "lr_inference_trace", "lr_iteration_trace", "make_policy",
-    "percentile", "stripe_trace", "switching_key_bytes",
+    "make_process",
+    "percentile", "run_fast", "stripe_trace", "switching_key_bytes",
 ]

@@ -14,7 +14,11 @@ K`` additionally stripes the training workload across K boards per job
 admission/scheduling policy (``fifo``, ``edf``,
 ``deferrable-window``), and ``--price diurnal`` turns on the square-
 wave price/carbon signal the ``slo_mixed`` scenario's deferrable tier
-schedules around.
+schedules around.  ``--engine fast`` swaps in the vectorized event
+core (~10x the DES event rate at fleet scale, parity-tested) and
+``--arrivals SPEC`` reshapes every stream's arrival process (diurnal,
+MMPP bursts, flash crowds, JSONL trace replay); both flags also apply
+per grid point in the sweep drivers below.
 
 ``serve-sweep`` fans the simulator out over the pool-size x cache-size
 x tenant-count x load grid (multiprocessing), prints the full grid
@@ -41,12 +45,13 @@ from ..core.params import FabConfig
 from ..experiments.common import print_result
 from ..obs import (MetricsRecorder, TimelineRecorder, compose,
                    provenance, render_metrics)
+from .arrivals import ARRIVAL_PROCESSES
 from .capture import capture
 from .lowering import cost_trace
 from .optrace import OpTrace
 from .policies import POLICIES, PriceSignal
 from .reference import REFERENCE_TRACES, build_reference_trace
-from .serving import (ServingSimulator, build_scenarios,
+from .serving import (ENGINES, ServingSimulator, build_scenarios,
                       build_slo_scenario)
 
 
@@ -142,6 +147,16 @@ def run_serve(argv: List[str]) -> int:
                         choices=sorted(POLICIES),
                         help="admission/scheduling policy (default: "
                              "fifo, the historical order)")
+    parser.add_argument("--engine", default="des", choices=list(ENGINES),
+                        help="event core: the exact DES or the "
+                             "vectorized fast engine (~10x at fleet "
+                             "scale, parity-tested; default: des)")
+    parser.add_argument("--arrivals", default=None, metavar="SPEC",
+                        help="arrival process for every stream: "
+                             f"{', '.join(ARRIVAL_PROCESSES)} as "
+                             "NAME[:key=value,...] or replay:PATH "
+                             "(default: the scenario's own processes "
+                             "- Poisson)")
     parser.add_argument("--price", default="flat",
                         choices=["flat", "diurnal"],
                         help="price/carbon signal: flat unit price or "
@@ -196,12 +211,20 @@ def run_serve(argv: List[str]) -> int:
     if (args.timeline or args.metrics) and len(selected) != 1:
         parser.error("--timeline/--metrics record one run: pick a "
                      "single --scenario, not 'all'")
+    if args.arrivals:
+        try:
+            scenarios = {name: scenarios[name].with_arrivals(args.arrivals)
+                         for name in selected}
+        except (ValueError, OSError) as exc:
+            parser.error(f"--arrivals: {exc}")
     price = (PriceSignal.diurnal(slot_s=args.duration / 4.0)
              if args.price == "diurnal" else PriceSignal.flat())
     simulator = ServingSimulator(config, num_devices=args.devices,
                                  max_batch=args.max_batch)
     stamp = provenance(seed=args.seed, config=config,
-                       policy=args.policy, price=args.price)
+                       policy=args.policy, price=args.price,
+                       engine=args.engine,
+                       arrivals=args.arrivals or "default")
     timeline: Optional[TimelineRecorder] = None
     metrics: Optional[MetricsRecorder] = None
     if args.timeline:
@@ -217,7 +240,7 @@ def run_serve(argv: List[str]) -> int:
     for name in selected:
         report = simulator.run(scenarios[name], seed=args.seed,
                                policy=args.policy, price=price,
-                               recorder=recorder)
+                               recorder=recorder, engine=args.engine)
         reports.append(report)
         print_result(report.to_experiment_result())
         print(report.format())
@@ -314,6 +337,12 @@ def run_serve_sweep(argv: List[str]) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="simulation processes (default: one per "
                              "core, capped at the grid; 1 = inline)")
+    parser.add_argument("--engine", default="des", choices=list(ENGINES),
+                        help="event core per grid point (default: des)")
+    parser.add_argument("--arrivals", default=None, metavar="SPEC",
+                        help="arrival process for every stream "
+                             "(NAME[:key=value,...] or replay:PATH; "
+                             "default: Poisson)")
     parser.add_argument("--json", metavar="PATH",
                         default="serve_sweep.json",
                         help="JSON artifact path ('' to skip)")
@@ -338,7 +367,8 @@ def run_serve_sweep(argv: List[str]) -> int:
                        duration_s=args.duration, seed=args.seed,
                        max_batch=args.max_batch, slo_p99_ms=args.slo_ms,
                        workers=args.workers,
-                       point_metrics=args.point_metrics)
+                       point_metrics=args.point_metrics,
+                       engine=args.engine, arrivals=args.arrivals)
     print_result(report.to_experiment_result())
     best = report.best
     if best is None:
@@ -394,6 +424,12 @@ def run_slo_sweep(argv: List[str]) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="simulation processes (default: one per "
                              "core, capped at the grid; 1 = inline)")
+    parser.add_argument("--engine", default="des", choices=list(ENGINES),
+                        help="event core per grid point (default: des)")
+    parser.add_argument("--arrivals", default=None, metavar="SPEC",
+                        help="arrival process for every stream "
+                             "(NAME[:key=value,...] or replay:PATH; "
+                             "default: Poisson)")
     parser.add_argument("--json", metavar="PATH",
                         default="slo_sweep.json",
                         help="JSON artifact path ('' to skip)")
@@ -422,7 +458,8 @@ def run_slo_sweep(argv: List[str]) -> int:
                        seed=args.seed, max_batch=args.max_batch,
                        training_stripe=args.stripe, peak=args.peak,
                        trough=args.trough, workers=args.workers,
-                       point_metrics=args.point_metrics)
+                       point_metrics=args.point_metrics,
+                       engine=args.engine, arrivals=args.arrivals)
     print_result(report.to_experiment_result())
     frontier = report.pareto_frontier()
     print("cost/SLO Pareto frontier (price-units/job, attainment):")

@@ -1,0 +1,1096 @@
+"""Vectorized fast engine for the serving simulator.
+
+Drop-in second engine behind
+:meth:`repro.runtime.serving.ServingSimulator.run` (``engine="fast"``):
+same :class:`Stream`/:class:`Scenario`/policy API, same
+:class:`ServingReport`, ~10x the DES event rate at million-job scale.
+
+Where the speed comes from — and why the results still match the DES
+oracle job for job:
+
+* **Static queue membership.**  Which per-(class, tenant) queue a job
+  joins is fully determined at generation time, so arrivals are
+  pre-grouped once into per-queue contiguous index arrays (numpy
+  argsort) and the event loop never does per-job admission work: a
+  dispatch takes a whole batch as an array slice, and "how many jobs
+  of this queue have arrived by now" is one bisect on the queue's
+  time array instead of a per-job cursor walk.
+* **Two-heap queue activation.**  Queue heads that have not arrived
+  yet sit in an *activation* heap keyed by arrival time; arrived
+  heads sit in the policy's *ready* heap keyed by its priority
+  (arrival for fifo, effective deadline for edf, forced start for
+  the deferrable tier) with the same lazy invalidation the DES
+  head-heap uses — so the engine sees exactly the queue fronts the
+  DES policy would see, at O(log queues) per dispatch.
+* **Working-set key cache.**  A job class's switching keys are always
+  requested together, so per-key LRU state collapses to one
+  ``(tenant, key-set) -> resident-key-count`` entry with partial-
+  count evictions — bit-exact to :class:`KeyCache` whenever no two
+  overlapping key sets share a tenant namespace (checked at setup;
+  the engine falls back to the real per-key cache otherwise).
+* **Vectorized bookkeeping.**  Completion times are recorded as
+  (batch size, finish) run-lengths per queue and expanded with
+  ``np.repeat`` at the end; latency percentiles, SLO attainment, and
+  per-tenant accounting are ``np.sort``/``np.bincount`` passes over
+  the full arrays (or reservoir estimators past 100k jobs per class,
+  see :mod:`repro.runtime.stats`) instead of per-job Python loops.
+
+Service times, starts, finishes, busy time, and price-integrated cost
+are computed with the same floating-point expressions in the same
+order as the DES, so throughput, utilization, percentiles, SLO
+attainment, and cost are *equal* (not merely statistically close) on
+a shared exact arrival sequence (streaming quantiles, when opted in,
+are the one estimator in the report).  The hypothesis parity suite
+in ``tests/runtime/test_fast_engine.py`` pins this across policy x
+stripe x tenant grids.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from bisect import bisect_right
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..obs import Recorder
+from .policies import POLICIES, PriceSignal
+from .serving import (KeyCache, Scenario, ServingReport,
+                      WorkloadStats, percentile)
+from .stats import ReservoirQuantiles
+
+#: Per-class job count above which the fast engine switches from exact
+#: latency percentiles to a reservoir estimator (when
+#: ``streaming_quantiles`` is left at ``None``).
+STREAMING_AUTO_THRESHOLD = 100_000
+
+#: Reservoir capacity for streaming percentile estimation.
+STREAMING_RESERVOIR = 8192
+
+
+class SetKeyCache:
+    """Working-set-granularity LRU over one device's HBM.
+
+    Equivalent to :class:`repro.runtime.serving.KeyCache` when every
+    request touches a full key set and no two *different* sets that
+    can share a tenant overlap: residency then collapses to a
+    resident-key *count* per (tenant, set) entry, evicted oldest-first
+    (partially when a set is only partly displaced), with identical
+    hit/miss/byte accounting.  ``sets[set_id]`` is
+    ``(n_keys, bytes_per_key, set_bytes)``.
+    """
+
+    __slots__ = ("capacity_bytes", "_sets", "_resident", "_bytes",
+                 "hits", "misses", "bytes_loaded", "evictions",
+                 "bytes_evicted")
+
+    def __init__(self, capacity_bytes: int,
+                 sets: List[Tuple[int, int, int]]):
+        self.capacity_bytes = capacity_bytes
+        self._sets = sets
+        self._resident: "OrderedDict[Tuple[int, int], int]" = \
+            OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.bytes_loaded = 0
+        self.evictions = 0
+        self.bytes_evicted = 0
+
+    def peek_miss_bytes(self, tid: int, set_id: int) -> int:
+        n_keys, bytes_per_key, _ = self._sets[set_id]
+        count = self._resident.get((tid, set_id), 0)
+        return (n_keys - count) * bytes_per_key
+
+    def request(self, tid: int, set_id: int) -> int:
+        n_keys, bytes_per_key, set_bytes = self._sets[set_id]
+        if n_keys == 0:
+            return 0
+        entry = (tid, set_id)
+        resident = self._resident
+        count = resident.get(entry)
+        if count is None:
+            missed = n_keys
+            resident[entry] = n_keys
+            self._bytes += set_bytes
+        elif count == n_keys and self._bytes <= self.capacity_bytes:
+            # Full hit under capacity: refresh recency, nothing else
+            # moves.  (Over capacity — an oversized pinned set — the
+            # general path below still runs its eviction sweep, as
+            # the per-key cache would on any request.)
+            self.hits += n_keys
+            resident.move_to_end(entry)
+            return 0
+        else:
+            self.hits += count
+            missed = n_keys - count
+            resident.move_to_end(entry)
+            resident[entry] = n_keys
+            self._bytes += missed * bytes_per_key
+        self.misses += missed
+        miss_bytes = missed * bytes_per_key
+        self.bytes_loaded += miss_bytes
+        capacity = self.capacity_bytes
+        if self._bytes > capacity:
+            # The requesting set is pinned at the MRU end; evict from
+            # the LRU front, a set (or the oldest part of one) at a
+            # time, exactly as the per-key loop would.
+            while self._bytes > capacity:
+                victim = next(iter(resident))
+                if victim == entry:
+                    break
+                v_count = resident[victim]
+                v_bpk = self._sets[victim[1]][1]
+                if v_bpk == 0:
+                    # Zero-byte keys free no space; the per-key loop
+                    # pops them one by one and moves on.
+                    del resident[victim]
+                    self.evictions += v_count
+                    continue
+                need_keys = -((capacity - self._bytes) // v_bpk)
+                evict = min(v_count, need_keys)
+                if evict == v_count:
+                    del resident[victim]
+                else:
+                    # Partial: the set's oldest keys go; the entry
+                    # keeps its LRU-front position.
+                    resident[victim] = v_count - evict
+                self._bytes -= evict * v_bpk
+                self.evictions += evict
+                self.bytes_evicted += evict * v_bpk
+        return miss_bytes
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_loaded": self.bytes_loaded,
+            "evictions": self.evictions,
+            "bytes_evicted": self.bytes_evicted,
+            "resident_bytes": self._bytes,
+        }
+
+
+class _QueueDomain:
+    """One priority domain of queues (a DES ``_QueueSet`` mirror).
+
+    ``ready`` holds heads that have arrived, keyed by the policy
+    priority plus the DES tie-breakers ``(seq, qid, pos)``; ``act``
+    holds not-yet-arrived heads keyed by arrival.  Both are lazily
+    invalidated against the shared per-queue head cursor.
+    """
+
+    __slots__ = ("ready", "act", "times", "consumed", "arrived",
+                 "qids", "code")
+
+    def __init__(self):
+        #: Priority code: 0 arrival (fifo), 1 (deadline, arrival)
+        #: (edf / interactive tier), 2 (forced start, arrival)
+        #: (deferrable tier).
+        self.code = 0
+        self.ready: List[Tuple] = []
+        self.act: List[Tuple[float, int, int]] = []
+        #: All of this domain's arrivals, ascending (for ``pending``).
+        self.times: List[float] = []
+        self.consumed = 0
+        self.arrived = 0
+        self.qids: List[int] = []
+
+    def pending(self) -> int:
+        return self.arrived - self.consumed
+
+
+class _FastEngine:
+    """One fast-engine run: setup, event loop, report assembly."""
+
+    def __init__(self, sim, scenario: Scenario, seed: int,
+                 policy: str, price: PriceSignal,
+                 recorder: Optional[Recorder],
+                 arrival_mode: str,
+                 streaming_quantiles: Optional[bool]):
+        if not isinstance(policy, str):
+            raise ValueError(
+                "the fast engine replicates the built-in policies "
+                "only; pass a policy name or use engine='des' for "
+                "custom policy instances")
+        if policy not in POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; "
+                             f"try: {', '.join(sorted(POLICIES))}")
+        if streaming_quantiles not in (None, False, True, "auto"):
+            raise ValueError(
+                "streaming_quantiles must be None/False (exact), "
+                "True (always stream), or 'auto' (stream past "
+                f"{STREAMING_AUTO_THRESHOLD} jobs per class)")
+        self.sim = sim
+        self.scenario = scenario
+        self.policy_name = policy
+        self.policy_code = {"fifo": 0, "edf": 1,
+                            "deferrable-window": 2}[policy]
+        self.price = price
+        self.rec = (recorder if recorder is not None
+                    and recorder.enabled else None)
+        self.streaming = streaming_quantiles
+
+        # ---- arrivals: SoA in global arrival order -------------------
+        chunks = list(scenario.arrivals(seed, mode=arrival_mode))
+        if chunks:
+            arr_np = np.concatenate([c.arrival_s for c in chunks])
+            stream_np = np.concatenate([c.stream_index for c in chunks])
+            tenant_np = np.concatenate([c.tenant_index for c in chunks])
+        else:
+            arr_np = np.empty(0, dtype=np.float64)
+            stream_np = np.empty(0, dtype=np.int32)
+            tenant_np = np.empty(0, dtype=np.int32)
+        self.n = n = int(arr_np.size)
+        self.arr_np = arr_np
+        self.stream_np = stream_np
+        self.arr_list = arr_np.tolist()
+
+        # ---- per-stream attributes ----------------------------------
+        streams = scenario.streams
+        config, host = sim.config, sim.host
+        self.s_class = [st.job_class for st in streams]
+        self.s_name = [st.job_class.name for st in streams]
+        self.s_secs = [st.job_class.seconds(config) for st in streams]
+        self.s_nf = [st.job_class.num_fpgas for st in streams]
+        self.launch_s = host.kernel_launch_overhead_s
+        self.pcie_denom = host.pcie_gbytes_per_sec * 1e9
+        self.pcie_lat = host.pcie_latency_s
+
+        # ---- tenants ------------------------------------------------
+        tenant_ids: Dict[str, int] = {}
+        self.s_tenants: List[List[str]] = []
+        s_tid: List[np.ndarray] = []
+        for st in streams:
+            names = [f"{st.tenant_prefix}{t}"
+                     for t in range(st.num_tenants)]
+            self.s_tenants.append(names)
+            s_tid.append(np.asarray(
+                [tenant_ids.setdefault(name, len(tenant_ids))
+                 for name in names], dtype=np.int64))
+        self.tenant_names = [name for name, _ in sorted(
+            tenant_ids.items(), key=lambda kv: kv[1])]
+        tid_np = np.zeros(n, dtype=np.int64)
+        for s in range(len(streams)):
+            mask = stream_np == s
+            tid_np[mask] = s_tid[s][tenant_np[mask]]
+        self.tid_np = tid_np
+
+        # ---- key-set interning + cache-mode check -------------------
+        set_ids: Dict[Tuple, int] = {}
+        self.key_sets: List[Tuple[int, int, int]] = []
+        self.s_setid: List[int] = []
+        for jc in self.s_class:
+            sig = (jc.key_ids, jc.bytes_per_key)
+            sid = set_ids.get(sig)
+            if sid is None:
+                sid = set_ids[sig] = len(self.key_sets)
+                self.key_sets.append((len(jc.key_ids),
+                                      jc.bytes_per_key, jc.key_bytes))
+            self.s_setid.append(sid)
+        # Set-granularity caching is exact only when no two *distinct*
+        # key sets that can share a tenant namespace overlap: group
+        # streams by tenant prefix and compare their key sets.
+        self.set_cache_ok = True
+        by_prefix: Dict[str, List[int]] = {}
+        for s, st in enumerate(streams):
+            by_prefix.setdefault(st.tenant_prefix, []).append(s)
+        for members in by_prefix.values():
+            sigs = {}
+            for s in members:
+                sigs[self.s_setid[s]] = set(self.s_class[s].key_ids)
+            sids = list(sigs)
+            for i in range(len(sids)):
+                for j in range(i + 1, len(sids)):
+                    if sigs[sids[i]] & sigs[sids[j]]:
+                        self.set_cache_ok = False
+
+        # ---- per-job deadlines / windows ----------------------------
+        dead_np = np.full(n, math.inf)
+        forced_np = np.full(n, math.inf)
+        self.def_mask = np.zeros(n, dtype=bool)
+        for s, st in enumerate(streams):
+            mask = stream_np == s
+            if st.slo_ms is not None:
+                dead_np[mask] = arr_np[mask] + st.slo_ms / 1e3
+            elif st.window_s is not None:
+                dead_np[mask] = arr_np[mask] + st.window_s
+            if st.deferrable:
+                self.def_mask |= mask
+        if self.policy_code == 2:
+            for s, st in enumerate(streams):
+                if st.deferrable:
+                    mask = stream_np == s
+                    forced_np[mask] = dead_np[mask] - \
+                        sim.service_bound_s(st.job_class, 1)
+        self.dead_np = dead_np
+        # Python-list copies only where the event loop indexes
+        # per job; fifo without a recorder touches neither.
+        self.dead_list = (dead_np.tolist()
+                          if self.policy_code != 0
+                          or self.rec is not None else None)
+        self.forced_list = (forced_np.tolist()
+                            if self.policy_code == 2 else None)
+
+        # ---- queues -------------------------------------------------
+        # A queue key is (tier,) class-name, tenant — the DES
+        # _QueueSet key, split per tier under deferrable-window.
+        two_tier = self.policy_code == 2
+        qid_of: Dict[Tuple, int] = {}
+        s_qid: List[np.ndarray] = []
+        q_meta: List[Tuple[int, str, str, bool]] = []
+        for s, st in enumerate(streams):
+            lookup = np.empty(st.num_tenants, dtype=np.int64)
+            tier = st.deferrable if two_tier else False
+            for t, tenant in enumerate(self.s_tenants[s]):
+                key = (tier, st.job_class.name, tenant)
+                qid = qid_of.get(key)
+                if qid is None:
+                    qid = qid_of[key] = len(q_meta)
+                    q_meta.append((int(s_tid[s][t]),
+                                   st.job_class.name, tenant, tier))
+                lookup[t] = qid
+            s_qid.append(lookup)
+        nq = len(q_meta)
+        qid_np = np.zeros(n, dtype=np.int64)
+        for s in range(len(streams)):
+            mask = stream_np == s
+            qid_np[mask] = s_qid[s][tenant_np[mask]]
+        self.q_tid = [m[0] for m in q_meta]
+        self.q_name = [m[1] for m in q_meta]
+        self.q_tenant = [m[2] for m in q_meta]
+        q_tier = [m[3] for m in q_meta]
+        order = np.argsort(qid_np, kind="stable")
+        counts = np.bincount(qid_np, minlength=nq).astype(np.int64)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        self.q_jobs_np = [order[bounds[q]:bounds[q + 1]]
+                          for q in range(nq)]
+        # edf/dw walk queue members per job (prefix minima, held-back
+        # notes): python lists index ~3x faster there.  fifo touches
+        # one member per batch: the numpy views are fine as-is.
+        self.q_jobs = (self.q_jobs_np if self.policy_code == 0
+                       else [ids.tolist() for ids in self.q_jobs_np])
+        self.q_times = [arr_np[ids].tolist() for ids in self.q_jobs_np]
+        self.q_head = [0] * nq
+        self.q_total = [int(c) for c in counts]
+        # Queues whose jobs all carry infinite deadlines skip the
+        # prefix-min/trim work in admission entirely.
+        self.q_has_dl = (np.bincount(
+            qid_np, weights=np.isfinite(dead_np),
+            minlength=nq) > 0).tolist()
+
+        # ---- priority domains ---------------------------------------
+        # code 0: fifo (arrival); 1: edf (deadline, arrival);
+        # 2: deferrable tier (forced start, arrival).
+        if two_tier:
+            self.idom = _QueueDomain()
+            self.ddom = _QueueDomain()
+            self.idom.code, self.ddom.code = 1, 2
+            self.domains = [self.idom, self.ddom]
+            dom_of = [self.ddom if t else self.idom for t in q_tier]
+        else:
+            dom = _QueueDomain()
+            dom.code = self.policy_code  # 0 or 1
+            self.domains = [dom]
+            self.idom = dom
+            self.ddom = None
+            dom_of = [dom] * nq
+        self.q_dom = dom_of
+        # seq: first-enqueue order within a domain = order of each
+        # queue's first job in the global arrival order.
+        self.q_seq = [0] * nq
+        for dom in self.domains:
+            dom.qids = sorted(
+                (q for q in range(nq)
+                 if dom_of[q] is dom and self.q_total[q]),
+                key=lambda q: self.q_jobs[q][0])
+            for seq, q in enumerate(dom.qids):
+                self.q_seq[q] = seq
+            if not two_tier:
+                dom.times = self.arr_list  # already ascending
+            else:
+                dom.times = np.sort(
+                    arr_np[self.def_mask] if dom is self.ddom
+                    else arr_np[~self.def_mask]).tolist()
+            for q in dom.qids:
+                heapq.heappush(dom.act,
+                               (self.q_times[q][0], q, 0))
+
+        # ---- deferral stamps (deferrable-window only) ---------------
+        self.deferral_events = 0
+        self.deferred_count = 0
+        if two_tier:
+            def_ids = np.nonzero(self.def_mask)[0]
+            self.def_times = arr_np[def_ids].tolist()
+            self.def_pos = np.full(n, -1, dtype=np.int64)
+            self.def_pos[def_ids] = np.arange(def_ids.size)
+            self.stamps = np.zeros(def_ids.size, dtype=np.int64)
+            self.def_cursor = 0
+
+        # ---- devices ------------------------------------------------
+        nd = sim.num_devices
+        self.dev_free = [0.0] * nd
+        self.dev_busy = [0.0] * nd
+        self.dev_keyload = [0.0] * nd
+        self.dev_jobs = [0] * nd
+        if self.set_cache_ok:
+            self.caches = [SetKeyCache(sim.key_cache_bytes,
+                                       self.key_sets)
+                           for _ in range(nd)]
+        else:
+            self.caches = [KeyCache(sim.key_cache_bytes)
+                           for _ in range(nd)]
+        self.free_heap = [(0.0, d) for d in range(nd)]
+        heapq.heapify(self.free_heap)
+
+        # ---- run accumulators ---------------------------------------
+        # Arrival high-water mark (the DES admit cursor); -inf so the
+        # first _advance processes t=0 arrivals (trace replay).
+        self.clock = -math.inf
+        self.done = 0
+        self.batches = 0
+        self.batched_jobs = 0
+        self.cost = 0.0
+        self.makespan = 0.0
+        self.rec_sizes: List[List[int]] = [[] for _ in range(nq)]
+        self.rec_fin: List[List[float]] = [[] for _ in range(nq)]
+        self.seen_classes: Dict[str, None] = {}
+        self.rejected_ids: List[int] = []
+        self.rej_classes: Dict[str, int] = {}
+        self.arrival_cursor = 0  # recorder job_arrival sweep
+        #: Deferral-event count at the top of the current
+        #: ``_next_batch`` call (the DW held-back baseline).
+        self._events_at_entry = 0
+
+    # ------------------------------------------------------------------
+    # queue-domain machinery (DES _QueueSet mirror)
+    # ------------------------------------------------------------------
+
+    def _push_ready(self, dom: _QueueDomain, qid: int,
+                    pos: int) -> None:
+        jid = self.q_jobs[qid][pos]
+        code = dom.code
+        if code == 0:
+            entry = (self.arr_list[jid], self.q_seq[qid], qid, pos)
+        elif code == 1:
+            entry = (self.dead_list[jid], self.arr_list[jid],
+                     self.q_seq[qid], qid, pos)
+        else:
+            entry = (self.forced_list[jid], self.arr_list[jid],
+                     self.q_seq[qid], qid, pos)
+        heapq.heappush(dom.ready, entry)
+
+    def _advance(self, now: float) -> None:
+        # The DES admit cursor is a high-water mark: a board popping
+        # with an earlier free time than the last dispatch must still
+        # see every job already enqueued.  All arrival counting runs
+        # against this clock; only dispatch timing uses the board's
+        # ``now``.
+        if now <= self.clock:
+            return
+        self.clock = clock = now
+        for dom in self.domains:
+            dom.arrived = bisect_right(dom.times, clock)
+            act = dom.act
+            q_head = self.q_head
+            while act and act[0][0] <= clock:
+                _, qid, pos = heapq.heappop(act)
+                if q_head[qid] == pos:
+                    self._push_ready(dom, qid, pos)
+        if self.policy_code == 2:
+            idx = bisect_right(self.def_times, clock, self.def_cursor)
+            if idx > self.def_cursor:
+                self.stamps[self.def_cursor:idx] = self.deferral_events
+                self.def_cursor = idx
+
+    def _pop_valid(self, dom: _QueueDomain) -> Optional[Tuple]:
+        ready = dom.ready
+        q_head = self.q_head
+        while ready:
+            entry = heapq.heappop(ready)
+            if q_head[entry[-2]] == entry[-1]:
+                return entry
+        return None
+
+    def _peek(self, dom: _QueueDomain) -> Optional[Tuple]:
+        ready = dom.ready
+        q_head = self.q_head
+        while ready:
+            entry = ready[0]
+            if q_head[entry[-2]] == entry[-1]:
+                return entry
+            heapq.heappop(ready)
+        return None
+
+    def _requeue(self, qid: int, now: float) -> None:
+        pos = self.q_head[qid]
+        if pos < self.q_total[qid]:
+            t = self.q_times[qid][pos]
+            dom = self.q_dom[qid]
+            if t <= self.clock:
+                self._push_ready(dom, qid, pos)
+            else:
+                heapq.heappush(dom.act, (t, qid, pos))
+
+    def _take(self, qid: int, size: int) -> Tuple[int, int, int]:
+        pos = self.q_head[qid]
+        self.q_head[qid] = pos + size
+        self.q_dom[qid].consumed += size
+        self.done += size
+        return (qid, pos, size)
+
+    def _note_held_back(self, jid: int, events_at_entry: int) -> None:
+        if self.stamps[self.def_pos[jid]] < events_at_entry:
+            self.deferred_count += 1
+
+    def _reject_head(self, qid: int, now: float, note: bool,
+                     events_at_entry: int) -> None:
+        pos = self.q_head[qid]
+        jid = self.q_jobs[qid][pos]
+        self.q_head[qid] = pos + 1
+        self.q_dom[qid].consumed += 1
+        self.done += 1
+        if note:
+            self._note_held_back(jid, events_at_entry)
+        self.rejected_ids.append(jid)
+        name = self.q_name[qid]
+        self.rej_classes[name] = self.rej_classes.get(name, 0) + 1
+        self.rec_sizes[qid].append(1)
+        self.rec_fin[qid].append(math.nan)
+        if self.rec is not None:
+            deadline = self.dead_list[jid]
+            self.rec.job_rejected(
+                t=now, job_id=int(jid), job_class=name,
+                tenant=self.q_tenant[qid],
+                deadline_s=(None if deadline == math.inf
+                            else deadline))
+
+    # ------------------------------------------------------------------
+    # admission (the DES _edf_admit, against array-backed queues)
+    # ------------------------------------------------------------------
+
+    def _gang_start(self, now: float, nf: int) -> float:
+        if nf <= 1:
+            return now
+        extra = heapq.nsmallest(nf - 1, self.free_heap)
+        free = max((self.dev_free[i] for _, i in extra), default=now)
+        return max(now, free)
+
+    def _load_seconds(self, miss_bytes: int) -> float:
+        if miss_bytes == 0:
+            return 0.0
+        return miss_bytes / self.pcie_denom + self.pcie_lat
+
+    def _load_preview(self, dev: int, qid: int, s: int,
+                      nf: int) -> float:
+        tid = self.q_tid[qid]
+        caches = self.caches
+        if nf <= 1:
+            if self.set_cache_ok:
+                return self._load_seconds(caches[dev].peek_miss_bytes(
+                    tid, self.s_setid[s]))
+            return self._load_seconds(caches[dev].peek_miss_bytes(
+                self.tenant_names[tid], self.s_class[s]))
+        members = [dev]
+        members += [i for _, i in
+                    heapq.nsmallest(nf - 1, self.free_heap)]
+        if self.set_cache_ok:
+            sid = self.s_setid[s]
+            return max(self._load_seconds(
+                caches[m].peek_miss_bytes(tid, sid)) for m in members)
+        tenant = self.tenant_names[tid]
+        jc = self.s_class[s]
+        return max(self._load_seconds(
+            caches[m].peek_miss_bytes(tenant, jc)) for m in members)
+
+    def _edf_admit(self, dom: _QueueDomain, now: float, dev: int,
+                   urgent_only: bool = False,
+                   note: bool = False) -> Optional[Tuple[int, int, int]]:
+        skipped: List[int] = []
+        max_batch = self.sim.max_batch
+        q_head = self.q_head
+        q_jobs = self.q_jobs
+        q_times = self.q_times
+        q_has_dl = self.q_has_dl
+        dead = self.dead_list
+        launch = self.launch_s
+        clock = self.clock
+        inf = math.inf
+        events_at_entry = self._events_at_entry
+        try:
+            while True:
+                entry = self._pop_valid(dom)
+                if entry is None:
+                    return None
+                qid = entry[-2]
+                if urgent_only and entry[0] > now:
+                    self._requeue(qid, now)
+                    return None
+                pos = q_head[qid]
+                jobs = q_jobs[qid]
+                size = min(max_batch,
+                           bisect_right(q_times[qid], clock) - pos)
+                if q_has_dl[qid]:
+                    # prefix[i]: tightest effective deadline among
+                    # the first i + 1 queued jobs (the whole batch
+                    # shares one finish time).
+                    prefix: List[float] = []
+                    tight = inf
+                    for k in range(pos, pos + size):
+                        d = dead[jobs[k]]
+                        if d < tight:
+                            tight = d
+                        prefix.append(tight)
+                    if prefix[size - 1] != inf:
+                        head_jid = jobs[pos]
+                        s = self.stream_np[head_jid]
+                        secs = self.s_secs[s]
+                        start = self._gang_start(now, self.s_nf[s])
+                        load_s = self._load_preview(dev, qid, s,
+                                                    self.s_nf[s])
+                        while size and (
+                            prefix[size - 1] != inf
+                            and start + (launch + load_s + size * secs)
+                            > prefix[size - 1]
+                        ):
+                            size -= 1
+                        if size == 0:
+                            deadline = dead[head_jid]
+                            if urgent_only or (
+                                start + (launch + 1 * secs) > deadline
+                            ):
+                                self._reject_head(qid, now, note,
+                                                  events_at_entry)
+                                self._requeue(qid, now)
+                            else:
+                                skipped.append(qid)
+                                if self.rec is not None:
+                                    self.rec.policy_event(
+                                        t=now, name="skip cold board",
+                                        job_class=self.q_name[qid],
+                                        tenant=self.q_tenant[qid],
+                                        job_id=int(head_jid))
+                            continue
+                taken = self._take(qid, size)
+                self._requeue(qid, now)
+                if note:
+                    for k in range(taken[1], taken[1] + size):
+                        self._note_held_back(jobs[k], events_at_entry)
+                return taken
+        finally:
+            for qid in skipped:
+                self._requeue(qid, now)
+
+    # ------------------------------------------------------------------
+    # policy dispatch
+    # ------------------------------------------------------------------
+
+    def _mark_deferred(self, now: float) -> None:
+        self.deferral_events += 1
+        if self.rec is not None:
+            self.rec.policy_event(
+                t=now, name="defer batch tier",
+                pending=self.ddom.arrived - self.ddom.consumed,
+                cheap=self.price.is_cheap(now))
+
+    def _next_batch(self, now: float,
+                    dev: int) -> Optional[Tuple[int, int, int]]:
+        code = self.policy_code
+        if code == 0:
+            entry = self._pop_valid(self.idom)
+            if entry is None:
+                return None
+            qid = entry[-2]
+            arrived = (bisect_right(self.q_times[qid], self.clock)
+                       - self.q_head[qid])
+            taken = self._take(qid, min(self.sim.max_batch, arrived))
+            self._requeue(qid, now)
+            return taken
+        if code == 1:
+            return self._edf_admit(self.idom, now, dev)
+        self._events_at_entry = self.deferral_events
+        ddom = self.ddom
+        # 1. Batch jobs whose forced start has arrived run first.
+        entry = self._peek(ddom)
+        if entry is not None and entry[0] <= now:
+            taken = self._edf_admit(ddom, now, dev, urgent_only=True,
+                                    note=True)
+            if taken is not None:
+                if self.rec is not None:
+                    self.rec.policy_event(
+                        t=now, name="forced start",
+                        job_class=self.q_name[taken[0]],
+                        tenant=self.q_tenant[taken[0]],
+                        batch=taken[2])
+                return taken
+        # 2. Interactive traffic owns the pool otherwise.
+        if self.idom.arrived - self.idom.consumed > 0:
+            if ddom.arrived - ddom.consumed > 0:
+                self._mark_deferred(now)
+            taken = self._edf_admit(self.idom, now, dev)
+            if taken is not None:
+                return taken
+        # 3. Remaining batch work runs only while the signal is cheap.
+        if ddom.arrived - ddom.consumed > 0:
+            if self.price.is_cheap(now):
+                return self._edf_admit(ddom, now, dev, note=True)
+            self._mark_deferred(now)
+        return None
+
+    def _next_event(self, now: float) -> float:
+        if self.policy_code != 2:
+            return math.inf
+        wake = math.inf
+        ddom = self.ddom
+        if ddom.arrived - ddom.consumed > 0:
+            entry = self._peek(ddom)
+            if entry is not None and entry[0] > now:
+                wake = entry[0]
+            if not self.price.is_cheap(now):
+                wake = min(wake, self.price.next_cheap(now))
+        return wake
+
+    # ------------------------------------------------------------------
+    # recorder mirrors (only entered when a recorder is live)
+    # ------------------------------------------------------------------
+
+    def _rec_admissions(self, now: float) -> None:
+        arrived_total = 0
+        for dom in self.domains:
+            arrived_total += dom.arrived
+        rec = self.rec
+        for j in range(self.arrival_cursor, arrived_total):
+            s = self.stream_np[j]
+            deadline = self.dead_list[j]
+            rec.job_arrival(
+                t=self.arr_list[j], job_id=j,
+                job_class=self.s_name[s],
+                tenant=self.tenant_names[int(self.tid_np[j])],
+                deadline_s=(None if deadline == math.inf
+                            else deadline),
+                deferrable=bool(self.def_mask[j]))
+        self.arrival_cursor = arrived_total
+        depths: Dict[Tuple[str, str], int] = {}
+        for dom in self.domains:
+            for qid in dom.qids:
+                depth = (bisect_right(self.q_times[qid], self.clock)
+                         - self.q_head[qid])
+                if depth > 0:
+                    key = (self.q_name[qid], self.q_tenant[qid])
+                    depths[key] = depths.get(key, 0) + depth
+        rec.queue_sample(t=now, total=arrived_total - self.done,
+                         depths=depths)
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> ServingReport:
+        rec = self.rec
+        sim = self.sim
+        if rec is not None:
+            rec.run_begin(scenario=self.scenario.name,
+                          num_devices=sim.num_devices,
+                          policy=self.policy_name, price=self.price,
+                          max_batch=sim.max_batch)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        free_heap = self.free_heap
+        arr_list = self.arr_list
+        n = self.n
+        dev_free = self.dev_free
+        dev_busy = self.dev_busy
+        dev_keyload = self.dev_keyload
+        launch = self.launch_s
+        denom = self.pcie_denom
+        pcie_lat = self.pcie_lat
+        s_secs = self.s_secs
+        s_nf = self.s_nf
+        s_setid = self.s_setid
+        s_class = self.s_class
+        stream_np = self.stream_np
+        q_jobs = self.q_jobs
+        q_tid = self.q_tid
+        q_name = self.q_name
+        dead_list = self.dead_list
+        caches = self.caches
+        set_mode = self.set_cache_ok
+        tenant_names = self.tenant_names
+        rec_sizes = self.rec_sizes
+        rec_fin = self.rec_fin
+        seen = self.seen_classes
+        integral = self.price.integral
+        domains = self.domains
+        advance = self._advance
+        next_batch = self._next_batch
+        makespan = 0.0
+        cost = 0.0
+        batches = 0
+        batched_jobs = 0
+        while self.done < n:
+            free_at, dev = heappop(free_heap)
+            now = free_at
+            advance(now)
+            pending = 0
+            for dom in domains:
+                pending += dom.arrived - dom.consumed
+            if pending == 0:
+                # Idle until the next arrival (global order == id
+                # order, so the next unadmitted job is arr[done]).
+                now = arr_list[self.done]
+                advance(now)
+            if rec is not None:
+                self._rec_admissions(now)
+            taken = next_batch(now, dev)
+            if taken is None:
+                pending = 0
+                arrived_total = 0
+                for dom in domains:
+                    pending += dom.arrived - dom.consumed
+                    arrived_total += dom.arrived
+                if pending:
+                    wake = self._next_event(now)
+                    if arrived_total < n:
+                        t = arr_list[arrived_total]
+                        if t < wake:
+                            wake = t
+                    if wake <= now:
+                        wake = math.nextafter(now, math.inf)
+                    if rec is not None:
+                        rec.defer(board=dev, t=now, wake=wake)
+                    heappush(free_heap, (wake, dev))
+                else:
+                    heappush(free_heap, (now, dev))
+                continue
+            qid, pos, size = taken
+            jid = q_jobs[qid][pos]
+            s = stream_np[jid]
+            nf = s_nf[s]
+            start = now
+            gang = [dev]
+            if nf > 1:
+                for _ in range(nf - 1):
+                    _, extra = heappop(free_heap)
+                    gang.append(extra)
+                    free = dev_free[extra]
+                    if free > start:
+                        start = free
+            tid = q_tid[qid]
+            load_s = 0.0
+            member_loads = [] if rec is not None else None
+            if set_mode:
+                sid = s_setid[s]
+                for di in gang:
+                    miss = caches[di].request(tid, sid)
+                    load = miss / denom + pcie_lat if miss else 0.0
+                    dev_keyload[di] += load
+                    if member_loads is not None:
+                        member_loads.append((di, load, miss))
+                    if load > load_s:
+                        load_s = load
+            else:
+                tenant = tenant_names[tid]
+                jc = s_class[s]
+                for di in gang:
+                    miss = caches[di].request(tenant, jc)
+                    load = miss / denom + pcie_lat if miss else 0.0
+                    dev_keyload[di] += load
+                    if member_loads is not None:
+                        member_loads.append((di, load, miss))
+                    if load > load_s:
+                        load_s = load
+            compute_s = size * s_secs[s]
+            service = launch + load_s + compute_s
+            finish = start + service
+            for di in gang:
+                dev_free[di] = finish
+                dev_busy[di] += service
+                heappush(free_heap, (finish, di))
+            self.dev_jobs[gang[0]] += size
+            batches += 1
+            batched_jobs += size
+            batch_cost = len(gang) * integral(start, finish)
+            cost += batch_cost
+            rec_sizes[qid].append(size)
+            rec_fin[qid].append(finish)
+            if finish > makespan:
+                makespan = finish
+            name = q_name[qid]
+            if name not in seen:
+                seen[name] = None
+            if rec is not None:
+                slo_met = slo_total = 0
+                for k in range(pos, pos + size):
+                    deadline = dead_list[q_jobs[qid][k]]
+                    if deadline != math.inf:
+                        slo_total += 1
+                        if finish <= deadline:
+                            slo_met += 1
+                rec.batch(
+                    start=start, finish=finish, job_class=name,
+                    tenant=self.q_tenant[qid], batch_size=size,
+                    launch_s=launch, members=member_loads,
+                    cache_stats=tuple(caches[di].stats()
+                                      for di in gang),
+                    slo_met=slo_met, slo_total=slo_total,
+                    cost=batch_cost)
+        self.makespan = makespan
+        self.cost = cost
+        self.batches = batches
+        self.batched_jobs = batched_jobs
+        if rec is not None:
+            rec.run_end(makespan_s=makespan,
+                        device_busy_s=tuple(dev_busy),
+                        jobs_done=n - len(self.rejected_ids))
+        return self._report()
+
+    # ------------------------------------------------------------------
+    # report assembly
+    # ------------------------------------------------------------------
+
+    def _report(self) -> ServingReport:
+        n = self.n
+        finish_all = np.full(n, math.nan)
+        for qid in range(len(self.q_name)):
+            sizes = self.rec_sizes[qid]
+            if sizes:
+                # Run-length expansion: batch k's finish applies to
+                # the next `size` jobs of the queue; rejected heads
+                # were recorded as (1, NaN).
+                finish_all[self.q_jobs_np[qid]] = np.repeat(
+                    np.asarray(self.rec_fin[qid]),
+                    np.asarray(sizes, dtype=np.int64))
+        completed_mask = ~np.isnan(finish_all)
+        lat_np = finish_all - self.arr_np
+        makespan = self.makespan
+        names = list(self.seen_classes)
+        rid_of = {name: rid for rid, name in enumerate(names)}
+        rid_stream = np.asarray(
+            [rid_of.get(nm, -1) for nm in self.s_name], dtype=np.int64)
+        rid_job = (rid_stream[self.stream_np] if n
+                   else np.empty(0, dtype=np.int64))
+        nclasses = len(names)
+        # SLO accounting: completed deadline-carrying jobs first...
+        has_dl = np.isfinite(self.dead_np)
+        cm_idx = np.nonzero(completed_mask & has_dl)[0]
+        met_idx = cm_idx[finish_all[cm_idx] <= self.dead_np[cm_idx]]
+        slo_met: Dict[str, int] = {}
+        slo_total: Dict[str, int] = {}
+        tenant_met: Dict[str, int] = {}
+        tenant_total: Dict[str, int] = {}
+        if cm_idx.size:
+            tot_c = np.bincount(rid_job[cm_idx], minlength=nclasses)
+            met_c = np.bincount(rid_job[met_idx], minlength=nclasses)
+            for rid, name in enumerate(names):
+                if tot_c[rid]:
+                    slo_total[name] = int(tot_c[rid])
+                    slo_met[name] = int(met_c[rid])
+            ntenants = len(self.tenant_names)
+            tot_t = np.bincount(self.tid_np[cm_idx],
+                                minlength=ntenants)
+            met_t = np.bincount(self.tid_np[met_idx],
+                                minlength=ntenants)
+            for tid, tname in enumerate(self.tenant_names):
+                if tot_t[tid]:
+                    tenant_total[tname] = int(tot_t[tid])
+                    tenant_met[tname] = int(met_t[tid])
+        # ... then every rejected job joins the denominators.
+        for jid in self.rejected_ids:
+            name = self.s_name[self.stream_np[jid]]
+            slo_total[name] = slo_total.get(name, 0) + 1
+            slo_met.setdefault(name, 0)
+            tname = self.tenant_names[int(self.tid_np[jid])]
+            tenant_total[tname] = tenant_total.get(tname, 0) + 1
+            tenant_met.setdefault(tname, 0)
+        stats: List[WorkloadStats] = []
+        for rid, name in enumerate(names):
+            lat_cls = lat_np[completed_mask & (rid_job == rid)]
+            count = int(lat_cls.size)
+            streaming = (self.streaming is True
+                         or (self.streaming == "auto"
+                             and count > STREAMING_AUTO_THRESHOLD))
+            if streaming:
+                reservoir = ReservoirQuantiles(STREAMING_RESERVOIR,
+                                               seed=0)
+                reservoir.add_array(lat_cls)
+                p50 = reservoir.quantile(0.50) * 1e3
+                p95 = reservoir.quantile(0.95) * 1e3
+                p99 = reservoir.quantile(0.99) * 1e3
+                mean = float(np.sum(lat_cls)) / count * 1e3
+            else:
+                # Sequential sum over the sorted list reproduces the
+                # DES mean bit for bit (numpy's pairwise summation
+                # would drift in the last ulp).
+                ordered = np.sort(lat_cls).tolist()
+                p50 = percentile(ordered, 50) * 1e3
+                p95 = percentile(ordered, 95) * 1e3
+                p99 = percentile(ordered, 99) * 1e3
+                mean = sum(ordered) / count * 1e3
+            stats.append(WorkloadStats(
+                name=name, jobs=count,
+                throughput_jps=count / makespan if makespan else 0.0,
+                p50_ms=p50, p95_ms=p95, p99_ms=p99, mean_ms=mean,
+                slo_attainment=(slo_met[name] / slo_total[name]
+                                if slo_total.get(name) else None),
+                rejected=self.rej_classes.get(name, 0)))
+        # A class may be rejected out of existence: report it anyway.
+        for name, dropped in self.rej_classes.items():
+            if name not in rid_of:
+                stats.append(WorkloadStats(
+                    name=name, jobs=0, throughput_jps=0.0,
+                    p50_ms=float("nan"), p95_ms=float("nan"),
+                    p99_ms=float("nan"), mean_ms=float("nan"),
+                    slo_attainment=0.0, rejected=dropped))
+        busy = sum(self.dev_busy)
+        hits = sum(c.hits for c in self.caches)
+        misses = sum(c.misses for c in self.caches)
+        total_slo = sum(slo_total.values())
+        num_devices = self.sim.num_devices
+        return ServingReport(
+            scenario=self.scenario.name,
+            makespan_s=makespan,
+            jobs_done=n - len(self.rejected_ids),
+            per_workload=stats,
+            device_utilization=(busy / (makespan * num_devices)
+                                if makespan else 0.0),
+            key_hit_rate=(hits / (hits + misses)
+                          if hits + misses else 0.0),
+            key_bytes_loaded=sum(c.bytes_loaded for c in self.caches),
+            batches=self.batches,
+            mean_batch_size=(self.batched_jobs / self.batches
+                             if self.batches else 0.0),
+            per_device_jobs=tuple(self.dev_jobs),
+            policy=self.policy_name,
+            rejected_jobs=len(self.rejected_ids),
+            deferred_jobs=self.deferred_count,
+            cost_price_units=self.cost,
+            slo_attainment=(sum(slo_met.values()) / total_slo
+                            if total_slo else None),
+            per_tenant_slo=tuple(
+                (tname, tenant_met[tname] / tenant_total[tname])
+                for tname in sorted(tenant_total)))
+
+
+def run_fast(sim, scenario: Scenario, seed: int = 0,
+             policy: str = "fifo",
+             price: Optional[PriceSignal] = None,
+             recorder: Optional[Recorder] = None,
+             arrival_mode: str = "exact",
+             streaming_quantiles: Optional[bool] = None
+             ) -> ServingReport:
+    """Run ``scenario`` through the vectorized engine.
+
+    Same contract as :meth:`ServingSimulator.run` with
+    ``engine="fast"`` (which is the intended entry point); see the
+    module docstring for the equivalence guarantees.
+    """
+    if price is None:
+        price = PriceSignal.flat()
+    engine = _FastEngine(sim, scenario, seed, policy, price, recorder,
+                         arrival_mode, streaming_quantiles)
+    return engine.run()
+
+
+__all__ = ["STREAMING_AUTO_THRESHOLD", "STREAMING_RESERVOIR",
+           "SetKeyCache", "run_fast"]

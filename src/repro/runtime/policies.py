@@ -142,6 +142,25 @@ class PriceSignal:
     def is_cheap(self, t: float) -> bool:
         return self.price_at(t) <= self.cheap_threshold
 
+    def price_at_array(self, t):
+        """Vectorized :meth:`price_at` over a numpy array of times.
+
+        Element-for-element equal to the scalar version, including
+        its slot-boundary correction, so vectorized consumers (the
+        fleet examples, analysis notebooks) can reconcile against
+        event-loop accounting exactly.
+        """
+        import numpy as np
+
+        t = np.maximum(np.asarray(t, dtype=np.float64), 0.0)
+        slot = (t // self.slot_s).astype(np.int64)
+        slot[(slot + 1) * self.slot_s <= t] += 1
+        return np.asarray(self.levels)[slot % len(self.levels)]
+
+    def is_cheap_array(self, t):
+        """Vectorized :meth:`is_cheap` over a numpy array of times."""
+        return self.price_at_array(t) <= self.cheap_threshold
+
     def next_change(self, t: float) -> float:
         """Earliest time strictly after ``t`` with a different price
         (``inf`` for a flat signal)."""

@@ -44,8 +44,10 @@ import heapq
 import math
 import random
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.hbm import HbmModel
 from ..core.host import HostConfig
@@ -53,10 +55,16 @@ from ..core.params import FabConfig
 from ..core.trace import format_table
 from ..experiments.common import ExperimentResult, ExperimentRow
 from ..obs import NULL_RECORDER, Recorder
+from .arrivals import ArrivalProcess, PoissonProcess, make_process
 from .lowering import cost_trace
 from .optrace import OpTrace
 from .policies import (DispatchView, PolicyContext, PriceSignal,
                        make_policy)
+
+#: Engines selectable in :meth:`ServingSimulator.run`: the exact DES
+#: (bit-identical to the preserved baseline under fifo) and the
+#: vectorized fast engine in :mod:`repro.runtime.fast_engine`.
+ENGINES = ("des", "fast")
 
 
 # ----------------------------------------------------------------------
@@ -164,13 +172,17 @@ class Job:
 
 @dataclass(frozen=True)
 class Stream:
-    """A Poisson arrival stream of one job class across tenants.
+    """An arrival stream of one job class across tenants.
 
-    ``slo_ms`` stamps each job with a deadline (arrival + SLO).
-    ``deferrable`` marks the stream's jobs as batch work that may be
-    deferred within a ``window_s``-second execution window after
-    arrival (required when deferrable — an unbounded deferrable job
-    could be postponed forever).
+    Arrivals are homogeneous Poisson at ``rate_per_s`` by default; a
+    ``process`` (any :class:`repro.runtime.arrivals.ArrivalProcess` —
+    diurnal, MMPP, flash crowd, trace replay) reshapes them while
+    ``rate_per_s`` keeps describing the stream's nominal rate for
+    capacity planning.  ``slo_ms`` stamps each job with a deadline
+    (arrival + SLO).  ``deferrable`` marks the stream's jobs as batch
+    work that may be deferred within a ``window_s``-second execution
+    window after arrival (required when deferrable — an unbounded
+    deferrable job could be postponed forever).
     """
 
     job_class: JobClass
@@ -181,6 +193,7 @@ class Stream:
     slo_ms: Optional[float] = None
     deferrable: bool = False
     window_s: Optional[float] = None
+    process: Optional[ArrivalProcess] = None
 
     def __post_init__(self):
         if self.rate_per_s <= 0:
@@ -194,6 +207,33 @@ class Stream:
         if self.deferrable and self.window_s is None:
             raise ValueError("a deferrable stream needs a window_s")
 
+    def arrival_process(self) -> ArrivalProcess:
+        """The stream's arrival process (default: Poisson at
+        ``rate_per_s``, the historical behavior)."""
+        return (self.process if self.process is not None
+                else PoissonProcess(self.rate_per_s))
+
+
+@dataclass(frozen=True)
+class ArrivalChunk:
+    """One chunk of generated arrivals in structure-of-arrays form.
+
+    ``stream_index`` points into ``Scenario.streams`` and
+    ``tenant_index`` is the tenant draw within that stream; together
+    they determine a job's class, tenant string, deadline, and window
+    without materializing a :class:`Job`.  Job ids are
+    ``start_id .. start_id + len - 1`` in chunk order (global arrival
+    order), matching :meth:`Scenario.generate`.
+    """
+
+    arrival_s: np.ndarray
+    stream_index: np.ndarray
+    tenant_index: np.ndarray
+    start_id: int
+
+    def __len__(self) -> int:
+        return int(self.arrival_s.size)
+
 
 @dataclass
 class Scenario:
@@ -204,15 +244,20 @@ class Scenario:
     streams: List[Stream]
 
     def generate(self, seed: int = 0) -> List[Job]:
-        """Draw the job arrivals (deterministic per seed)."""
+        """Draw the job arrivals (deterministic per seed).
+
+        Each stream draws from its arrival process (homogeneous
+        Poisson by default) on one shared RNG, in stream order; for
+        default streams the draw sequence is bit-identical to the
+        historical inlined Poisson loop, which the regression suite
+        asserts seed-for-seed.
+        """
         rng = random.Random(seed)
         jobs: List[Job] = []
         for stream in self.streams:
-            t = stream.start_s
-            while True:
-                t += rng.expovariate(stream.rate_per_s)
-                if t >= self.duration_s:
-                    break
+            process = stream.arrival_process()
+            for t in process.iter_times(rng, stream.start_s,
+                                        self.duration_s):
                 tenant = (f"{stream.tenant_prefix}"
                           f"{rng.randrange(stream.num_tenants)}")
                 jobs.append(Job(
@@ -227,6 +272,105 @@ class Scenario:
         for i, job in enumerate(jobs):
             job.job_id = i
         return jobs
+
+    def arrivals(self, seed: int = 0, chunk_jobs: int = 65536,
+                 mode: str = "exact") -> Iterator[ArrivalChunk]:
+        """Generate arrivals as chunked structure-of-arrays.
+
+        The fast engine's input path: no per-job Python objects are
+        materialized, only numpy arrays (``chunk_jobs`` rows at a
+        time, globally sorted by arrival).  ``mode="exact"`` draws
+        from the same :class:`random.Random` sequence as
+        :meth:`generate` — chunk rows equal the generated jobs
+        field-for-field (regression-tested) — so both engines can
+        share one arrival sequence.  ``mode="vectorized"`` draws the
+        same processes from a :class:`numpy.random.Generator` in
+        numpy batches, ~10x faster at million-job scale but a
+        different (equally distributed) sequence per seed.
+        """
+        if chunk_jobs < 1:
+            raise ValueError("chunk_jobs must be >= 1")
+        times_per_stream: List[np.ndarray] = []
+        tenants_per_stream: List[np.ndarray] = []
+        if mode == "exact":
+            rng = random.Random(seed)
+            for stream in self.streams:
+                process = stream.arrival_process()
+                times: List[float] = []
+                tenants: List[int] = []
+                num_tenants = stream.num_tenants
+                for t in process.iter_times(rng, stream.start_s,
+                                            self.duration_s):
+                    times.append(t)
+                    tenants.append(rng.randrange(num_tenants))
+                times_per_stream.append(
+                    np.asarray(times, dtype=np.float64))
+                tenants_per_stream.append(
+                    np.asarray(tenants, dtype=np.int32))
+        elif mode == "vectorized":
+            np_rng = np.random.default_rng(seed)
+            for stream in self.streams:
+                process = stream.arrival_process()
+                times = process.sample_times(np_rng, stream.start_s,
+                                             self.duration_s)
+                times_per_stream.append(times)
+                tenants_per_stream.append(np_rng.integers(
+                    stream.num_tenants, size=times.size,
+                    dtype=np.int32))
+        else:
+            raise ValueError(f"unknown arrival mode {mode!r}; "
+                             f"try: exact, vectorized")
+        arrival_s = np.concatenate(times_per_stream) if self.streams \
+            else np.empty(0, dtype=np.float64)
+        stream_index = np.repeat(
+            np.arange(len(self.streams), dtype=np.int32),
+            [t.size for t in times_per_stream])
+        tenant_index = (np.concatenate(tenants_per_stream)
+                        if self.streams
+                        else np.empty(0, dtype=np.int32))
+        # Stable sort: ties keep stream order, exactly like the
+        # stable list.sort in generate().
+        order = np.argsort(arrival_s, kind="stable")
+        arrival_s = arrival_s[order]
+        stream_index = stream_index[order]
+        tenant_index = tenant_index[order]
+        for lo in range(0, arrival_s.size, chunk_jobs):
+            hi = min(lo + chunk_jobs, arrival_s.size)
+            yield ArrivalChunk(arrival_s[lo:hi], stream_index[lo:hi],
+                               tenant_index[lo:hi], start_id=lo)
+
+    def jobs_from_arrivals(
+            self, chunks: Iterator[ArrivalChunk]) -> List[Job]:
+        """Materialize :class:`Job` objects from :meth:`arrivals`
+        chunks (the regression tests' bridge between the two
+        generation paths)."""
+        jobs: List[Job] = []
+        for chunk in chunks:
+            for offset in range(len(chunk)):
+                stream = self.streams[int(chunk.stream_index[offset])]
+                t = float(chunk.arrival_s[offset])
+                tenant = (f"{stream.tenant_prefix}"
+                          f"{int(chunk.tenant_index[offset])}")
+                jobs.append(Job(
+                    chunk.start_id + offset, stream.job_class, tenant,
+                    t,
+                    deadline_s=(t + stream.slo_ms / 1e3
+                                if stream.slo_ms is not None else None),
+                    window_end_s=(t + stream.window_s
+                                  if stream.window_s is not None
+                                  else None),
+                    deferrable=stream.deferrable))
+        return jobs
+
+    def with_arrivals(self, spec: str) -> "Scenario":
+        """A copy whose every stream draws from the arrival process
+        described by ``spec`` (see
+        :func:`repro.runtime.arrivals.make_process`), keeping each
+        stream's nominal rate as the process's mean rate."""
+        return Scenario(self.name, self.duration_s, [
+            replace(stream, process=make_process(
+                spec, stream.rate_per_s, self.duration_s))
+            for stream in self.streams])
 
 
 # ----------------------------------------------------------------------
@@ -552,8 +696,22 @@ class ServingSimulator:
     def run(self, scenario: Scenario, seed: int = 0,
             policy="fifo",
             price: Optional[PriceSignal] = None,
-            recorder: Optional[Recorder] = None) -> ServingReport:
+            recorder: Optional[Recorder] = None,
+            engine: str = "des",
+            arrival_mode: str = "exact",
+            streaming_quantiles: Optional[bool] = None) -> ServingReport:
         """Simulate one scenario; returns the aggregated report.
+
+        ``engine`` selects the event core: ``"des"`` (this exact
+        discrete-event loop) or ``"fast"`` (the vectorized engine in
+        :mod:`repro.runtime.fast_engine`, same semantics at ~10x the
+        event rate; the parity suite holds its reports to the DES
+        oracle on shared arrival sequences).  ``arrival_mode`` and
+        ``streaming_quantiles`` tune the fast engine only — chunked
+        exact vs numpy-vectorized arrival generation, and streaming
+        (reservoir) percentile estimation (default exact lists;
+        ``True`` always streams, ``"auto"`` streams past 100k jobs
+        per class).
 
         The loop is driven by two event sources merged per dispatch: a
         heap of device-completion times and the time-sorted arrival
@@ -582,15 +740,32 @@ class ServingSimulator:
         :func:`repro.runtime.serving_baseline.baseline_run`, which
         the test suite asserts.
         """
-        rec = (recorder if recorder is not None and recorder.enabled
-               else None)
-        jobs = scenario.generate(seed)
         for stream in scenario.streams:
             if stream.job_class.num_fpgas > self.num_devices:
                 raise ValueError(
                     f"job class {stream.job_class.name!r} stripes over "
                     f"{stream.job_class.num_fpgas} boards but the pool "
                     f"has {self.num_devices}")
+        if engine == "fast":
+            from .fast_engine import run_fast
+            return run_fast(self, scenario, seed=seed, policy=policy,
+                            price=price, recorder=recorder,
+                            arrival_mode=arrival_mode,
+                            streaming_quantiles=streaming_quantiles)
+        if engine != "des":
+            raise ValueError(f"unknown engine {engine!r}; "
+                             f"try: {', '.join(ENGINES)}")
+        if arrival_mode != "exact":
+            raise ValueError(
+                "the DES engine always generates arrivals exactly; "
+                "arrival_mode applies to engine='fast' only")
+        if streaming_quantiles:
+            raise ValueError(
+                "the DES engine keeps exact latency lists; "
+                "streaming_quantiles applies to engine='fast' only")
+        rec = (recorder if recorder is not None and recorder.enabled
+               else None)
+        jobs = scenario.generate(seed)
         policy = make_policy(policy)
         price = price if price is not None else PriceSignal.flat()
         devices = [DeviceState(i, KeyCache(self.key_cache_bytes))

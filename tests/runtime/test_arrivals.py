@@ -1,0 +1,295 @@
+"""Tests for the arrival-process library.
+
+Three load-bearing guarantees: the default Poisson path is seed-for-
+seed identical to the historical inlined loop (pre-existing seeds keep
+their scenarios), every process's empirical counts reconcile against
+its analytic rate integral, and the chunked SoA generator feeding the
+fast engine describes exactly the jobs ``Scenario.generate`` builds.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import FabConfig
+from repro.runtime import (Scenario, Stream, build_job_classes,
+                           build_scenarios)
+from repro.runtime.arrivals import (ARRIVAL_PROCESSES, DiurnalProcess,
+                                    FlashCrowdProcess, MMPPProcess,
+                                    PoissonProcess, TraceReplayProcess,
+                                    make_process)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FabConfig()
+
+
+@pytest.fixture(scope="module")
+def job_classes(config):
+    return build_job_classes(config)
+
+
+class TestPoissonSeedCompatibility:
+    """The library must not move any pre-existing seed's arrivals."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_generate_matches_legacy_inline_loop(self, config, seed):
+        scenario = build_scenarios(config, duration_s=0.4)["mixed"]
+        jobs = scenario.generate(seed)
+        # The historical generator, verbatim: one expovariate per
+        # candidate (the out-of-horizon draw included), then a
+        # tenant randrange per accepted arrival, stream by stream.
+        rng = random.Random(seed)
+        legacy = []
+        for stream in scenario.streams:
+            t = stream.start_s
+            while True:
+                t += rng.expovariate(stream.rate_per_s)
+                if t >= scenario.duration_s:
+                    break
+                tenant = (f"{stream.tenant_prefix}"
+                          f"{rng.randrange(stream.num_tenants)}")
+                legacy.append((t, stream.job_class.name, tenant))
+        legacy.sort(key=lambda item: item[0])
+        assert len(jobs) == len(legacy)
+        for job, (t, cls, tenant) in zip(jobs, legacy):
+            assert job.arrival_s == t
+            assert job.job_class.name == cls
+            assert job.tenant == tenant
+
+    def test_exact_chunks_describe_generated_jobs(self, config):
+        scenario = build_scenarios(config, duration_s=0.4)["mixed"]
+        jobs = scenario.generate(3)
+        rebuilt = scenario.jobs_from_arrivals(
+            scenario.arrivals(3, chunk_jobs=97))
+        assert len(rebuilt) == len(jobs)
+        for a, b in zip(jobs, rebuilt):
+            assert a.job_id == b.job_id
+            assert a.arrival_s == b.arrival_s
+            assert a.job_class is b.job_class
+            assert a.tenant == b.tenant
+            assert a.deadline_s == b.deadline_s
+            assert a.window_end_s == b.window_end_s
+            assert a.deferrable == b.deferrable
+
+    def test_chunking_is_invisible(self, config):
+        scenario = build_scenarios(config, duration_s=0.3)["mixed"]
+        whole = list(scenario.arrivals(0, chunk_jobs=1 << 20))
+        tiny = list(scenario.arrivals(0, chunk_jobs=13))
+        assert len(whole) == 1
+        assert len(tiny) > 1
+        assert [c.start_id for c in tiny] == \
+            list(range(0, sum(len(c) for c in tiny), 13))
+        np.testing.assert_array_equal(
+            whole[0].arrival_s,
+            np.concatenate([c.arrival_s for c in tiny]))
+        np.testing.assert_array_equal(
+            whole[0].stream_index,
+            np.concatenate([c.stream_index for c in tiny]))
+
+    def test_bad_modes(self, config):
+        scenario = build_scenarios(config, duration_s=0.1)["mixed"]
+        with pytest.raises(ValueError, match="chunk_jobs"):
+            list(scenario.arrivals(0, chunk_jobs=0))
+        with pytest.raises(ValueError, match="arrival mode"):
+            list(scenario.arrivals(0, mode="approximate"))
+
+
+class TestRateIntegrals:
+    """Empirical counts must reconcile with ``expected_jobs`` on both
+    sampling paths (tolerance: a few Poisson standard deviations)."""
+
+    # (process, variance-to-mean bound for windowed counts).  VMR ~ 1
+    # for (in)homogeneous Poisson; the MMPP's random dwell times
+    # inflate it by roughly rate_high * dwell_high.
+    PROCESSES = [
+        (PoissonProcess(400.0), 1.0),
+        (DiurnalProcess(400.0, amplitude=0.8, period_s=2.0), 1.0),
+        (FlashCrowdProcess(300.0, factor=6.0, at_s=1.0, width_s=0.5),
+         1.0),
+        (MMPPProcess((100.0, 900.0), (0.4, 0.1)), 80.0),
+    ]
+
+    @pytest.mark.parametrize(
+        "process,vmr", PROCESSES,
+        ids=[type(p).__name__ for p, _ in PROCESSES])
+    def test_exact_path(self, process, vmr):
+        horizon = 8.0
+        expected = process.expected_jobs(0.0, horizon)
+        counts = []
+        for seed in range(8):
+            rng = random.Random(seed)
+            counts.append(sum(1 for _ in
+                              process.iter_times(rng, 0.0, horizon)))
+        mean = sum(counts) / len(counts)
+        # 4 sigma-of-the-mean under the per-process VMR bound: tight
+        # enough that a broken rate integrand (2x off) fails, loose
+        # enough that the fixed seeds sit well inside.
+        tol = 4.0 * math.sqrt(expected * vmr / len(counts))
+        assert abs(mean - expected) <= tol
+
+    @pytest.mark.parametrize(
+        "process,vmr", PROCESSES,
+        ids=[type(p).__name__ for p, _ in PROCESSES])
+    def test_vectorized_path(self, process, vmr):
+        horizon = 8.0
+        expected = process.expected_jobs(0.0, horizon)
+        counts = []
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            times = process.sample_times(rng, 0.0, horizon)
+            assert np.all(np.diff(times) >= 0)
+            assert times.size == 0 or (
+                times[0] >= 0.0 and times[-1] < horizon)
+            counts.append(times.size)
+        mean = sum(counts) / len(counts)
+        tol = 4.0 * math.sqrt(expected * vmr / len(counts))
+        assert abs(mean - expected) <= tol
+
+    def test_diurnal_integral_matches_quadrature(self):
+        process = DiurnalProcess(200.0, amplitude=0.6, period_s=1.5,
+                                 phase_s=0.2)
+        grid = np.linspace(0.3, 4.1, 20001)
+        numeric = float(np.trapezoid(process.rate_at_array(grid), grid))
+        assert process.expected_jobs(0.3, 4.1) == \
+            pytest.approx(numeric, rel=1e-6)
+
+    def test_rate_at_array_matches_scalar(self):
+        for process in (DiurnalProcess(100.0, period_s=0.7),
+                        FlashCrowdProcess(100.0, at_s=0.2,
+                                          width_s=0.1)):
+            grid = np.linspace(0.0, 1.0, 257)
+            np.testing.assert_allclose(
+                process.rate_at_array(grid),
+                [process.rate_at(t) for t in grid], rtol=1e-12)
+
+
+class TestBurstiness:
+    def test_mmpp_is_burstier_than_poisson(self):
+        """Variance-to-mean ratio of windowed counts: ~1 for Poisson,
+        well above 1 for a bursty MMPP at the same mean rate."""
+        mmpp = MMPPProcess((50.0, 1800.0), (0.9, 0.1))
+        poisson = PoissonProcess(mmpp.mean_rate)
+
+        def vmr(process, seed=0, horizon=200.0, window=0.5):
+            rng = np.random.default_rng(seed)
+            times = process.sample_times(rng, 0.0, horizon)
+            counts = np.bincount((times // window).astype(int),
+                                 minlength=int(horizon / window))
+            return float(np.var(counts) / np.mean(counts))
+
+        assert vmr(poisson) < 1.5
+        assert vmr(mmpp) > 3.0
+
+    def test_mmpp_mean_rate(self):
+        process = MMPPProcess((100.0, 900.0), (0.3, 0.1))
+        assert process.mean_rate == \
+            pytest.approx((100 * 0.3 + 900 * 0.1) / 0.4)
+
+    def test_flash_crowd_surges(self):
+        process = FlashCrowdProcess(200.0, factor=10.0, at_s=2.0,
+                                    width_s=1.0)
+        rng = np.random.default_rng(1)
+        times = process.sample_times(rng, 0.0, 8.0)
+        in_surge = int(np.sum((times >= 2.0) & (times < 3.0)))
+        before = int(np.sum(times < 1.0))
+        assert in_surge > 4 * before
+
+    def test_mmpp_validation(self):
+        with pytest.raises(ValueError):
+            MMPPProcess((100.0,), 0.1)
+        with pytest.raises(ValueError):
+            MMPPProcess((0.0, 0.0), 0.1)
+        with pytest.raises(ValueError):
+            MMPPProcess((1.0, 2.0), (0.1,))
+        with pytest.raises(ValueError):
+            MMPPProcess((1.0, 2.0), 0.0)
+
+
+class TestTraceReplay:
+    def test_round_trip_jsonl(self, tmp_path):
+        original = TraceReplayProcess([0.1, 0.4, 0.40001, 0.9])
+        path = tmp_path / "trace.jsonl"
+        original.to_jsonl(str(path))
+        replayed = TraceReplayProcess.from_jsonl(str(path))
+        np.testing.assert_array_equal(replayed.times, original.times)
+
+    def test_horizon_filtering(self):
+        process = TraceReplayProcess([0.0, 0.2, 0.5, 0.8, 1.2])
+        rng = random.Random(0)
+        assert list(process.iter_times(rng, 0.2, 0.8)) == [0.2, 0.5]
+        np.testing.assert_array_equal(
+            process.sample_times(np.random.default_rng(0), 0.2, 0.8),
+            [0.2, 0.5])
+        assert process.expected_jobs(0.2, 0.8) == 2.0
+
+    def test_unsorted_input_is_sorted(self):
+        process = TraceReplayProcess([0.5, 0.1, 0.3])
+        np.testing.assert_array_equal(process.times, [0.1, 0.3, 0.5])
+
+    def test_replay_through_scenario(self, config, job_classes):
+        trace = TraceReplayProcess([0.01 * k for k in range(40)])
+        scenario = Scenario("replay", 1.0, [
+            Stream(job_classes["lr_inference"], rate_per_s=100.0,
+                   num_tenants=2, process=trace)])
+        jobs = scenario.generate(0)
+        assert [j.arrival_s for j in jobs] == \
+            pytest.approx([0.01 * k for k in range(40)])
+
+
+class TestMakeProcess:
+    def test_registry_names_parse(self, tmp_path):
+        for name in ARRIVAL_PROCESSES:
+            if name == "replay":
+                path = tmp_path / "t.jsonl"
+                TraceReplayProcess([0.1]).to_jsonl(str(path))
+                spec = f"replay:{path}"
+            else:
+                spec = name
+            assert make_process(spec, 100.0, 1.0) is not None
+
+    def test_mean_rate_is_preserved(self):
+        """Shaped specs must keep the stream's nominal offered load:
+        the horizon-integrated mean rate stays ``rate_per_s``."""
+        for spec in ("poisson", "diurnal", "mmpp:burst=6,duty=0.2",
+                     "flash:factor=8"):
+            process = make_process(spec, 500.0, horizon_s=2.0)
+            assert process.expected_jobs(0.0, 2.0) == \
+                pytest.approx(1000.0, rel=0.01)
+
+    def test_option_parsing(self):
+        process = make_process("diurnal:amplitude=0.5,period=0.25",
+                               100.0, 1.0)
+        assert isinstance(process, DiurnalProcess)
+        assert process.amplitude == 0.5
+        assert process.period_s == 0.25
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="unknown arrival process"):
+            make_process("sawtooth", 100.0)
+        with pytest.raises(ValueError, match="unknown option"):
+            make_process("diurnal:slope=2", 100.0)
+        with pytest.raises(ValueError, match="key=value"):
+            make_process("diurnal:amplitude", 100.0)
+        with pytest.raises(ValueError, match="replay needs a path"):
+            make_process("replay", 100.0)
+        with pytest.raises(ValueError, match="duty"):
+            make_process("mmpp:duty=1.5", 100.0)
+        with pytest.raises(ValueError, match="burst"):
+            make_process("mmpp:burst=0.5", 100.0)
+        with pytest.raises(ValueError):
+            make_process("poisson", 0.0)
+
+    def test_with_arrivals_reshapes_every_stream(self, config):
+        scenario = build_scenarios(config, duration_s=0.4)["mixed"]
+        shaped = scenario.with_arrivals("diurnal:amplitude=0.9")
+        assert all(isinstance(s.process, DiurnalProcess)
+                   for s in shaped.streams)
+        # Same nominal rates, different draw sequence, same horizon.
+        assert [s.rate_per_s for s in shaped.streams] == \
+            [s.rate_per_s for s in scenario.streams]
+        assert shaped.duration_s == scenario.duration_s
+        assert len(shaped.generate(0)) > 0

@@ -1,0 +1,314 @@
+"""Parity and contract tests for the vectorized fast engine.
+
+The fast engine's correctness story is *exact equivalence* to the DES
+oracle on a shared arrival sequence — not statistical similarity.  The
+hypothesis suite here drives both engines across the policy x stripe x
+tenancy x load space and requires bit-identical reports; unit tests
+pin the working-set key cache to the per-key LRU, recorder event
+streams, and the streaming-percentile opt-in contract.
+"""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FabConfig
+from repro.obs import MetricsRecorder, TimelineRecorder
+from repro.runtime.fast_engine import (STREAMING_AUTO_THRESHOLD,
+                                       SetKeyCache, run_fast)
+from repro.runtime.policies import PriceSignal
+from repro.runtime.serving import (JobClass, KeyCache, Scenario,
+                                   ServingSimulator, Stream,
+                                   build_job_classes, build_scenarios,
+                                   build_slo_scenario)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FabConfig()
+
+
+def _eq(a, b):
+    """NaN-aware structural equality (NaN == NaN holds).
+
+    Rejected-only classes report NaN percentiles, where dataclass
+    ``==`` would spuriously fail an otherwise identical report.
+    """
+    if isinstance(a, float) and isinstance(b, float):
+        return (math.isnan(a) and math.isnan(b)) or a == b
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(
+            _eq(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _eq(v, b[k]) for k, v in a.items())
+    return a == b
+
+
+def assert_reports_identical(fast, des):
+    fast_d = dataclasses.asdict(fast)
+    des_d = dataclasses.asdict(des)
+    for field in des_d:
+        assert _eq(fast_d[field], des_d[field]), (
+            f"field {field!r} diverged:\n"
+            f"  fast: {fast_d[field]!r}\n"
+            f"  des:  {des_d[field]!r}")
+
+
+class TestHypothesisParity:
+    """Fast == DES, field for field, on shared exact arrivals."""
+
+    @given(name=st.sampled_from(
+               ["interactive", "batch", "analytics", "mixed"]),
+           policy=st.sampled_from(["fifo", "edf"]),
+           seed=st.integers(0, 10_000),
+           load=st.floats(0.2, 1.6),
+           devices=st.integers(1, 6),
+           max_batch=st.integers(1, 12),
+           diurnal=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_canned_scenarios(self, name, policy, seed, load, devices,
+                              max_batch, diurnal):
+        config = FabConfig()
+        scenario = build_scenarios(config, num_devices=devices,
+                                   duration_s=0.15,
+                                   target_load=load)[name]
+        simulator = ServingSimulator(config, num_devices=devices,
+                                     max_batch=max_batch)
+        price = (PriceSignal.diurnal(slot_s=0.02) if diurnal
+                 else None)
+        des = simulator.run(scenario, seed=seed, policy=policy,
+                            price=price)
+        fast = simulator.run(scenario, seed=seed, policy=policy,
+                             price=price, engine="fast")
+        assert_reports_identical(fast, des)
+
+    @given(policy=st.sampled_from(
+               ["fifo", "edf", "deferrable-window"]),
+           seed=st.integers(0, 10_000),
+           stripe=st.sampled_from([1, 2, 4]),
+           load=st.floats(0.5, 2.0),
+           interactive_fraction=st.floats(0.0, 1.0),
+           diurnal=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_slo_scenarios(self, policy, seed, stripe, load,
+                           interactive_fraction, diurnal):
+        """The SLO scenario: deadlines, admission control, deferral
+        windows, and striped gangs — the full policy surface."""
+        config = FabConfig()
+        scenario = build_slo_scenario(
+            config, num_devices=4, duration_s=0.15, target_load=load,
+            interactive_fraction=interactive_fraction,
+            training_stripe=stripe)
+        simulator = ServingSimulator(config, num_devices=4,
+                                     max_batch=8)
+        price = (PriceSignal.diurnal(slot_s=0.02) if diurnal
+                 else None)
+        des = simulator.run(scenario, seed=seed, policy=policy,
+                            price=price)
+        fast = simulator.run(scenario, seed=seed, policy=policy,
+                             price=price, engine="fast")
+        assert_reports_identical(fast, des)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_overlapping_key_sets_fall_back(self, config, seed):
+        """Distinct classes sharing key ids under one tenant prefix
+        defeat the set-granularity cache; the fast engine must detect
+        this and stay exact via the per-key fallback."""
+        classes = build_job_classes(config)
+        base = classes["lr_inference"]
+        overlap = JobClass("overlap", cycles=base.cycles * 2,
+                           key_ids=base.key_ids[: max(
+                               1, len(base.key_ids) // 2)],
+                           bytes_per_key=base.bytes_per_key)
+        scenario = Scenario("overlap", 0.15, [
+            Stream(base, rate_per_s=600.0, num_tenants=2,
+                   tenant_prefix="user"),
+            Stream(overlap, rate_per_s=400.0, num_tenants=2,
+                   tenant_prefix="user"),
+        ])
+        simulator = ServingSimulator(config, num_devices=2,
+                                     max_batch=4)
+        des = simulator.run(scenario, seed=seed)
+        fast = simulator.run(scenario, seed=seed, engine="fast")
+        assert_reports_identical(fast, des)
+
+
+class TestRecorderParity:
+    """Observation hooks fire identically from both engines."""
+
+    def test_metrics_recorder(self, config):
+        scenario = build_slo_scenario(config, duration_s=0.2,
+                                      target_load=1.2)
+        simulator = ServingSimulator(config, max_batch=8)
+        des_rec = MetricsRecorder(window_s=0.01)
+        fast_rec = MetricsRecorder(window_s=0.01)
+        des = simulator.run(scenario, seed=0, policy="edf",
+                            recorder=des_rec)
+        fast = simulator.run(scenario, seed=0, policy="edf",
+                             recorder=fast_rec, engine="fast")
+        assert_reports_identical(fast, des)
+        assert fast_rec.to_dict() == des_rec.to_dict()
+
+    def test_timeline_recorder(self, config):
+        scenario = build_scenarios(config, duration_s=0.1,
+                                   target_load=0.9)["mixed"]
+        simulator = ServingSimulator(config, max_batch=4)
+        des_rec = TimelineRecorder()
+        fast_rec = TimelineRecorder()
+        simulator.run(scenario, seed=3, recorder=des_rec)
+        simulator.run(scenario, seed=3, recorder=fast_rec,
+                      engine="fast")
+        assert fast_rec.to_dict() == des_rec.to_dict()
+
+
+class TestSetKeyCache:
+    """The working-set LRU vs the per-key LRU, request for request."""
+
+    CLASSES = [
+        JobClass("a", cycles=1, key_ids=("a0", "a1", "a2"),
+                 bytes_per_key=100),
+        JobClass("b", cycles=1, key_ids=("b0", "b1"),
+                 bytes_per_key=300),
+        JobClass("z", cycles=1, key_ids=("z0", "z1"), bytes_per_key=0),
+        JobClass("big", cycles=1,
+                 key_ids=tuple(f"g{i}" for i in range(40)),
+                 bytes_per_key=100),
+    ]
+
+    def _pair(self, capacity):
+        per_key = KeyCache(capacity)
+        sets = [(len(jc.key_ids), jc.bytes_per_key, jc.key_bytes)
+                for jc in self.CLASSES]
+        per_set = SetKeyCache(capacity, sets)
+        return per_key, per_set
+
+    def _drive(self, requests, capacity):
+        per_key, per_set = self._pair(capacity)
+        for tenant, class_idx in requests:
+            jc = self.CLASSES[class_idx]
+            a = per_key.request(f"t{tenant}", jc)
+            b = per_set.request(tenant, class_idx)
+            assert a == b
+        key_stats = per_key.stats()
+        set_stats = per_set.stats()
+        for field in ("hits", "misses", "bytes_loaded", "evictions",
+                      "bytes_evicted", "resident_bytes"):
+            assert key_stats[field] == set_stats[field], field
+
+    @given(requests=st.lists(
+               st.tuples(st.integers(0, 3), st.integers(0, 3)),
+               max_size=200),
+           capacity=st.sampled_from([1, 350, 900, 2500, 10**6]))
+    @settings(max_examples=60, deadline=None)
+    def test_equivalence(self, requests, capacity):
+        """Any request sequence — partial evictions, zero-byte keys,
+        and the oversized pinned set ("big" outsizes most capacities)
+        included — produces identical accounting."""
+        self._drive(requests, capacity)
+
+    def test_peek_matches_request(self):
+        per_key, per_set = self._pair(900)
+        for tenant, class_idx in [(0, 0), (1, 1), (0, 3), (0, 0),
+                                  (1, 1), (2, 2)]:
+            jc = self.CLASSES[class_idx]
+            assert (per_set.peek_miss_bytes(tenant, class_idx)
+                    == per_key.peek_miss_bytes(f"t{tenant}", jc))
+            assert (per_set.request(tenant, class_idx)
+                    == per_key.request(f"t{tenant}", jc))
+
+
+class TestStreamingQuantiles:
+    """Streaming percentiles: strictly opt-in, bounded error."""
+
+    def _lat_table(self, report):
+        return {w.name: (w.p50_ms, w.p95_ms, w.p99_ms)
+                for w in report.per_workload}
+
+    def test_default_is_exact(self, config):
+        scenario = build_scenarios(config, duration_s=0.2)["mixed"]
+        simulator = ServingSimulator(config)
+        des = simulator.run(scenario, seed=0)
+        for value in (None, False, "auto"):
+            fast = simulator.run(scenario, seed=0, engine="fast",
+                                 streaming_quantiles=value)
+            assert_reports_identical(fast, des)
+
+    def test_streaming_error_is_bounded(self, config):
+        """Reservoir percentiles on a real run: within a few percent
+        of the exact tail (the reservoir holds 8k of ~10k points)."""
+        scenario = build_slo_scenario(config, duration_s=3.7,
+                                      target_load=1.5)
+        simulator = ServingSimulator(config, max_batch=32)
+        exact = simulator.run(scenario, seed=0, engine="fast")
+        stream = simulator.run(scenario, seed=0, engine="fast",
+                               streaming_quantiles=True)
+        assert stream.jobs_done == exact.jobs_done
+        assert stream.makespan_s == exact.makespan_s
+        exact_t = self._lat_table(exact)
+        stream_t = self._lat_table(stream)
+        for name, exact_qs in exact_t.items():
+            for e, s in zip(exact_qs, stream_t[name]):
+                if math.isnan(e):
+                    assert math.isnan(s)
+                else:
+                    assert s == pytest.approx(e, rel=0.05, abs=0.05)
+
+    def test_auto_threshold_is_exported(self):
+        assert STREAMING_AUTO_THRESHOLD == 100_000
+
+    def test_validation(self, config):
+        scenario = build_scenarios(config, duration_s=0.05)["mixed"]
+        simulator = ServingSimulator(config)
+        with pytest.raises(ValueError, match="streaming_quantiles"):
+            simulator.run(scenario, engine="fast",
+                          streaming_quantiles="reservoir")
+        with pytest.raises(ValueError, match="DES engine"):
+            simulator.run(scenario, streaming_quantiles=True)
+        with pytest.raises(ValueError, match="DES engine"):
+            simulator.run(scenario, arrival_mode="vectorized")
+
+
+class TestEngineContract:
+    def test_unknown_engine(self, config):
+        scenario = build_scenarios(config, duration_s=0.05)["mixed"]
+        with pytest.raises(ValueError, match="unknown engine"):
+            ServingSimulator(config).run(scenario, engine="turbo")
+
+    def test_fast_rejects_policy_instances(self, config):
+        from repro.runtime.policies import make_policy
+        scenario = build_scenarios(config, duration_s=0.05)["mixed"]
+        simulator = ServingSimulator(config)
+        with pytest.raises(ValueError, match="policy name"):
+            simulator.run(scenario, policy=make_policy("fifo"),
+                          engine="fast")
+        with pytest.raises(ValueError, match="unknown policy"):
+            simulator.run(scenario, policy="lifo", engine="fast")
+
+    def test_run_fast_entry_point(self, config):
+        """The direct entry point matches the dispatching one."""
+        scenario = build_scenarios(config, duration_s=0.1)["mixed"]
+        simulator = ServingSimulator(config)
+        via_run = simulator.run(scenario, seed=1, engine="fast")
+        direct = run_fast(simulator, scenario, seed=1)
+        assert_reports_identical(direct, via_run)
+
+    def test_vectorized_arrivals_statistics(self, config):
+        """Vectorized arrivals draw a different sequence (numpy rng),
+        but the load they carry matches: job counts within a few
+        percent and the same workload mix."""
+        scenario = build_slo_scenario(config, duration_s=2.0,
+                                      target_load=1.0)
+        simulator = ServingSimulator(config, max_batch=16)
+        exact = simulator.run(scenario, seed=0, engine="fast")
+        vec = simulator.run(scenario, seed=0, engine="fast",
+                            arrival_mode="vectorized")
+        n_exact = exact.jobs_done + exact.rejected_jobs
+        n_vec = vec.jobs_done + vec.rejected_jobs
+        assert n_vec == pytest.approx(n_exact, rel=0.10)
+        assert ({w.name for w in vec.per_workload}
+                == {w.name for w in exact.per_workload})

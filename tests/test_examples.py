@@ -46,6 +46,12 @@ class TestFastExamples:
         assert "ui.perfetto.dev" in out
         assert "totals:" in out
 
+    def test_fleet_diurnal(self):
+        out = run_example("fleet_diurnal.py")
+        assert "fleet demo OK" in out
+        assert "identical: every field, every percentile." in out
+        assert "flash:factor=8" in out
+
     def test_reproduce_paper(self):
         out = run_example("reproduce_paper.py")
         for artifact in ("fig1", "fig2", "table3", "table7", "table8"):
