@@ -9,6 +9,7 @@ Usage::
     python -m repro serve --scenario mixed   # serving simulation
     python -m repro serve-sweep          # cost-optimal pool sweep
     python -m repro slo-sweep            # policy x load x mix SLO sweep
+    python -m repro fault-sweep          # MTBF x retry resilience sweep
     python -m repro stripe-scale         # FAB-2 trace-striping sweep
     python -m repro timeline metrics.json    # render a metrics artifact
 """
@@ -37,6 +38,9 @@ def main(argv=None) -> int:
     if argv[0] == "slo-sweep":
         from .runtime.cli import run_slo_sweep
         return run_slo_sweep(argv[1:])
+    if argv[0] == "fault-sweep":
+        from .runtime.cli import run_fault_sweep
+        return run_fault_sweep(argv[1:])
     if argv[0] == "stripe-scale":
         from .runtime.cli import run_stripe_scale
         return run_stripe_scale(argv[1:])
@@ -55,6 +59,8 @@ def main(argv=None) -> int:
               f"for the cost-optimal configuration.")
         print(f"{'slo-sweep':22s} Sweep policy x load x mix x pool "
               f"size; cost/SLO Pareto frontier.")
+        print(f"{'fault-sweep':22s} Sweep board MTBF x retry policy; "
+              f"goodput/wasted-service resilience frontier.")
         print(f"{'stripe-scale':22s} Stripe a trace across the FAB-2 "
               f"pool; reconcile vs the analytic model.")
         print(f"{'timeline':22s} Render a serve --metrics artifact as "

@@ -140,6 +140,21 @@ class FabConfig:
 
     fhe: FheParams = field(default_factory=FheParams)
 
+    def __post_init__(self):
+        # Fail at construction, not deep inside a sweep worker: every
+        # derived quantity below divides or scales by these.
+        for name in ("clock_hz", "mem_clock_hz", "cmac_clock_hz",
+                     "num_functional_units", "hbm_ports",
+                     "hbm_port_bits", "hbm_total_gb", "ethernet_gbps"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 < self.hbm_efficiency <= 1.0:
+            raise ValueError("hbm_efficiency must be in (0, 1]")
+        if not 0.0 <= self.ethernet_overhead < 1.0:
+            raise ValueError("ethernet_overhead must be in [0, 1)")
+        if not 0.0 < self.fine_grain_overlap <= 1.0:
+            raise ValueError("fine_grain_overlap must be in (0, 1]")
+
     # ------------------------------------------------------------------
     # Derived quantities
     # ------------------------------------------------------------------

@@ -5,8 +5,8 @@ or call its ``run()`` for structured rows.  ``run_all()`` executes the
 complete evaluation section.
 """
 
-from . import (ablation_keyswitch, extras_balance, fig1_dnum, fig2_fftiter,
-               leveled_vs_bootstrap, serve_sweep, slo_sweep,
+from . import (ablation_keyswitch, extras_balance, fault_sweep, fig1_dnum,
+               fig2_fftiter, leveled_vs_bootstrap, serve_sweep, slo_sweep,
                striping_scale, table2_params, table3_resources,
                table4_comparison, table5_basic_ops, table6_heax,
                table7_bootstrap, table8_lr)
@@ -27,6 +27,7 @@ ALL_EXPERIMENTS = {
     "extras_balance": extras_balance,
     "serve_sweep": serve_sweep,
     "slo_sweep": slo_sweep,
+    "fault_sweep": fault_sweep,
     "stripe_scale": striping_scale,
 }
 

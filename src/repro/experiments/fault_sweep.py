@@ -1,0 +1,365 @@
+"""Fault sweep: MTBF x retry policy x pool size under bursty load.
+
+The serving simulator injects board faults through
+:mod:`repro.runtime.faults`; this driver quantifies what recovery
+buys.  Every (pool size, MTBF) grid point runs all retry policies on
+the *same* arrival sequence and the *same* per-board fault schedule
+(fault draws are seeded per ``(run seed, board)``, independent of the
+retry policy), so per-point comparisons are exact:
+
+* ``none`` — shed every fault-killed job: the no-recovery baseline.
+  Goodput collapses as MTBF approaches the batch service time.
+* ``immediate`` — re-enqueue instantly up to a retry budget.  Recovers
+  most of the lost work but re-offers it while the pool is still
+  degraded.
+* ``backoff`` — capped exponential backoff with seeded jitter.  The
+  same retries, spread out: strictly more goodput than ``none`` at
+  every fault rate (a CI-pinned invariant) and the best
+  goodput-vs-wasted-work trade of the three.
+
+The headline artifact is the **resilience frontier** — the
+non-dominated (goodput, wasted service) outcomes across the grid —
+plus per-point ``backoff`` vs ``none`` goodput rows.  Jobs here are
+deadline-annotated (the two-tier SLO scenario under diurnal or MMPP
+arrivals), so *goodput* counts completions that met their effective
+deadline: work a retry saved but delivered too late does not inflate
+the score.
+
+CLI::
+
+    python -m repro fault-sweep --duration 0.5 --json fault_sweep.json
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.params import FabConfig
+from ..obs import provenance
+from ..runtime.faults import make_fault_process, make_retry_policy
+from ..runtime.serving import (ServingSimulator, build_job_classes,
+                               build_slo_scenario,
+                               default_interactive_slo_ms)
+from .common import ExperimentResult, ExperimentRow, fan_out
+
+#: Default grid: 2 pools x 3 fault rates x 3 retry policies = 18 runs.
+DEFAULT_RETRIES = ("none", "immediate:max=3", "backoff")
+DEFAULT_DEVICES = (4, 8)
+DEFAULT_MTBFS = (0.05, 0.2, 1.0)
+
+#: Mean time to repair, fixed across the sweep so MTBF is the one
+#: availability knob (availability = mtbf / (mtbf + mttr)).
+DEFAULT_MTTR = 0.02
+
+#: Arrival reshaping applied to every stream (the fault interaction
+#: being studied is fault-during-burst, so default to bursty MMPP).
+DEFAULT_ARRIVALS = "mmpp:burst=3.0,duty=0.3,dwell=0.1"
+
+#: Interactive SLO as a multiple of the fault-free default (3x the
+#: cold-start bound).  A fleet that retries through faults provisions
+#: deadline headroom for the retry to land in; without it (scale 1)
+#: retried jobs complete but miss their deadlines and *no-retry posts
+#: more goodput than backoff* — a real effect worth demonstrating
+#: (``--slo-scale 1``), but not the provisioning regime the sweep's
+#: headline invariant speaks to.
+DEFAULT_SLO_SCALE = 4.0
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One pool size under one board fault rate."""
+
+    devices: int
+    mtbf_s: float
+
+    def label(self) -> str:
+        return f"d{self.devices}/mtbf{self.mtbf_s:g}"
+
+
+@dataclass
+class RetryOutcome:
+    """One retry policy's result on one grid point's fault schedule."""
+
+    point: FaultPoint
+    retry: str
+    #: Completions that met their effective deadline (the goodput
+    #: count) and the same as a rate over the makespan.
+    good_jobs: int
+    goodput_jps: float
+    throughput_jps: float
+    jobs_done: int
+    rejected: int
+    shed: int
+    shed_degraded: int
+    degraded_jobs: int
+    board_faults: int
+    failures: int
+    retries: int
+    wasted_service_s: float
+    slo_attainment: Optional[float]
+    cost_price_units: float
+    makespan_s: float
+
+
+@dataclass
+class FaultSweepReport:
+    """The full grid plus per-point comparisons and the frontier."""
+
+    outcomes: List[RetryOutcome]
+    retries: Tuple[str, ...]
+    mttr_s: float
+    duration_s: float
+    seed: int
+    arrivals: Optional[str]
+    slo_scale: float = DEFAULT_SLO_SCALE
+    provenance: Optional[Dict[str, object]] = None
+
+    def by_point(self) -> Dict[str, Dict[str, RetryOutcome]]:
+        """``{point label: {retry name: outcome}}`` over the grid."""
+        table: Dict[str, Dict[str, RetryOutcome]] = {}
+        for outcome in self.outcomes:
+            name = outcome.retry.partition(":")[0]
+            table.setdefault(outcome.point.label(), {})[name] = outcome
+        return table
+
+    def resilience_frontier(self) -> List[RetryOutcome]:
+        """Non-dominated outcomes: maximize goodput, minimize wasted
+        service.
+
+        The fault-tolerance trade in one curve: retries buy goodput by
+        re-running killed work, and the price is board-seconds burned
+        on batches that never finished.  An outcome is dominated when
+        another wastes no more *and* delivers no less goodput, with at
+        least one strict; the frontier is returned thriftiest-first.
+        """
+        frontier = []
+        for candidate in self.outcomes:
+            dominated = False
+            for other in self.outcomes:
+                if other is candidate:
+                    continue
+                no_worse = (
+                    other.wasted_service_s <= candidate.wasted_service_s
+                    and other.goodput_jps >= candidate.goodput_jps)
+                strictly = (
+                    other.wasted_service_s < candidate.wasted_service_s
+                    or other.goodput_jps > candidate.goodput_jps)
+                if no_worse and strictly:
+                    dominated = True
+                    break
+            if not dominated:
+                frontier.append(candidate)
+        return sorted(frontier,
+                      key=lambda o: (o.wasted_service_s, -o.goodput_jps))
+
+    def headline(self) -> Dict[str, object]:
+        """``backoff_vs_none``: per-point (label, board faults, none
+        goodput jobs, backoff goodput jobs) rows — the comparison the
+        acceptance criteria pin (backoff strictly beats no-retry at
+        every point where faults actually fired)."""
+        rows = []
+        for label, per_retry in sorted(self.by_point().items()):
+            none = per_retry.get("none")
+            backoff = per_retry.get("backoff")
+            if none and backoff:
+                rows.append((label, none.board_faults,
+                             none.good_jobs, backoff.good_jobs))
+        return {"backoff_vs_none": rows}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "retries": list(self.retries),
+            "mttr_s": self.mttr_s,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "arrivals": self.arrivals,
+            "slo_scale": self.slo_scale,
+            "provenance": self.provenance,
+            "grid_points": len(self.by_point()),
+            "headline": self.headline(),
+            "resilience_frontier": [
+                {
+                    "point": o.point.label(),
+                    "retry": o.retry,
+                    "goodput_jps": o.goodput_jps,
+                    "good_jobs": o.good_jobs,
+                    "wasted_service_s": o.wasted_service_s,
+                    "failures": o.failures,
+                }
+                for o in self.resilience_frontier()
+            ],
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+
+    def to_experiment_result(self) -> ExperimentResult:
+        columns = ["retry", "devices", "mtbf_s", "good", "done",
+                   "faults", "failures", "retries", "shed", "shed_deg",
+                   "degraded", "wasted_s"]
+        rows = [
+            ExperimentRow(
+                f"{o.point.label()}/{o.retry.partition(':')[0]}",
+                {
+                    "retry": o.retry.partition(":")[0],
+                    "devices": o.point.devices,
+                    "mtbf_s": o.point.mtbf_s,
+                    "good": o.good_jobs,
+                    "done": o.jobs_done,
+                    "faults": o.board_faults,
+                    "failures": o.failures,
+                    "retries": o.retries,
+                    "shed": o.shed,
+                    "shed_deg": o.shed_degraded,
+                    "degraded": o.degraded_jobs,
+                    "wasted_s": o.wasted_service_s,
+                },
+            )
+            for o in self.outcomes
+        ]
+        frontier = self.resilience_frontier()
+        notes = (
+            f"{len(self.by_point())} grid points x "
+            f"{len(self.retries)} retry policies; resilience frontier: "
+            + ", ".join(
+                f"{o.point.label()}/{o.retry.partition(':')[0]}"
+                for o in frontier[:4])
+            + (" ..." if len(frontier) > 4 else ""))
+        return ExperimentResult(
+            experiment_id="fault_sweep",
+            title="Fault sweep: MTBF x retry policy x pool size",
+            columns=columns,
+            rows=rows,
+            notes=notes,
+        )
+
+
+def _simulate_point(args: Tuple) -> RetryOutcome:
+    """Worker body: one (grid point, retry policy) pair through the
+    fault-injecting simulator (top-level so it pickles)."""
+    (point, retry, scenario, config, seed, max_batch, mttr_s) = args
+    simulator = ServingSimulator(config, num_devices=point.devices,
+                                 max_batch=max_batch)
+    report = simulator.run(
+        scenario, seed=seed,
+        faults=f"poisson:mtbf={point.mtbf_s:g},mttr={mttr_s:g}",
+        retry=retry)
+    good_jobs = int(round(report.goodput_jps * report.makespan_s))
+    return RetryOutcome(
+        point=point,
+        retry=retry,
+        good_jobs=good_jobs,
+        goodput_jps=report.goodput_jps,
+        throughput_jps=report.throughput_jps,
+        jobs_done=report.jobs_done,
+        rejected=report.rejected_jobs,
+        shed=report.shed_jobs,
+        shed_degraded=report.shed_degraded,
+        degraded_jobs=report.degraded_jobs,
+        board_faults=report.board_faults,
+        failures=report.failures,
+        retries=report.retries,
+        wasted_service_s=report.wasted_service_s,
+        slo_attainment=report.slo_attainment,
+        cost_price_units=report.cost_price_units,
+        makespan_s=report.makespan_s,
+    )
+
+
+def run_sweep(
+    config: Optional[FabConfig] = None,
+    retries: Sequence[str] = DEFAULT_RETRIES,
+    devices: Sequence[int] = DEFAULT_DEVICES,
+    mtbfs: Sequence[float] = DEFAULT_MTBFS,
+    mttr_s: float = DEFAULT_MTTR,
+    duration_s: float = 0.5,
+    target_load: float = 0.8,
+    seed: int = 0,
+    max_batch: int = 8,
+    training_stripe: int = 1,
+    slo_scale: float = DEFAULT_SLO_SCALE,
+    arrivals: Optional[str] = DEFAULT_ARRIVALS,
+    workers: Optional[int] = None,
+) -> FaultSweepReport:
+    """Simulate the full fault grid; returns the sweep report.
+
+    Every retry policy at one grid point sees the same scenario (same
+    arrival sequence for the point's seed) and the same per-board
+    fault schedule — fault draws are keyed on ``(seed, board)`` only,
+    so the retry policy cannot perturb *when* boards fail, just what
+    happens to the jobs afterwards.  ``arrivals=None`` keeps each
+    stream's own (Poisson) process; the default reshapes every stream
+    into MMPP bursts, the regime where fault/burst overlap hurts
+    most.  ``slo_scale`` loosens the interactive deadline to a
+    multiple of the fault-free default (see :data:`DEFAULT_SLO_SCALE`
+    for why a resilience study provisions deadline headroom).  Fault
+    injection is DES-only, so unlike the other sweeps there is no
+    ``engine`` knob.
+    """
+    config = config or FabConfig()
+    for retry in retries:
+        make_retry_policy(retry)  # validate specs before fanning out
+    for mtbf in mtbfs:
+        make_fault_process(f"poisson:mtbf={mtbf:g},mttr={mttr_s:g}")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if slo_scale <= 0:
+        raise ValueError("slo_scale must be positive")
+    grid = [FaultPoint(d, mtbf) for d in devices for mtbf in mtbfs]
+    if not grid:
+        raise ValueError("empty sweep grid")
+    names = [r.partition(":")[0] for r in retries]
+    if len(set(names)) != len(names):
+        raise ValueError(f"retry policies must be distinct: {names!r}")
+    classes = build_job_classes(config, training_stripe=training_stripe)
+    slo_ms = slo_scale * default_interactive_slo_ms(
+        classes["lr_inference"], config)
+    tasks = []
+    for point in grid:
+        scenario = build_slo_scenario(
+            config, num_devices=point.devices, duration_s=duration_s,
+            target_load=target_load, interactive_slo_ms=slo_ms,
+            training_stripe=training_stripe)
+        if arrivals:
+            scenario = scenario.with_arrivals(arrivals)
+        for retry in retries:
+            tasks.append((point, retry, scenario, config, seed,
+                          max_batch, mttr_s))
+    outcomes = fan_out(_simulate_point, tasks, workers=workers)
+    return FaultSweepReport(
+        outcomes=outcomes,
+        retries=tuple(retries),
+        mttr_s=mttr_s,
+        duration_s=duration_s,
+        seed=seed,
+        arrivals=arrivals,
+        slo_scale=slo_scale,
+        provenance=dict(provenance(seed=seed, config=config,
+                                   mttr_s=mttr_s, slo_scale=slo_scale,
+                                   arrivals=arrivals or "default")),
+    )
+
+
+def run() -> ExperimentResult:
+    """Experiment-registry entry point: a reduced inline grid."""
+    report = run_sweep(
+        devices=(4,),
+        mtbfs=(0.05, 0.5),
+        duration_s=0.4,
+        workers=1,
+    )
+    return report.to_experiment_result()
+
+
+def main() -> None:
+    from .common import print_result
+
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

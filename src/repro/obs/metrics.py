@@ -70,6 +70,15 @@ class MetricsRecorder(Recorder):
         self._q_last_total = 0
         self._q_last: Dict[Tuple[str, str], int] = {}
         self.peak_queue_depth = 0
+        # fault-injection series: faults/repairs per window, plus a
+        # sample-and-hold healthy-board count (None until the first
+        # fault event reports one).
+        self._faults: List[float] = []
+        self._repairs: List[float] = []
+        self._healthy_snap: Dict[int, int] = {}
+        self._fault_count = 0
+        self._repair_count = 0
+        self._min_healthy: Optional[int] = None
         self._max_t = 0.0
         self._makespan_s = 0.0
         self._device_busy_s: Tuple[float, ...] = ()
@@ -166,6 +175,27 @@ class MetricsRecorder(Recorder):
                 for key in _CACHE_KEYS:
                     snap[key] += int(stats.get(key, 0))
             self._cache_snap[self._index(finish)] = snap
+
+    def board_fault(self, *, t: float, board: int,
+                    permanent: bool = False,
+                    healthy: Optional[int] = None,
+                    killed_batch: bool = False) -> None:
+        t = self._finite(t)
+        self._add(self._faults, t, 1.0)
+        self._fault_count += 1
+        if healthy is not None:
+            self._healthy_snap[self._index(t)] = healthy
+            if (self._min_healthy is None
+                    or healthy < self._min_healthy):
+                self._min_healthy = healthy
+
+    def board_repair(self, *, t: float, board: int,
+                     healthy: Optional[int] = None) -> None:
+        t = self._finite(t)
+        self._add(self._repairs, t, 1.0)
+        self._repair_count += 1
+        if healthy is not None:
+            self._healthy_snap[self._index(t)] = healthy
 
     def queue_sample(self, *, t: float, total: int,
                      depths: Optional[Dict[Tuple[str, str], int]] = None
@@ -281,6 +311,20 @@ class MetricsRecorder(Recorder):
         }
         if price_mean is not None:
             windows["price_mean"] = price_mean
+        if self._fault_count or self._repair_count:
+            windows["board_faults"] = self._padded(self._faults, count)
+            windows["board_repairs"] = self._padded(self._repairs,
+                                                    count)
+            # Sample-and-hold: between fault events the pool size is
+            # whatever the last event reported (full pool before the
+            # first fault).
+            healthy_series: List[Optional[float]] = []
+            level: Optional[int] = self._run_info.get("num_devices")
+            for index in range(count):
+                level = self._healthy_snap.get(index, level)
+                healthy_series.append(
+                    float(level) if level is not None else None)
+            windows["healthy_boards"] = healthy_series
         return {
             "meta": dict(self._meta),
             **self._run_info,
@@ -309,6 +353,9 @@ class MetricsRecorder(Recorder):
             "cost_price_units": sum(self._cost),
             "key_bytes_loaded": sum(self._load_bytes),
             "rejections": int(sum(self._rejects)),
+            "board_faults": self._fault_count,
+            "board_repairs": self._repair_count,
+            "min_healthy_boards": self._min_healthy,
         }
 
     def save(self, path: str) -> None:

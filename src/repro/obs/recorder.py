@@ -92,6 +92,23 @@ class Recorder:
         """Queue depths observed at a dispatch opportunity.
         ``depths`` maps ``(job_class, tenant)`` to queued jobs."""
 
+    # -- fault events ----------------------------------------------------
+
+    def board_fault(self, *, t: float, board: int,
+                    permanent: bool = False,
+                    healthy: Optional[int] = None,
+                    killed_batch: bool = False) -> None:
+        """``board`` went down at ``t`` (its HBM key cache is wiped).
+        ``permanent`` marks a board that never repairs; ``healthy`` is
+        the pool's healthy-board count *after* the fault;
+        ``killed_batch`` is set when the fault aborted an in-flight
+        batch."""
+
+    def board_repair(self, *, t: float, board: int,
+                     healthy: Optional[int] = None) -> None:
+        """``board`` came back up (cold: its key cache is empty).
+        ``healthy`` is the healthy-board count after the repair."""
+
     # -- scheduler events ----------------------------------------------
 
     def schedule_task(self, *, group: str, track: str, name: str,
@@ -153,6 +170,14 @@ class CompositeRecorder(Recorder):
     def queue_sample(self, **kwargs: Any) -> None:
         for rec in self.recorders:
             rec.queue_sample(**kwargs)
+
+    def board_fault(self, **kwargs: Any) -> None:
+        for rec in self.recorders:
+            rec.board_fault(**kwargs)
+
+    def board_repair(self, **kwargs: Any) -> None:
+        for rec in self.recorders:
+            rec.board_repair(**kwargs)
 
     def schedule_task(self, **kwargs: Any) -> None:
         for rec in self.recorders:

@@ -63,6 +63,9 @@ class TimelineRecorder(Recorder):
         self._open_defer: Dict[int, Tuple[float, float]] = {}
         #: (t_seconds, +/- bytes) deltas of the PCIe key-load counter.
         self._pcie_deltas: List[Tuple[float, int]] = []
+        #: (t_seconds, healthy_count) samples of the pool-health
+        #: counter, recorded at every fault/repair instant.
+        self._healthy_points: List[Tuple[float, int]] = []
         #: group -> track -> [(start_s, finish_s, name, device)].
         self._sched: Dict[str, Dict[str, List[Tuple]]] = {}
         self._makespan_s = 0.0
@@ -191,6 +194,31 @@ class TimelineRecorder(Recorder):
                 self._pcie_deltas.append((t0 + load_s, -miss_bytes))
             self._emit("E", name, finish, tid)
 
+    def board_fault(self, *, t: float, board: int,
+                    permanent: bool = False,
+                    healthy: Optional[int] = None,
+                    killed_batch: bool = False) -> None:
+        t = self._finite(t)
+        self._close_defer(board, t)
+        args: Dict[str, Any] = {"board": board}
+        if permanent:
+            args["permanent"] = True
+        if killed_batch:
+            args["killed_batch"] = True
+        name = "fault (permanent)" if permanent else "fault"
+        self._emit("i", name, t, self._board_tid(board), s="t",
+                   args=args)
+        if healthy is not None:
+            self._healthy_points.append((t, healthy))
+
+    def board_repair(self, *, t: float, board: int,
+                     healthy: Optional[int] = None) -> None:
+        t = self._finite(t)
+        self._emit("i", "repair", t, self._board_tid(board), s="t",
+                   args={"board": board})
+        if healthy is not None:
+            self._healthy_points.append((t, healthy))
+
     def schedule_task(self, *, group: str, track: str, name: str,
                       start_s: float, finish_s: float,
                       device: Optional[int] = None) -> None:
@@ -244,20 +272,28 @@ class TimelineRecorder(Recorder):
         return events
 
     def _counter_events(self) -> List[Dict[str, Any]]:
-        if not self._pcie_deltas:
-            return []
-        tid = self._aux_tid("host-pcie")
-        merged: Dict[float, int] = {}
-        for t, delta in self._pcie_deltas:
-            merged[t] = merged.get(t, 0) + delta
-        events = []
-        level = 0
-        for t in sorted(merged):
-            level += merged[t]
-            events.append({"ph": "C", "name": "key-load bytes in flight",
-                           "ts": t * _US, "pid": SERVE_PID, "tid": tid,
-                           "cat": "serving",
-                           "args": {"bytes": max(level, 0)}})
+        events: List[Dict[str, Any]] = []
+        if self._pcie_deltas:
+            tid = self._aux_tid("host-pcie")
+            merged: Dict[float, int] = {}
+            for t, delta in self._pcie_deltas:
+                merged[t] = merged.get(t, 0) + delta
+            level = 0
+            for t in sorted(merged):
+                level += merged[t]
+                events.append(
+                    {"ph": "C", "name": "key-load bytes in flight",
+                     "ts": t * _US, "pid": SERVE_PID, "tid": tid,
+                     "cat": "serving", "args": {"bytes": max(level, 0)}})
+        if self._healthy_points:
+            tid = self._aux_tid("pool-health")
+            # Samples arrive in event order; keep the last value at
+            # equal timestamps (a repair and a fault can coincide).
+            for t, healthy in self._healthy_points:
+                events.append(
+                    {"ph": "C", "name": "healthy boards",
+                     "ts": t * _US, "pid": SERVE_PID, "tid": tid,
+                     "cat": "serving", "args": {"boards": healthy}})
         return events
 
     def _schedule_events(self) -> Tuple[List[Dict[str, Any]],

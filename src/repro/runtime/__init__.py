@@ -38,6 +38,13 @@ from .arrivals import (ARRIVAL_PROCESSES, ArrivalProcess, DiurnalProcess,
 from .capture import (CountingKeySwitcher, TracingEncoder,
                       TracingEvaluator, capture)
 from .fast_engine import (STREAMING_AUTO_THRESHOLD, SetKeyCache, run_fast)
+from .faults import (FAULT_PROCESSES, RETRY_POLICIES,
+                     ExponentialBackoffRetry, FaultProcess,
+                     FaultSchedule, ImmediateRetry, NoRetry,
+                     PoissonFaultProcess, RetryPolicy,
+                     TraceFaultProcess, WeibullFaultProcess,
+                     make_fault_process, make_retry_policy,
+                     run_with_faults)
 from .lowering import (KeyWorkingSet, LoweredCost, LOWERING_MAP,
                        cost_trace, key_working_set, lower_trace,
                        lowered_op, switching_key_bytes)
@@ -54,39 +61,46 @@ from .serving import (ENGINES, ArrivalChunk, Job, JobClass, KeyCache,
                       build_slo_scenario, default_interactive_slo_ms,
                       percentile)
 from .serving_baseline import BaselineKeyCache, baseline_run
+from .specs import SpecError
 from .stats import LatencyAccumulator, P2Quantile, ReservoirQuantiles
 from .striped_lowering import (BOARD_POLICIES, BoardStriper, StripePlan,
                                StripedCost, StripedProgram,
                                StripedReport, StripedTrace,
                                TraceSection, cost_striped_trace,
-                               infer_plan, lower_striped_trace,
-                               stripe_trace)
+                               infer_plan, largest_viable_stripe,
+                               lower_striped_trace, stripe_trace)
 
 __all__ = [
     "ARRIVAL_PROCESSES", "ArrivalChunk", "ArrivalProcess",
     "BOARD_POLICIES", "BaselineKeyCache", "BoardStriper",
     "baseline_run",
     "CountingKeySwitcher", "DeferrableWindowPolicy", "DiurnalProcess",
-    "EdfPolicy", "ENGINES",
-    "FifoPolicy", "FlashCrowdProcess", "Job", "JobClass", "KeyCache",
+    "EdfPolicy", "ENGINES", "ExponentialBackoffRetry",
+    "FAULT_PROCESSES", "FaultProcess", "FaultSchedule",
+    "FifoPolicy", "FlashCrowdProcess", "ImmediateRetry",
+    "Job", "JobClass", "KeyCache",
     "KeyWorkingSet", "LOWERING_MAP", "LatencyAccumulator",
-    "LoweredCost", "MMPPProcess", "OpTrace",
-    "P2Quantile", "POLICIES", "PoissonProcess", "PolicyContext",
-    "PriceSignal",
-    "REFERENCE_TRACES", "RateCurveProcess", "ReservoirQuantiles",
+    "LoweredCost", "MMPPProcess", "NoRetry", "OpTrace",
+    "P2Quantile", "POLICIES", "PoissonFaultProcess", "PoissonProcess",
+    "PolicyContext", "PriceSignal",
+    "REFERENCE_TRACES", "RETRY_POLICIES", "RateCurveProcess",
+    "ReservoirQuantiles", "RetryPolicy",
     "STREAMING_AUTO_THRESHOLD", "Scenario", "SchedulingPolicy",
-    "ServingReport", "ServingSimulator", "SetKeyCache",
+    "ServingReport", "ServingSimulator", "SetKeyCache", "SpecError",
     "Stream", "StripePlan", "StripedCost", "StripedProgram",
     "StripedReport", "StripedTrace", "TRACE_KINDS",
-    "TraceOp", "TraceReplayProcess",
+    "TraceFaultProcess", "TraceOp", "TraceReplayProcess",
     "TraceSection", "TracingEncoder",
-    "TracingEvaluator", "WorkloadStats", "analytics_trace",
+    "TracingEvaluator", "WeibullFaultProcess", "WorkloadStats",
+    "analytics_trace",
     "bootstrap_trace", "build_job_classes", "build_reference_trace",
     "build_scenarios", "build_slo_scenario", "capture",
     "cost_striped_trace", "cost_trace",
     "default_interactive_slo_ms", "infer_plan", "key_working_set",
+    "largest_viable_stripe",
     "lower_striped_trace", "lower_trace", "lowered_op",
-    "lr_inference_trace", "lr_iteration_trace", "make_policy",
-    "make_process",
-    "percentile", "run_fast", "stripe_trace", "switching_key_bytes",
+    "lr_inference_trace", "lr_iteration_trace", "make_fault_process",
+    "make_policy", "make_process", "make_retry_policy",
+    "percentile", "run_fast", "run_with_faults", "stripe_trace",
+    "switching_key_bytes",
 ]

@@ -45,6 +45,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .specs import SpecError, parse_spec_kwargs, take_spec_options
+
 #: Chunk size for vectorized sampling (arrivals drawn per numpy call).
 SAMPLE_CHUNK = 65536
 
@@ -436,28 +438,13 @@ ARRIVAL_PROCESSES = ("poisson", "diurnal", "mmpp", "flash", "replay")
 
 
 def _parse_kwargs(text: str) -> Dict[str, float]:
-    out: Dict[str, float] = {}
-    for item in text.split(","):
-        item = item.strip()
-        if not item:
-            continue
-        if "=" not in item:
-            raise ValueError(f"bad arrival option {item!r} "
-                             f"(expected key=value)")
-        key, value = item.split("=", 1)
-        out[key.strip()] = float(value)
-    return out
+    return parse_spec_kwargs(text, what="arrival")
 
 
 def _take(kwargs: Dict[str, float], spec: str,
           **defaults: float) -> Tuple[float, ...]:
-    values = tuple(kwargs.pop(key, default)
-                   for key, default in defaults.items())
-    if kwargs:
-        raise ValueError(
-            f"unknown option(s) {sorted(kwargs)} for arrival process "
-            f"{spec!r}; accepted: {sorted(defaults)}")
-    return values
+    return take_spec_options(kwargs, spec, what="arrival process",
+                             **defaults)
 
 
 def make_process(spec: str, rate_per_s: float,
@@ -478,7 +465,7 @@ def make_process(spec: str, rate_per_s: float,
     name = name.strip().lower()
     if name == "replay":
         if not rest:
-            raise ValueError("replay needs a path: replay:PATH")
+            raise SpecError("replay needs a path: replay:PATH")
         return TraceReplayProcess.from_jsonl(rest)
     kwargs = _parse_kwargs(rest)
     if name == "poisson":
@@ -493,9 +480,9 @@ def make_process(spec: str, rate_per_s: float,
         burst, duty, dwell = _take(
             kwargs, spec, burst=5.0, duty=0.2, dwell=horizon_s / 8.0)
         if not 0.0 < duty < 1.0:
-            raise ValueError("mmpp duty must be in (0, 1)")
+            raise SpecError("mmpp duty must be in (0, 1)")
         if burst <= 1.0:
-            raise ValueError("mmpp burst must be > 1")
+            raise SpecError("mmpp burst must be > 1")
         # Two states around the requested mean rate: a low state and a
         # ``burst``-times-hotter high state occupying ``duty`` of the
         # time, dwell-weighted so the long-run mean stays rate_per_s.
@@ -513,7 +500,7 @@ def make_process(spec: str, rate_per_s: float,
         base = rate_per_s / (1.0 + (factor - 1.0) * surge_fraction)
         return FlashCrowdProcess(base, factor=factor, at_s=at,
                                  width_s=width)
-    raise ValueError(f"unknown arrival process {name!r}; "
+    raise SpecError(f"unknown arrival process {name!r}; "
                      f"try: {', '.join(ARRIVAL_PROCESSES)}")
 
 

@@ -1,5 +1,5 @@
 """CLI for the runtime subsystem: ``trace``, ``serve``, ``serve-sweep``,
-``slo-sweep``, ``stripe-scale``.
+``slo-sweep``, ``fault-sweep``, ``stripe-scale``.
 
 ``trace`` lowers a workload trace to a FAB program and prints its op
 mix, key working set, and scheduled cost.  By default it uses the
@@ -29,6 +29,12 @@ pool size on the SLO-annotated two-tier scenario, prints per-point
 policy comparisons with the cost/SLO Pareto frontier, and writes a
 JSON artifact.
 
+``fault-sweep`` fans out over board MTBF x retry policy x pool size
+with fault injection on (``serve`` gets the same machinery via
+``--faults``/``--retry``), prints backoff-vs-none goodput per point
+and the goodput/wasted-service resilience frontier, and writes a JSON
+artifact.
+
 ``stripe-scale`` sweeps boards x batch x board-assignment policy for
 one trace striped across the FAB-2 pool and reconciles the
 trace-driven speedup against the analytic ``MultiFpgaSystem`` model.
@@ -47,6 +53,8 @@ from ..obs import (MetricsRecorder, TimelineRecorder, compose,
                    provenance, render_metrics)
 from .arrivals import ARRIVAL_PROCESSES
 from .capture import capture
+from .faults import (FAULT_PROCESSES, RETRY_POLICIES, make_fault_process,
+                     make_retry_policy)
 from .lowering import cost_trace
 from .optrace import OpTrace
 from .policies import POLICIES, PriceSignal
@@ -162,6 +170,18 @@ def run_serve(argv: List[str]) -> int:
                         help="price/carbon signal: flat unit price or "
                              "a square wave with four slots per "
                              "arrival horizon (default: flat)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="inject board faults: "
+                             f"{', '.join(FAULT_PROCESSES)} as "
+                             "NAME[:key=value,...] or trace:PATH, e.g. "
+                             "poisson:mtbf=2,mttr=0.2 (DES engine "
+                             "only; default: no faults)")
+    parser.add_argument("--retry", default=None, metavar="SPEC",
+                        help="recovery for fault-killed jobs: "
+                             f"{', '.join(RETRY_POLICIES)} as "
+                             "NAME[:key=value,...], e.g. "
+                             "backoff:base=0.01,max=6 (needs --faults; "
+                             "default: none - shed killed jobs)")
     parser.add_argument("--timeline", metavar="PATH", default=None,
                         help="write a Perfetto-loadable Chrome trace "
                              "of the run (single scenario only)")
@@ -191,6 +211,22 @@ def run_serve(argv: List[str]) -> int:
         parser.error("--stripe must be 1 or even (boards pair up)")
     if args.stripe > args.devices:
         parser.error("--stripe cannot exceed --devices")
+    faults = retry = None
+    if args.retry and not args.faults:
+        parser.error("--retry only applies under --faults")
+    if args.faults:
+        if args.engine == "fast":
+            parser.error("--faults requires --engine des (the fast "
+                         "engine is the fault-free parity oracle)")
+        try:
+            faults = make_fault_process(args.faults)
+        except (ValueError, OSError) as exc:
+            parser.error(f"--faults: {exc}")
+        if args.retry:
+            try:
+                retry = make_retry_policy(args.retry)
+            except ValueError as exc:
+                parser.error(f"--retry: {exc}")
 
     config = FabConfig()
     scenarios = build_scenarios(config, num_devices=args.devices,
@@ -224,7 +260,9 @@ def run_serve(argv: List[str]) -> int:
     stamp = provenance(seed=args.seed, config=config,
                        policy=args.policy, price=args.price,
                        engine=args.engine,
-                       arrivals=args.arrivals or "default")
+                       arrivals=args.arrivals or "default",
+                       faults=args.faults or "none",
+                       retry=args.retry or "none")
     timeline: Optional[TimelineRecorder] = None
     metrics: Optional[MetricsRecorder] = None
     if args.timeline:
@@ -240,7 +278,8 @@ def run_serve(argv: List[str]) -> int:
     for name in selected:
         report = simulator.run(scenarios[name], seed=args.seed,
                                policy=args.policy, price=price,
-                               recorder=recorder, engine=args.engine)
+                               recorder=recorder, engine=args.engine,
+                               faults=faults, retry=retry)
         reports.append(report)
         print_result(report.to_experiment_result())
         print(report.format())
@@ -467,6 +506,114 @@ def run_slo_sweep(argv: List[str]) -> int:
         print(f"  {outcome.point.label():>16s} {outcome.policy:>18s} "
               f"{outcome.cost_per_job * 1e3:8.2f} "
               f"{100 * outcome.slo_attainment:6.1f}%")
+    if args.json:
+        report.save_json(args.json)
+        print(f"sweep written to {args.json}")
+    return 0
+
+
+def run_fault_sweep(argv: List[str]) -> int:
+    """Entry point for ``python -m repro fault-sweep``."""
+    from ..experiments.fault_sweep import (DEFAULT_ARRIVALS,
+                                           DEFAULT_DEVICES,
+                                           DEFAULT_MTBFS, DEFAULT_MTTR,
+                                           DEFAULT_RETRIES,
+                                           DEFAULT_SLO_SCALE, run_sweep)
+    parser = argparse.ArgumentParser(
+        prog="repro fault-sweep",
+        description="sweep board MTBF x retry policy x pool size "
+                    "under fault injection; report per-point "
+                    "backoff-vs-none goodput and the resilience "
+                    "(goodput vs wasted-service) frontier")
+    parser.add_argument("--retries", nargs="+",
+                        default=list(DEFAULT_RETRIES), metavar="SPEC",
+                        help="retry policy specs to sweep "
+                             "(NAME[:key=value,...]; one per policy "
+                             "name)")
+    parser.add_argument("--devices", type=int, nargs="+",
+                        default=list(DEFAULT_DEVICES),
+                        help="pool sizes to sweep")
+    parser.add_argument("--mtbfs", type=float, nargs="+",
+                        default=list(DEFAULT_MTBFS),
+                        help="per-board mean time between failures "
+                             "(seconds) to sweep")
+    parser.add_argument("--mttr", type=float, default=DEFAULT_MTTR,
+                        help="mean time to repair in seconds "
+                             f"(default {DEFAULT_MTTR:g})")
+    parser.add_argument("--duration", type=float, default=0.5,
+                        help="arrival horizon per grid point (seconds)")
+    parser.add_argument("--load", type=float, default=0.8,
+                        help="offered load fraction of pool capacity")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--stripe", type=int, default=1, metavar="K",
+                        help="stripe the batch tier across K boards "
+                             "(gang scheduling; default 1)")
+    parser.add_argument("--slo-scale", type=float,
+                        default=DEFAULT_SLO_SCALE,
+                        help="interactive deadline as a multiple of "
+                             "the fault-free default - resilience "
+                             "headroom for retries to land in "
+                             f"(default {DEFAULT_SLO_SCALE:g}; at 1 "
+                             "retried jobs miss their deadlines and "
+                             "no-retry wins on goodput)")
+    parser.add_argument("--arrivals", default=DEFAULT_ARRIVALS,
+                        metavar="SPEC",
+                        help="arrival process for every stream "
+                             "(NAME[:key=value,...], '' to keep each "
+                             "stream's own Poisson process; default: "
+                             f"{DEFAULT_ARRIVALS})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation processes (default: one per "
+                             "core, capped at the grid; 1 = inline)")
+    parser.add_argument("--json", metavar="PATH",
+                        default="fault_sweep.json",
+                        help="JSON artifact path ('' to skip)")
+    args = parser.parse_args(argv)
+    if args.duration <= 0:
+        parser.error("--duration must be positive")
+    if any(d < 1 for d in args.devices):
+        parser.error("--devices must be >= 1")
+    if any(m <= 0 for m in args.mtbfs):
+        parser.error("--mtbfs must be positive")
+    if args.mttr <= 0:
+        parser.error("--mttr must be positive")
+    if args.load <= 0:
+        parser.error("--load must be positive")
+    if args.stripe < 1 or (args.stripe > 1 and args.stripe % 2):
+        parser.error("--stripe must be 1 or even (boards pair up)")
+    if args.stripe > min(args.devices):
+        parser.error("--stripe cannot exceed the smallest pool")
+    if args.slo_scale <= 0:
+        parser.error("--slo-scale must be positive")
+    for spec in args.retries:
+        try:
+            make_retry_policy(spec)
+        except ValueError as exc:
+            parser.error(f"--retries: {exc}")
+
+    report = run_sweep(FabConfig(), retries=args.retries,
+                       devices=args.devices, mtbfs=args.mtbfs,
+                       mttr_s=args.mttr, duration_s=args.duration,
+                       target_load=args.load, seed=args.seed,
+                       max_batch=args.max_batch,
+                       training_stripe=args.stripe,
+                       slo_scale=args.slo_scale,
+                       arrivals=args.arrivals or None,
+                       workers=args.workers)
+    print_result(report.to_experiment_result())
+    print("backoff vs none (goodput jobs at equal fault schedule):")
+    for label, faults, none_good, backoff_good in (
+            report.headline()["backoff_vs_none"]):
+        print(f"  {label:>14s} {faults:4d} faults: "
+              f"none {none_good:5d} -> backoff {backoff_good:5d}")
+    frontier = report.resilience_frontier()
+    print("resilience frontier (wasted board-seconds, goodput/s):")
+    for outcome in frontier:
+        print(f"  {outcome.point.label():>14s} "
+              f"{outcome.retry.partition(':')[0]:>10s} "
+              f"{outcome.wasted_service_s:8.3f}s "
+              f"{outcome.goodput_jps:8.1f}/s")
     if args.json:
         report.save_json(args.json)
         print(f"sweep written to {args.json}")

@@ -1047,6 +1047,11 @@ class _FastEngine:
         misses = sum(c.misses for c in self.caches)
         total_slo = sum(slo_total.values())
         num_devices = self.sim.num_devices
+        # Goodput mirrors the DES count of completed jobs with
+        # ``finish <= effective deadline`` — a job without a deadline
+        # (dead_np inf) always counts, so the integer numerator (and
+        # hence the division) is bit-identical across engines.
+        good = int((completed_mask & ~has_dl).sum()) + int(met_idx.size)
         return ServingReport(
             scenario=self.scenario.name,
             makespan_s=makespan,
@@ -1069,7 +1074,8 @@ class _FastEngine:
                             if total_slo else None),
             per_tenant_slo=tuple(
                 (tname, tenant_met[tname] / tenant_total[tname])
-                for tname in sorted(tenant_total)))
+                for tname in sorted(tenant_total)),
+            goodput_jps=good / makespan if makespan else 0.0)
 
 
 def run_fast(sim, scenario: Scenario, seed: int = 0,
@@ -1077,14 +1083,22 @@ def run_fast(sim, scenario: Scenario, seed: int = 0,
              price: Optional[PriceSignal] = None,
              recorder: Optional[Recorder] = None,
              arrival_mode: str = "exact",
-             streaming_quantiles: Optional[bool] = None
-             ) -> ServingReport:
+             streaming_quantiles: Optional[bool] = None,
+             faults=None) -> ServingReport:
     """Run ``scenario`` through the vectorized engine.
 
     Same contract as :meth:`ServingSimulator.run` with
     ``engine="fast"`` (which is the intended entry point); see the
     module docstring for the equivalence guarantees.
+
+    The fast engine is strictly fault-free: it is the parity oracle
+    the fault-disabled DES is held to, so ``faults`` must be ``None``
+    (fault injection lives in :mod:`repro.runtime.faults`, DES-only).
     """
+    if faults is not None:
+        raise ValueError(
+            "the fast engine does not support fault injection; "
+            "run faults with engine='des'")
     if price is None:
         price = PriceSignal.flat()
     engine = _FastEngine(sim, scenario, seed, policy, price, recorder,

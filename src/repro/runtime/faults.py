@@ -1,0 +1,930 @@
+"""Board-fault injection and recovery for the serving simulator.
+
+Real accelerator fleets lose boards — transiently (a thermal trip, an
+XRT reset) and permanently (wear-out).  This module adds that failure
+surface to the serving stack in three pieces:
+
+* **Fault processes** — :class:`PoissonFaultProcess` (exponential
+  time-to-failure at an MTBF with exponential MTTR repairs),
+  :class:`WeibullFaultProcess` (wear-out hazard, ``shape > 1``), and
+  :class:`TraceFaultProcess` (scripted per-board fault traces, JSONL
+  round-trippable — the deterministic chaos-test input).  Draws are
+  seeded per ``(run seed, board)``, so fault schedules are exactly
+  reproducible and independent of arrival randomness.
+* **Retry policies** — what happens to the jobs of a batch a fault
+  killed: :class:`NoRetry` sheds them, :class:`ImmediateRetry`
+  re-enqueues instantly up to a retry budget, and
+  :class:`ExponentialBackoffRetry` re-enqueues after a capped,
+  jittered exponential backoff.  Retried jobs keep their original
+  arrival time and deadline — latency and SLO accounting never reset.
+* **The fault-aware event loop** — :func:`run_with_faults`, a fork of
+  the exact DES in :meth:`repro.runtime.serving.ServingSimulator.run`.
+  It lives here, not as branches inside the fault-free loop, so the
+  ``faults=None`` path stays byte-for-byte the pre-fault code (the
+  golden bit-identity suite pins this).
+
+Fault semantics
+---------------
+
+A board's fault timeline is an alternating renewal process of
+``(down_at, up_at)`` intervals, consumed lazily.  When a board goes
+down its HBM switching-key cache is wiped (counted as evictions), so
+a repaired board is *cold*: its first batches re-replicate their key
+working sets over PCIe at the usual
+:func:`repro.runtime.serving.key_load_seconds` price — re-replication
+is charged through the existing cost model, not a bolted-on constant.
+``up_at = inf`` is a permanent failure: the board leaves the pool.
+
+A fault during an in-flight batch **kills the whole gang**: every
+member's work since the batch start is wasted (reported as
+``wasted_service_s``, still billed under the price signal), and each
+job goes to the retry policy.  A striped job whose planned gang no
+longer fits the pool — fewer non-dead boards than ``num_fpgas`` — is
+**re-planned** onto the largest viable smaller stripe (degraded mode,
+via :meth:`repro.runtime.serving.JobClass.restriped`) or shed with
+reason ``"degraded"`` when no stripe fits or the class was built
+without its trace.  Transient shortages are simply waited out: a gang
+treats a down board like a busy one and starts when it repairs.
+
+Reports grow ``board_faults``/``failures``/``retries``/``shed_jobs``/
+``shed_degraded``/``degraded_jobs``/``wasted_service_s`` and
+``goodput_jps`` (completed-by-deadline jobs per second — the useful
+rate to weigh against ``throughput_jps``); recorders see
+``board_fault``/``board_repair`` instants and a healthy-board counter.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import math
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..obs import NULL_RECORDER, Recorder
+from .policies import DispatchView, PolicyContext, PriceSignal, make_policy
+from .serving import (DeviceState, Job, JobClass, KeyCache, Scenario,
+                      ServingReport, key_load_seconds)
+from .specs import SpecError, parse_spec_kwargs, take_spec_options
+from .striped_lowering import largest_viable_stripe
+
+#: Registry of spec names accepted by :func:`make_fault_process`.
+FAULT_PROCESSES = ("poisson", "weibull", "trace")
+
+#: Registry of spec names accepted by :func:`make_retry_policy`.
+RETRY_POLICIES = ("none", "immediate", "backoff")
+
+
+# ----------------------------------------------------------------------
+# Fault processes
+# ----------------------------------------------------------------------
+
+class FaultProcess:
+    """Base class: a per-board alternating up/down renewal process.
+
+    Subclasses implement :meth:`intervals` — an infinite stream of
+    ``(time_to_failure_s, time_to_repair_s)`` pairs drawn from a
+    board-local RNG (``time_to_repair_s = inf`` ends the board
+    permanently).  :meth:`board_intervals` converts them into absolute
+    ``(down_at_s, up_at_s)`` intervals, seeding the RNG from the run
+    seed and the board index (string seeds: tuple seeding raises on
+    modern Pythons), so every board's schedule is independent and
+    reproducible.
+    """
+
+    name = "base"
+
+    def intervals(self, rng: random.Random
+                  ) -> Iterator[Tuple[float, float]]:
+        raise NotImplementedError
+
+    def board_intervals(self, board: int, seed: int
+                        ) -> Iterator[Tuple[float, float]]:
+        rng = random.Random(f"faults:{seed}:{board}")
+        t = 0.0
+        for ttf, ttr in self.intervals(rng):
+            down = t + ttf
+            up = math.inf if math.isinf(ttr) else down + ttr
+            yield down, up
+            if math.isinf(up):
+                return
+            t = up
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class PoissonFaultProcess(FaultProcess):
+    """Memoryless faults: exponential time-to-failure at ``mtbf_s``,
+    exponential repairs at ``mttr_s`` (the classic availability
+    model; steady-state availability is ``mtbf / (mtbf + mttr)``)."""
+
+    name = "poisson"
+
+    def __init__(self, mtbf_s: float, mttr_s: float):
+        if mtbf_s <= 0:
+            raise ValueError("mtbf_s must be positive")
+        if mttr_s <= 0:
+            raise ValueError("mttr_s must be positive")
+        self.mtbf_s = float(mtbf_s)
+        self.mttr_s = float(mttr_s)
+
+    def intervals(self, rng):
+        fail = 1.0 / self.mtbf_s
+        repair = 1.0 / self.mttr_s
+        while True:
+            yield rng.expovariate(fail), rng.expovariate(repair)
+
+    def __repr__(self):
+        return (f"PoissonFaultProcess(mtbf_s={self.mtbf_s:g}, "
+                f"mttr_s={self.mttr_s:g})")
+
+
+class WeibullFaultProcess(FaultProcess):
+    """Wear-out faults: Weibull time-to-failure (``shape > 1`` gives
+    an increasing hazard — old boards fail more), exponential repairs.
+    A ``permanent_after``-th fault, when set, retires the board for
+    good (the wear-out end state)."""
+
+    name = "weibull"
+
+    def __init__(self, scale_s: float, shape: float = 2.0,
+                 mttr_s: float = 0.1,
+                 permanent_after: Optional[int] = None):
+        if scale_s <= 0:
+            raise ValueError("scale_s must be positive")
+        if shape <= 0:
+            raise ValueError("shape must be positive")
+        if mttr_s <= 0:
+            raise ValueError("mttr_s must be positive")
+        if permanent_after is not None and permanent_after < 1:
+            raise ValueError("permanent_after must be >= 1")
+        self.scale_s = float(scale_s)
+        self.shape = float(shape)
+        self.mttr_s = float(mttr_s)
+        self.permanent_after = permanent_after
+
+    def intervals(self, rng):
+        repair = 1.0 / self.mttr_s
+        count = 0
+        while True:
+            ttf = rng.weibullvariate(self.scale_s, self.shape)
+            count += 1
+            if (self.permanent_after is not None
+                    and count >= self.permanent_after):
+                yield ttf, math.inf
+                return
+            yield ttf, rng.expovariate(repair)
+
+    def __repr__(self):
+        return (f"WeibullFaultProcess(scale_s={self.scale_s:g}, "
+                f"shape={self.shape:g}, mttr_s={self.mttr_s:g}, "
+                f"permanent_after={self.permanent_after})")
+
+
+class TraceFaultProcess(FaultProcess):
+    """Scripted faults: explicit ``(board, down_at_s, up_at_s)``
+    events (``up_at_s = None``/``inf`` marks a permanent failure).
+    The deterministic input for chaos tests and for replaying measured
+    fleet incident logs; JSONL round-trip via :meth:`from_jsonl` /
+    :meth:`to_jsonl` (one ``{"board":, "down":, "up":}`` object per
+    line, mirroring the arrival-trace format)."""
+
+    name = "trace"
+
+    def __init__(self, events: Sequence[Tuple[int, float,
+                                              Optional[float]]]):
+        per_board: Dict[int, List[Tuple[float, float]]] = {}
+        for board, down, up in events:
+            up_f = math.inf if up is None else float(up)
+            if down < 0:
+                raise ValueError("fault times must be >= 0")
+            if up_f <= down:
+                raise ValueError(
+                    f"fault interval ({down}, {up_f}) on board "
+                    f"{board} must have up > down")
+            per_board.setdefault(int(board), []).append(
+                (float(down), up_f))
+        for board, intervals in per_board.items():
+            intervals.sort()
+            for (d0, u0), (d1, _u1) in zip(intervals, intervals[1:]):
+                if d1 < u0:
+                    raise ValueError(
+                        f"overlapping fault intervals on board "
+                        f"{board}: ({d0}, {u0}) and ({d1}, ...)")
+        self.per_board = per_board
+
+    def board_intervals(self, board, seed):
+        return iter(self.per_board.get(board, ()))
+
+    def intervals(self, rng):  # pragma: no cover - not reachable
+        raise NotImplementedError("TraceFaultProcess is per-board")
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "TraceFaultProcess":
+        events = []
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                events.append((int(record["board"]),
+                               float(record["down"]),
+                               record.get("up")))
+        return cls(events)
+
+    def to_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            for board in sorted(self.per_board):
+                for down, up in self.per_board[board]:
+                    fh.write(json.dumps(
+                        {"board": board, "down": down,
+                         "up": None if math.isinf(up) else up}) + "\n")
+
+    def __repr__(self):
+        count = sum(len(v) for v in self.per_board.values())
+        return f"TraceFaultProcess({count} events)"
+
+
+def make_fault_process(spec) -> FaultProcess:
+    """Build a fault process from a CLI spec string (or pass an
+    instance through).
+
+    ``poisson:mtbf=2,mttr=0.2`` · ``weibull:scale=5,shape=2,mttr=0.5``
+    (add ``permanent_after=N`` to retire boards at their N-th fault) ·
+    ``trace:PATH`` for a JSONL fault trace.  Times are seconds.
+    """
+    if isinstance(spec, FaultProcess):
+        return spec
+    name, _, rest = spec.partition(":")
+    name = name.strip().lower()
+    if name == "trace":
+        if not rest:
+            raise SpecError("trace faults need a path: trace:PATH")
+        return TraceFaultProcess.from_jsonl(rest)
+    kwargs = parse_spec_kwargs(rest, what="fault")
+    if name == "poisson":
+        mtbf, mttr = take_spec_options(
+            kwargs, spec, what="fault process", mtbf=1.0, mttr=0.1)
+        return PoissonFaultProcess(mtbf, mttr)
+    if name == "weibull":
+        scale, shape, mttr, permanent_after = take_spec_options(
+            kwargs, spec, what="fault process", scale=1.0, shape=2.0,
+            mttr=0.1, permanent_after=math.nan)
+        return WeibullFaultProcess(
+            scale, shape=shape, mttr_s=mttr,
+            permanent_after=(None if math.isnan(permanent_after)
+                             else int(permanent_after)))
+    raise SpecError(f"unknown fault process {name!r}; "
+                    f"try: {', '.join(FAULT_PROCESSES)}")
+
+
+# ----------------------------------------------------------------------
+# Retry policies
+# ----------------------------------------------------------------------
+
+class RetryPolicy:
+    """Decides when (and whether) a fault-killed job runs again.
+
+    :meth:`next_attempt_s` returns the absolute time the job should
+    re-enter the queues, or ``None`` to shed it.  ``job.retries`` is
+    the number of re-enqueues already performed — the attempt counter
+    budgets and backoffs key off.
+    """
+
+    name = "base"
+
+    def next_attempt_s(self, job: Job, now: float,
+                       rng: random.Random) -> Optional[float]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NoRetry(RetryPolicy):
+    """Shed every fault-killed job (the pre-recovery baseline)."""
+
+    name = "none"
+
+    def next_attempt_s(self, job, now, rng):
+        return None
+
+
+class ImmediateRetry(RetryPolicy):
+    """Re-enqueue instantly, up to ``max_retries`` per job."""
+
+    name = "immediate"
+
+    def __init__(self, max_retries: int = 3):
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        self.max_retries = int(max_retries)
+
+    def next_attempt_s(self, job, now, rng):
+        if job.retries >= self.max_retries:
+            return None
+        return now
+
+    def __repr__(self):
+        return f"ImmediateRetry(max_retries={self.max_retries})"
+
+
+class ExponentialBackoffRetry(RetryPolicy):
+    """Exponential backoff with a cap and deterministic jitter.
+
+    Attempt ``k`` (0-based) waits ``min(cap_s, base_s * factor**k)``
+    scaled by ``1 + jitter * U`` with ``U ~ Uniform[0, 1)`` drawn from
+    the run's seeded retry RNG — jitter de-synchronizes the retry
+    herd a mass failure creates without sacrificing reproducibility.
+    ``max_retries`` is the per-job budget; past it the job is shed.
+    """
+
+    name = "backoff"
+
+    def __init__(self, base_s: float = 0.01, factor: float = 2.0,
+                 cap_s: float = 1.0, max_retries: int = 6,
+                 jitter: float = 0.25):
+        if base_s <= 0:
+            raise ValueError("base_s must be positive")
+        if factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if cap_s < base_s:
+            raise ValueError("cap_s must be >= base_s")
+        if max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        self.base_s = float(base_s)
+        self.factor = float(factor)
+        self.cap_s = float(cap_s)
+        self.max_retries = int(max_retries)
+        self.jitter = float(jitter)
+
+    def next_attempt_s(self, job, now, rng):
+        if job.retries >= self.max_retries:
+            return None
+        delay = min(self.cap_s, self.base_s * self.factor ** job.retries)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * rng.random()
+        return now + delay
+
+    def __repr__(self):
+        return (f"ExponentialBackoffRetry(base_s={self.base_s:g}, "
+                f"factor={self.factor:g}, cap_s={self.cap_s:g}, "
+                f"max_retries={self.max_retries}, "
+                f"jitter={self.jitter:g})")
+
+
+def make_retry_policy(spec) -> RetryPolicy:
+    """Build a retry policy from a CLI spec (or pass an instance
+    through; ``None`` means :class:`NoRetry`).
+
+    ``none`` · ``immediate:max=3`` ·
+    ``backoff:base=0.01,factor=2,cap=1,max=6,jitter=0.25``.
+    """
+    if spec is None:
+        return NoRetry()
+    if isinstance(spec, RetryPolicy):
+        return spec
+    name, _, rest = spec.partition(":")
+    name = name.strip().lower()
+    kwargs = parse_spec_kwargs(rest, what="retry")
+    if name == "none":
+        take_spec_options(kwargs, spec, what="retry policy")
+        return NoRetry()
+    if name == "immediate":
+        (max_retries,) = take_spec_options(
+            kwargs, spec, what="retry policy", max=3)
+        return ImmediateRetry(int(max_retries))
+    if name == "backoff":
+        base, factor, cap, max_retries, jitter = take_spec_options(
+            kwargs, spec, what="retry policy", base=0.01, factor=2.0,
+            cap=1.0, max=6, jitter=0.25)
+        return ExponentialBackoffRetry(
+            base_s=base, factor=factor, cap_s=cap,
+            max_retries=int(max_retries), jitter=jitter)
+    raise SpecError(f"unknown retry policy {name!r}; "
+                    f"try: {', '.join(RETRY_POLICIES)}")
+
+
+# ----------------------------------------------------------------------
+# The per-run fault schedule
+# ----------------------------------------------------------------------
+
+class FaultSchedule:
+    """Lazy per-board fault timelines for one run.
+
+    Each board holds its *current* ``(down_at, up_at)`` interval plus
+    a ``processed`` flag (the fault's side effects — cache wipe,
+    recorder instants, health bookkeeping — must fire exactly once
+    even when the interval is consulted repeatedly while the board is
+    down).  Exhausted timelines pin ``(inf, inf)``: no more faults.
+    """
+
+    def __init__(self, process: FaultProcess, num_boards: int,
+                 seed: int):
+        self._iters = [process.board_intervals(b, seed)
+                       for b in range(num_boards)]
+        self._down = [math.inf] * num_boards
+        self._up = [math.inf] * num_boards
+        self._processed = [False] * num_boards
+        for b in range(num_boards):
+            self._pull(b)
+
+    def _pull(self, b: int) -> None:
+        try:
+            self._down[b], self._up[b] = next(self._iters[b])
+        except StopIteration:
+            self._down[b] = self._up[b] = math.inf
+        self._processed[b] = False
+
+    def current(self, b: int) -> Tuple[float, float]:
+        return self._down[b], self._up[b]
+
+    def next_down_s(self, b: int) -> float:
+        return self._down[b]
+
+    def processed(self, b: int) -> bool:
+        return self._processed[b]
+
+    def mark_processed(self, b: int) -> None:
+        self._processed[b] = True
+
+    def advance(self, b: int) -> None:
+        self._pull(b)
+
+
+# ----------------------------------------------------------------------
+# The fault-aware event loop
+# ----------------------------------------------------------------------
+
+def run_with_faults(sim, scenario: Scenario, seed: int = 0,
+                    policy="fifo",
+                    price: Optional[PriceSignal] = None,
+                    recorder: Optional[Recorder] = None,
+                    faults=None,
+                    retry=None) -> ServingReport:
+    """The DES loop of :meth:`ServingSimulator.run`, with faults.
+
+    A fork of the exact fault-free loop (kept separate so that loop
+    stays bit-identical), extended with: lazy fault settlement when a
+    board is popped, gang members waiting on repairs like they wait on
+    busy boards, mid-batch kills feeding the retry policy, degraded
+    re-planning for gangs the shrunken pool can no longer seat, and
+    pool-death shedding.  Dispatch previews (``gang_start`` /
+    ``service_s``) stay fault-blind: admission decisions are made
+    against the healthy-pool oracle and faults then land where they
+    may — which is exactly the operational reality being modeled.
+    """
+    if faults is None:
+        raise ValueError("run_with_faults needs a fault process")
+    faults = make_fault_process(faults)
+    retry = make_retry_policy(retry)
+    rec = (recorder if recorder is not None and recorder.enabled
+           else None)
+    jobs = scenario.generate(seed)
+    policy = make_policy(policy)
+    price = price if price is not None else PriceSignal.flat()
+    devices = [DeviceState(i, KeyCache(sim.key_cache_bytes))
+               for i in range(sim.num_devices)]
+    schedule = FaultSchedule(faults, sim.num_devices, seed)
+    retry_rng = random.Random(f"retry:{seed}")
+    free_heap: List[Tuple[float, int]] = [
+        (0.0, d.index) for d in devices]
+    heapq.heapify(free_heap)
+    completed: List[Job] = []
+    rejected: List[Job] = []
+    shed: List[Job] = []
+    retry_heap: List[Tuple[float, int, Job]] = []
+    retry_seq = 0
+    #: job_id -> Job for every job currently inside the policy's
+    #: queues (pool death must shed them; policies have no drain API).
+    in_policy: Dict[int, Job] = {}
+    restripe_cache: Dict[Tuple[JobClass, int], Optional[JobClass]] = {}
+    batches = 0
+    batched_jobs = 0
+    cost_price_units = 0.0
+    board_faults = 0
+    failures = 0
+    wasted_service_s = 0.0
+    alive = sim.num_devices      # boards not permanently dead
+    healthy = sim.num_devices    # recorder-visible up-board counter
+    i = 0
+    n = len(jobs)
+    launch_overhead_s = sim.host.kernel_launch_overhead_s
+    now = 0.0
+    device_index = 0
+
+    def reject_job(job: Job) -> None:
+        rejected.append(job)
+        in_policy.pop(job.job_id, None)
+        if rec is not None:
+            deadline = job.effective_deadline_s
+            rec.job_rejected(
+                t=now, job_id=job.job_id,
+                job_class=job.job_class.name, tenant=job.tenant,
+                deadline_s=(None if deadline == math.inf
+                            else deadline))
+
+    policy.begin(PolicyContext(
+        max_batch=sim.max_batch, price=price,
+        service_bound_s=sim.service_bound_s,
+        best_case_s=sim.best_case_service_s,
+        reject=reject_job,
+        recorder=recorder if rec is not None else NULL_RECORDER))
+    if rec is not None:
+        rec.run_begin(scenario=scenario.name,
+                      num_devices=sim.num_devices,
+                      policy=policy.name, price=price,
+                      max_batch=sim.max_batch)
+
+    def enqueue(job: Job) -> None:
+        policy.enqueue(job)
+        in_policy[job.job_id] = job
+
+    def admit(now: float) -> None:
+        nonlocal i
+        while i < n and jobs[i].arrival_s <= now:
+            job = jobs[i]
+            enqueue(job)
+            if rec is not None:
+                deadline = job.effective_deadline_s
+                rec.job_arrival(
+                    t=job.arrival_s, job_id=job.job_id,
+                    job_class=job.job_class.name, tenant=job.tenant,
+                    deadline_s=(None if deadline == math.inf
+                                else deadline),
+                    deferrable=job.deferrable)
+            i += 1
+        while retry_heap and retry_heap[0][0] <= now:
+            _, _, job = heapq.heappop(retry_heap)
+            enqueue(job)
+
+    def next_pending_s() -> float:
+        t = jobs[i].arrival_s if i < n else math.inf
+        if retry_heap and retry_heap[0][0] < t:
+            t = retry_heap[0][0]
+        return t
+
+    def shed_job(job: Job, reason: str, t: float) -> None:
+        job.shed = True
+        job.shed_reason = reason
+        shed.append(job)
+        in_policy.pop(job.job_id, None)
+        if rec is not None:
+            rec.policy_event(t=t, name=f"shed:{reason}",
+                             job_id=job.job_id,
+                             job_class=job.job_class.name,
+                             tenant=job.tenant)
+
+    def settle_board(b: int, t: float, killed_batch: bool = False):
+        """Process board ``b``'s fault timeline up to ``t``.
+
+        Returns ``"dead"`` (permanent failure discovered), a float
+        repair time ``> t`` (board is down at ``t``), or ``None``
+        (board healthy at ``t``).  Fault side effects — cache wipe,
+        recorder instants, alive/healthy bookkeeping — fire exactly
+        once per interval.
+        """
+        nonlocal board_faults, alive, healthy
+        device = devices[b]
+        while True:
+            down, up = schedule.current(b)
+            if down > t:
+                return None
+            if not schedule.processed(b):
+                schedule.mark_processed(b)
+                device.cache.drop_all()
+                board_faults += 1
+                permanent = math.isinf(up)
+                healthy -= 1
+                if rec is not None:
+                    rec.board_fault(t=down, board=b,
+                                    permanent=permanent,
+                                    healthy=healthy,
+                                    killed_batch=killed_batch)
+                if permanent:
+                    alive -= 1
+                    return "dead"
+                # The repair instant is known now; record it at its
+                # own timestamp (trace events are buffered + sorted).
+                healthy += 1
+                if rec is not None:
+                    rec.board_repair(t=up, board=b, healthy=healthy)
+            if math.isinf(up):
+                return "dead"
+            if up > t:
+                return up
+            schedule.advance(b)
+
+    def fail_batch(batch: List[Job], gang, start: float,
+                   fail_t: float, launched: bool) -> None:
+        """A fault killed ``batch`` at ``fail_t``; route every job
+        through the retry policy and free the surviving boards."""
+        nonlocal failures, wasted_service_s, cost_price_units
+        nonlocal retry_seq
+        failures += 1
+        run_s = fail_t - start
+        if launched and run_s > 0:
+            wasted_service_s += run_s * len(gang)
+            cost_price_units += len(gang) * price.integral(start, fail_t)
+        for member in gang:
+            if launched and run_s > 0:
+                member.busy_s += run_s
+        for job in batch:
+            wake = retry.next_attempt_s(job, fail_t, retry_rng)
+            if wake is None:
+                shed_job(job, "retry_budget", fail_t)
+            else:
+                job.retries += 1
+                retry_seq += 1
+                heapq.heappush(retry_heap, (wake, retry_seq, job))
+        for member in gang:
+            status = settle_board(member.index, fail_t,
+                                  killed_batch=True)
+            if status == "dead":
+                member.free_at_s = fail_t
+                continue
+            if status is not None:
+                member.free_at_s = status
+                heapq.heappush(free_heap, (status, member.index))
+            else:
+                member.free_at_s = fail_t
+                heapq.heappush(free_heap, (fail_t, member.index))
+
+    def gang_start(k: int) -> float:
+        if k <= 1:
+            return now
+        extra = heapq.nsmallest(k - 1, free_heap)
+        free = max((devices[index].free_at_s for _, index in extra),
+                   default=now)
+        return max(now, free)
+
+    def service_s(job: Job, batch_size: int) -> float:
+        job_class = job.job_class
+        members = [devices[device_index]]
+        if job_class.num_fpgas > 1:
+            members += [
+                devices[index] for _, index in heapq.nsmallest(
+                    job_class.num_fpgas - 1, free_heap)]
+        load_s = max(
+            key_load_seconds(
+                sim.host,
+                member.cache.peek_miss_bytes(job.tenant, job_class))
+            for member in members)
+        return (launch_overhead_s + load_s
+                + batch_size * job_class.seconds(sim.config))
+
+    view = DispatchView(now=0.0, gang_start=gang_start,
+                        service_s=service_s)
+
+    while i < n or policy.pending or retry_heap:
+        if not free_heap:
+            # Every board is permanently dead: shed all remaining
+            # work (queued, awaiting retry, and not yet arrived).
+            for job in list(in_policy.values()):
+                shed_job(job, "pool_dead", now)
+            while retry_heap:
+                _, _, job = heapq.heappop(retry_heap)
+                shed_job(job, "pool_dead", now)
+            while i < n:
+                shed_job(jobs[i], "pool_dead", now)
+                i += 1
+            break
+        free_at, device_index = heapq.heappop(free_heap)
+        now = free_at
+        admit(now)
+        if not policy.pending:
+            # Idle until the next arrival or retry wake.
+            now = max(now, next_pending_s())
+            admit(now)
+        status = settle_board(device_index, now)
+        if status == "dead":
+            continue
+        if status is not None:
+            heapq.heappush(free_heap, (status, device_index))
+            continue
+
+        view.now = now
+        if rec is not None:
+            rec.queue_sample(t=now, total=policy.pending,
+                             depths=policy.queue_depths())
+        batch = policy.next_batch(view)
+        if not batch:
+            if policy.pending:
+                wake = policy.next_event_s(now)
+                if i < n:
+                    wake = min(wake, jobs[i].arrival_s)
+                if retry_heap:
+                    wake = min(wake, retry_heap[0][0])
+                if wake <= now:
+                    wake = math.nextafter(now, math.inf)
+                if rec is not None:
+                    rec.defer(board=device_index, t=now, wake=wake)
+                heapq.heappush(free_heap, (wake, device_index))
+            else:
+                heapq.heappush(free_heap, (now, device_index))
+            continue
+        for job in batch:
+            in_policy.pop(job.job_id, None)
+        job_class = batch[0].job_class
+
+        if job_class.num_fpgas > alive:
+            # Permanent shortage: the pool can never again seat this
+            # gang.  Re-plan onto the widest viable smaller stripe,
+            # or shed when none fits / the trace is unavailable.
+            k = largest_viable_stripe(alive, job_class.num_fpgas)
+            key = (job_class, k)
+            if key not in restripe_cache:
+                restripe_cache[key] = (
+                    job_class.restriped(k, sim.config) if k >= 1
+                    else None)
+            new_class = restripe_cache[key]
+            if new_class is None:
+                for job in batch:
+                    shed_job(job, "degraded", now)
+            else:
+                if rec is not None:
+                    rec.policy_event(
+                        t=now, name="degrade",
+                        job_class=job_class.name,
+                        from_stripe=job_class.num_fpgas, to_stripe=k,
+                        jobs=len(batch))
+                for job in batch:
+                    job.job_class = new_class
+                    job.degraded = True
+                    enqueue(job)
+            heapq.heappush(free_heap, (now, device_index))
+            continue
+
+        gang = [devices[device_index]]
+        start = now
+        if job_class.num_fpgas > 1:
+            # Gang-assemble: a down board is just a board that frees
+            # at its repair time; a board found permanently dead is
+            # skipped (and may leave the gang short — see below).
+            needed = job_class.num_fpgas - 1
+            while needed and free_heap:
+                _, extra_index = heapq.heappop(free_heap)
+                member = devices[extra_index]
+                avail = max(now, member.free_at_s)
+                mstatus = settle_board(extra_index, avail)
+                if mstatus == "dead":
+                    continue
+                if mstatus is not None and mstatus > avail:
+                    avail = mstatus
+                    member.free_at_s = mstatus
+                gang.append(member)
+                needed -= 1
+                if avail > start:
+                    start = avail
+            if needed:
+                # The heap dried up before the gang filled: newly
+                # discovered dead boards shrank the pool below the
+                # stripe.  Put everything back; the next dispatch
+                # sees the updated ``alive`` and re-plans.
+                for member in gang:
+                    if member.index != device_index:
+                        heapq.heappush(
+                            free_heap,
+                            (max(now, member.free_at_s), member.index))
+                for job in batch:
+                    enqueue(job)
+                heapq.heappush(
+                    free_heap,
+                    (math.nextafter(now, math.inf), device_index))
+                continue
+
+        # Settle every member to the (possibly repair-delayed) start:
+        # waiting boards can fault while idle, which may push the
+        # start further out or kill the dispatch before launch.
+        while True:
+            moved = False
+            aborted = False
+            for member in gang:
+                mstatus = settle_board(member.index, start)
+                if mstatus == "dead":
+                    # A member died while the gang was forming: the
+                    # batch never launches.
+                    dead_index = member.index
+                    fail_batch(batch,
+                               [m for m in gang
+                                if m.index != dead_index],
+                               start, start, launched=False)
+                    aborted = True
+                    break
+                if mstatus is not None and mstatus > start:
+                    start = mstatus
+                    moved = True
+            if aborted or not moved:
+                break
+        if aborted:
+            continue
+
+        # Key loads previewed without mutation so the finish time (and
+        # hence the kill window) is known before committing residency.
+        load_s = 0.0
+        for member in gang:
+            member_load_s = key_load_seconds(
+                sim.host,
+                member.cache.peek_miss_bytes(batch[0].tenant,
+                                             job_class))
+            if member_load_s > load_s:
+                load_s = member_load_s
+        compute_s = len(batch) * job_class.seconds(sim.config)
+        batch_service_s = launch_overhead_s + load_s + compute_s
+        finish = start + batch_service_s
+        fail_t = min(schedule.next_down_s(m.index) for m in gang)
+        if fail_t < finish:
+            # The gang loses a board mid-batch (or at the starting
+            # line): everything since ``start`` is wasted and every
+            # job goes to the retry policy.  Key residency is
+            # committed — the loads were in flight — and the failed
+            # board's cache is wiped by its fault settlement.
+            member_loads = [] if rec is not None else None
+            for member in gang:
+                miss_bytes = member.cache.request(batch[0].tenant,
+                                                  job_class)
+                member_load_s = key_load_seconds(sim.host, miss_bytes)
+                member.key_load_s += member_load_s
+                if member_loads is not None:
+                    member_loads.append(
+                        (member.index, member_load_s, miss_bytes))
+            if rec is not None and fail_t > start:
+                rec.batch(
+                    start=start, finish=fail_t,
+                    job_class=job_class.name, tenant=batch[0].tenant,
+                    batch_size=len(batch),
+                    launch_s=launch_overhead_s,
+                    members=member_loads,
+                    cache_stats=tuple(m.cache.stats() for m in gang),
+                    cost=len(gang) * price.integral(start, fail_t))
+                rec.policy_event(t=fail_t, name="batch_killed",
+                                 job_class=job_class.name,
+                                 jobs=len(batch))
+            fail_batch(batch, gang, start, fail_t, launched=True)
+            continue
+
+        member_loads = [] if rec is not None else None
+        for member in gang:
+            miss_bytes = member.cache.request(batch[0].tenant,
+                                              job_class)
+            member_load_s = key_load_seconds(sim.host, miss_bytes)
+            member.key_load_s += member_load_s
+            if member_loads is not None:
+                member_loads.append(
+                    (member.index, member_load_s, miss_bytes))
+        for job in batch:
+            job.finish_s = finish
+        completed.extend(batch)
+        for member in gang:
+            member.free_at_s = finish
+            member.busy_s += batch_service_s
+            heapq.heappush(free_heap, (finish, member.index))
+        gang[0].jobs_done += len(batch)
+        batches += 1
+        batched_jobs += len(batch)
+        batch_cost = len(gang) * price.integral(start, finish)
+        cost_price_units += batch_cost
+        if rec is not None:
+            slo_met = slo_total = 0
+            for job in batch:
+                deadline = job.effective_deadline_s
+                if deadline != math.inf:
+                    slo_total += 1
+                    if finish <= deadline:
+                        slo_met += 1
+            rec.batch(
+                start=start, finish=finish,
+                job_class=job_class.name, tenant=batch[0].tenant,
+                batch_size=len(batch), launch_s=launch_overhead_s,
+                members=member_loads,
+                cache_stats=tuple(m.cache.stats() for m in gang),
+                slo_met=slo_met, slo_total=slo_total,
+                cost=batch_cost)
+
+    if rec is not None:
+        rec.run_end(
+            makespan_s=max((j.finish_s or 0.0 for j in completed),
+                           default=0.0),
+            device_busy_s=tuple(d.busy_s for d in devices),
+            jobs_done=len(completed))
+    return sim._report(scenario, completed, devices, batches,
+                       batched_jobs, policy=policy.name,
+                       rejected=rejected,
+                       deferred_jobs=policy.deferred_jobs,
+                       cost_price_units=cost_price_units,
+                       shed=shed, board_faults=board_faults,
+                       failures=failures,
+                       wasted_service_s=wasted_service_s)
+
+
+__all__ = [
+    "FAULT_PROCESSES", "RETRY_POLICIES", "ExponentialBackoffRetry",
+    "FaultProcess", "FaultSchedule", "ImmediateRetry", "NoRetry",
+    "PoissonFaultProcess", "RetryPolicy", "TraceFaultProcess",
+    "WeibullFaultProcess", "make_fault_process", "make_retry_policy",
+    "run_with_faults",
+]

@@ -54,6 +54,7 @@ from typing import (
 )
 
 from ..obs import NULL_RECORDER, Recorder
+from .specs import SpecError
 
 if TYPE_CHECKING:
     from .serving import Job, JobClass
@@ -719,7 +720,7 @@ def make_policy(policy) -> SchedulingPolicy:
     try:
         return POLICIES[policy]()
     except KeyError:
-        raise ValueError(
+        raise SpecError(
             f"unknown policy {policy!r}; "
             f"try: {', '.join(sorted(POLICIES))}"
         ) from None

@@ -44,7 +44,7 @@ import heapq
 import math
 import random
 from collections import OrderedDict
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -72,6 +72,24 @@ ENGINES = ("des", "fast")
 # ----------------------------------------------------------------------
 
 @dataclass(frozen=True)
+class TraceSource:
+    """How a :class:`JobClass` was lowered from its trace.
+
+    Retained (``compare=False``, so class identity/hashing ignores it)
+    to let the fault-tolerant serving path *re-lower* a striped class
+    onto a smaller gang when boards die — degraded-mode re-planning
+    needs the original trace and lowering knobs, not just the priced
+    result.
+    """
+
+    trace: OpTrace
+    prefetch: bool = True
+    policy: str = "round_robin"
+    plan: object = None
+    comm_scale: float = 1.0
+
+
+@dataclass(frozen=True)
 class JobClass:
     """A traced program, priced once and shared by all its jobs.
 
@@ -86,10 +104,29 @@ class JobClass:
     key_ids: Tuple[str, ...]
     bytes_per_key: int
     num_fpgas: int = 1
+    #: Lowering provenance for degraded-mode re-planning; excluded
+    #: from equality/hash so annotated classes keep interning and
+    #: comparing exactly as before.
+    source: Optional[TraceSource] = field(default=None, compare=False,
+                                          repr=False)
 
     def __post_init__(self):
         if self.num_fpgas < 1:
             raise ValueError("num_fpgas must be >= 1")
+
+    def restriped(self, num_fpgas: int,
+                  config: Optional[FabConfig] = None
+                  ) -> Optional["JobClass"]:
+        """Re-lower this class's trace onto a ``num_fpgas``-board
+        stripe (degraded mode), or ``None`` when the class was built
+        without its trace and cannot be re-planned."""
+        if self.source is None:
+            return None
+        src = self.source
+        return JobClass.from_trace(
+            src.trace, config, prefetch=src.prefetch,
+            num_fpgas=num_fpgas, policy=src.policy, plan=src.plan,
+            comm_scale=src.comm_scale)
 
     def seconds(self, config: FabConfig) -> float:
         return config.cycles_to_seconds(self.cycles)
@@ -117,10 +154,12 @@ class JobClass:
         zeroes the communication bill while keeping the
         synchronization structure (the equivalence tests' knob).
         """
+        source = TraceSource(trace, prefetch=prefetch, policy=policy,
+                             plan=plan, comm_scale=comm_scale)
         if num_fpgas == 1:
             cost = cost_trace(trace, config, prefetch=prefetch)
             return cls(trace.name, cost.cycles, cost.keys.key_ids,
-                       cost.keys.bytes_per_key)
+                       cost.keys.bytes_per_key, source=source)
         from .lowering import key_working_set
         from .striped_lowering import lower_striped_trace
         report = lower_striped_trace(
@@ -128,7 +167,8 @@ class JobClass:
             comm_scale=comm_scale).schedule(prefetch=prefetch)
         keys = key_working_set(trace, config, num_fpgas=num_fpgas)
         return cls(trace.name, report.cycles, keys.key_ids,
-                   keys.bytes_per_key, num_fpgas=num_fpgas)
+                   keys.bytes_per_key, num_fpgas=num_fpgas,
+                   source=source)
 
 
 @dataclass
@@ -140,6 +180,15 @@ class Job:
     ``rejected`` marks a job an admission-controlled policy dropped;
     ``deferred`` marks one the deferrable tier explicitly held back
     at least once.
+
+    The fault-tolerant path (:mod:`repro.runtime.faults`) adds:
+    ``retries`` counts re-enqueues after a board failure killed the
+    job's batch; ``shed`` marks a job dropped by the recovery machinery
+    (retry budget exhausted, un-plannable gang, or pool death) with
+    ``shed_reason`` naming which; ``degraded`` marks a striped job that
+    completed on a smaller-than-planned gang.  Retried jobs keep their
+    original ``arrival_s`` and ``deadline_s`` — latency and SLO
+    accounting always measure from first arrival.
     """
 
     job_id: int
@@ -152,6 +201,10 @@ class Job:
     deferrable: bool = False
     rejected: bool = False
     deferred: bool = False
+    retries: int = 0
+    shed: bool = False
+    shed_reason: Optional[str] = None
+    degraded: bool = False
 
     @property
     def latency_s(self) -> float:
@@ -242,6 +295,11 @@ class Scenario:
     name: str
     duration_s: float
     streams: List[Stream]
+
+    def __post_init__(self):
+        # duration_s == 0 is a legitimate empty horizon (no arrivals).
+        if self.duration_s < 0:
+            raise ValueError("duration_s must be >= 0")
 
     def generate(self, seed: int = 0) -> List[Job]:
         """Draw the job arrivals (deterministic per seed).
@@ -444,6 +502,20 @@ class KeyCache:
         self.bytes_loaded += miss_bytes
         return miss_bytes
 
+    def drop_all(self) -> int:
+        """Evict every resident key (a board fault wipes its HBM).
+
+        The cumulative hit/miss/bytes_loaded counters survive — they
+        describe traffic, not residency — while ``evictions`` and
+        ``bytes_evicted`` record the wipe, so post-fault cache stats
+        still reconcile.  Returns the bytes dropped."""
+        dropped = self._resident_bytes
+        self.evictions += len(self._resident)
+        self.bytes_evicted += dropped
+        self._resident.clear()
+        self._resident_bytes = 0
+        return dropped
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -541,6 +613,32 @@ class ServingReport:
     slo_attainment: Optional[float] = None
     #: Per-tenant SLO attainment, sorted by tenant name.
     per_tenant_slo: Tuple[Tuple[str, float], ...] = ()
+    #: Completed jobs that met their effective deadline, per second of
+    #: makespan (jobs with no deadline always count).  Under faults
+    #: this is the useful-work rate; compare against
+    #: :attr:`throughput_jps` to see fault-induced waste.
+    goodput_jps: float = 0.0
+    #: Board-down events injected by the fault process (0 without
+    #: fault injection; the fields below likewise).
+    board_faults: int = 0
+    #: Batch executions killed mid-service by a board fault.
+    failures: int = 0
+    #: Job re-enqueues performed by the retry policy.
+    retries: int = 0
+    #: Jobs dropped by recovery (retry budget exhausted or pool dead).
+    shed_jobs: int = 0
+    #: Striped jobs dropped because no viable smaller gang existed.
+    shed_degraded: int = 0
+    #: Jobs that completed on a degraded (smaller) gang.
+    degraded_jobs: int = 0
+    #: Device-seconds burned by batches that a fault later killed.
+    wasted_service_s: float = 0.0
+
+    @property
+    def throughput_jps(self) -> float:
+        """Completed jobs per second of makespan (goodput's ceiling)."""
+        return self.jobs_done / self.makespan_s if self.makespan_s \
+            else 0.0
 
     def tenant_slo(self, tenant: str) -> float:
         for name, attained in self.per_tenant_slo:
@@ -583,6 +681,15 @@ class ServingReport:
                      f"{self.deferred_jobs} deferred, "
                      f"cost {self.cost_price_units * 1e3:.2f} "
                      f"price-unit-ms")
+        if (self.board_faults or self.failures or self.shed_jobs
+                or self.shed_degraded or self.degraded_jobs):
+            text += (f"\nfaults: {self.board_faults} board faults, "
+                     f"{self.failures} killed batches, "
+                     f"{self.retries} retries, "
+                     f"{self.shed_jobs} shed + {self.shed_degraded} "
+                     f"shed-degraded, {self.degraded_jobs} served "
+                     f"degraded; goodput {self.goodput_jps:.1f}/s of "
+                     f"{self.throughput_jps:.1f}/s throughput")
         return text
 
     def to_experiment_result(self) -> ExperimentResult:
@@ -652,6 +759,10 @@ class ServingSimulator:
             raise ValueError("need at least one device")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if key_cache_bytes is not None and key_cache_bytes <= 0:
+            raise ValueError("key_cache_bytes must be positive (a "
+                             "zero-capacity key cache cannot hold any "
+                             "working set)")
         self.config = config or FabConfig()
         self.host = host or HostConfig()
         self.num_devices = num_devices
@@ -699,7 +810,9 @@ class ServingSimulator:
             recorder: Optional[Recorder] = None,
             engine: str = "des",
             arrival_mode: str = "exact",
-            streaming_quantiles: Optional[bool] = None) -> ServingReport:
+            streaming_quantiles: Optional[bool] = None,
+            faults=None,
+            retry=None) -> ServingReport:
         """Simulate one scenario; returns the aggregated report.
 
         ``engine`` selects the event core: ``"des"`` (this exact
@@ -726,6 +839,15 @@ class ServingSimulator:
         report's ``cost_price_units`` integrates (default: flat 1.0,
         making cost equal busy device-seconds).
 
+        ``faults`` (a :class:`repro.runtime.faults.FaultProcess` or a
+        spec string like ``"poisson:mtbf=2,mttr=0.2"``) injects
+        board-down/board-up events; ``retry`` (a
+        :class:`repro.runtime.faults.RetryPolicy` or spec, default
+        ``"none"``) decides what happens to jobs whose batch a fault
+        killed.  Fault injection is DES-only and runs in
+        :func:`repro.runtime.faults.run_with_faults`; with
+        ``faults=None`` this loop is exactly the pre-fault code path.
+
         ``recorder`` (a :class:`repro.obs.Recorder`) observes the run:
         arrivals, rejections, batch services, deferral windows, and
         queue depths.  Observation never perturbs the simulation —
@@ -746,6 +868,23 @@ class ServingSimulator:
                     f"job class {stream.job_class.name!r} stripes over "
                     f"{stream.job_class.num_fpgas} boards but the pool "
                     f"has {self.num_devices}")
+        if faults is not None:
+            # Fault injection runs in its own event loop
+            # (:func:`repro.runtime.faults.run_with_faults`) so this
+            # fault-free loop stays byte-for-byte untouched — the
+            # bit-identity guarantee the golden regression suite pins.
+            if engine == "fast":
+                raise ValueError(
+                    "fault injection requires engine='des'; the fast "
+                    "engine is a fault-free parity oracle")
+            from .faults import run_with_faults
+            return run_with_faults(
+                self, scenario, seed=seed, policy=policy, price=price,
+                recorder=recorder, faults=faults, retry=retry)
+        if retry is not None:
+            raise ValueError(
+                "a retry policy only applies under fault injection; "
+                "pass faults= as well")
         if engine == "fast":
             from .fast_engine import run_fast
             return run_fast(self, scenario, seed=seed, policy=policy,
@@ -984,7 +1123,11 @@ class ServingSimulator:
                 batched_jobs: int, policy: str = "fifo",
                 rejected: Sequence[Job] = (),
                 deferred_jobs: int = 0,
-                cost_price_units: Optional[float] = None
+                cost_price_units: Optional[float] = None,
+                shed: Sequence[Job] = (),
+                board_faults: int = 0,
+                failures: int = 0,
+                wasted_service_s: float = 0.0
                 ) -> ServingReport:
         makespan = max((j.finish_s or 0.0 for j in completed), default=0.0)
         per_class: Dict[str, List[float]] = {}
@@ -1017,6 +1160,17 @@ class ServingSimulator:
             slo_met.setdefault(name, 0)
             tenant_total[job.tenant] = tenant_total.get(job.tenant, 0) + 1
             tenant_met.setdefault(job.tenant, 0)
+        # Shed jobs (fault recovery gave up on them) are SLO misses
+        # for every deadline they carried — shedding must never
+        # launder an attainment number.
+        for job in shed:
+            if job.effective_deadline_s != math.inf:
+                name = job.job_class.name
+                slo_total[name] = slo_total.get(name, 0) + 1
+                slo_met.setdefault(name, 0)
+                tenant_total[job.tenant] = (
+                    tenant_total.get(job.tenant, 0) + 1)
+                tenant_met.setdefault(job.tenant, 0)
         stats = []
         for name, latencies in per_class.items():
             latencies.sort()
@@ -1043,6 +1197,8 @@ class ServingSimulator:
         hits = sum(d.cache.hits for d in devices)
         misses = sum(d.cache.misses for d in devices)
         total_slo = sum(slo_total.values())
+        good = sum(1 for job in completed
+                   if job.finish_s <= job.effective_deadline_s)
         return ServingReport(
             scenario=scenario.name,
             makespan_s=makespan,
@@ -1064,7 +1220,19 @@ class ServingSimulator:
                             if total_slo else None),
             per_tenant_slo=tuple(
                 (tenant, tenant_met[tenant] / tenant_total[tenant])
-                for tenant in sorted(tenant_total)))
+                for tenant in sorted(tenant_total)),
+            goodput_jps=good / makespan if makespan else 0.0,
+            board_faults=board_faults,
+            failures=failures,
+            retries=(sum(job.retries for job in completed)
+                     + sum(job.retries for job in shed)
+                     + sum(job.retries for job in rejected)),
+            shed_jobs=sum(1 for job in shed
+                          if job.shed_reason != "degraded"),
+            shed_degraded=sum(1 for job in shed
+                              if job.shed_reason == "degraded"),
+            degraded_jobs=sum(1 for job in completed if job.degraded),
+            wasted_service_s=wasted_service_s)
 
 
 # ----------------------------------------------------------------------

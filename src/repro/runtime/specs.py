@@ -1,0 +1,69 @@
+"""Shared CLI spec-string machinery for the runtime libraries.
+
+Arrival processes (``poisson``, ``mmpp:burst=6,duty=0.2``), fault
+processes (``poisson:mtbf=2,mttr=0.1``) and retry policies
+(``backoff:base=0.05,max=4``) all share one ``name:key=value,...``
+grammar.  The parsers live with their registries
+(:func:`repro.runtime.arrivals.make_process`,
+:func:`repro.runtime.faults.make_fault_process`,
+:func:`repro.runtime.faults.make_retry_policy`); this module holds the
+pieces they share — the kwargs tokenizer and :class:`SpecError`, the
+exception the CLI turns into a one-line actionable message instead of
+a traceback.
+
+``SpecError`` subclasses :class:`ValueError`, so callers that predate
+it (and tests asserting ``ValueError``) keep working unchanged.
+"""
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["SpecError", "parse_spec_kwargs", "take_spec_options"]
+
+
+class SpecError(ValueError):
+    """A malformed user-facing spec string (CLI flag or config value).
+
+    The message is written to stand alone on one line: it names the
+    offending spec and what would be accepted, so front-ends can show
+    it verbatim (``repro serve`` routes it through
+    ``ArgumentParser.error``).
+    """
+
+
+def parse_spec_kwargs(text: str, what: str = "spec") -> Dict[str, float]:
+    """Tokenize the ``key=value,...`` tail of a spec string.
+
+    Values must parse as floats; ``what`` names the spec family in
+    error messages (e.g. ``"arrival"``, ``"fault"``).
+    """
+    out: Dict[str, float] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise SpecError(f"bad {what} option {item!r} "
+                            f"(expected key=value)")
+        key, value = item.split("=", 1)
+        try:
+            out[key.strip()] = float(value)
+        except ValueError:
+            raise SpecError(
+                f"bad {what} option {item.strip()!r}: "
+                f"{value.strip()!r} is not a number") from None
+    return out
+
+
+def take_spec_options(kwargs: Dict[str, float], spec: str,
+                      what: str = "spec",
+                      **defaults: float) -> Tuple[float, ...]:
+    """Pop the accepted options (with defaults) out of ``kwargs``;
+    anything left over is a typo worth a one-line complaint."""
+    values = tuple(kwargs.pop(key, default)
+                   for key, default in defaults.items())
+    if kwargs:
+        raise SpecError(
+            f"unknown option(s) {sorted(kwargs)} for {what} "
+            f"{spec!r}; accepted: {sorted(defaults)}")
+    return values

@@ -627,6 +627,25 @@ class StripedProgram:
             num_fpgas=self.num_fpgas)
 
 
+def largest_viable_stripe(num_boards: int, at_most: int) -> int:
+    """The widest legal gang on ``num_boards`` healthy boards, capped
+    at ``at_most`` (a job's planned stripe).
+
+    Stripes must be 1 or even — boards pair up in the FAB-2
+    primary/secondary topology (see :func:`stripe_trace`) — so the
+    answer is the largest even number ``<= min(num_boards, at_most)``,
+    falling back to 1, or 0 when no board is available.  Degraded-mode
+    re-planning uses this to pick the stripe a gang job shrinks onto
+    when the pool can no longer seat its planned ``num_fpgas``.
+    """
+    k = min(num_boards, at_most)
+    if k < 1:
+        return 0
+    if k == 1 or k % 2 == 0:
+        return k
+    return k - 1
+
+
 def lower_striped_trace(trace: OpTrace, num_fpgas: int,
                         config: Optional[FabConfig] = None,
                         policy: str = "round_robin",

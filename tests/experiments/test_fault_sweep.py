@@ -1,0 +1,125 @@
+"""Acceptance tests for the fault sweep (MTBF x retry x pool size).
+
+The headline claim the ISSUE pins down, asserted on a fixed grid and
+seed so it is a regression rather than vibes: at every grid point
+where faults actually fired, ``backoff`` retry delivers strictly more
+goodput (deadline-met completions) than no-retry on the *same* fault
+schedule — recovery pays for itself even counting retries that land
+late.  The JSON artifact carries the resilience frontier CI uploads.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.fault_sweep import (DEFAULT_SLO_SCALE,
+                                           run_sweep)
+
+DEVICES = (4,)
+MTBFS = (0.05, 0.2)
+DURATION_S = 0.4
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_sweep(
+        devices=DEVICES,
+        mtbfs=MTBFS,
+        duration_s=DURATION_S,
+        seed=SEED,
+        workers=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def by_point(report):
+    table = report.by_point()
+    assert len(table) == len(DEVICES) * len(MTBFS)
+    return table
+
+
+class TestHeadlineClaim:
+    def test_faults_actually_fired_everywhere(self, by_point):
+        # The grid must exercise the machinery: every point's no-retry
+        # outcome saw at least one killed batch (otherwise the backoff
+        # comparison below is vacuous).
+        for per_retry in by_point.values():
+            assert per_retry["none"].failures > 0
+
+    def test_backoff_strictly_beats_no_retry_on_goodput(self, by_point):
+        for label, per_retry in by_point.items():
+            none = per_retry["none"]
+            backoff = per_retry["backoff"]
+            assert backoff.good_jobs > none.good_jobs, (
+                f"{label}: backoff goodput {backoff.good_jobs} <= "
+                f"no-retry {none.good_jobs}")
+
+    def test_same_fault_schedule_across_retries(self, by_point):
+        # The retry policy must not perturb when boards fail — only
+        # what happens afterwards.  No-retry runs end sooner (work is
+        # shed), so they can only see a prefix of the fault timeline:
+        # fault counts are monotone in run length, never reshuffled.
+        for per_retry in by_point.values():
+            none = per_retry["none"]
+            backoff = per_retry["backoff"]
+            assert none.board_faults <= backoff.board_faults or (
+                none.makespan_s >= backoff.makespan_s)
+
+    def test_retries_conserve_jobs(self, by_point):
+        for per_retry in by_point.values():
+            offered = {
+                o.jobs_done + o.rejected + o.shed + o.shed_degraded
+                for o in per_retry.values()}
+            assert len(offered) == 1  # same arrivals, all accounted
+
+
+class TestReportShape:
+    def test_resilience_frontier_nonempty_and_nondominated(self, report):
+        frontier = report.resilience_frontier()
+        assert frontier
+        for outcome in frontier:
+            for other in report.outcomes:
+                dominates = (
+                    other.wasted_service_s <= outcome.wasted_service_s
+                    and other.goodput_jps >= outcome.goodput_jps
+                    and (other.wasted_service_s < outcome.wasted_service_s
+                         or other.goodput_jps > outcome.goodput_jps))
+                assert not dominates
+        best_goodput = max(o.goodput_jps for o in report.outcomes)
+        assert any(o.goodput_jps == best_goodput for o in frontier)
+
+    def test_json_artifact_roundtrip(self, report, tmp_path):
+        path = tmp_path / "fault_sweep.json"
+        report.save_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["grid_points"] == len(DEVICES) * len(MTBFS)
+        assert data["slo_scale"] == DEFAULT_SLO_SCALE
+        assert data["resilience_frontier"]
+        rows = data["headline"]["backoff_vs_none"]
+        assert len(rows) == data["grid_points"]
+        for _label, faults, none_good, backoff_good in rows:
+            assert faults > 0
+            assert backoff_good > none_good
+        assert len(data["outcomes"]) == len(report.outcomes)
+
+    def test_experiment_result_renders(self, report):
+        result = report.to_experiment_result()
+        assert result.experiment_id == "fault_sweep"
+        assert len(result.rows) == len(report.outcomes)
+        assert "resilience frontier" in result.notes
+
+    def test_registry_entry_runs_reduced_grid(self):
+        from repro.experiments import ALL_EXPERIMENTS
+        assert "fault_sweep" in ALL_EXPERIMENTS
+
+    def test_invalid_specs_rejected_before_fanout(self):
+        with pytest.raises(ValueError):
+            run_sweep(retries=("psychic",), workers=1)
+        with pytest.raises(ValueError):
+            run_sweep(duration_s=0, workers=1)
+        with pytest.raises(ValueError):
+            run_sweep(retries=("backoff:base=0.1", "backoff"),
+                      workers=1)  # duplicate policy names
+        with pytest.raises(ValueError):
+            run_sweep(slo_scale=0, workers=1)
