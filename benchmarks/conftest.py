@@ -1,6 +1,33 @@
 """Benchmark-suite fixtures (pytest-benchmark)."""
 
+import pathlib
+
 import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-baselines", action="store_true", default=False,
+        help="write bench JSON artifacts over the tracked baselines "
+             "at the repo root (BENCH_*.json); by default a bench run "
+             "writes to build/bench/ and the tracked files stay "
+             "untouched")
+
+
+@pytest.fixture(scope="session")
+def bench_out_dir(request):
+    """Where bench artifacts land: ``build/bench/`` by default, the
+    repo root (the tracked ``BENCH_*.json`` baselines) only under an
+    explicit ``--update-baselines`` opt-in — a stray local bench run
+    must not rewrite the history the perf trajectory is tracked
+    against."""
+    if request.config.getoption("--update-baselines"):
+        return REPO_ROOT
+    out = REPO_ROOT / "build" / "bench"
+    out.mkdir(parents=True, exist_ok=True)
+    return out
 
 
 @pytest.fixture(scope="session")

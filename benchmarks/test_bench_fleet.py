@@ -5,8 +5,9 @@ Runs the SLO scenario at ~10k / ~100k (and, with ``PERF_SMOKE=1``,
 :meth:`repro.runtime.serving.ServingSimulator.run` and records
 simulated jobs per wall-second for each, plus a per-arrival-process
 breakdown (Poisson, diurnal, MMPP, flash crowd) of the fast engine at
-the 100k point.  Results land in ``BENCH_fleet.json`` at the repo
-root — the fleet-scale series of the tracked perf trajectory.
+the 100k point.  Results land in ``build/bench/BENCH_fleet.json`` (pass
+``--update-baselines`` to rewrite the tracked repo-root baseline) —
+the fleet-scale series of the tracked perf trajectory.
 
 Gates (CI perf-smoke, ``PERF_SMOKE=1``):
 
@@ -21,14 +22,15 @@ sequence always runs.
 
 import json
 import os
-import pathlib
 import time
 
 from repro.core.params import FabConfig
 from repro.runtime.serving import ServingSimulator, build_slo_scenario
 
-BENCH_PATH = (pathlib.Path(__file__).resolve().parent.parent
-              / "BENCH_fleet.json")
+#: Tracked baseline artifact name.  Where a run writes it is the
+#: ``bench_out_dir`` fixture's call: ``build/bench/`` by default, the
+#: tracked repo-root baseline only under ``--update-baselines``.
+BENCH_NAME = "BENCH_fleet.json"
 
 #: Arrival horizon (seconds) per scale label; the SLO scenario at
 #: ``target_load=1.5`` offers ~2.8k jobs per horizon second.
@@ -49,7 +51,7 @@ def _best_of(fn, repeats=3):
     return best, result
 
 
-def test_bench_fleet():
+def test_bench_fleet(bench_out_dir):
     config = FabConfig()
     perf_smoke = bool(os.environ.get("PERF_SMOKE"))
     labels = ["10k", "100k"] + (["1M"] if perf_smoke else [])
@@ -112,7 +114,8 @@ def test_bench_fleet():
         }
         assert report.jobs_done > 0
 
-    BENCH_PATH.write_text(json.dumps(results, indent=1) + "\n")
+    (bench_out_dir / BENCH_NAME).write_text(
+        json.dumps(results, indent=1) + "\n")
 
     smoke = results["scales"]["100k"]["speedup"]
     # Loose floor always; the real gates run on CI's quiet runner.

@@ -20,7 +20,6 @@ asserted floor is what CI's perf-smoke step enforces.
 
 import json
 import os
-import pathlib
 import random
 import time
 
@@ -33,8 +32,10 @@ from repro.runtime.serving import (Scenario, ServingSimulator, Stream,
                                    build_job_classes)
 from repro.runtime.serving_baseline import baseline_run
 
-BENCH_PATH = (pathlib.Path(__file__).resolve().parent.parent
-              / "BENCH_perf_stack.json")
+#: Tracked baseline artifact name.  Where a run writes it is the
+#: ``bench_out_dir`` fixture's call: ``build/bench/`` by default, the
+#: tracked repo-root baseline only under ``--update-baselines``.
+BENCH_NAME = "BENCH_perf_stack.json"
 
 
 def _best_of(fn, repeats=3):
@@ -65,7 +66,7 @@ def _layered_dag(tasks=800, width=24, seed=0):
     return g
 
 
-def test_bench_perf_stack():
+def test_bench_perf_stack(bench_out_dir):
     config = FabConfig()
     results = {}
 
@@ -128,7 +129,8 @@ def test_bench_perf_stack():
         "jobs_per_s": fast_report.jobs_done / fast_serve_s,
     }
 
-    BENCH_PATH.write_text(json.dumps(results, indent=1) + "\n")
+    (bench_out_dir / BENCH_NAME).write_text(
+        json.dumps(results, indent=1) + "\n")
 
     # The acceptance floor: the rewritten event loop must beat the
     # pre-PR loop by >= 5x in the same run (typically ~15x).  The hard

@@ -10,6 +10,7 @@ Usage::
     python -m repro serve-sweep          # cost-optimal pool sweep
     python -m repro slo-sweep            # policy x load x mix SLO sweep
     python -m repro fault-sweep          # MTBF x retry resilience sweep
+    python -m repro autoscale-sweep      # scale policy x arrival pattern
     python -m repro stripe-scale         # FAB-2 trace-striping sweep
     python -m repro timeline metrics.json    # render a metrics artifact
 """
@@ -41,6 +42,9 @@ def main(argv=None) -> int:
     if argv[0] == "fault-sweep":
         from .runtime.cli import run_fault_sweep
         return run_fault_sweep(argv[1:])
+    if argv[0] == "autoscale-sweep":
+        from .runtime.cli import run_autoscale_sweep
+        return run_autoscale_sweep(argv[1:])
     if argv[0] == "stripe-scale":
         from .runtime.cli import run_stripe_scale
         return run_stripe_scale(argv[1:])
@@ -61,6 +65,8 @@ def main(argv=None) -> int:
               f"size; cost/SLO Pareto frontier.")
         print(f"{'fault-sweep':22s} Sweep board MTBF x retry policy; "
               f"goodput/wasted-service resilience frontier.")
+        print(f"{'autoscale-sweep':22s} Sweep scale policy x arrival "
+              f"pattern; cost per goodput vs the static pool.")
         print(f"{'stripe-scale':22s} Stripe a trace across the FAB-2 "
               f"pool; reconcile vs the analytic model.")
         print(f"{'timeline':22s} Render a serve --metrics artifact as "

@@ -14,7 +14,7 @@ This package is a dependency leaf: it never imports from the rest of
 :mod:`repro`, so any layer may record into it.
 """
 
-from .metrics import MetricsRecorder
+from .metrics import MetricsRecorder, window_index
 from .provenance import config_digest, git_describe, provenance
 from .recorder import (NULL_RECORDER, CompositeRecorder, NullRecorder,
                        Recorder, compose)
@@ -24,5 +24,5 @@ from .timeline import TimelineRecorder
 __all__ = [
     "Recorder", "NullRecorder", "NULL_RECORDER", "CompositeRecorder",
     "compose", "TimelineRecorder", "MetricsRecorder", "provenance",
-    "config_digest", "git_describe", "render_metrics",
+    "config_digest", "git_describe", "render_metrics", "window_index",
 ]

@@ -34,6 +34,28 @@ _CACHE_KEYS = ("hits", "misses", "bytes_loaded", "evictions",
                "bytes_evicted", "resident_bytes")
 
 
+def window_index(t: float, window_s: float) -> int:
+    """The window containing instant ``t``, boundary-exact.
+
+    Naive ``int(t / window_s)`` misassigns exact boundary instants:
+    IEEE-754 makes ``0.3 / 0.1 == 2.9999999999999996``, so an event at
+    ``t == 3 * window_s`` lands in window 2 instead of the window it
+    opens.  The quotient of a true boundary ``k * w`` is within a
+    couple of ulps of ``k``, so a quotient within ``256 * ulp`` below
+    the next integer is treated as that integer.  The tolerance is
+    relative (ulp-scaled): it absorbs the rounding of ``(k*w)/w`` at
+    any magnitude while staying vanishingly small next to the window
+    width itself.
+    """
+    if t <= 0.0:
+        return 0
+    q = t / window_s
+    i = int(q)
+    if (i + 1) - q <= 256.0 * math.ulp(q):
+        i += 1
+    return i
+
+
 def _grow(series: List[float], index: int) -> None:
     if index >= len(series):
         series.extend([0.0] * (index + 1 - len(series)))
@@ -79,6 +101,14 @@ class MetricsRecorder(Recorder):
         self._fault_count = 0
         self._repair_count = 0
         self._min_healthy: Optional[int] = None
+        # autoscaler series: voluntary resizes per window plus a
+        # sample-and-hold provisioned-board count.
+        self._resizes: List[float] = []
+        self._provisioned_snap: Dict[int, int] = {}
+        self._resize_count = 0
+        self._scale_ups = 0
+        self._scale_downs = 0
+        self._min_provisioned: Optional[int] = None
         self._max_t = 0.0
         self._makespan_s = 0.0
         self._device_busy_s: Tuple[float, ...] = ()
@@ -87,7 +117,7 @@ class MetricsRecorder(Recorder):
     # -- window helpers ------------------------------------------------
 
     def _index(self, t: float) -> int:
-        return max(int(t / self.window_s), 0)
+        return window_index(t, self.window_s)
 
     def _finite(self, t: float) -> float:
         """Clamp a non-finite event time to the run's current edge.
@@ -197,6 +227,21 @@ class MetricsRecorder(Recorder):
         if healthy is not None:
             self._healthy_snap[self._index(t)] = healthy
 
+    def pool_resize(self, *, t: float, board: int, direction: str,
+                    provisioned: Optional[int] = None) -> None:
+        t = self._finite(t)
+        self._add(self._resizes, t, 1.0)
+        self._resize_count += 1
+        if direction == "up":
+            self._scale_ups += 1
+        else:
+            self._scale_downs += 1
+        if provisioned is not None:
+            self._provisioned_snap[self._index(t)] = provisioned
+            if (self._min_provisioned is None
+                    or provisioned < self._min_provisioned):
+                self._min_provisioned = provisioned
+
     def queue_sample(self, *, t: float, total: int,
                      depths: Optional[Dict[Tuple[str, str], int]] = None
                      ) -> None:
@@ -236,13 +281,14 @@ class MetricsRecorder(Recorder):
 
     @property
     def num_windows(self) -> int:
+        # Derived from the same boundary-exact index every event went
+        # through, so an event at exactly the horizon can never index
+        # one past the final window (the old independent ceil could
+        # disagree with the event index at boundary instants).
         horizon = max(self._makespan_s, self._max_t)
         if horizon <= 0:
             return 1
-        count = int(math.ceil(horizon / self.window_s))
-        # An event exactly on the horizon boundary still lands in the
-        # window that starts there.
-        return max(count, self._index(horizon) + 1, 1)
+        return self._index(horizon) + 1
 
     def _padded(self, series: List[float], count: int) -> List[float]:
         return series + [0.0] * (count - len(series))
@@ -325,6 +371,18 @@ class MetricsRecorder(Recorder):
                 healthy_series.append(
                     float(level) if level is not None else None)
             windows["healthy_boards"] = healthy_series
+        if self._resize_count:
+            windows["pool_resizes"] = self._padded(self._resizes, count)
+            # Sample-and-hold like healthy_boards: between resize
+            # events capacity is whatever the last event left behind
+            # (the full pool before the first resize).
+            provisioned_series: List[Optional[float]] = []
+            level = self._run_info.get("num_devices")
+            for index in range(count):
+                level = self._provisioned_snap.get(index, level)
+                provisioned_series.append(
+                    float(level) if level is not None else None)
+            windows["provisioned_boards"] = provisioned_series
         return {
             "meta": dict(self._meta),
             **self._run_info,
@@ -356,6 +414,10 @@ class MetricsRecorder(Recorder):
             "board_faults": self._fault_count,
             "board_repairs": self._repair_count,
             "min_healthy_boards": self._min_healthy,
+            "pool_resizes": self._resize_count,
+            "scale_ups": self._scale_ups,
+            "scale_downs": self._scale_downs,
+            "min_provisioned_boards": self._min_provisioned,
         }
 
     def save(self, path: str) -> None:

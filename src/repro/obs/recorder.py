@@ -109,6 +109,16 @@ class Recorder:
         """``board`` came back up (cold: its key cache is empty).
         ``healthy`` is the healthy-board count after the repair."""
 
+    # -- autoscaler events -----------------------------------------------
+
+    def pool_resize(self, *, t: float, board: int, direction: str,
+                    provisioned: Optional[int] = None) -> None:
+        """The autoscaler voluntarily resized the pool at ``t``:
+        ``direction`` is ``"down"`` (``board`` parked, its key cache
+        evicted) or ``"up"`` (``board`` returned, cold).
+        ``provisioned`` is the in-service board count *after* the
+        transition — the capacity actually being paid for."""
+
     # -- scheduler events ----------------------------------------------
 
     def schedule_task(self, *, group: str, track: str, name: str,
@@ -178,6 +188,10 @@ class CompositeRecorder(Recorder):
     def board_repair(self, **kwargs: Any) -> None:
         for rec in self.recorders:
             rec.board_repair(**kwargs)
+
+    def pool_resize(self, **kwargs: Any) -> None:
+        for rec in self.recorders:
+            rec.pool_resize(**kwargs)
 
     def schedule_task(self, **kwargs: Any) -> None:
         for rec in self.recorders:

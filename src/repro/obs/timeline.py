@@ -66,6 +66,9 @@ class TimelineRecorder(Recorder):
         #: (t_seconds, healthy_count) samples of the pool-health
         #: counter, recorded at every fault/repair instant.
         self._healthy_points: List[Tuple[float, int]] = []
+        #: (t_seconds, provisioned_count) samples of the pool-size
+        #: counter, recorded at every voluntary resize instant.
+        self._provisioned_points: List[Tuple[float, int]] = []
         #: group -> track -> [(start_s, finish_s, name, device)].
         self._sched: Dict[str, Dict[str, List[Tuple]]] = {}
         self._makespan_s = 0.0
@@ -219,6 +222,16 @@ class TimelineRecorder(Recorder):
         if healthy is not None:
             self._healthy_points.append((t, healthy))
 
+    def pool_resize(self, *, t: float, board: int, direction: str,
+                    provisioned: Optional[int] = None) -> None:
+        t = self._finite(t)
+        self._close_defer(board, t)
+        self._emit("i", f"scale-{direction}", t,
+                   self._board_tid(board), s="t",
+                   args={"board": board, "provisioned": provisioned})
+        if provisioned is not None:
+            self._provisioned_points.append((t, provisioned))
+
     def schedule_task(self, *, group: str, track: str, name: str,
                       start_s: float, finish_s: float,
                       device: Optional[int] = None) -> None:
@@ -294,6 +307,13 @@ class TimelineRecorder(Recorder):
                     {"ph": "C", "name": "healthy boards",
                      "ts": t * _US, "pid": SERVE_PID, "tid": tid,
                      "cat": "serving", "args": {"boards": healthy}})
+        if self._provisioned_points:
+            tid = self._aux_tid("pool-size")
+            for t, provisioned in self._provisioned_points:
+                events.append(
+                    {"ph": "C", "name": "provisioned boards",
+                     "ts": t * _US, "pid": SERVE_PID, "tid": tid,
+                     "cat": "serving", "args": {"boards": provisioned}})
         return events
 
     def _schedule_events(self) -> Tuple[List[Dict[str, Any]],

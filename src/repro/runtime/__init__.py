@@ -18,6 +18,11 @@ the FAB performance model (:mod:`repro.core`):
   policies for the simulator: ``fifo``, ``edf`` (deadline-ordered
   with admission control), and ``deferrable-window`` (price-aware
   batch windows), plus the :class:`PriceSignal` they schedule around.
+* :mod:`~repro.runtime.autoscaler` — elastic pool autoscaling:
+  pluggable scale policies (reactive thresholds, predictive rate
+  trend) over windowed utilization/queue/arrival signals, driving
+  voluntary board park/unpark with drain semantics and cold-cache
+  rejoin.
 * :mod:`~repro.runtime.fast_engine` — the vectorized second engine
   behind ``ServingSimulator.run(engine="fast")``: numpy-batched
   arrivals and bookkeeping at ~10x the DES event rate, held to the
@@ -35,6 +40,10 @@ the FAB performance model (:mod:`repro.core`):
 from .arrivals import (ARRIVAL_PROCESSES, ArrivalProcess, DiurnalProcess,
                        FlashCrowdProcess, MMPPProcess, PoissonProcess,
                        RateCurveProcess, TraceReplayProcess, make_process)
+from .autoscaler import (SCALE_POLICIES, PredictiveScalePolicy,
+                         ReactiveScalePolicy, ScalePolicy, ScaleSignals,
+                         ScheduleScalePolicy, make_scale_policy,
+                         run_with_autoscale)
 from .capture import (CountingKeySwitcher, TracingEncoder,
                       TracingEvaluator, capture)
 from .fast_engine import (STREAMING_AUTO_THRESHOLD, SetKeyCache, run_fast)
@@ -83,9 +92,12 @@ __all__ = [
     "LoweredCost", "MMPPProcess", "NoRetry", "OpTrace",
     "P2Quantile", "POLICIES", "PoissonFaultProcess", "PoissonProcess",
     "PolicyContext", "PriceSignal",
+    "PredictiveScalePolicy",
     "REFERENCE_TRACES", "RETRY_POLICIES", "RateCurveProcess",
-    "ReservoirQuantiles", "RetryPolicy",
-    "STREAMING_AUTO_THRESHOLD", "Scenario", "SchedulingPolicy",
+    "ReactiveScalePolicy", "ReservoirQuantiles", "RetryPolicy",
+    "SCALE_POLICIES", "STREAMING_AUTO_THRESHOLD", "ScalePolicy",
+    "ScaleSignals", "Scenario", "ScheduleScalePolicy",
+    "SchedulingPolicy",
     "ServingReport", "ServingSimulator", "SetKeyCache", "SpecError",
     "Stream", "StripePlan", "StripedCost", "StripedProgram",
     "StripedReport", "StripedTrace", "TRACE_KINDS",
@@ -101,6 +113,8 @@ __all__ = [
     "lower_striped_trace", "lower_trace", "lowered_op",
     "lr_inference_trace", "lr_iteration_trace", "make_fault_process",
     "make_policy", "make_process", "make_retry_policy",
-    "percentile", "run_fast", "run_with_faults", "stripe_trace",
+    "make_scale_policy",
+    "percentile", "run_fast", "run_with_autoscale",
+    "run_with_faults", "stripe_trace",
     "switching_key_bytes",
 ]

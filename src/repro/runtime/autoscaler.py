@@ -1,0 +1,742 @@
+"""Elastic autoscaling for the serving simulator.
+
+PR 8 built the involuntary half of pool elasticity: boards leave and
+rejoin the pool when a fault process says so.  This module adds the
+*voluntary* half — a pluggable :class:`ScalePolicy` that watches
+windowed queue-depth / utilization / arrival-rate signals and drives
+the same board-down/board-up transitions on purpose:
+
+* **Scale-down drains.**  A board leaves the pool only when it comes
+  up free — an in-flight gang always finishes (or is re-planned when
+  its planned stripe no longer fits the shrunken pool, via
+  :func:`repro.runtime.striped_lowering.largest_viable_stripe` +
+  :meth:`repro.runtime.serving.JobClass.restriped`); work is never
+  silently killed.  Parking a board evicts its HBM switching-key
+  cache, exactly like a fault does.
+* **Scale-up is cold.**  A returning board starts with an empty key
+  cache, so its first batches repay the switching-key reload over
+  PCIe through the existing
+  :func:`repro.runtime.serving.key_load_seconds` cost model — elastic
+  capacity is never free capacity.
+* **Signals are boundary-exact.**  Decision windows are indexed with
+  :func:`repro.obs.metrics.window_index` (the ulp-tolerant index the
+  windowed-metrics bugfix introduced), so an arrival at exactly a
+  control-window boundary feeds the decision for the window it opens.
+
+Policies share the ``name:key=value,...`` spec grammar of
+:mod:`repro.runtime.specs`:
+
+* ``reactive:low=0.3,high=0.85,cooldown=0.05`` — threshold control on
+  windowed utilization (scale up past ``high`` or when the backlog
+  exceeds one job per board; scale down below ``low`` with an empty
+  queue), ``step`` boards at a time, with a ``cooldown`` between
+  target changes to prevent flapping.
+* ``predictive:window=0.1,horizon=0.05,target=0.7`` — least-squares
+  rate trend over the last ``window`` seconds of arrival windows,
+  extrapolated ``horizon`` seconds ahead and converted to boards via
+  the measured board-seconds-per-job, aiming at ``target``
+  utilization.
+
+:func:`run_with_autoscale` is a fork of the exact fault-free DES loop
+in :meth:`repro.runtime.serving.ServingSimulator.run` — kept separate,
+like :func:`repro.runtime.faults.run_with_faults`, so the
+``autoscale=None`` path stays byte-for-byte the pre-autoscale code
+(the golden bit-identity suite pins this).  Reports grow
+``resize_events`` / ``scale_ups`` / ``scale_downs`` and
+``board_seconds`` — the capacity actually paid for, the denominator
+of cost-per-goodput — and recorders see ``pool_resize`` instants plus
+a provisioned-boards counter track.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs import NULL_RECORDER, Recorder
+from ..obs.metrics import window_index
+from .policies import DispatchView, PolicyContext, PriceSignal, make_policy
+from .serving import (DeviceState, Job, JobClass, KeyCache, Scenario,
+                      ServingReport)
+from .specs import SpecError, parse_spec_kwargs, take_spec_options
+from .striped_lowering import largest_viable_stripe
+
+#: Registry of spec names accepted by :func:`make_scale_policy`.
+SCALE_POLICIES = ("reactive", "predictive")
+
+
+# ----------------------------------------------------------------------
+# Signals
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScaleSignals:
+    """What a :class:`ScalePolicy` sees at one control instant.
+
+    Windowed quantities cover the control interval that just closed at
+    ``t``; ``busy_board_s`` / ``provisioned_board_s`` are exact
+    board-second integrals over that interval, so
+    :attr:`utilization` is the true windowed busy fraction, not an
+    instantaneous sample.
+    """
+
+    #: The control instant (a window boundary ``k * interval_s``).
+    t: float
+    #: Width of the control window that just closed.
+    interval_s: float
+    #: Jobs pending in the policy's queues at ``t``.
+    queue_depth: int
+    #: In-service boards at ``t`` (capacity currently paid for).
+    provisioned: int
+    #: Busy board-seconds integrated over the closed window.
+    busy_board_s: float
+    #: Provisioned board-seconds integrated over the closed window.
+    provisioned_board_s: float
+    #: Jobs that arrived during the closed window.
+    arrivals: int
+    #: ``arrivals / interval_s`` — the window's offered rate.
+    arrival_rate: float
+    #: Measured board-seconds per completed job so far (0 until the
+    #: first dispatch) — the capacity oracle predictive sizing uses.
+    service_s_per_job: float
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of provisioned capacity over the window."""
+        if self.provisioned_board_s <= 0:
+            return 0.0
+        return self.busy_board_s / self.provisioned_board_s
+
+
+# ----------------------------------------------------------------------
+# Policies
+# ----------------------------------------------------------------------
+
+class ScalePolicy:
+    """Base scale policy: decides the provisioned-board target.
+
+    :meth:`begin` resolves the pool bounds; :meth:`decide` is called
+    once per elapsed control interval (``interval_s`` seconds of sim
+    time) and returns the desired in-service board count.  The loop
+    applies it elastically: scale-up returns parked boards
+    immediately (cold), scale-down parks boards as they drain free.
+    Subclasses implement :meth:`desired`; the base class owns the
+    clamp and the anti-flapping cooldown.
+    """
+
+    name = "base"
+
+    def __init__(self, interval_s: float = 0.01,
+                 cooldown_s: float = 0.0,
+                 min_boards: int = 1,
+                 max_boards: Optional[int] = None):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        if min_boards < 1:
+            raise ValueError("min_boards must be >= 1 (an empty pool "
+                             "could never serve the queue again)")
+        if max_boards is not None and max_boards < min_boards:
+            raise ValueError("max_boards must be >= min_boards")
+        self.interval_s = float(interval_s)
+        self.cooldown_s = float(cooldown_s)
+        self.min_boards = int(min_boards)
+        self.max_boards = max_boards
+        self._target = 0
+        self._last_change_s = -math.inf
+
+    def begin(self, num_devices: int) -> None:
+        """Resolve bounds against the actual pool; the run starts
+        fully provisioned (scale-down is an observed decision, never
+        an initial condition)."""
+        if self.max_boards is None:
+            self.max_boards = num_devices
+        self.max_boards = min(self.max_boards, num_devices)
+        self.min_boards = min(self.min_boards, self.max_boards)
+        self._target = num_devices
+        self._last_change_s = -math.inf
+
+    def desired(self, signals: ScaleSignals) -> int:
+        raise NotImplementedError
+
+    def decide(self, signals: ScaleSignals) -> int:
+        want = self.desired(signals)
+        want = max(self.min_boards, min(want, self.max_boards))
+        if want != self._target:
+            # Boundary-exact, like window_index: an eval landing
+            # exactly ``cooldown`` after the last change may change
+            # again — ``t - last`` carries a couple ulps of float
+            # error that a plain ``<`` would turn into an extra
+            # window of hold.
+            elapsed = signals.t - self._last_change_s
+            if elapsed < self.cooldown_s - 256.0 * math.ulp(signals.t):
+                return self._target
+            self._target = want
+            self._last_change_s = signals.t
+        return self._target
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class ReactiveScalePolicy(ScalePolicy):
+    """Threshold control on windowed utilization and backlog.
+
+    Scale up ``step`` boards when the window's utilization reached
+    ``high`` — or the queue backed up past one job per provisioned
+    board, the leading edge of a burst a utilization average lags —
+    and down ``step`` when utilization fell to ``low`` with an empty
+    queue.  The inherited ``cooldown`` spaces target changes.
+    """
+
+    name = "reactive"
+
+    def __init__(self, low: float = 0.3, high: float = 0.85,
+                 step: int = 1, **kwargs):
+        super().__init__(**kwargs)
+        if not 0.0 <= low < high:
+            raise ValueError("need 0 <= low < high")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.low = float(low)
+        self.high = float(high)
+        self.step = int(step)
+
+    def desired(self, signals: ScaleSignals) -> int:
+        if (signals.utilization >= self.high
+                or signals.queue_depth > signals.provisioned):
+            return self._target + self.step
+        if signals.utilization <= self.low and signals.queue_depth == 0:
+            return self._target - self.step
+        return self._target
+
+    def __repr__(self):
+        return (f"ReactiveScalePolicy(low={self.low:g}, "
+                f"high={self.high:g}, step={self.step}, "
+                f"cooldown_s={self.cooldown_s:g}, "
+                f"interval_s={self.interval_s:g})")
+
+
+class PredictiveScalePolicy(ScalePolicy):
+    """Rate-trend sizing: provision for where the arrival rate is
+    *going*, not where it was.
+
+    Keeps the per-window arrival rates of the last ``window_s``
+    seconds, fits a least-squares linear trend, extrapolates
+    ``horizon_s`` ahead, and converts the predicted rate to boards
+    with the measured board-seconds-per-job at ``target_util``
+    utilization headroom.  Until a first batch completes there is no
+    capacity oracle, so the policy holds the current target.
+    """
+
+    name = "predictive"
+
+    def __init__(self, window_s: float = 0.1, horizon_s: float = 0.05,
+                 target_util: float = 0.7, **kwargs):
+        super().__init__(**kwargs)
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be >= 0")
+        if not 0.0 < target_util <= 1.0:
+            raise ValueError("target_util must be in (0, 1]")
+        self.window_s = float(window_s)
+        self.horizon_s = float(horizon_s)
+        self.target_util = float(target_util)
+        self._history: "deque[Tuple[float, float]]" = deque()
+
+    def begin(self, num_devices: int) -> None:
+        super().begin(num_devices)
+        self._history.clear()
+
+    def _predicted_rate(self, t: float) -> float:
+        points = self._history
+        if len(points) >= 2 and points[-1][0] > points[0][0]:
+            mean_t = sum(p[0] for p in points) / len(points)
+            mean_r = sum(p[1] for p in points) / len(points)
+            denom = sum((p[0] - mean_t) ** 2 for p in points)
+            slope = sum((p[0] - mean_t) * (p[1] - mean_r)
+                        for p in points) / denom
+            intercept = mean_r - slope * mean_t
+            rate = intercept + slope * (t + self.horizon_s)
+        else:
+            rate = points[-1][1]
+        return max(rate, 0.0)
+
+    def desired(self, signals: ScaleSignals) -> int:
+        self._history.append((signals.t, signals.arrival_rate))
+        while (self._history
+               and self._history[0][0] < signals.t - self.window_s):
+            self._history.popleft()
+        if signals.service_s_per_job <= 0:
+            return self._target
+        rate = self._predicted_rate(signals.t)
+        boards = rate * signals.service_s_per_job / self.target_util
+        return int(math.ceil(boards)) if boards > 0 else self.min_boards
+
+    def __repr__(self):
+        return (f"PredictiveScalePolicy(window_s={self.window_s:g}, "
+                f"horizon_s={self.horizon_s:g}, "
+                f"target_util={self.target_util:g}, "
+                f"cooldown_s={self.cooldown_s:g}, "
+                f"interval_s={self.interval_s:g})")
+
+
+class ScheduleScalePolicy(ScalePolicy):
+    """Scripted targets: explicit ``(t_s, boards)`` steps.
+
+    The deterministic chaos-test input for the autoscale loop (the
+    analogue of :class:`repro.runtime.faults.TraceFaultProcess`):
+    tests can force a scale-down mid-batch or a precise resize
+    sequence without depending on a feedback policy's dynamics.
+    """
+
+    name = "schedule"
+
+    def __init__(self, steps: Sequence[Tuple[float, int]], **kwargs):
+        super().__init__(**kwargs)
+        self.steps = sorted((float(t), int(boards))
+                            for t, boards in steps)
+
+    def desired(self, signals: ScaleSignals) -> int:
+        want = self._target
+        for t, boards in self.steps:
+            if t <= signals.t:
+                want = boards
+            else:
+                break
+        return want
+
+    def __repr__(self):
+        return f"ScheduleScalePolicy({self.steps!r})"
+
+
+def make_scale_policy(spec) -> ScalePolicy:
+    """Build a scale policy from a CLI spec string (or pass an
+    instance through).
+
+    ``reactive:low=0.3,high=0.85,step=1,cooldown=0.05`` ·
+    ``predictive:window=0.1,horizon=0.05,target=0.7,cooldown=0.05``.
+    Both accept ``interval=`` (control-window seconds), ``min=`` and
+    ``max=`` (board bounds; ``max`` defaults to the pool size).
+    """
+    if isinstance(spec, ScalePolicy):
+        return spec
+    name, _, rest = spec.partition(":")
+    name = name.strip().lower()
+    kwargs = parse_spec_kwargs(rest, what="autoscale")
+    if name == "reactive":
+        (low, high, step, cooldown, interval, min_boards,
+         max_boards) = take_spec_options(
+            kwargs, spec, what="scale policy", low=0.3, high=0.85,
+            step=1, cooldown=0.0, interval=0.01, min=1, max=math.nan)
+        return ReactiveScalePolicy(
+            low=low, high=high, step=int(step), cooldown_s=cooldown,
+            interval_s=interval, min_boards=int(min_boards),
+            max_boards=(None if math.isnan(max_boards)
+                        else int(max_boards)))
+    if name == "predictive":
+        (window, horizon, target, cooldown, interval, min_boards,
+         max_boards) = take_spec_options(
+            kwargs, spec, what="scale policy", window=0.1,
+            horizon=0.05, target=0.7, cooldown=0.0, interval=0.01,
+            min=1, max=math.nan)
+        return PredictiveScalePolicy(
+            window_s=window, horizon_s=horizon, target_util=target,
+            cooldown_s=cooldown, interval_s=interval,
+            min_boards=int(min_boards),
+            max_boards=(None if math.isnan(max_boards)
+                        else int(max_boards)))
+    raise SpecError(f"unknown scale policy {name!r}; "
+                    f"try: {', '.join(SCALE_POLICIES)}")
+
+
+# ----------------------------------------------------------------------
+# The autoscaling event loop
+# ----------------------------------------------------------------------
+
+def run_with_autoscale(sim, scenario: Scenario, seed: int = 0,
+                       policy="fifo",
+                       price: Optional[PriceSignal] = None,
+                       recorder: Optional[Recorder] = None,
+                       autoscale=None) -> ServingReport:
+    """The DES loop of :meth:`ServingSimulator.run`, with elastic
+    capacity.
+
+    A fork of the exact fault-free loop (kept separate so that loop
+    stays bit-identical), extended with: per-control-window signal
+    accumulation (arrivals binned boundary-exactly, busy and
+    provisioned board-seconds integrated exactly), policy evaluation
+    at every elapsed window boundary, drain-style parking of boards a
+    lowered target no longer wants (cache evicted, gangs always
+    finish), cold un-parking on scale-up, and degraded re-planning of
+    striped gangs wider than the in-service pool.
+    """
+    if autoscale is None:
+        raise ValueError("run_with_autoscale needs a scale policy")
+    scale = make_scale_policy(autoscale)
+    rec = (recorder if recorder is not None and recorder.enabled
+           else None)
+    jobs = scenario.generate(seed)
+    policy = make_policy(policy)
+    price = price if price is not None else PriceSignal.flat()
+    devices = [DeviceState(i, KeyCache(sim.key_cache_bytes))
+               for i in range(sim.num_devices)]
+    free_heap: List[Tuple[float, int]] = [
+        (0.0, d.index) for d in devices]
+    heapq.heapify(free_heap)
+    completed: List[Job] = []
+    rejected: List[Job] = []
+    shed: List[Job] = []
+    restripe_cache: Dict[Tuple[JobClass, int], Optional[JobClass]] = {}
+    batches = 0
+    batched_jobs = 0
+    cost_price_units = 0.0
+    i = 0
+    n = len(jobs)
+    launch_overhead_s = sim.host.kernel_launch_overhead_s
+    now = 0.0
+    device_index = 0
+
+    # -- elasticity state ----------------------------------------------
+    scale.begin(sim.num_devices)
+    interval = scale.interval_s
+    in_service = [True] * sim.num_devices
+    in_service_count = sim.num_devices
+    parked: List[int] = []        # LIFO: most recently parked first
+    target = in_service_count
+    eval_count = 0                # control windows already closed
+    resize_events = 0
+    scale_ups = 0
+    scale_downs = 0
+    # signal accumulators
+    arrival_bins: Dict[int, int] = {}
+    busy_deltas: List[Tuple[float, int, int]] = []   # (t, seq, +/-k)
+    busy_seq = 0
+    busy_level = 0
+    busy_last_t = 0.0
+    busy_area = 0.0               # busy board-s since the last eval
+    prov_last_t = 0.0
+    prov_area = 0.0               # provisioned board-s since last eval
+    board_seconds = 0.0           # total provisioned board-s (paid)
+    busy_total_s = 0.0            # dispatched board-s (capacity oracle)
+    jobs_dispatched = 0
+
+    def advance_busy(t: float) -> None:
+        nonlocal busy_level, busy_last_t, busy_area
+        while busy_deltas and busy_deltas[0][0] <= t:
+            event_t, _, delta = heapq.heappop(busy_deltas)
+            if event_t > busy_last_t:
+                busy_area += busy_level * (event_t - busy_last_t)
+                busy_last_t = event_t
+            busy_level += delta
+        if t > busy_last_t:
+            busy_area += busy_level * (t - busy_last_t)
+            busy_last_t = t
+
+    def flush_provisioned(t: float) -> None:
+        nonlocal prov_last_t, prov_area, board_seconds
+        if t > prov_last_t:
+            span = (t - prov_last_t) * in_service_count
+            prov_area += span
+            board_seconds += span
+            prov_last_t = t
+
+    def catch_up(t: float) -> None:
+        """Close every control window whose boundary has passed.
+
+        Called *before* the events at ``t`` are admitted: the
+        boundary ``k * interval <= t`` lies in this event's past, so
+        the decision there must see the queue as it stood at the
+        boundary — admitting first would leak the event into its own
+        control window and pin ``queue_depth >= 1`` at every eval
+        that an arrival wakes (which is all of them in a trough).
+        """
+        nonlocal eval_count
+        while (eval_count + 1) * interval <= t:
+            eval_count += 1
+            admit(eval_count * interval)
+            evaluate(eval_count * interval, eval_count - 1)
+
+    def evaluate(t_eval: float, window: int) -> None:
+        nonlocal target, busy_area, prov_area
+        advance_busy(t_eval)
+        flush_provisioned(t_eval)
+        arrivals = arrival_bins.pop(window, 0)
+        signals = ScaleSignals(
+            t=t_eval, interval_s=interval,
+            queue_depth=policy.pending,
+            provisioned=in_service_count,
+            busy_board_s=busy_area,
+            provisioned_board_s=prov_area,
+            arrivals=arrivals,
+            arrival_rate=arrivals / interval,
+            service_s_per_job=(busy_total_s / jobs_dispatched
+                               if jobs_dispatched else 0.0))
+        busy_area = 0.0
+        prov_area = 0.0
+        target = max(1, min(scale.decide(signals), sim.num_devices))
+
+    def reject_job(job: Job) -> None:
+        rejected.append(job)
+        if rec is not None:
+            deadline = job.effective_deadline_s
+            rec.job_rejected(
+                t=now, job_id=job.job_id,
+                job_class=job.job_class.name, tenant=job.tenant,
+                deadline_s=(None if deadline == math.inf
+                            else deadline))
+
+    policy.begin(PolicyContext(
+        max_batch=sim.max_batch, price=price,
+        service_bound_s=sim.service_bound_s,
+        best_case_s=sim.best_case_service_s,
+        reject=reject_job,
+        recorder=recorder if rec is not None else NULL_RECORDER))
+    if rec is not None:
+        rec.run_begin(scenario=scenario.name,
+                      num_devices=sim.num_devices,
+                      policy=policy.name, price=price,
+                      max_batch=sim.max_batch)
+
+    def admit(now: float) -> None:
+        nonlocal i
+        while i < n and jobs[i].arrival_s <= now:
+            job = jobs[i]
+            policy.enqueue(job)
+            bin_index = window_index(job.arrival_s, interval)
+            arrival_bins[bin_index] = arrival_bins.get(bin_index, 0) + 1
+            if rec is not None:
+                deadline = job.effective_deadline_s
+                rec.job_arrival(
+                    t=job.arrival_s, job_id=job.job_id,
+                    job_class=job.job_class.name, tenant=job.tenant,
+                    deadline_s=(None if deadline == math.inf
+                                else deadline),
+                    deferrable=job.deferrable)
+            i += 1
+
+    def shed_job(job: Job, reason: str, t: float) -> None:
+        job.shed = True
+        job.shed_reason = reason
+        shed.append(job)
+        if rec is not None:
+            rec.policy_event(t=t, name=f"shed:{reason}",
+                             job_id=job.job_id,
+                             job_class=job.job_class.name,
+                             tenant=job.tenant)
+
+    def gang_start(k: int) -> float:
+        if k <= 1:
+            return now
+        extra = heapq.nsmallest(k - 1, free_heap)
+        free = max((devices[index].free_at_s for _, index in extra),
+                   default=now)
+        return max(now, free)
+
+    def service_s(job: Job, batch_size: int) -> float:
+        job_class = job.job_class
+        members = [devices[device_index]]
+        if job_class.num_fpgas > 1:
+            members += [
+                devices[index] for _, index in heapq.nsmallest(
+                    job_class.num_fpgas - 1, free_heap)]
+        load_s = max(
+            sim._key_load_seconds(
+                member.cache.peek_miss_bytes(job.tenant, job_class))
+            for member in members)
+        return (launch_overhead_s + load_s
+                + batch_size * job_class.seconds(sim.config))
+
+    view = DispatchView(now=0.0, gang_start=gang_start,
+                        service_s=service_s)
+
+    while i < n or policy.pending:
+        free_at, device_index = heapq.heappop(free_heap)
+        now = free_at
+        # Catch the control loop up to ``now`` *before* admitting the
+        # events at ``now``: one decision per elapsed window, each fed
+        # exactly that window's signals.
+        catch_up(now)
+        admit(now)
+        if not policy.pending:
+            # Idle until the next arrival.
+            now = max(now, jobs[i].arrival_s)
+            catch_up(now)
+            admit(now)
+        # Scale-up applies immediately: parked boards rejoin cold
+        # (their key caches were evicted when they parked).
+        while parked and in_service_count < target:
+            board = parked.pop()
+            flush_provisioned(now)
+            in_service[board] = True
+            in_service_count += 1
+            resize_events += 1
+            scale_ups += 1
+            heapq.heappush(free_heap, (now, board))
+            if rec is not None:
+                rec.pool_resize(t=now, board=board, direction="up",
+                                provisioned=in_service_count)
+        # Scale-down drains: this board just came up free, so parking
+        # it never interrupts work.  Its gang (if any) already
+        # finished; queued work re-plans below if the stripe no
+        # longer fits.
+        if in_service_count > target:
+            flush_provisioned(now)
+            in_service[device_index] = False
+            in_service_count -= 1
+            parked.append(device_index)
+            devices[device_index].cache.drop_all()
+            resize_events += 1
+            scale_downs += 1
+            if rec is not None:
+                rec.pool_resize(t=now, board=device_index,
+                                direction="down",
+                                provisioned=in_service_count)
+            continue
+
+        view.now = now
+        if rec is not None:
+            rec.queue_sample(t=now, total=policy.pending,
+                             depths=policy.queue_depths())
+        batch = policy.next_batch(view)
+        if not batch:
+            if policy.pending:
+                wake = policy.next_event_s(now)
+                if i < n:
+                    wake = min(wake, jobs[i].arrival_s)
+                # Never sleep through a control boundary: a deferred
+                # board must still wake to apply a pending resize.
+                wake = min(wake, (eval_count + 1) * interval)
+                if wake <= now:
+                    wake = math.nextafter(now, math.inf)
+                if rec is not None:
+                    rec.defer(board=device_index, t=now, wake=wake)
+                heapq.heappush(free_heap, (wake, device_index))
+            else:
+                heapq.heappush(free_heap, (now, device_index))
+            continue
+        job_class = batch[0].job_class
+
+        if job_class.num_fpgas > in_service_count:
+            # The in-service pool cannot seat this gang.  Capacity was
+            # removed on purpose (and may not return), so re-plan onto
+            # the widest stripe that fits now — or shed when none does
+            # / the trace is unavailable.
+            k = largest_viable_stripe(in_service_count,
+                                      job_class.num_fpgas)
+            key = (job_class, k)
+            if key not in restripe_cache:
+                restripe_cache[key] = (
+                    job_class.restriped(k, sim.config) if k >= 1
+                    else None)
+            new_class = restripe_cache[key]
+            if new_class is None:
+                for job in batch:
+                    shed_job(job, "degraded", now)
+            else:
+                if rec is not None:
+                    rec.policy_event(
+                        t=now, name="degrade",
+                        job_class=job_class.name,
+                        from_stripe=job_class.num_fpgas, to_stripe=k,
+                        jobs=len(batch))
+                for job in batch:
+                    job.job_class = new_class
+                    job.degraded = True
+                    policy.enqueue(job)
+            heapq.heappush(free_heap, (now, device_index))
+            continue
+
+        gang = [devices[device_index]]
+        start = now
+        if job_class.num_fpgas > 1:
+            # Parked boards are not in the heap, so a gang only ever
+            # assembles from in-service boards; the stripe check
+            # above guarantees enough of them exist.
+            for _ in range(job_class.num_fpgas - 1):
+                _, extra_index = heapq.heappop(free_heap)
+                member = devices[extra_index]
+                gang.append(member)
+                if member.free_at_s > start:
+                    start = member.free_at_s
+        load_s = 0.0
+        member_loads = [] if rec is not None else None
+        for member in gang:
+            miss_bytes = member.cache.request(batch[0].tenant,
+                                              job_class)
+            member_load_s = sim._key_load_seconds(miss_bytes)
+            member.key_load_s += member_load_s
+            if member_loads is not None:
+                member_loads.append(
+                    (member.index, member_load_s, miss_bytes))
+            if member_load_s > load_s:
+                load_s = member_load_s
+        compute_s = len(batch) * job_class.seconds(sim.config)
+        batch_service_s = launch_overhead_s + load_s + compute_s
+        finish = start + batch_service_s
+        for job in batch:
+            job.finish_s = finish
+        completed.extend(batch)
+        for member in gang:
+            member.free_at_s = finish
+            member.busy_s += batch_service_s
+            heapq.heappush(free_heap, (finish, member.index))
+        gang[0].jobs_done += len(batch)
+        batches += 1
+        batched_jobs += len(batch)
+        busy_seq += 1
+        heapq.heappush(busy_deltas, (start, busy_seq, len(gang)))
+        busy_seq += 1
+        heapq.heappush(busy_deltas, (finish, busy_seq, -len(gang)))
+        busy_total_s += batch_service_s * len(gang)
+        jobs_dispatched += len(batch)
+        batch_cost = len(gang) * price.integral(start, finish)
+        cost_price_units += batch_cost
+        if rec is not None:
+            slo_met = slo_total = 0
+            for job in batch:
+                deadline = job.effective_deadline_s
+                if deadline != math.inf:
+                    slo_total += 1
+                    if finish <= deadline:
+                        slo_met += 1
+            rec.batch(
+                start=start, finish=finish,
+                job_class=job_class.name, tenant=batch[0].tenant,
+                batch_size=len(batch), launch_s=launch_overhead_s,
+                members=member_loads,
+                cache_stats=tuple(m.cache.stats() for m in gang),
+                slo_met=slo_met, slo_total=slo_total,
+                cost=batch_cost)
+
+    makespan = max((j.finish_s or 0.0 for j in completed), default=0.0)
+    # Close the capacity integral at the end of the run: in-service
+    # boards are paid for until the last completion (or the last
+    # control event, whichever came later).
+    flush_provisioned(max(makespan, prov_last_t))
+    if rec is not None:
+        rec.run_end(
+            makespan_s=makespan,
+            device_busy_s=tuple(d.busy_s for d in devices),
+            jobs_done=len(completed))
+    return sim._report(scenario, completed, devices, batches,
+                       batched_jobs, policy=policy.name,
+                       rejected=rejected,
+                       deferred_jobs=policy.deferred_jobs,
+                       cost_price_units=cost_price_units,
+                       shed=shed,
+                       resize_events=resize_events,
+                       scale_ups=scale_ups, scale_downs=scale_downs,
+                       board_seconds=board_seconds)
+
+
+__all__ = [
+    "SCALE_POLICIES", "PredictiveScalePolicy", "ReactiveScalePolicy",
+    "ScaleSignals", "ScalePolicy", "ScheduleScalePolicy",
+    "make_scale_policy", "run_with_autoscale",
+]

@@ -52,6 +52,7 @@ from ..experiments.common import print_result
 from ..obs import (MetricsRecorder, TimelineRecorder, compose,
                    provenance, render_metrics)
 from .arrivals import ARRIVAL_PROCESSES
+from .autoscaler import SCALE_POLICIES, make_scale_policy
 from .capture import capture
 from .faults import (FAULT_PROCESSES, RETRY_POLICIES, make_fault_process,
                      make_retry_policy)
@@ -182,6 +183,12 @@ def run_serve(argv: List[str]) -> int:
                              "NAME[:key=value,...], e.g. "
                              "backoff:base=0.01,max=6 (needs --faults; "
                              "default: none - shed killed jobs)")
+    parser.add_argument("--autoscale", default=None, metavar="SPEC",
+                        help="elastic pool autoscaling: "
+                             "reactive:low=0.3,high=0.85,cooldown=0.05 "
+                             "or predictive:window=0.1,horizon=0.05,"
+                             "target=0.7 (--engine des only, exclusive "
+                             "with --faults; default: fixed pool)")
     parser.add_argument("--timeline", metavar="PATH", default=None,
                         help="write a Perfetto-loadable Chrome trace "
                              "of the run (single scenario only)")
@@ -227,6 +234,19 @@ def run_serve(argv: List[str]) -> int:
                 retry = make_retry_policy(args.retry)
             except ValueError as exc:
                 parser.error(f"--retry: {exc}")
+    autoscale = None
+    if args.autoscale:
+        if args.engine == "fast":
+            parser.error("--autoscale requires --engine des (the fast "
+                         "engine is the fixed-pool parity oracle)")
+        if args.faults:
+            parser.error("--autoscale and --faults cannot combine in "
+                         "one run yet: voluntary and involuntary pool "
+                         "membership need an arbitration story")
+        try:
+            autoscale = make_scale_policy(args.autoscale)
+        except ValueError as exc:
+            parser.error(f"--autoscale: {exc}")
 
     config = FabConfig()
     scenarios = build_scenarios(config, num_devices=args.devices,
@@ -262,7 +282,8 @@ def run_serve(argv: List[str]) -> int:
                        engine=args.engine,
                        arrivals=args.arrivals or "default",
                        faults=args.faults or "none",
-                       retry=args.retry or "none")
+                       retry=args.retry or "none",
+                       autoscale=args.autoscale or "none")
     timeline: Optional[TimelineRecorder] = None
     metrics: Optional[MetricsRecorder] = None
     if args.timeline:
@@ -279,7 +300,8 @@ def run_serve(argv: List[str]) -> int:
         report = simulator.run(scenarios[name], seed=args.seed,
                                policy=args.policy, price=price,
                                recorder=recorder, engine=args.engine,
-                               faults=faults, retry=retry)
+                               faults=faults, retry=retry,
+                               autoscale=autoscale)
         reports.append(report)
         print_result(report.to_experiment_result())
         print(report.format())
@@ -614,6 +636,85 @@ def run_fault_sweep(argv: List[str]) -> int:
               f"{outcome.retry.partition(':')[0]:>10s} "
               f"{outcome.wasted_service_s:8.3f}s "
               f"{outcome.goodput_jps:8.1f}/s")
+    if args.json:
+        report.save_json(args.json)
+        print(f"sweep written to {args.json}")
+    return 0
+
+
+def run_autoscale_sweep(argv: List[str]) -> int:
+    """Entry point for ``python -m repro autoscale-sweep``."""
+    from ..experiments.autoscale_sweep import (DEFAULT_ARRIVALS,
+                                               DEFAULT_POLICIES,
+                                               DEFAULT_TARGET_LOAD,
+                                               run_sweep)
+    parser = argparse.ArgumentParser(
+        prog="repro autoscale-sweep",
+        description="sweep scale policy x arrival pattern on "
+                    "interactive SLO serving; report cost per goodput "
+                    "(board-seconds per deadline-met job) vs the "
+                    "static-pool baseline")
+    parser.add_argument("--policies", nargs="+",
+                        default=list(DEFAULT_POLICIES), metavar="SPEC",
+                        help="scale policy specs to sweep ('static' "
+                             "for the fixed pool, else "
+                             "NAME[:key=value,...] with NAME in "
+                             f"{'/'.join(SCALE_POLICIES)}; one per "
+                             "policy name)")
+    parser.add_argument("--devices", type=int, nargs="+", default=[8],
+                        help="pool sizes to sweep")
+    parser.add_argument("--arrivals", nargs="+", metavar="SPEC",
+                        default=[spec for _, spec in DEFAULT_ARRIVALS],
+                        help="arrival process specs to sweep "
+                             "(NAME[:key=value,...]; default: "
+                             "diurnal wave, MMPP bursts, flash crowd)")
+    parser.add_argument("--duration", type=float, default=1.0,
+                        help="arrival horizon per grid point (seconds; "
+                             "long enough for a full diurnal trough)")
+    parser.add_argument("--load", type=float,
+                        default=DEFAULT_TARGET_LOAD,
+                        help="mean offered load fraction of pool "
+                             "capacity (the diurnal wave swings "
+                             "around this; default "
+                             f"{DEFAULT_TARGET_LOAD:g})")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation processes (default: one per "
+                             "core, capped at the grid; 1 = inline)")
+    parser.add_argument("--json", metavar="PATH",
+                        default="autoscale_sweep.json",
+                        help="JSON artifact path ('' to skip)")
+    args = parser.parse_args(argv)
+    if args.duration <= 0:
+        parser.error("--duration must be positive")
+    if any(d < 1 for d in args.devices):
+        parser.error("--devices must be >= 1")
+    if args.load <= 0:
+        parser.error("--load must be positive")
+    for spec in args.policies:
+        if spec == "static":
+            continue
+        try:
+            make_scale_policy(spec)
+        except ValueError as exc:
+            parser.error(f"--policies: {exc}")
+    arrivals = [(spec.partition(":")[0], spec)
+                for spec in args.arrivals]
+
+    report = run_sweep(FabConfig(), policies=args.policies,
+                       arrivals=arrivals, devices=args.devices,
+                       duration_s=args.duration,
+                       target_load=args.load, seed=args.seed,
+                       max_batch=args.max_batch, workers=args.workers)
+    print_result(report.to_experiment_result())
+    print("autoscale vs static (board-ms per deadline-met job):")
+    for label, static_cost, best, best_cost in (
+            report.headline()["autoscale_vs_static"]):
+        verdict = ("beats static" if best_cost < static_cost
+                   else "does NOT beat static")
+        print(f"  {label:>12s}: static {static_cost * 1e3:7.3f} -> "
+              f"{best} {best_cost * 1e3:7.3f}  ({verdict})")
     if args.json:
         report.save_json(args.json)
         print(f"sweep written to {args.json}")

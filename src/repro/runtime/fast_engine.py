@@ -1075,7 +1075,10 @@ class _FastEngine:
             per_tenant_slo=tuple(
                 (tname, tenant_met[tname] / tenant_total[tname])
                 for tname in sorted(tenant_total)),
-            goodput_jps=good / makespan if makespan else 0.0)
+            goodput_jps=good / makespan if makespan else 0.0,
+            # Fixed pool: every board is paid for the whole run, the
+            # same expression the DES report uses (parity-compared).
+            board_seconds=makespan * num_devices)
 
 
 def run_fast(sim, scenario: Scenario, seed: int = 0,

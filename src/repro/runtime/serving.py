@@ -633,6 +633,27 @@ class ServingReport:
     degraded_jobs: int = 0
     #: Device-seconds burned by batches that a fault later killed.
     wasted_service_s: float = 0.0
+    #: Voluntary pool resizes performed by the autoscaler (board-down
+    #: + board-up transitions; 0 without ``autoscale=``).
+    resize_events: int = 0
+    #: Boards the autoscaler parked (drained free, cache evicted).
+    scale_downs: int = 0
+    #: Boards the autoscaler returned to service (cold).
+    scale_ups: int = 0
+    #: Provisioned board-seconds — the capacity actually paid for.
+    #: Statically provisioned runs pay ``makespan_s * num_devices``;
+    #: an autoscaled run pays only for in-service boards.
+    board_seconds: float = 0.0
+
+    @property
+    def board_s_per_good_job(self) -> float:
+        """Cost-per-goodput: provisioned board-seconds per job that
+        completed by its effective deadline (lower is better;
+        ``inf`` when nothing good finished)."""
+        good = self.goodput_jps * self.makespan_s
+        if good <= 0:
+            return math.inf
+        return self.board_seconds / good
 
     @property
     def throughput_jps(self) -> float:
@@ -690,6 +711,13 @@ class ServingReport:
                      f"shed-degraded, {self.degraded_jobs} served "
                      f"degraded; goodput {self.goodput_jps:.1f}/s of "
                      f"{self.throughput_jps:.1f}/s throughput")
+        if self.resize_events:
+            per_good = self.board_s_per_good_job
+            text += (f"\nautoscale: {self.resize_events} resizes "
+                     f"({self.scale_downs} down / {self.scale_ups} "
+                     f"up); {self.board_seconds:.3f} board-s paid"
+                     + (f", {per_good * 1e3:.2f} board-ms per good job"
+                        if math.isfinite(per_good) else ""))
         return text
 
     def to_experiment_result(self) -> ExperimentResult:
@@ -812,7 +840,8 @@ class ServingSimulator:
             arrival_mode: str = "exact",
             streaming_quantiles: Optional[bool] = None,
             faults=None,
-            retry=None) -> ServingReport:
+            retry=None,
+            autoscale=None) -> ServingReport:
         """Simulate one scenario; returns the aggregated report.
 
         ``engine`` selects the event core: ``"des"`` (this exact
@@ -848,6 +877,15 @@ class ServingSimulator:
         :func:`repro.runtime.faults.run_with_faults`; with
         ``faults=None`` this loop is exactly the pre-fault code path.
 
+        ``autoscale`` (a :class:`repro.runtime.autoscaler.ScalePolicy`
+        or spec string like ``"reactive:low=0.3,high=0.85"``) turns on
+        voluntary pool elasticity: boards drain out of service when
+        the policy scales down (key cache evicted) and return cold on
+        scale-up.  Autoscaling is DES-only and runs in
+        :func:`repro.runtime.autoscaler.run_with_autoscale`; with
+        ``autoscale=None`` this loop is exactly the fixed-pool code
+        path (golden-pinned, like ``faults=None``).
+
         ``recorder`` (a :class:`repro.obs.Recorder`) observes the run:
         arrivals, rejections, batch services, deferral windows, and
         queue depths.  Observation never perturbs the simulation —
@@ -868,6 +906,29 @@ class ServingSimulator:
                     f"job class {stream.job_class.name!r} stripes over "
                     f"{stream.job_class.num_fpgas} boards but the pool "
                     f"has {self.num_devices}")
+        if autoscale is not None:
+            # Voluntary elasticity runs in its own event loop
+            # (:func:`repro.runtime.autoscaler.run_with_autoscale`),
+            # the same fork-not-branch pattern as fault injection, so
+            # this loop stays byte-for-byte the fixed-pool code.
+            if engine == "fast":
+                raise ValueError(
+                    "autoscaling requires engine='des'; the fast "
+                    "engine is a fixed-pool parity oracle")
+            if faults is not None:
+                raise ValueError(
+                    "autoscale and faults cannot combine in one run "
+                    "yet; voluntary and involuntary resize use "
+                    "separate event loops")
+            if retry is not None:
+                raise ValueError(
+                    "a retry policy only applies under fault "
+                    "injection; autoscaling drains boards instead of "
+                    "killing batches")
+            from .autoscaler import run_with_autoscale
+            return run_with_autoscale(
+                self, scenario, seed=seed, policy=policy, price=price,
+                recorder=recorder, autoscale=autoscale)
         if faults is not None:
             # Fault injection runs in its own event loop
             # (:func:`repro.runtime.faults.run_with_faults`) so this
@@ -1127,7 +1188,11 @@ class ServingSimulator:
                 shed: Sequence[Job] = (),
                 board_faults: int = 0,
                 failures: int = 0,
-                wasted_service_s: float = 0.0
+                wasted_service_s: float = 0.0,
+                resize_events: int = 0,
+                scale_ups: int = 0,
+                scale_downs: int = 0,
+                board_seconds: Optional[float] = None
                 ) -> ServingReport:
         makespan = max((j.finish_s or 0.0 for j in completed), default=0.0)
         per_class: Dict[str, List[float]] = {}
@@ -1232,7 +1297,14 @@ class ServingSimulator:
             shed_degraded=sum(1 for job in shed
                               if job.shed_reason == "degraded"),
             degraded_jobs=sum(1 for job in completed if job.degraded),
-            wasted_service_s=wasted_service_s)
+            wasted_service_s=wasted_service_s,
+            resize_events=resize_events,
+            scale_ups=scale_ups,
+            scale_downs=scale_downs,
+            # A fixed pool pays every board for the whole run; the
+            # autoscale loop passes its exact provisioned integral.
+            board_seconds=(makespan * len(devices)
+                           if board_seconds is None else board_seconds))
 
 
 # ----------------------------------------------------------------------

@@ -123,7 +123,7 @@ class TestTables:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 16
+        assert len(ALL_EXPERIMENTS) == 17
         assert "stripe_scale" in ALL_EXPERIMENTS
         assert "slo_sweep" in ALL_EXPERIMENTS
         assert "fault_sweep" in ALL_EXPERIMENTS

@@ -15,7 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.params import FabConfig
-from repro.obs import MetricsRecorder
+from repro.obs import MetricsRecorder, window_index
 from repro.runtime.policies import PriceSignal
 from repro.runtime.serving import (JobClass, Scenario, ServingSimulator,
                                    Stream, build_slo_scenario)
@@ -157,3 +157,48 @@ def test_price_and_cache_series():
 def test_window_s_must_be_positive():
     with pytest.raises(ValueError):
         MetricsRecorder(window_s=0.0)
+
+
+def test_boundary_event_lands_in_opening_window():
+    """Regression: t=0.3 with window 0.1.  In binary, 0.3/0.1 is
+    2.9999999999999996, so the old truncating index filed a boundary
+    event under window 2 — one window early.  The ulp-tolerant
+    :func:`window_index` must pin it to the window it opens."""
+    assert 0.3 / 0.1 != 3.0      # the failure mode this test pins
+    assert window_index(0.3, 0.1) == 3
+    rec = MetricsRecorder(window_s=0.1)
+    rec.run_begin(scenario="s", num_devices=1, policy="fifo")
+    rec.job_rejected(t=0.3, job_id=1, job_class="a", tenant="t0")
+    rec.run_end(makespan_s=0.4, device_busy_s=(0.0,), jobs_done=0)
+    wins = rec.to_dict()["windows"]
+    assert wins["rejections"][3] == 1
+    assert wins["rejections"][2] == 0
+
+
+@given(k=st.integers(min_value=0, max_value=10_000),
+       w=st.floats(min_value=1e-6, max_value=10.0))
+def test_boundary_always_opens_window_k(k, w):
+    """An event at exactly ``k * w`` indexes window ``k`` for every
+    window width: the quotient's float error is a couple of ulps,
+    well inside the tolerance, while the tolerance stays far too
+    small to ever pull an interior point up a window."""
+    assert window_index(k * w, w) == k
+
+
+def test_horizon_on_boundary_stays_in_final_window():
+    """A clock-out at exactly the horizon (makespan == k * window_s)
+    must land in the final window, not one past it: ``num_windows``
+    derives from the same tolerant index events use, so the two can
+    never disagree.  With the old independent ceil (ceil(0.3/0.1) ==
+    3 windows) the batch finishing at t=0.3 indexed past the series
+    end."""
+    rec = MetricsRecorder(window_s=0.1)
+    rec.run_begin(scenario="s", num_devices=1, policy="fifo")
+    rec.batch(start=0.2, finish=0.3, job_class="a", tenant="t0",
+              batch_size=1, launch_s=0.0, members=((0, 0.1, 0),))
+    rec.run_end(makespan_s=0.3, device_busy_s=(0.1,), jobs_done=1)
+    data = rec.to_dict()
+    assert data["num_windows"] == 4
+    assert len(data["windows"]["t0"]) == 4
+    assert data["windows"]["jobs_done"][3] == 1
+    assert sum(data["windows"]["jobs_done"]) == 1

@@ -1,0 +1,356 @@
+"""Tests for elastic autoscaling (:mod:`repro.runtime.autoscaler`).
+
+The load-bearing guarantees: the scale-policy spec grammar validates
+before a run starts; a no-op policy reproduces the plain DES run
+bit-for-bit (the fork is faithful); scale-down *drains* — a gang in
+flight always finishes or re-plans, and every arrival is accounted
+for under any scripted resize sequence (hypothesis-hammered); the
+cooldown spaces target changes so bursty signals cannot flap the
+pool; scale-ups come back cold and repay switching-key reloads; and
+the observability layer sees resizes without perturbing the
+simulation.
+"""
+
+import dataclasses
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FabConfig
+from repro.obs import MetricsRecorder, TimelineRecorder, compose
+from repro.runtime import (PredictiveScalePolicy, ReactiveScalePolicy,
+                           ScalePolicy, ScaleSignals,
+                           ScheduleScalePolicy, ServingSimulator,
+                           SpecError, build_scenarios,
+                           build_slo_scenario, make_scale_policy)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return FabConfig()
+
+
+@pytest.fixture(scope="module")
+def diurnal(config):
+    """Interactive-only SLO serving under a diurnal wave: a saturated
+    crest and a near-idle trough — the load shape autoscaling is
+    built to harvest."""
+    return build_slo_scenario(
+        config, num_devices=8, duration_s=0.4, target_load=0.45,
+        interactive_fraction=1.0).with_arrivals("diurnal:amplitude=0.9")
+
+
+@pytest.fixture(scope="module")
+def striped(config):
+    """Mixed serving with 2-board training gangs: scale-down must
+    drain or re-plan gangs, never kill them."""
+    return build_scenarios(config, num_devices=4, duration_s=0.3,
+                           training_stripe=2)["mixed"]
+
+
+def conservation(scenario, report, seed):
+    arrivals = len(scenario.generate(seed))
+    accounted = (report.jobs_done + report.rejected_jobs
+                 + report.shed_jobs + report.shed_degraded)
+    assert accounted == arrivals, (
+        f"{arrivals} arrivals but {accounted} accounted "
+        f"(done={report.jobs_done} rejected={report.rejected_jobs} "
+        f"shed={report.shed_jobs} shed_degraded={report.shed_degraded})")
+
+
+def signals(t, util, prov=4, queue=0, arrivals=0, svc=0.01,
+            interval=0.01):
+    """Hand-built control signals with the given windowed
+    utilization."""
+    return ScaleSignals(
+        t=t, interval_s=interval, queue_depth=queue, provisioned=prov,
+        busy_board_s=util * prov * interval,
+        provisioned_board_s=prov * interval,
+        arrivals=arrivals, arrival_rate=arrivals / interval,
+        service_s_per_job=svc)
+
+
+class TestSpecGrammar:
+    def test_reactive_defaults_and_options(self):
+        policy = make_scale_policy("reactive")
+        assert isinstance(policy, ReactiveScalePolicy)
+        policy = make_scale_policy(
+            "reactive:low=0.2,high=0.9,step=2,cooldown=0.05,"
+            "interval=0.02,min=2,max=6")
+        assert policy.low == 0.2 and policy.high == 0.9
+        assert policy.step == 2
+        assert policy.cooldown_s == 0.05
+        assert policy.interval_s == 0.02
+        assert policy.min_boards == 2 and policy.max_boards == 6
+
+    def test_predictive_options(self):
+        policy = make_scale_policy(
+            "predictive:window=0.2,horizon=0.1,target=0.5,"
+            "cooldown=0.03")
+        assert isinstance(policy, PredictiveScalePolicy)
+        assert policy.window_s == 0.2 and policy.horizon_s == 0.1
+        assert policy.target_util == 0.5
+        assert policy.cooldown_s == 0.03
+
+    def test_instance_passes_through(self):
+        policy = ReactiveScalePolicy()
+        assert make_scale_policy(policy) is policy
+
+    def test_unknown_policy_and_option_raise(self):
+        with pytest.raises(SpecError):
+            make_scale_policy("magic")
+        with pytest.raises(SpecError):
+            make_scale_policy("reactive:warp=9")
+        with pytest.raises(SpecError):
+            make_scale_policy("predictive:low=0.1")
+
+    @pytest.mark.parametrize("bad", [
+        "reactive:low=0.9,high=0.3",     # thresholds inverted
+        "reactive:step=0",
+        "reactive:interval=0",
+        "reactive:cooldown=-1",
+        "reactive:min=0",                # empty pool could never wake
+        "reactive:min=4,max=2",
+        "predictive:window=0",
+        "predictive:horizon=-0.1",
+        "predictive:target=0",
+        "predictive:target=1.5",
+    ])
+    def test_invalid_values_raise(self, bad):
+        with pytest.raises(ValueError):
+            make_scale_policy(bad)
+
+    def test_begin_resolves_bounds_to_pool(self):
+        policy = ReactiveScalePolicy(max_boards=32, min_boards=16)
+        policy.begin(4)
+        assert policy.max_boards == 4
+        assert policy.min_boards == 4
+
+
+class TestRunGuards:
+    def test_fast_engine_rejects_autoscale(self, config, diurnal):
+        simulator = ServingSimulator(config, num_devices=8)
+        with pytest.raises(ValueError, match="engine='des'"):
+            simulator.run(diurnal, seed=0, engine="fast",
+                          autoscale="reactive")
+
+    def test_autoscale_excludes_faults_and_retry(self, config,
+                                                 diurnal):
+        simulator = ServingSimulator(config, num_devices=8)
+        with pytest.raises(ValueError, match="faults"):
+            simulator.run(diurnal, seed=0, autoscale="reactive",
+                          faults="poisson:mtbf=0.1,mttr=0.02")
+        with pytest.raises(ValueError, match="retry"):
+            simulator.run(diurnal, seed=0, autoscale="reactive",
+                          retry="backoff")
+
+    def test_bad_spec_fails_before_the_run(self, config, diurnal):
+        simulator = ServingSimulator(config, num_devices=8)
+        with pytest.raises(SpecError):
+            simulator.run(diurnal, seed=0, autoscale="magic")
+
+
+class TestNoopIdentity:
+    """A policy that never moves the target reproduces the plain DES
+    run bit-for-bit: the autoscale loop is a faithful fork."""
+
+    def test_noop_schedule_matches_plain_run(self, config, diurnal,
+                                             striped):
+        for scenario, devices, policy in ((diurnal, 8, "fifo"),
+                                          (striped, 4, "edf")):
+            simulator = ServingSimulator(config, num_devices=devices)
+            plain = simulator.run(scenario, seed=3, policy=policy)
+            noop = simulator.run(scenario, seed=3, policy=policy,
+                                 autoscale=ScheduleScalePolicy([]))
+            assert noop == plain          # full dataclass equality
+            assert noop.resize_events == 0
+
+    def test_plain_runs_keep_autoscale_fields_inert(self, config,
+                                                    diurnal):
+        simulator = ServingSimulator(config, num_devices=8)
+        report = simulator.run(diurnal, seed=0)
+        assert report.resize_events == 0
+        assert report.scale_ups == 0 and report.scale_downs == 0
+        assert report.board_seconds == pytest.approx(
+            report.makespan_s * 8)
+        assert math.isfinite(report.board_s_per_good_job)
+
+
+class TestPolicyDynamics:
+    def test_reactive_thresholds(self):
+        policy = ReactiveScalePolicy(low=0.3, high=0.85)
+        policy.begin(8)
+        # A hot window at the pool ceiling: the clamp holds.
+        assert policy.decide(signals(0.01, 0.9, prov=8)) == 8
+        # Idle window with an empty queue: shrink.
+        assert policy.decide(signals(0.02, 0.1, prov=8)) == 7
+        # Idle utilization but a backlog: never shrink into a queue.
+        assert policy.decide(signals(0.03, 0.1, prov=7, queue=3)) == 7
+        # Hot window below the ceiling: grow again.
+        assert policy.decide(signals(0.04, 0.9, prov=7)) == 8
+        # Backlog past one job per board: grow even below high.
+        assert policy.decide(signals(0.05, 0.1, prov=8)) == 7
+        assert policy.decide(signals(0.06, 0.5, prov=7, queue=9)) == 8
+
+    def test_predictive_follows_the_trend(self):
+        # No capacity oracle yet: hold fully provisioned.
+        policy = PredictiveScalePolicy(window_s=0.1, horizon_s=0.05,
+                                       target_util=0.5)
+        policy.begin(8)
+        assert policy.decide(signals(0.01, 1.0, arrivals=10,
+                                     svc=0.0)) == 8
+        # Steady 100 jobs/s at 10 ms/job and 0.5 target -> 2 boards.
+        policy = PredictiveScalePolicy(window_s=0.1, horizon_s=0.05,
+                                       target_util=0.5)
+        policy.begin(8)
+        for k in range(1, 5):
+            target = policy.decide(signals(k * 0.01, 1.0, arrivals=1,
+                                           svc=0.01))
+        assert target == 2
+        # A rising rate extrapolates above its last sample: 400
+        # jobs/s measured and climbing -> well past 400*0.01/0.5.
+        policy = PredictiveScalePolicy(window_s=0.1, horizon_s=0.05,
+                                       target_util=0.5)
+        policy.begin(8)
+        for k, arrivals in enumerate((1, 2, 3, 4), start=1):
+            target = policy.decide(
+                signals(k * 0.01, 1.0, arrivals=arrivals, svc=0.01))
+        assert target == 8
+
+    def test_cooldown_spaces_target_changes(self):
+        policy = ReactiveScalePolicy(low=0.3, high=0.85,
+                                     cooldown_s=0.05)
+        policy.begin(4)
+        assert policy.decide(signals(0.01, 0.0)) == 3
+        # Inside the cooldown the policy keeps wanting down but the
+        # target holds.
+        assert policy.decide(signals(0.02, 0.0)) == 3
+        assert policy.decide(signals(0.05, 0.0)) == 3
+        # Cooldown elapsed: the next change lands.
+        assert policy.decide(signals(0.06, 0.0)) == 2
+
+    def test_cooldown_damps_flapping_under_mmpp(self, config):
+        scenario = build_slo_scenario(
+            config, num_devices=8, duration_s=0.4, target_load=0.45,
+            interactive_fraction=1.0).with_arrivals(
+                "mmpp:burst=3,duty=0.3")
+        simulator = ServingSimulator(config, num_devices=8)
+        flappy = simulator.run(
+            scenario, seed=1,
+            autoscale="reactive:low=0.3,high=0.85,cooldown=0")
+        damped = simulator.run(
+            scenario, seed=1,
+            autoscale="reactive:low=0.3,high=0.85,cooldown=0.05")
+        assert flappy.resize_events > damped.resize_events
+        assert damped.resize_events > 0
+        conservation(scenario, flappy, 1)
+        conservation(scenario, damped, 1)
+
+    def test_utilization_is_busy_over_provisioned(self):
+        sig = signals(0.01, 0.75, prov=4)
+        assert sig.utilization == pytest.approx(0.75)
+        empty = dataclasses.replace(signals(0.01, 0.0, prov=4),
+                                    provisioned_board_s=0.0)
+        assert empty.utilization == 0.0
+
+    def test_base_policy_is_abstract(self):
+        policy = ScalePolicy()
+        policy.begin(4)
+        with pytest.raises(NotImplementedError):
+            policy.desired(signals(0.01, 0.5))
+
+
+class TestDrainAndConservation:
+    def test_scale_down_mid_run_drains_gangs(self, config, striped):
+        """Shrinking to one board mid-run with 2-board training gangs
+        in flight: every gang finishes or re-plans at stripe 1 —
+        jobs are conserved, nothing silently vanishes."""
+        simulator = ServingSimulator(config, num_devices=4)
+        report = simulator.run(
+            striped, seed=0,
+            autoscale=ScheduleScalePolicy([(0.05, 1)]))
+        conservation(striped, report, 0)
+        assert report.scale_downs == 3
+        assert report.scale_ups == 0
+        # The shrunken pool cost less than the static one.
+        assert report.board_seconds < report.makespan_s * 4
+        # Gang work survived the shrink: re-planned to stripe 1 (or
+        # shed with the degraded reason if unplannable), never lost.
+        assert report.jobs_done > 0
+
+    def test_scale_up_comes_back_cold(self, config, diurnal):
+        """A parked board's key cache is evicted; after it rejoins,
+        its first batches reload keys — the elastic run moves at
+        least as many key bytes as the static one."""
+        simulator = ServingSimulator(config, num_devices=8)
+        plain = simulator.run(diurnal, seed=0)
+        bounced = simulator.run(
+            diurnal, seed=0,
+            autoscale=ScheduleScalePolicy([(0.05, 2), (0.2, 8)]))
+        assert bounced.scale_downs >= 6 and bounced.scale_ups >= 6
+        assert bounced.key_bytes_loaded > plain.key_bytes_loaded
+        conservation(diurnal, bounced, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        policy=st.sampled_from(["fifo", "edf"]),
+        stripe=st.sampled_from([1, 2]),
+        autoscale=st.one_of(
+            st.sampled_from([
+                "reactive:low=0.3,high=0.85,cooldown=0.02",
+                "reactive:low=0.6,high=0.7,step=2",
+                "predictive:window=0.1,horizon=0.05,target=0.7",
+                "predictive:window=0.05,horizon=0,target=0.3",
+            ]),
+            st.lists(
+                st.tuples(st.floats(min_value=0.0, max_value=0.3),
+                          st.integers(min_value=1, max_value=4)),
+                max_size=5).map(ScheduleScalePolicy)),
+    )
+    def test_every_job_is_accounted_for(self, seed, policy, stripe,
+                                        autoscale):
+        config = FabConfig()
+        scenario = build_scenarios(config, num_devices=4,
+                                   duration_s=0.25,
+                                   training_stripe=stripe)["mixed"]
+        simulator = ServingSimulator(config, num_devices=4)
+        report = simulator.run(scenario, seed=seed, policy=policy,
+                               autoscale=autoscale)
+        conservation(scenario, report, seed)
+        assert report.resize_events == (report.scale_ups
+                                        + report.scale_downs)
+        assert 0.0 < report.board_seconds <= (
+            report.makespan_s * 4 + 1e-9)
+
+
+class TestObservabilityUnderAutoscale:
+    def test_recorders_see_resizes_and_do_not_perturb(self, config,
+                                                      diurnal):
+        simulator = ServingSimulator(config, num_devices=8)
+        kwargs = dict(
+            seed=1, autoscale="reactive:low=0.3,high=0.85,cooldown=0.02")
+        timeline = TimelineRecorder()
+        metrics = MetricsRecorder(window_s=0.05)
+        recorded = simulator.run(diurnal, recorder=compose(timeline,
+                                                           metrics),
+                                 **kwargs)
+        bare = simulator.run(diurnal, **kwargs)
+        assert recorded == bare
+        assert recorded.resize_events > 0
+        summary = metrics.summary()
+        assert summary["pool_resizes"] == recorded.resize_events
+        assert summary["scale_ups"] == recorded.scale_ups
+        assert summary["scale_downs"] == recorded.scale_downs
+        assert summary["min_provisioned_boards"] < 8
+        data = metrics.to_dict()
+        assert len(data["windows"]["provisioned_boards"]) == \
+            data["num_windows"]
+        assert min(data["windows"]["provisioned_boards"]) < 8
+        names = {event.get("name") for event
+                 in timeline.to_dict()["traceEvents"]}
+        assert "scale-down" in names
+        assert "scale-up" in names
+        assert "provisioned boards" in names
