@@ -11,6 +11,7 @@ Usage::
     python -m repro slo-sweep            # policy x load x mix SLO sweep
     python -m repro fault-sweep          # MTBF x retry resilience sweep
     python -m repro autoscale-sweep      # scale policy x arrival pattern
+    python -m repro resilience-autoscale-sweep  # spares + elastic vs either
     python -m repro stripe-scale         # FAB-2 trace-striping sweep
     python -m repro timeline metrics.json    # render a metrics artifact
 """
@@ -45,6 +46,9 @@ def main(argv=None) -> int:
     if argv[0] == "autoscale-sweep":
         from .runtime.cli import run_autoscale_sweep
         return run_autoscale_sweep(argv[1:])
+    if argv[0] == "resilience-autoscale-sweep":
+        from .runtime.cli import run_resilience_autoscale_sweep
+        return run_resilience_autoscale_sweep(argv[1:])
     if argv[0] == "stripe-scale":
         from .runtime.cli import run_stripe_scale
         return run_stripe_scale(argv[1:])
@@ -67,6 +71,9 @@ def main(argv=None) -> int:
               f"goodput/wasted-service resilience frontier.")
         print(f"{'autoscale-sweep':22s} Sweep scale policy x arrival "
               f"pattern; cost per goodput vs the static pool.")
+        print(f"{'resilience-autoscale-sweep':26s} Sweep membership "
+              f"mechanisms under faulty diurnal load; combined "
+              f"spares + elastic vs either alone.")
         print(f"{'stripe-scale':22s} Stripe a trace across the FAB-2 "
               f"pool; reconcile vs the analytic model.")
         print(f"{'timeline':22s} Render a serve --metrics artifact as "

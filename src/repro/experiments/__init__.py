@@ -7,9 +7,10 @@ complete evaluation section.
 
 from . import (ablation_keyswitch, autoscale_sweep, extras_balance,
                fault_sweep, fig1_dnum, fig2_fftiter, leveled_vs_bootstrap,
-               serve_sweep, slo_sweep, striping_scale, table2_params,
-               table3_resources, table4_comparison, table5_basic_ops,
-               table6_heax, table7_bootstrap, table8_lr)
+               resilience_autoscale_sweep, serve_sweep, slo_sweep,
+               striping_scale, table2_params, table3_resources,
+               table4_comparison, table5_basic_ops, table6_heax,
+               table7_bootstrap, table8_lr)
 from .common import ExperimentResult, ExperimentRow, print_result
 
 ALL_EXPERIMENTS = {
@@ -29,6 +30,7 @@ ALL_EXPERIMENTS = {
     "slo_sweep": slo_sweep,
     "fault_sweep": fault_sweep,
     "autoscale_sweep": autoscale_sweep,
+    "resilience_autoscale_sweep": resilience_autoscale_sweep,
     "stripe_scale": striping_scale,
 }
 

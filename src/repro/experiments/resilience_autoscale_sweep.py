@@ -1,0 +1,352 @@
+"""Resilience x autoscale sweep: spares + elasticity vs either alone.
+
+PR 8 gave the serving simulator fault injection; PR 9 gave it
+voluntary elasticity; PR 10's unified membership ledger lets one run
+carry both.  This driver quantifies the payoff of combining them.
+Every mechanism sees the *same* faulty diurnal arrival stream (same
+seed, same fault trace), so per-point comparisons are exact:
+
+* ``static`` — the fixed pool riding out faults with retries only.
+  Pays ``makespan x num_devices`` board-seconds regardless of load.
+* ``elastic`` — availability-aware predictive autoscaling
+  (``avail=1`` divides the sized target by the measured per-window
+  availability).  Thrifty in the diurnal trough, but a fault wave can
+  still catch the shrunken pool under-provisioned.
+* ``spares`` — the ledger-backed warm-standby policy (``spare:n=``):
+  run ``num_devices - n`` boards and unpark a standby for every
+  in-service board currently down.  Goodput holds through faults, but
+  the near-static base never harvests the trough.
+* ``combined`` — ``predictive+spare``: the predictive target sized by
+  availability, plus a standby per down board.  Trough savings *and*
+  fault absorption.
+
+The headline metric is **cost per goodput**
+(:attr:`repro.runtime.serving.ServingReport.board_s_per_good_job`).
+The acceptance invariant the CI test pins: under faulty diurnal load,
+``combined`` is at least as cheap per deadline-met job as *both*
+single mechanisms.
+
+CLI::
+
+    python -m repro resilience-autoscale-sweep --duration 1.0 \
+        --json resilience_autoscale_sweep.json
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.params import FabConfig
+from ..obs import provenance
+from ..runtime.autoscaler import make_scale_policy
+from ..runtime.faults import make_fault_process, make_retry_policy
+from ..runtime.serving import ServingSimulator, build_slo_scenario
+from .common import ExperimentResult, ExperimentRow, fan_out
+
+#: Mechanisms swept at every grid point: ``(label, autoscale spec)``
+#: with ``None`` marking the fixed pool.  All four run under the same
+#: fault process and retry policy; only pool membership differs.
+DEFAULT_MECHANISMS = (
+    ("static", None),
+    ("elastic", "predictive:window=0.1,horizon=0.05,target=0.7,cooldown=0.02,avail=1"),
+    ("spares", "spare:n=1"),
+    (
+        "combined",
+        "predictive:window=0.1,horizon=0.05,target=0.7,cooldown=0.02,"
+        "avail=1+spare:n=1",
+    ),
+)
+
+#: Arrival patterns; the diurnal wave is the headline point.
+DEFAULT_ARRIVALS = (("diurnal", "diurnal:amplitude=0.9"),)
+
+#: Fault process shared by every mechanism: frequent transient board
+#: downs (several per run) so fault absorption is actually exercised.
+DEFAULT_FAULTS = "poisson:mtbf=0.08,mttr=0.02"
+
+#: Retry policy shared by every mechanism.
+DEFAULT_RETRY = "backoff:base=0.005,jitter=0.25"
+
+#: Mean offered load (see autoscale_sweep: 0.45 gives a saturated
+#: crest and a near-idle trough under amplitude 0.9).
+DEFAULT_TARGET_LOAD = 0.45
+
+
+@dataclass(frozen=True)
+class ResiliencePoint:
+    """One faulty arrival pattern over one pool size."""
+
+    devices: int
+    arrivals: str  # short label ("diurnal")
+    arrival_spec: str  # full ``name:key=value`` spec
+
+    def label(self) -> str:
+        return f"d{self.devices}/{self.arrivals}"
+
+
+@dataclass
+class ResilienceOutcome:
+    """One mechanism's result on one grid point's faulty stream."""
+
+    point: ResiliencePoint
+    mechanism: str  # "static" | "elastic" | "spares" | "combined"
+    scale: Optional[str]
+    good_jobs: int
+    goodput_jps: float
+    jobs_done: int
+    rejected: int
+    shed: int
+    shed_degraded: int
+    slo_attainment: Optional[float]
+    makespan_s: float
+    board_faults: int
+    failures: int
+    retries: int
+    wasted_service_s: float
+    board_seconds: float
+    board_s_per_good_job: float
+    resize_events: int
+    scale_ups: int
+    scale_downs: int
+
+
+@dataclass
+class ResilienceSweepReport:
+    """The full grid plus the combined-vs-single verdict."""
+
+    outcomes: List[ResilienceOutcome]
+    mechanisms: Tuple[Tuple[str, Optional[str]], ...]
+    faults: str
+    retry: str
+    duration_s: float
+    target_load: float
+    seed: int
+    provenance: Optional[Dict[str, object]] = None
+
+    def by_point(self) -> Dict[str, Dict[str, ResilienceOutcome]]:
+        """``{point label: {mechanism: outcome}}`` over the grid."""
+        table: Dict[str, Dict[str, ResilienceOutcome]] = {}
+        for outcome in self.outcomes:
+            table.setdefault(outcome.point.label(), {})[outcome.mechanism] = outcome
+        return table
+
+    def headline(self) -> Dict[str, object]:
+        """``combined_vs_single``: per-point cost-per-goodput of every
+        mechanism plus whether ``combined`` is at least as cheap as
+        both single mechanisms (the invariant CI pins)."""
+        rows = []
+        for label, per_mech in sorted(self.by_point().items()):
+            costs = {
+                name: outcome.board_s_per_good_job
+                for name, outcome in per_mech.items()
+            }
+            combined = costs.get("combined")
+            singles = [costs[name] for name in ("elastic", "spares") if name in costs]
+            wins = (
+                combined is not None
+                and singles
+                and math.isfinite(combined)
+                and all(combined <= cost for cost in singles)
+            )
+            rows.append({"point": label, "costs": costs, "combined_wins": wins})
+        return {"combined_vs_single": rows}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "mechanisms": [[name, spec] for name, spec in self.mechanisms],
+            "faults": self.faults,
+            "retry": self.retry,
+            "duration_s": self.duration_s,
+            "target_load": self.target_load,
+            "seed": self.seed,
+            "provenance": self.provenance,
+            "grid_points": len(self.by_point()),
+            "headline": self.headline(),
+            "outcomes": [asdict(o) for o in self.outcomes],
+        }
+
+    def save_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+
+    def to_experiment_result(self) -> ExperimentResult:
+        columns = [
+            "mech",
+            "devices",
+            "arrivals",
+            "good",
+            "done",
+            "faults",
+            "shed",
+            "slo",
+            "board_s",
+            "cost_ms",
+            "resizes",
+        ]
+        rows = [
+            ExperimentRow(
+                f"{o.point.label()}/{o.mechanism}",
+                {
+                    "mech": o.mechanism,
+                    "devices": o.point.devices,
+                    "arrivals": o.point.arrivals,
+                    "good": o.good_jobs,
+                    "done": o.jobs_done,
+                    "faults": o.board_faults,
+                    "shed": o.shed + o.shed_degraded,
+                    "slo": (
+                        round(o.slo_attainment, 4)
+                        if o.slo_attainment is not None
+                        else None
+                    ),
+                    "board_s": round(o.board_seconds, 4),
+                    "cost_ms": (
+                        round(o.board_s_per_good_job * 1e3, 4)
+                        if math.isfinite(o.board_s_per_good_job)
+                        else None
+                    ),
+                    "resizes": o.resize_events,
+                },
+            )
+            for o in self.outcomes
+        ]
+        verdicts = self.headline()["combined_vs_single"]
+        wins = sum(1 for row in verdicts if row["combined_wins"])
+        notes = (
+            f"{len(self.by_point())} grid points x "
+            f"{len(self.mechanisms)} mechanisms under {self.faults}; "
+            f"combined beats both single mechanisms on cost per "
+            f"goodput at {wins}/{len(verdicts)} points"
+        )
+        return ExperimentResult(
+            experiment_id="resilience_autoscale_sweep",
+            title="Resilience x autoscale: spares + elasticity vs either alone",
+            columns=columns,
+            rows=rows,
+            notes=notes,
+        )
+
+
+def _simulate_point(args: Tuple) -> ResilienceOutcome:
+    """Worker body: one (grid point, mechanism) pair through the
+    unified membership loop (top-level so it pickles)."""
+    point, mechanism, scale, scenario, config, faults, retry, seed, max_batch = args
+    simulator = ServingSimulator(config, num_devices=point.devices, max_batch=max_batch)
+    report = simulator.run(
+        scenario, seed=seed, faults=faults, retry=retry, autoscale=scale
+    )
+    good_jobs = int(round(report.goodput_jps * report.makespan_s))
+    return ResilienceOutcome(
+        point=point,
+        mechanism=mechanism,
+        scale=scale,
+        good_jobs=good_jobs,
+        goodput_jps=report.goodput_jps,
+        jobs_done=report.jobs_done,
+        rejected=report.rejected_jobs,
+        shed=report.shed_jobs,
+        shed_degraded=report.shed_degraded,
+        slo_attainment=report.slo_attainment,
+        makespan_s=report.makespan_s,
+        board_faults=report.board_faults,
+        failures=report.failures,
+        retries=report.retries,
+        wasted_service_s=report.wasted_service_s,
+        board_seconds=report.board_seconds,
+        board_s_per_good_job=report.board_s_per_good_job,
+        resize_events=report.resize_events,
+        scale_ups=report.scale_ups,
+        scale_downs=report.scale_downs,
+    )
+
+
+def run_sweep(
+    config: Optional[FabConfig] = None,
+    mechanisms: Sequence[Tuple[str, Optional[str]]] = DEFAULT_MECHANISMS,
+    arrivals: Sequence[Tuple[str, str]] = DEFAULT_ARRIVALS,
+    devices: Sequence[int] = (8,),
+    faults: str = DEFAULT_FAULTS,
+    retry: str = DEFAULT_RETRY,
+    duration_s: float = 1.0,
+    target_load: float = DEFAULT_TARGET_LOAD,
+    seed: int = 0,
+    max_batch: int = 8,
+    workers: Optional[int] = None,
+) -> ResilienceSweepReport:
+    """Simulate the full resilience x autoscale grid.
+
+    Every mechanism at one grid point sees the identical scenario and
+    the identical fault trace (the fault schedule is seeded per board,
+    independent of pool membership), so cost-per-goodput deltas are
+    pure membership-policy effects.  Like the fault and autoscale
+    sweeps this is DES-only — there is no ``engine`` knob.
+    """
+    config = config or FabConfig()
+    make_fault_process(faults)  # validate before fanning out
+    make_retry_policy(retry)
+    for _, spec in mechanisms:
+        if spec is not None:
+            make_scale_policy(spec)
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+    if not 0 < target_load:
+        raise ValueError("target_load must be positive")
+    names = [name for name, _ in mechanisms]
+    if len(set(names)) != len(names):
+        raise ValueError(f"mechanisms must be distinct: {names!r}")
+    grid = [
+        ResiliencePoint(d, label, spec) for d in devices for label, spec in arrivals
+    ]
+    if not grid:
+        raise ValueError("empty sweep grid")
+    tasks = []
+    for point in grid:
+        scenario = build_slo_scenario(
+            config,
+            num_devices=point.devices,
+            duration_s=duration_s,
+            target_load=target_load,
+            interactive_fraction=1.0,
+        ).with_arrivals(point.arrival_spec)
+        shared = (scenario, config, faults, retry, seed, max_batch)
+        for mechanism, scale in mechanisms:
+            tasks.append((point, mechanism, scale) + shared)
+    outcomes = fan_out(_simulate_point, tasks, workers=workers)
+    return ResilienceSweepReport(
+        outcomes=outcomes,
+        mechanisms=tuple(mechanisms),
+        faults=faults,
+        retry=retry,
+        duration_s=duration_s,
+        target_load=target_load,
+        seed=seed,
+        provenance=dict(
+            provenance(
+                seed=seed,
+                config=config,
+                target_load=target_load,
+                faults=faults,
+                retry=retry,
+                arrivals=",".join(label for label, _ in arrivals),
+            )
+        ),
+    )
+
+
+def run() -> ExperimentResult:
+    """Experiment-registry entry point: a reduced inline grid."""
+    report = run_sweep(duration_s=0.6, workers=1)
+    return report.to_experiment_result()
+
+
+def main() -> None:
+    from .common import print_result
+
+    print_result(run())
+
+
+if __name__ == "__main__":
+    main()

@@ -109,6 +109,15 @@ class MetricsRecorder(Recorder):
         self._scale_ups = 0
         self._scale_downs = 0
         self._min_provisioned: Optional[int] = None
+        # membership-ledger series: transitions per window, transition
+        # counts keyed "old->new", and a per-state board-seconds
+        # integral reconstructed from the transition stream (every
+        # board starts active at t=0).
+        self._ledger_events: List[float] = []
+        self._ledger_transitions: Dict[str, int] = {}
+        self._board_state: Dict[int, str] = {}
+        self._board_state_since: Dict[int, float] = {}
+        self._state_seconds: Dict[str, float] = {}
         self._max_t = 0.0
         self._makespan_s = 0.0
         self._device_busy_s: Tuple[float, ...] = ()
@@ -242,6 +251,21 @@ class MetricsRecorder(Recorder):
                     or provisioned < self._min_provisioned):
                 self._min_provisioned = provisioned
 
+    def ledger_transition(self, *, t: float, board: int, old: str,
+                          new: str) -> None:
+        t = self._finite(t)
+        self._add(self._ledger_events, t, 1.0)
+        key = f"{old}->{new}"
+        self._ledger_transitions[key] = (
+            self._ledger_transitions.get(key, 0) + 1)
+        since = self._board_state_since.get(board, 0.0)
+        state = self._board_state.get(board, old)
+        if t > since:
+            self._state_seconds[state] = (
+                self._state_seconds.get(state, 0.0) + (t - since))
+        self._board_state[board] = new
+        self._board_state_since[board] = max(t, since)
+
     def queue_sample(self, *, t: float, total: int,
                      depths: Optional[Dict[Tuple[str, str], int]] = None
                      ) -> None:
@@ -278,6 +302,26 @@ class MetricsRecorder(Recorder):
         self._jobs_done = jobs_done
 
     # -- assembly ------------------------------------------------------
+
+    def _ledger_state_seconds(self) -> Dict[str, float]:
+        """Per-state board-seconds, closed at the run horizon.
+
+        Boards the ledger never moved spent the whole run ``active``;
+        the closed integral therefore sums to ``num_devices * horizon``
+        (the conservation property the membership tests assert)."""
+        if not self._ledger_transitions:
+            return {}
+        horizon = max(self._makespan_s, self._max_t,
+                      max(self._board_state_since.values(), default=0.0))
+        seconds = dict(self._state_seconds)
+        boards = self._run_info.get("num_devices", 0)
+        for board in range(boards):
+            state = self._board_state.get(board, "active")
+            since = self._board_state_since.get(board, 0.0)
+            if horizon > since:
+                seconds[state] = (seconds.get(state, 0.0)
+                                  + (horizon - since))
+        return seconds
 
     @property
     def num_windows(self) -> int:
@@ -383,6 +427,9 @@ class MetricsRecorder(Recorder):
                 provisioned_series.append(
                     float(level) if level is not None else None)
             windows["provisioned_boards"] = provisioned_series
+        if self._ledger_transitions:
+            windows["ledger_transitions"] = self._padded(
+                self._ledger_events, count)
         return {
             "meta": dict(self._meta),
             **self._run_info,
@@ -418,6 +465,9 @@ class MetricsRecorder(Recorder):
             "scale_ups": self._scale_ups,
             "scale_downs": self._scale_downs,
             "min_provisioned_boards": self._min_provisioned,
+            "ledger_transitions": dict(sorted(
+                self._ledger_transitions.items())),
+            "board_state_seconds": self._ledger_state_seconds(),
         }
 
     def save(self, path: str) -> None:

@@ -119,6 +119,16 @@ class Recorder:
         ``provisioned`` is the in-service board count *after* the
         transition — the capacity actually being paid for."""
 
+    # -- membership-ledger events ----------------------------------------
+
+    def ledger_transition(self, *, t: float, board: int, old: str,
+                          new: str) -> None:
+        """The pool-membership ledger moved ``board`` from state
+        ``old`` to ``new`` at ``t`` (states:
+        ``active | draining | parked | failed | repairing``).  The
+        unified arbitration trail — per-state board-seconds and
+        transition counts derive from this stream."""
+
     # -- scheduler events ----------------------------------------------
 
     def schedule_task(self, *, group: str, track: str, name: str,
@@ -192,6 +202,10 @@ class CompositeRecorder(Recorder):
     def pool_resize(self, **kwargs: Any) -> None:
         for rec in self.recorders:
             rec.pool_resize(**kwargs)
+
+    def ledger_transition(self, **kwargs: Any) -> None:
+        for rec in self.recorders:
+            rec.ledger_transition(**kwargs)
 
     def schedule_task(self, **kwargs: Any) -> None:
         for rec in self.recorders:

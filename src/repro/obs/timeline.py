@@ -232,6 +232,13 @@ class TimelineRecorder(Recorder):
         if provisioned is not None:
             self._provisioned_points.append((t, provisioned))
 
+    def ledger_transition(self, *, t: float, board: int, old: str,
+                          new: str) -> None:
+        t = self._finite(t)
+        self._emit("i", f"ledger {old}->{new}", t,
+                   self._board_tid(board), s="t",
+                   args={"board": board, "old": old, "new": new})
+
     def schedule_task(self, *, group: str, track: str, name: str,
                       start_s: float, finish_s: float,
                       device: Optional[int] = None) -> None:

@@ -23,6 +23,10 @@ the FAB performance model (:mod:`repro.core`):
   trend) over windowed utilization/queue/arrival signals, driving
   voluntary board park/unpark with drain semantics and cold-cache
   rejoin.
+* :mod:`~repro.runtime.membership` — the unified pool-membership
+  ledger and event loop behind fault injection and autoscaling:
+  per-board ``active | draining | parked | failed | repairing``
+  states with explicit faults-vs-scaler arbitration rules.
 * :mod:`~repro.runtime.fast_engine` — the vectorized second engine
   behind ``ServingSimulator.run(engine="fast")``: numpy-batched
   arrivals and bookkeeping at ~10x the DES event rate, held to the
@@ -40,9 +44,10 @@ the FAB performance model (:mod:`repro.core`):
 from .arrivals import (ARRIVAL_PROCESSES, ArrivalProcess, DiurnalProcess,
                        FlashCrowdProcess, MMPPProcess, PoissonProcess,
                        RateCurveProcess, TraceReplayProcess, make_process)
-from .autoscaler import (SCALE_POLICIES, PredictiveScalePolicy,
-                         ReactiveScalePolicy, ScalePolicy, ScaleSignals,
-                         ScheduleScalePolicy, make_scale_policy,
+from .autoscaler import (AVAILABILITY_FLOOR, SCALE_POLICIES,
+                         PredictiveScalePolicy, ReactiveScalePolicy,
+                         ScalePolicy, ScaleSignals, ScheduleScalePolicy,
+                         SpareScalePolicy, make_scale_policy,
                          run_with_autoscale)
 from .capture import (CountingKeySwitcher, TracingEncoder,
                       TracingEvaluator, capture)
@@ -54,6 +59,7 @@ from .faults import (FAULT_PROCESSES, RETRY_POLICIES,
                      TraceFaultProcess, WeibullFaultProcess,
                      make_fault_process, make_retry_policy,
                      run_with_faults)
+from .membership import (BOARD_STATES, PoolLedger, run_with_ledger)
 from .lowering import (KeyWorkingSet, LoweredCost, LOWERING_MAP,
                        cost_trace, key_working_set, lower_trace,
                        lowered_op, switching_key_bytes)
@@ -80,8 +86,9 @@ from .striped_lowering import (BOARD_POLICIES, BoardStriper, StripePlan,
                                lower_striped_trace, stripe_trace)
 
 __all__ = [
-    "ARRIVAL_PROCESSES", "ArrivalChunk", "ArrivalProcess",
-    "BOARD_POLICIES", "BaselineKeyCache", "BoardStriper",
+    "ARRIVAL_PROCESSES", "AVAILABILITY_FLOOR", "ArrivalChunk",
+    "ArrivalProcess",
+    "BOARD_POLICIES", "BOARD_STATES", "BaselineKeyCache", "BoardStriper",
     "baseline_run",
     "CountingKeySwitcher", "DeferrableWindowPolicy", "DiurnalProcess",
     "EdfPolicy", "ENGINES", "ExponentialBackoffRetry",
@@ -91,14 +98,15 @@ __all__ = [
     "KeyWorkingSet", "LOWERING_MAP", "LatencyAccumulator",
     "LoweredCost", "MMPPProcess", "NoRetry", "OpTrace",
     "P2Quantile", "POLICIES", "PoissonFaultProcess", "PoissonProcess",
-    "PolicyContext", "PriceSignal",
+    "PolicyContext", "PoolLedger", "PriceSignal",
     "PredictiveScalePolicy",
     "REFERENCE_TRACES", "RETRY_POLICIES", "RateCurveProcess",
     "ReactiveScalePolicy", "ReservoirQuantiles", "RetryPolicy",
     "SCALE_POLICIES", "STREAMING_AUTO_THRESHOLD", "ScalePolicy",
     "ScaleSignals", "Scenario", "ScheduleScalePolicy",
     "SchedulingPolicy",
-    "ServingReport", "ServingSimulator", "SetKeyCache", "SpecError",
+    "ServingReport", "ServingSimulator", "SetKeyCache",
+    "SpareScalePolicy", "SpecError",
     "Stream", "StripePlan", "StripedCost", "StripedProgram",
     "StripedReport", "StripedTrace", "TRACE_KINDS",
     "TraceFaultProcess", "TraceOp", "TraceReplayProcess",
@@ -115,6 +123,6 @@ __all__ = [
     "make_policy", "make_process", "make_retry_policy",
     "make_scale_policy",
     "percentile", "run_fast", "run_with_autoscale",
-    "run_with_faults", "stripe_trace",
+    "run_with_faults", "run_with_ledger", "stripe_trace",
     "switching_key_bytes",
 ]

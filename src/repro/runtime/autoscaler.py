@@ -37,11 +37,13 @@ Policies share the ``name:key=value,...`` spec grammar of
   the measured board-seconds-per-job, aiming at ``target``
   utilization.
 
-:func:`run_with_autoscale` is a fork of the exact fault-free DES loop
-in :meth:`repro.runtime.serving.ServingSimulator.run` — kept separate,
-like :func:`repro.runtime.faults.run_with_faults`, so the
-``autoscale=None`` path stays byte-for-byte the pre-autoscale code
-(the golden bit-identity suite pins this).  Reports grow
+:func:`run_with_autoscale` delegates to the unified membership loop
+(:func:`repro.runtime.membership.run_with_ledger`) with fault
+injection off; every fault construct there is gated on faults being
+present, so the autoscale-only path executes exactly the PR 9
+instruction stream (the golden bit-identity suite pins this) while
+the fixed-pool ``autoscale=None`` path in ``ServingSimulator.run``
+stays byte-for-byte the pre-autoscale code.  Reports grow
 ``resize_events`` / ``scale_ups`` / ``scale_downs`` and
 ``board_seconds`` — the capacity actually paid for, the denominator
 of cost-per-goodput — and recorders see ``pool_resize`` instants plus
@@ -50,22 +52,23 @@ a provisioned-boards counter track.
 
 from __future__ import annotations
 
-import heapq
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
-from ..obs import NULL_RECORDER, Recorder
-from ..obs.metrics import window_index
-from .policies import DispatchView, PolicyContext, PriceSignal, make_policy
-from .serving import (DeviceState, Job, JobClass, KeyCache, Scenario,
-                      ServingReport)
+from ..obs import Recorder
+from .policies import PriceSignal
+from .serving import Scenario, ServingReport
 from .specs import SpecError, parse_spec_kwargs, take_spec_options
-from .striped_lowering import largest_viable_stripe
 
 #: Registry of spec names accepted by :func:`make_scale_policy`.
-SCALE_POLICIES = ("reactive", "predictive")
+SCALE_POLICIES = ("reactive", "predictive", "spare")
+
+#: Floor for the empirical-availability divisor in
+#: availability-aware sizing: a window measured fully down would
+#: otherwise demand an unbounded fleet.
+AVAILABILITY_FLOOR = 0.05
 
 
 # ----------------------------------------------------------------------
@@ -102,6 +105,18 @@ class ScaleSignals:
     #: Measured board-seconds per completed job so far (0 until the
     #: first dispatch) — the capacity oracle predictive sizing uses.
     service_s_per_job: float
+    #: Boards not permanently failed (in service + parked spares), or
+    #: ``None`` outside the unified ledger loop.  The hard ceiling a
+    #: spare-pool policy sizes against.
+    alive: Optional[int] = None
+    #: In-service boards down for repair at ``t`` (discovered faults
+    #: only — lazy-settlement semantics).  0 without fault injection.
+    down_in_service: int = 0
+    #: Serviceable fraction of the provisioned board-seconds over the
+    #: closed window (1 - down board-s / provisioned board-s); 1.0
+    #: without fault injection.  The empirical-availability signal
+    #: availability-aware predictive sizing divides through.
+    availability: float = 1.0
 
     @property
     def utilization(self) -> float:
@@ -231,12 +246,20 @@ class PredictiveScalePolicy(ScalePolicy):
     with the measured board-seconds-per-job at ``target_util``
     utilization headroom.  Until a first batch completes there is no
     capacity oracle, so the policy holds the current target.
+
+    With ``availability_aware`` (spec option ``avail=1``) the sized
+    board count is divided by the window's empirical availability
+    (floored at :data:`AVAILABILITY_FLOOR` so a fully-down window
+    cannot demand an unbounded fleet): capacity planning prices
+    expected failures — 10 boards of work at 80% availability needs
+    12.5 provisioned boards, not 10.
     """
 
     name = "predictive"
 
     def __init__(self, window_s: float = 0.1, horizon_s: float = 0.05,
-                 target_util: float = 0.7, **kwargs):
+                 target_util: float = 0.7,
+                 availability_aware: bool = False, **kwargs):
         super().__init__(**kwargs)
         if window_s <= 0:
             raise ValueError("window_s must be positive")
@@ -247,6 +270,7 @@ class PredictiveScalePolicy(ScalePolicy):
         self.window_s = float(window_s)
         self.horizon_s = float(horizon_s)
         self.target_util = float(target_util)
+        self.availability_aware = bool(availability_aware)
         self._history: "deque[Tuple[float, float]]" = deque()
 
     def begin(self, num_devices: int) -> None:
@@ -276,12 +300,15 @@ class PredictiveScalePolicy(ScalePolicy):
             return self._target
         rate = self._predicted_rate(signals.t)
         boards = rate * signals.service_s_per_job / self.target_util
+        if self.availability_aware:
+            boards /= max(signals.availability, AVAILABILITY_FLOOR)
         return int(math.ceil(boards)) if boards > 0 else self.min_boards
 
     def __repr__(self):
         return (f"PredictiveScalePolicy(window_s={self.window_s:g}, "
                 f"horizon_s={self.horizon_s:g}, "
                 f"target_util={self.target_util:g}, "
+                f"availability_aware={self.availability_aware}, "
                 f"cooldown_s={self.cooldown_s:g}, "
                 f"interval_s={self.interval_s:g})")
 
@@ -315,17 +342,87 @@ class ScheduleScalePolicy(ScalePolicy):
         return f"ScheduleScalePolicy({self.steps!r})"
 
 
+class SpareScalePolicy(ScalePolicy):
+    """Warm-standby sizing: keep ``n`` boards parked as spares that
+    absorb failures before gangs re-stripe.
+
+    The successor to PR 8's fixed-size degraded re-planning: instead
+    of shrinking stripes the moment a board dies, the fleet holds
+    ``n`` spares out of service (zero provisioned board-seconds) and
+    returns one for every in-service board found down or dead — gangs
+    keep their planned width until the spare pool is exhausted, and
+    only then does degraded re-planning kick in.
+
+    Standalone, the serving base is ``num_devices - n`` boards (the
+    capacity a spares-provisioned fleet actually sells).  Composed
+    around an inner policy (spec ``inner+spare:n=``, e.g.
+    ``predictive:target=0.7+spare:n=1``), the inner policy sizes the
+    base elastically — its own cooldown and bounds intact — and the
+    spare layer adds one board per discovered in-service outage,
+    capped at the surviving pool (``signals.alive``).
+    """
+
+    name = "spare"
+
+    def __init__(self, n: int = 1, inner: Optional[ScalePolicy] = None,
+                 **kwargs):
+        if n < 0:
+            raise ValueError("n must be >= 0")
+        if inner is not None and "interval_s" not in kwargs:
+            kwargs["interval_s"] = inner.interval_s
+        super().__init__(**kwargs)
+        self.spares = int(n)
+        self.inner = inner
+        self._base = 0
+
+    def begin(self, num_devices: int) -> None:
+        super().begin(num_devices)
+        if self.inner is not None:
+            self.inner.begin(num_devices)
+        self._base = max(self.min_boards, num_devices - self.spares)
+
+    def desired(self, signals: ScaleSignals) -> int:
+        base = (self.inner.decide(signals)
+                if self.inner is not None else self._base)
+        want = base + signals.down_in_service
+        if signals.alive is not None:
+            want = min(want, signals.alive)
+        return want
+
+    def __repr__(self):
+        return (f"SpareScalePolicy(n={self.spares}, "
+                f"inner={self.inner!r}, "
+                f"interval_s={self.interval_s:g})")
+
+
 def make_scale_policy(spec) -> ScalePolicy:
     """Build a scale policy from a CLI spec string (or pass an
     instance through).
 
     ``reactive:low=0.3,high=0.85,step=1,cooldown=0.05`` ·
-    ``predictive:window=0.1,horizon=0.05,target=0.7,cooldown=0.05``.
-    Both accept ``interval=`` (control-window seconds), ``min=`` and
+    ``predictive:window=0.1,horizon=0.05,target=0.7,cooldown=0.05``
+    (add ``avail=1`` for availability-aware sizing) ·
+    ``spare:n=1`` (hold ``n`` warm standbys).
+    All accept ``interval=`` (control-window seconds), ``min=`` and
     ``max=`` (board bounds; ``max`` defaults to the pool size).
+    Compose a spare layer around an elastic base with ``+``:
+    ``predictive:target=0.7+spare:n=1``.
     """
     if isinstance(spec, ScalePolicy):
         return spec
+    if "+" in spec:
+        base_spec, _, spare_spec = spec.rpartition("+")
+        spare_name, _, spare_rest = spare_spec.partition(":")
+        if spare_name.strip().lower() != "spare":
+            raise SpecError(
+                f"composed scale spec {spec!r} must end in "
+                f"spare:n=... (got {spare_name.strip()!r})")
+        inner = make_scale_policy(base_spec)
+        kwargs = parse_spec_kwargs(spare_rest, what="autoscale")
+        n, cooldown = take_spec_options(
+            kwargs, spec, what="scale policy", n=1, cooldown=0.0)
+        return SpareScalePolicy(n=int(n), inner=inner,
+                                cooldown_s=cooldown)
     name, _, rest = spec.partition(":")
     name = name.strip().lower()
     kwargs = parse_spec_kwargs(rest, what="autoscale")
@@ -340,14 +437,25 @@ def make_scale_policy(spec) -> ScalePolicy:
             max_boards=(None if math.isnan(max_boards)
                         else int(max_boards)))
     if name == "predictive":
-        (window, horizon, target, cooldown, interval, min_boards,
-         max_boards) = take_spec_options(
+        (window, horizon, target, avail, cooldown, interval,
+         min_boards, max_boards) = take_spec_options(
             kwargs, spec, what="scale policy", window=0.1,
-            horizon=0.05, target=0.7, cooldown=0.0, interval=0.01,
-            min=1, max=math.nan)
+            horizon=0.05, target=0.7, avail=0, cooldown=0.0,
+            interval=0.01, min=1, max=math.nan)
         return PredictiveScalePolicy(
             window_s=window, horizon_s=horizon, target_util=target,
+            availability_aware=bool(avail),
             cooldown_s=cooldown, interval_s=interval,
+            min_boards=int(min_boards),
+            max_boards=(None if math.isnan(max_boards)
+                        else int(max_boards)))
+    if name == "spare":
+        (n, cooldown, interval, min_boards,
+         max_boards) = take_spec_options(
+            kwargs, spec, what="scale policy", n=1, cooldown=0.0,
+            interval=0.01, min=1, max=math.nan)
+        return SpareScalePolicy(
+            n=int(n), cooldown_s=cooldown, interval_s=interval,
             min_boards=int(min_boards),
             max_boards=(None if math.isnan(max_boards)
                         else int(max_boards)))
@@ -367,376 +475,26 @@ def run_with_autoscale(sim, scenario: Scenario, seed: int = 0,
     """The DES loop of :meth:`ServingSimulator.run`, with elastic
     capacity.
 
-    A fork of the exact fault-free loop (kept separate so that loop
-    stays bit-identical), extended with: per-control-window signal
-    accumulation (arrivals binned boundary-exactly, busy and
-    provisioned board-seconds integrated exactly), policy evaluation
-    at every elapsed window boundary, drain-style parking of boards a
-    lowered target no longer wants (cache evicted, gangs always
-    finish), cold un-parking on scale-up, and degraded re-planning of
-    striped gangs wider than the in-service pool.
+    Since the membership unification this is a thin delegate onto
+    :func:`repro.runtime.membership.run_with_ledger` with
+    ``faults=None``: the unified loop gates every fault construct on
+    fault injection being present, so the autoscale-only instruction
+    stream — per-control-window signal accumulation, boundary-exact
+    policy evaluation, drain-style parking, cold un-parking, degraded
+    re-planning — is exactly the PR 9 loop (the golden bit-identity
+    suite pins the reports).
     """
     if autoscale is None:
         raise ValueError("run_with_autoscale needs a scale policy")
-    scale = make_scale_policy(autoscale)
-    rec = (recorder if recorder is not None and recorder.enabled
-           else None)
-    jobs = scenario.generate(seed)
-    policy = make_policy(policy)
-    price = price if price is not None else PriceSignal.flat()
-    devices = [DeviceState(i, KeyCache(sim.key_cache_bytes))
-               for i in range(sim.num_devices)]
-    free_heap: List[Tuple[float, int]] = [
-        (0.0, d.index) for d in devices]
-    heapq.heapify(free_heap)
-    completed: List[Job] = []
-    rejected: List[Job] = []
-    shed: List[Job] = []
-    restripe_cache: Dict[Tuple[JobClass, int], Optional[JobClass]] = {}
-    batches = 0
-    batched_jobs = 0
-    cost_price_units = 0.0
-    i = 0
-    n = len(jobs)
-    launch_overhead_s = sim.host.kernel_launch_overhead_s
-    now = 0.0
-    device_index = 0
-
-    # -- elasticity state ----------------------------------------------
-    scale.begin(sim.num_devices)
-    interval = scale.interval_s
-    in_service = [True] * sim.num_devices
-    in_service_count = sim.num_devices
-    parked: List[int] = []        # LIFO: most recently parked first
-    target = in_service_count
-    eval_count = 0                # control windows already closed
-    resize_events = 0
-    scale_ups = 0
-    scale_downs = 0
-    # signal accumulators
-    arrival_bins: Dict[int, int] = {}
-    busy_deltas: List[Tuple[float, int, int]] = []   # (t, seq, +/-k)
-    busy_seq = 0
-    busy_level = 0
-    busy_last_t = 0.0
-    busy_area = 0.0               # busy board-s since the last eval
-    prov_last_t = 0.0
-    prov_area = 0.0               # provisioned board-s since last eval
-    board_seconds = 0.0           # total provisioned board-s (paid)
-    busy_total_s = 0.0            # dispatched board-s (capacity oracle)
-    jobs_dispatched = 0
-
-    def advance_busy(t: float) -> None:
-        nonlocal busy_level, busy_last_t, busy_area
-        while busy_deltas and busy_deltas[0][0] <= t:
-            event_t, _, delta = heapq.heappop(busy_deltas)
-            if event_t > busy_last_t:
-                busy_area += busy_level * (event_t - busy_last_t)
-                busy_last_t = event_t
-            busy_level += delta
-        if t > busy_last_t:
-            busy_area += busy_level * (t - busy_last_t)
-            busy_last_t = t
-
-    def flush_provisioned(t: float) -> None:
-        nonlocal prov_last_t, prov_area, board_seconds
-        if t > prov_last_t:
-            span = (t - prov_last_t) * in_service_count
-            prov_area += span
-            board_seconds += span
-            prov_last_t = t
-
-    def catch_up(t: float) -> None:
-        """Close every control window whose boundary has passed.
-
-        Called *before* the events at ``t`` are admitted: the
-        boundary ``k * interval <= t`` lies in this event's past, so
-        the decision there must see the queue as it stood at the
-        boundary — admitting first would leak the event into its own
-        control window and pin ``queue_depth >= 1`` at every eval
-        that an arrival wakes (which is all of them in a trough).
-        """
-        nonlocal eval_count
-        while (eval_count + 1) * interval <= t:
-            eval_count += 1
-            admit(eval_count * interval)
-            evaluate(eval_count * interval, eval_count - 1)
-
-    def evaluate(t_eval: float, window: int) -> None:
-        nonlocal target, busy_area, prov_area
-        advance_busy(t_eval)
-        flush_provisioned(t_eval)
-        arrivals = arrival_bins.pop(window, 0)
-        signals = ScaleSignals(
-            t=t_eval, interval_s=interval,
-            queue_depth=policy.pending,
-            provisioned=in_service_count,
-            busy_board_s=busy_area,
-            provisioned_board_s=prov_area,
-            arrivals=arrivals,
-            arrival_rate=arrivals / interval,
-            service_s_per_job=(busy_total_s / jobs_dispatched
-                               if jobs_dispatched else 0.0))
-        busy_area = 0.0
-        prov_area = 0.0
-        target = max(1, min(scale.decide(signals), sim.num_devices))
-
-    def reject_job(job: Job) -> None:
-        rejected.append(job)
-        if rec is not None:
-            deadline = job.effective_deadline_s
-            rec.job_rejected(
-                t=now, job_id=job.job_id,
-                job_class=job.job_class.name, tenant=job.tenant,
-                deadline_s=(None if deadline == math.inf
-                            else deadline))
-
-    policy.begin(PolicyContext(
-        max_batch=sim.max_batch, price=price,
-        service_bound_s=sim.service_bound_s,
-        best_case_s=sim.best_case_service_s,
-        reject=reject_job,
-        recorder=recorder if rec is not None else NULL_RECORDER))
-    if rec is not None:
-        rec.run_begin(scenario=scenario.name,
-                      num_devices=sim.num_devices,
-                      policy=policy.name, price=price,
-                      max_batch=sim.max_batch)
-
-    def admit(now: float) -> None:
-        nonlocal i
-        while i < n and jobs[i].arrival_s <= now:
-            job = jobs[i]
-            policy.enqueue(job)
-            bin_index = window_index(job.arrival_s, interval)
-            arrival_bins[bin_index] = arrival_bins.get(bin_index, 0) + 1
-            if rec is not None:
-                deadline = job.effective_deadline_s
-                rec.job_arrival(
-                    t=job.arrival_s, job_id=job.job_id,
-                    job_class=job.job_class.name, tenant=job.tenant,
-                    deadline_s=(None if deadline == math.inf
-                                else deadline),
-                    deferrable=job.deferrable)
-            i += 1
-
-    def shed_job(job: Job, reason: str, t: float) -> None:
-        job.shed = True
-        job.shed_reason = reason
-        shed.append(job)
-        if rec is not None:
-            rec.policy_event(t=t, name=f"shed:{reason}",
-                             job_id=job.job_id,
-                             job_class=job.job_class.name,
-                             tenant=job.tenant)
-
-    def gang_start(k: int) -> float:
-        if k <= 1:
-            return now
-        extra = heapq.nsmallest(k - 1, free_heap)
-        free = max((devices[index].free_at_s for _, index in extra),
-                   default=now)
-        return max(now, free)
-
-    def service_s(job: Job, batch_size: int) -> float:
-        job_class = job.job_class
-        members = [devices[device_index]]
-        if job_class.num_fpgas > 1:
-            members += [
-                devices[index] for _, index in heapq.nsmallest(
-                    job_class.num_fpgas - 1, free_heap)]
-        load_s = max(
-            sim._key_load_seconds(
-                member.cache.peek_miss_bytes(job.tenant, job_class))
-            for member in members)
-        return (launch_overhead_s + load_s
-                + batch_size * job_class.seconds(sim.config))
-
-    view = DispatchView(now=0.0, gang_start=gang_start,
-                        service_s=service_s)
-
-    while i < n or policy.pending:
-        free_at, device_index = heapq.heappop(free_heap)
-        now = free_at
-        # Catch the control loop up to ``now`` *before* admitting the
-        # events at ``now``: one decision per elapsed window, each fed
-        # exactly that window's signals.
-        catch_up(now)
-        admit(now)
-        if not policy.pending:
-            # Idle until the next arrival.
-            now = max(now, jobs[i].arrival_s)
-            catch_up(now)
-            admit(now)
-        # Scale-up applies immediately: parked boards rejoin cold
-        # (their key caches were evicted when they parked).
-        while parked and in_service_count < target:
-            board = parked.pop()
-            flush_provisioned(now)
-            in_service[board] = True
-            in_service_count += 1
-            resize_events += 1
-            scale_ups += 1
-            heapq.heappush(free_heap, (now, board))
-            if rec is not None:
-                rec.pool_resize(t=now, board=board, direction="up",
-                                provisioned=in_service_count)
-        # Scale-down drains: this board just came up free, so parking
-        # it never interrupts work.  Its gang (if any) already
-        # finished; queued work re-plans below if the stripe no
-        # longer fits.
-        if in_service_count > target:
-            flush_provisioned(now)
-            in_service[device_index] = False
-            in_service_count -= 1
-            parked.append(device_index)
-            devices[device_index].cache.drop_all()
-            resize_events += 1
-            scale_downs += 1
-            if rec is not None:
-                rec.pool_resize(t=now, board=device_index,
-                                direction="down",
-                                provisioned=in_service_count)
-            continue
-
-        view.now = now
-        if rec is not None:
-            rec.queue_sample(t=now, total=policy.pending,
-                             depths=policy.queue_depths())
-        batch = policy.next_batch(view)
-        if not batch:
-            if policy.pending:
-                wake = policy.next_event_s(now)
-                if i < n:
-                    wake = min(wake, jobs[i].arrival_s)
-                # Never sleep through a control boundary: a deferred
-                # board must still wake to apply a pending resize.
-                wake = min(wake, (eval_count + 1) * interval)
-                if wake <= now:
-                    wake = math.nextafter(now, math.inf)
-                if rec is not None:
-                    rec.defer(board=device_index, t=now, wake=wake)
-                heapq.heappush(free_heap, (wake, device_index))
-            else:
-                heapq.heappush(free_heap, (now, device_index))
-            continue
-        job_class = batch[0].job_class
-
-        if job_class.num_fpgas > in_service_count:
-            # The in-service pool cannot seat this gang.  Capacity was
-            # removed on purpose (and may not return), so re-plan onto
-            # the widest stripe that fits now — or shed when none does
-            # / the trace is unavailable.
-            k = largest_viable_stripe(in_service_count,
-                                      job_class.num_fpgas)
-            key = (job_class, k)
-            if key not in restripe_cache:
-                restripe_cache[key] = (
-                    job_class.restriped(k, sim.config) if k >= 1
-                    else None)
-            new_class = restripe_cache[key]
-            if new_class is None:
-                for job in batch:
-                    shed_job(job, "degraded", now)
-            else:
-                if rec is not None:
-                    rec.policy_event(
-                        t=now, name="degrade",
-                        job_class=job_class.name,
-                        from_stripe=job_class.num_fpgas, to_stripe=k,
-                        jobs=len(batch))
-                for job in batch:
-                    job.job_class = new_class
-                    job.degraded = True
-                    policy.enqueue(job)
-            heapq.heappush(free_heap, (now, device_index))
-            continue
-
-        gang = [devices[device_index]]
-        start = now
-        if job_class.num_fpgas > 1:
-            # Parked boards are not in the heap, so a gang only ever
-            # assembles from in-service boards; the stripe check
-            # above guarantees enough of them exist.
-            for _ in range(job_class.num_fpgas - 1):
-                _, extra_index = heapq.heappop(free_heap)
-                member = devices[extra_index]
-                gang.append(member)
-                if member.free_at_s > start:
-                    start = member.free_at_s
-        load_s = 0.0
-        member_loads = [] if rec is not None else None
-        for member in gang:
-            miss_bytes = member.cache.request(batch[0].tenant,
-                                              job_class)
-            member_load_s = sim._key_load_seconds(miss_bytes)
-            member.key_load_s += member_load_s
-            if member_loads is not None:
-                member_loads.append(
-                    (member.index, member_load_s, miss_bytes))
-            if member_load_s > load_s:
-                load_s = member_load_s
-        compute_s = len(batch) * job_class.seconds(sim.config)
-        batch_service_s = launch_overhead_s + load_s + compute_s
-        finish = start + batch_service_s
-        for job in batch:
-            job.finish_s = finish
-        completed.extend(batch)
-        for member in gang:
-            member.free_at_s = finish
-            member.busy_s += batch_service_s
-            heapq.heappush(free_heap, (finish, member.index))
-        gang[0].jobs_done += len(batch)
-        batches += 1
-        batched_jobs += len(batch)
-        busy_seq += 1
-        heapq.heappush(busy_deltas, (start, busy_seq, len(gang)))
-        busy_seq += 1
-        heapq.heappush(busy_deltas, (finish, busy_seq, -len(gang)))
-        busy_total_s += batch_service_s * len(gang)
-        jobs_dispatched += len(batch)
-        batch_cost = len(gang) * price.integral(start, finish)
-        cost_price_units += batch_cost
-        if rec is not None:
-            slo_met = slo_total = 0
-            for job in batch:
-                deadline = job.effective_deadline_s
-                if deadline != math.inf:
-                    slo_total += 1
-                    if finish <= deadline:
-                        slo_met += 1
-            rec.batch(
-                start=start, finish=finish,
-                job_class=job_class.name, tenant=batch[0].tenant,
-                batch_size=len(batch), launch_s=launch_overhead_s,
-                members=member_loads,
-                cache_stats=tuple(m.cache.stats() for m in gang),
-                slo_met=slo_met, slo_total=slo_total,
-                cost=batch_cost)
-
-    makespan = max((j.finish_s or 0.0 for j in completed), default=0.0)
-    # Close the capacity integral at the end of the run: in-service
-    # boards are paid for until the last completion (or the last
-    # control event, whichever came later).
-    flush_provisioned(max(makespan, prov_last_t))
-    if rec is not None:
-        rec.run_end(
-            makespan_s=makespan,
-            device_busy_s=tuple(d.busy_s for d in devices),
-            jobs_done=len(completed))
-    return sim._report(scenario, completed, devices, batches,
-                       batched_jobs, policy=policy.name,
-                       rejected=rejected,
-                       deferred_jobs=policy.deferred_jobs,
-                       cost_price_units=cost_price_units,
-                       shed=shed,
-                       resize_events=resize_events,
-                       scale_ups=scale_ups, scale_downs=scale_downs,
-                       board_seconds=board_seconds)
+    from .membership import run_with_ledger
+    return run_with_ledger(sim, scenario, seed=seed, policy=policy,
+                           price=price, recorder=recorder,
+                           autoscale=autoscale)
 
 
 __all__ = [
-    "SCALE_POLICIES", "PredictiveScalePolicy", "ReactiveScalePolicy",
-    "ScaleSignals", "ScalePolicy", "ScheduleScalePolicy",
-    "make_scale_policy", "run_with_autoscale",
+    "AVAILABILITY_FLOOR", "SCALE_POLICIES", "PredictiveScalePolicy",
+    "ReactiveScalePolicy", "ScaleSignals", "ScalePolicy",
+    "ScheduleScalePolicy", "SpareScalePolicy", "make_scale_policy",
+    "run_with_autoscale",
 ]

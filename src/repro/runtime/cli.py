@@ -185,10 +185,12 @@ def run_serve(argv: List[str]) -> int:
                              "default: none - shed killed jobs)")
     parser.add_argument("--autoscale", default=None, metavar="SPEC",
                         help="elastic pool autoscaling: "
-                             "reactive:low=0.3,high=0.85,cooldown=0.05 "
-                             "or predictive:window=0.1,horizon=0.05,"
-                             "target=0.7 (--engine des only, exclusive "
-                             "with --faults; default: fixed pool)")
+                             "reactive:low=0.3,high=0.85,cooldown=0.05, "
+                             "predictive:window=0.1,horizon=0.05,"
+                             "target=0.7, spare:n=1, or a composed "
+                             "predictive:...+spare:n=1 (--engine des "
+                             "only; combines with --faults through the "
+                             "membership ledger; default: fixed pool)")
     parser.add_argument("--timeline", metavar="PATH", default=None,
                         help="write a Perfetto-loadable Chrome trace "
                              "of the run (single scenario only)")
@@ -239,10 +241,6 @@ def run_serve(argv: List[str]) -> int:
         if args.engine == "fast":
             parser.error("--autoscale requires --engine des (the fast "
                          "engine is the fixed-pool parity oracle)")
-        if args.faults:
-            parser.error("--autoscale and --faults cannot combine in "
-                         "one run yet: voluntary and involuntary pool "
-                         "membership need an arbitration story")
         try:
             autoscale = make_scale_policy(args.autoscale)
         except ValueError as exc:
@@ -715,6 +713,90 @@ def run_autoscale_sweep(argv: List[str]) -> int:
                    else "does NOT beat static")
         print(f"  {label:>12s}: static {static_cost * 1e3:7.3f} -> "
               f"{best} {best_cost * 1e3:7.3f}  ({verdict})")
+    if args.json:
+        report.save_json(args.json)
+        print(f"sweep written to {args.json}")
+    return 0
+
+
+def run_resilience_autoscale_sweep(argv: List[str]) -> int:
+    """Entry point for ``python -m repro resilience-autoscale-sweep``."""
+    from ..experiments.resilience_autoscale_sweep import (
+        DEFAULT_ARRIVALS, DEFAULT_FAULTS, DEFAULT_MECHANISMS,
+        DEFAULT_RETRY, DEFAULT_TARGET_LOAD, run_sweep)
+    parser = argparse.ArgumentParser(
+        prog="repro resilience-autoscale-sweep",
+        description="sweep pool-membership mechanisms (static / "
+                    "elastic / spares / combined) under faulty "
+                    "diurnal SLO serving; report cost per goodput "
+                    "through the unified membership ledger")
+    parser.add_argument("--devices", type=int, nargs="+", default=[8],
+                        help="pool sizes to sweep")
+    parser.add_argument("--arrivals", nargs="+", metavar="SPEC",
+                        default=[spec for _, spec in DEFAULT_ARRIVALS],
+                        help="arrival process specs to sweep "
+                             "(NAME[:key=value,...]; default: "
+                             "diurnal wave)")
+    parser.add_argument("--faults", default=DEFAULT_FAULTS,
+                        metavar="SPEC",
+                        help="fault process shared by every mechanism "
+                             f"(default {DEFAULT_FAULTS})")
+    parser.add_argument("--retry", default=DEFAULT_RETRY,
+                        metavar="SPEC",
+                        help="retry policy shared by every mechanism "
+                             f"(default {DEFAULT_RETRY})")
+    parser.add_argument("--duration", type=float, default=1.0,
+                        help="arrival horizon per grid point (seconds; "
+                             "long enough for several faults and a "
+                             "full diurnal trough)")
+    parser.add_argument("--load", type=float,
+                        default=DEFAULT_TARGET_LOAD,
+                        help="mean offered load fraction of pool "
+                             "capacity (default "
+                             f"{DEFAULT_TARGET_LOAD:g})")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-batch", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="simulation processes (default: one per "
+                             "core, capped at the grid; 1 = inline)")
+    parser.add_argument("--json", metavar="PATH",
+                        default="resilience_autoscale_sweep.json",
+                        help="JSON artifact path ('' to skip)")
+    args = parser.parse_args(argv)
+    if args.duration <= 0:
+        parser.error("--duration must be positive")
+    if any(d < 1 for d in args.devices):
+        parser.error("--devices must be >= 1")
+    if args.load <= 0:
+        parser.error("--load must be positive")
+    try:
+        make_fault_process(args.faults)
+    except (ValueError, OSError) as exc:
+        parser.error(f"--faults: {exc}")
+    try:
+        make_retry_policy(args.retry)
+    except ValueError as exc:
+        parser.error(f"--retry: {exc}")
+    arrivals = [(spec.partition(":")[0], spec)
+                for spec in args.arrivals]
+
+    report = run_sweep(FabConfig(), mechanisms=DEFAULT_MECHANISMS,
+                       arrivals=arrivals, devices=args.devices,
+                       faults=args.faults, retry=args.retry,
+                       duration_s=args.duration,
+                       target_load=args.load, seed=args.seed,
+                       max_batch=args.max_batch, workers=args.workers)
+    print_result(report.to_experiment_result())
+    print("combined vs single mechanisms "
+          "(board-ms per deadline-met job):")
+    for row in report.headline()["combined_vs_single"]:
+        costs = row["costs"]
+        verdict = ("combined wins" if row["combined_wins"]
+                   else "combined does NOT win")
+        parts = ", ".join(
+            f"{name} {cost * 1e3:7.3f}"
+            for name, cost in sorted(costs.items()))
+        print(f"  {row['point']:>12s}: {parts}  ({verdict})")
     if args.json:
         report.save_json(args.json)
         print(f"sweep written to {args.json}")

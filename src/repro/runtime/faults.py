@@ -17,9 +17,11 @@ surface to the serving stack in three pieces:
   :class:`ExponentialBackoffRetry` re-enqueues after a capped,
   jittered exponential backoff.  Retried jobs keep their original
   arrival time and deadline — latency and SLO accounting never reset.
-* **The fault-aware event loop** — :func:`run_with_faults`, a fork of
-  the exact DES in :meth:`repro.runtime.serving.ServingSimulator.run`.
-  It lives here, not as branches inside the fault-free loop, so the
+* **The fault-aware event loop** — :func:`run_with_faults`, now a
+  delegate onto the unified membership loop
+  (:func:`repro.runtime.membership.run_with_ledger`) with elasticity
+  off.  It stays out of the fault-free loop in
+  :meth:`repro.runtime.serving.ServingSimulator.run`, so the
   ``faults=None`` path stays byte-for-byte the pre-fault code (the
   golden bit-identity suite pins this).
 
@@ -55,18 +57,15 @@ rate to weigh against ``throughput_jps``); recorders see
 
 from __future__ import annotations
 
-import heapq
 import json
 import math
 import random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from ..obs import NULL_RECORDER, Recorder
-from .policies import DispatchView, PolicyContext, PriceSignal, make_policy
-from .serving import (DeviceState, Job, JobClass, KeyCache, Scenario,
-                      ServingReport, key_load_seconds)
+from ..obs import Recorder
+from .policies import PriceSignal
+from .serving import Job, Scenario, ServingReport
 from .specs import SpecError, parse_spec_kwargs, take_spec_options
-from .striped_lowering import largest_viable_stripe
 
 #: Registry of spec names accepted by :func:`make_fault_process`.
 FAULT_PROCESSES = ("poisson", "weibull", "trace")
@@ -468,457 +467,27 @@ def run_with_faults(sim, scenario: Scenario, seed: int = 0,
                     retry=None) -> ServingReport:
     """The DES loop of :meth:`ServingSimulator.run`, with faults.
 
-    A fork of the exact fault-free loop (kept separate so that loop
-    stays bit-identical), extended with: lazy fault settlement when a
-    board is popped, gang members waiting on repairs like they wait on
-    busy boards, mid-batch kills feeding the retry policy, degraded
+    Since the membership unification this is a thin delegate onto
+    :func:`repro.runtime.membership.run_with_ledger` with
+    ``autoscale=None``: the unified loop gates every elasticity
+    construct on a scale policy being present, so the faults-only
+    instruction stream — lazy fault settlement when a board is
+    popped, gang members waiting on repairs like they wait on busy
+    boards, mid-batch kills feeding the retry policy, degraded
     re-planning for gangs the shrunken pool can no longer seat, and
-    pool-death shedding.  Dispatch previews (``gang_start`` /
-    ``service_s``) stay fault-blind: admission decisions are made
-    against the healthy-pool oracle and faults then land where they
-    may — which is exactly the operational reality being modeled.
+    pool-death shedding — is exactly the PR 8 loop (the golden
+    bit-identity suite pins the reports).  Dispatch previews
+    (``gang_start`` / ``service_s``) stay fault-blind: admission
+    decisions are made against the healthy-pool oracle and faults
+    then land where they may — which is exactly the operational
+    reality being modeled.
     """
     if faults is None:
         raise ValueError("run_with_faults needs a fault process")
-    faults = make_fault_process(faults)
-    retry = make_retry_policy(retry)
-    rec = (recorder if recorder is not None and recorder.enabled
-           else None)
-    jobs = scenario.generate(seed)
-    policy = make_policy(policy)
-    price = price if price is not None else PriceSignal.flat()
-    devices = [DeviceState(i, KeyCache(sim.key_cache_bytes))
-               for i in range(sim.num_devices)]
-    schedule = FaultSchedule(faults, sim.num_devices, seed)
-    retry_rng = random.Random(f"retry:{seed}")
-    free_heap: List[Tuple[float, int]] = [
-        (0.0, d.index) for d in devices]
-    heapq.heapify(free_heap)
-    completed: List[Job] = []
-    rejected: List[Job] = []
-    shed: List[Job] = []
-    retry_heap: List[Tuple[float, int, Job]] = []
-    retry_seq = 0
-    #: job_id -> Job for every job currently inside the policy's
-    #: queues (pool death must shed them; policies have no drain API).
-    in_policy: Dict[int, Job] = {}
-    restripe_cache: Dict[Tuple[JobClass, int], Optional[JobClass]] = {}
-    batches = 0
-    batched_jobs = 0
-    cost_price_units = 0.0
-    board_faults = 0
-    failures = 0
-    wasted_service_s = 0.0
-    alive = sim.num_devices      # boards not permanently dead
-    healthy = sim.num_devices    # recorder-visible up-board counter
-    i = 0
-    n = len(jobs)
-    launch_overhead_s = sim.host.kernel_launch_overhead_s
-    now = 0.0
-    device_index = 0
-
-    def reject_job(job: Job) -> None:
-        rejected.append(job)
-        in_policy.pop(job.job_id, None)
-        if rec is not None:
-            deadline = job.effective_deadline_s
-            rec.job_rejected(
-                t=now, job_id=job.job_id,
-                job_class=job.job_class.name, tenant=job.tenant,
-                deadline_s=(None if deadline == math.inf
-                            else deadline))
-
-    policy.begin(PolicyContext(
-        max_batch=sim.max_batch, price=price,
-        service_bound_s=sim.service_bound_s,
-        best_case_s=sim.best_case_service_s,
-        reject=reject_job,
-        recorder=recorder if rec is not None else NULL_RECORDER))
-    if rec is not None:
-        rec.run_begin(scenario=scenario.name,
-                      num_devices=sim.num_devices,
-                      policy=policy.name, price=price,
-                      max_batch=sim.max_batch)
-
-    def enqueue(job: Job) -> None:
-        policy.enqueue(job)
-        in_policy[job.job_id] = job
-
-    def admit(now: float) -> None:
-        nonlocal i
-        while i < n and jobs[i].arrival_s <= now:
-            job = jobs[i]
-            enqueue(job)
-            if rec is not None:
-                deadline = job.effective_deadline_s
-                rec.job_arrival(
-                    t=job.arrival_s, job_id=job.job_id,
-                    job_class=job.job_class.name, tenant=job.tenant,
-                    deadline_s=(None if deadline == math.inf
-                                else deadline),
-                    deferrable=job.deferrable)
-            i += 1
-        while retry_heap and retry_heap[0][0] <= now:
-            _, _, job = heapq.heappop(retry_heap)
-            enqueue(job)
-
-    def next_pending_s() -> float:
-        t = jobs[i].arrival_s if i < n else math.inf
-        if retry_heap and retry_heap[0][0] < t:
-            t = retry_heap[0][0]
-        return t
-
-    def shed_job(job: Job, reason: str, t: float) -> None:
-        job.shed = True
-        job.shed_reason = reason
-        shed.append(job)
-        in_policy.pop(job.job_id, None)
-        if rec is not None:
-            rec.policy_event(t=t, name=f"shed:{reason}",
-                             job_id=job.job_id,
-                             job_class=job.job_class.name,
-                             tenant=job.tenant)
-
-    def settle_board(b: int, t: float, killed_batch: bool = False):
-        """Process board ``b``'s fault timeline up to ``t``.
-
-        Returns ``"dead"`` (permanent failure discovered), a float
-        repair time ``> t`` (board is down at ``t``), or ``None``
-        (board healthy at ``t``).  Fault side effects — cache wipe,
-        recorder instants, alive/healthy bookkeeping — fire exactly
-        once per interval.
-        """
-        nonlocal board_faults, alive, healthy
-        device = devices[b]
-        while True:
-            down, up = schedule.current(b)
-            if down > t:
-                return None
-            if not schedule.processed(b):
-                schedule.mark_processed(b)
-                device.cache.drop_all()
-                board_faults += 1
-                permanent = math.isinf(up)
-                healthy -= 1
-                if rec is not None:
-                    rec.board_fault(t=down, board=b,
-                                    permanent=permanent,
-                                    healthy=healthy,
-                                    killed_batch=killed_batch)
-                if permanent:
-                    alive -= 1
-                    return "dead"
-                # The repair instant is known now; record it at its
-                # own timestamp (trace events are buffered + sorted).
-                healthy += 1
-                if rec is not None:
-                    rec.board_repair(t=up, board=b, healthy=healthy)
-            if math.isinf(up):
-                return "dead"
-            if up > t:
-                return up
-            schedule.advance(b)
-
-    def fail_batch(batch: List[Job], gang, start: float,
-                   fail_t: float, launched: bool) -> None:
-        """A fault killed ``batch`` at ``fail_t``; route every job
-        through the retry policy and free the surviving boards."""
-        nonlocal failures, wasted_service_s, cost_price_units
-        nonlocal retry_seq
-        failures += 1
-        run_s = fail_t - start
-        if launched and run_s > 0:
-            wasted_service_s += run_s * len(gang)
-            cost_price_units += len(gang) * price.integral(start, fail_t)
-        for member in gang:
-            if launched and run_s > 0:
-                member.busy_s += run_s
-        for job in batch:
-            wake = retry.next_attempt_s(job, fail_t, retry_rng)
-            if wake is None:
-                shed_job(job, "retry_budget", fail_t)
-            else:
-                job.retries += 1
-                retry_seq += 1
-                heapq.heappush(retry_heap, (wake, retry_seq, job))
-        for member in gang:
-            status = settle_board(member.index, fail_t,
-                                  killed_batch=True)
-            if status == "dead":
-                member.free_at_s = fail_t
-                continue
-            if status is not None:
-                member.free_at_s = status
-                heapq.heappush(free_heap, (status, member.index))
-            else:
-                member.free_at_s = fail_t
-                heapq.heappush(free_heap, (fail_t, member.index))
-
-    def gang_start(k: int) -> float:
-        if k <= 1:
-            return now
-        extra = heapq.nsmallest(k - 1, free_heap)
-        free = max((devices[index].free_at_s for _, index in extra),
-                   default=now)
-        return max(now, free)
-
-    def service_s(job: Job, batch_size: int) -> float:
-        job_class = job.job_class
-        members = [devices[device_index]]
-        if job_class.num_fpgas > 1:
-            members += [
-                devices[index] for _, index in heapq.nsmallest(
-                    job_class.num_fpgas - 1, free_heap)]
-        load_s = max(
-            key_load_seconds(
-                sim.host,
-                member.cache.peek_miss_bytes(job.tenant, job_class))
-            for member in members)
-        return (launch_overhead_s + load_s
-                + batch_size * job_class.seconds(sim.config))
-
-    view = DispatchView(now=0.0, gang_start=gang_start,
-                        service_s=service_s)
-
-    while i < n or policy.pending or retry_heap:
-        if not free_heap:
-            # Every board is permanently dead: shed all remaining
-            # work (queued, awaiting retry, and not yet arrived).
-            for job in list(in_policy.values()):
-                shed_job(job, "pool_dead", now)
-            while retry_heap:
-                _, _, job = heapq.heappop(retry_heap)
-                shed_job(job, "pool_dead", now)
-            while i < n:
-                shed_job(jobs[i], "pool_dead", now)
-                i += 1
-            break
-        free_at, device_index = heapq.heappop(free_heap)
-        now = free_at
-        admit(now)
-        if not policy.pending:
-            # Idle until the next arrival or retry wake.
-            now = max(now, next_pending_s())
-            admit(now)
-        status = settle_board(device_index, now)
-        if status == "dead":
-            continue
-        if status is not None:
-            heapq.heappush(free_heap, (status, device_index))
-            continue
-
-        view.now = now
-        if rec is not None:
-            rec.queue_sample(t=now, total=policy.pending,
-                             depths=policy.queue_depths())
-        batch = policy.next_batch(view)
-        if not batch:
-            if policy.pending:
-                wake = policy.next_event_s(now)
-                if i < n:
-                    wake = min(wake, jobs[i].arrival_s)
-                if retry_heap:
-                    wake = min(wake, retry_heap[0][0])
-                if wake <= now:
-                    wake = math.nextafter(now, math.inf)
-                if rec is not None:
-                    rec.defer(board=device_index, t=now, wake=wake)
-                heapq.heappush(free_heap, (wake, device_index))
-            else:
-                heapq.heappush(free_heap, (now, device_index))
-            continue
-        for job in batch:
-            in_policy.pop(job.job_id, None)
-        job_class = batch[0].job_class
-
-        if job_class.num_fpgas > alive:
-            # Permanent shortage: the pool can never again seat this
-            # gang.  Re-plan onto the widest viable smaller stripe,
-            # or shed when none fits / the trace is unavailable.
-            k = largest_viable_stripe(alive, job_class.num_fpgas)
-            key = (job_class, k)
-            if key not in restripe_cache:
-                restripe_cache[key] = (
-                    job_class.restriped(k, sim.config) if k >= 1
-                    else None)
-            new_class = restripe_cache[key]
-            if new_class is None:
-                for job in batch:
-                    shed_job(job, "degraded", now)
-            else:
-                if rec is not None:
-                    rec.policy_event(
-                        t=now, name="degrade",
-                        job_class=job_class.name,
-                        from_stripe=job_class.num_fpgas, to_stripe=k,
-                        jobs=len(batch))
-                for job in batch:
-                    job.job_class = new_class
-                    job.degraded = True
-                    enqueue(job)
-            heapq.heappush(free_heap, (now, device_index))
-            continue
-
-        gang = [devices[device_index]]
-        start = now
-        if job_class.num_fpgas > 1:
-            # Gang-assemble: a down board is just a board that frees
-            # at its repair time; a board found permanently dead is
-            # skipped (and may leave the gang short — see below).
-            needed = job_class.num_fpgas - 1
-            while needed and free_heap:
-                _, extra_index = heapq.heappop(free_heap)
-                member = devices[extra_index]
-                avail = max(now, member.free_at_s)
-                mstatus = settle_board(extra_index, avail)
-                if mstatus == "dead":
-                    continue
-                if mstatus is not None and mstatus > avail:
-                    avail = mstatus
-                    member.free_at_s = mstatus
-                gang.append(member)
-                needed -= 1
-                if avail > start:
-                    start = avail
-            if needed:
-                # The heap dried up before the gang filled: newly
-                # discovered dead boards shrank the pool below the
-                # stripe.  Put everything back; the next dispatch
-                # sees the updated ``alive`` and re-plans.
-                for member in gang:
-                    if member.index != device_index:
-                        heapq.heappush(
-                            free_heap,
-                            (max(now, member.free_at_s), member.index))
-                for job in batch:
-                    enqueue(job)
-                heapq.heappush(
-                    free_heap,
-                    (math.nextafter(now, math.inf), device_index))
-                continue
-
-        # Settle every member to the (possibly repair-delayed) start:
-        # waiting boards can fault while idle, which may push the
-        # start further out or kill the dispatch before launch.
-        while True:
-            moved = False
-            aborted = False
-            for member in gang:
-                mstatus = settle_board(member.index, start)
-                if mstatus == "dead":
-                    # A member died while the gang was forming: the
-                    # batch never launches.
-                    dead_index = member.index
-                    fail_batch(batch,
-                               [m for m in gang
-                                if m.index != dead_index],
-                               start, start, launched=False)
-                    aborted = True
-                    break
-                if mstatus is not None and mstatus > start:
-                    start = mstatus
-                    moved = True
-            if aborted or not moved:
-                break
-        if aborted:
-            continue
-
-        # Key loads previewed without mutation so the finish time (and
-        # hence the kill window) is known before committing residency.
-        load_s = 0.0
-        for member in gang:
-            member_load_s = key_load_seconds(
-                sim.host,
-                member.cache.peek_miss_bytes(batch[0].tenant,
-                                             job_class))
-            if member_load_s > load_s:
-                load_s = member_load_s
-        compute_s = len(batch) * job_class.seconds(sim.config)
-        batch_service_s = launch_overhead_s + load_s + compute_s
-        finish = start + batch_service_s
-        fail_t = min(schedule.next_down_s(m.index) for m in gang)
-        if fail_t < finish:
-            # The gang loses a board mid-batch (or at the starting
-            # line): everything since ``start`` is wasted and every
-            # job goes to the retry policy.  Key residency is
-            # committed — the loads were in flight — and the failed
-            # board's cache is wiped by its fault settlement.
-            member_loads = [] if rec is not None else None
-            for member in gang:
-                miss_bytes = member.cache.request(batch[0].tenant,
-                                                  job_class)
-                member_load_s = key_load_seconds(sim.host, miss_bytes)
-                member.key_load_s += member_load_s
-                if member_loads is not None:
-                    member_loads.append(
-                        (member.index, member_load_s, miss_bytes))
-            if rec is not None and fail_t > start:
-                rec.batch(
-                    start=start, finish=fail_t,
-                    job_class=job_class.name, tenant=batch[0].tenant,
-                    batch_size=len(batch),
-                    launch_s=launch_overhead_s,
-                    members=member_loads,
-                    cache_stats=tuple(m.cache.stats() for m in gang),
-                    cost=len(gang) * price.integral(start, fail_t))
-                rec.policy_event(t=fail_t, name="batch_killed",
-                                 job_class=job_class.name,
-                                 jobs=len(batch))
-            fail_batch(batch, gang, start, fail_t, launched=True)
-            continue
-
-        member_loads = [] if rec is not None else None
-        for member in gang:
-            miss_bytes = member.cache.request(batch[0].tenant,
-                                              job_class)
-            member_load_s = key_load_seconds(sim.host, miss_bytes)
-            member.key_load_s += member_load_s
-            if member_loads is not None:
-                member_loads.append(
-                    (member.index, member_load_s, miss_bytes))
-        for job in batch:
-            job.finish_s = finish
-        completed.extend(batch)
-        for member in gang:
-            member.free_at_s = finish
-            member.busy_s += batch_service_s
-            heapq.heappush(free_heap, (finish, member.index))
-        gang[0].jobs_done += len(batch)
-        batches += 1
-        batched_jobs += len(batch)
-        batch_cost = len(gang) * price.integral(start, finish)
-        cost_price_units += batch_cost
-        if rec is not None:
-            slo_met = slo_total = 0
-            for job in batch:
-                deadline = job.effective_deadline_s
-                if deadline != math.inf:
-                    slo_total += 1
-                    if finish <= deadline:
-                        slo_met += 1
-            rec.batch(
-                start=start, finish=finish,
-                job_class=job_class.name, tenant=batch[0].tenant,
-                batch_size=len(batch), launch_s=launch_overhead_s,
-                members=member_loads,
-                cache_stats=tuple(m.cache.stats() for m in gang),
-                slo_met=slo_met, slo_total=slo_total,
-                cost=batch_cost)
-
-    if rec is not None:
-        rec.run_end(
-            makespan_s=max((j.finish_s or 0.0 for j in completed),
-                           default=0.0),
-            device_busy_s=tuple(d.busy_s for d in devices),
-            jobs_done=len(completed))
-    return sim._report(scenario, completed, devices, batches,
-                       batched_jobs, policy=policy.name,
-                       rejected=rejected,
-                       deferred_jobs=policy.deferred_jobs,
-                       cost_price_units=cost_price_units,
-                       shed=shed, board_faults=board_faults,
-                       failures=failures,
-                       wasted_service_s=wasted_service_s)
+    from .membership import run_with_ledger
+    return run_with_ledger(sim, scenario, seed=seed, policy=policy,
+                           price=price, recorder=recorder,
+                           faults=faults, retry=retry)
 
 
 __all__ = [

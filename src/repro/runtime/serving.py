@@ -873,18 +873,23 @@ class ServingSimulator:
         board-down/board-up events; ``retry`` (a
         :class:`repro.runtime.faults.RetryPolicy` or spec, default
         ``"none"``) decides what happens to jobs whose batch a fault
-        killed.  Fault injection is DES-only and runs in
-        :func:`repro.runtime.faults.run_with_faults`; with
-        ``faults=None`` this loop is exactly the pre-fault code path.
+        killed.
 
         ``autoscale`` (a :class:`repro.runtime.autoscaler.ScalePolicy`
         or spec string like ``"reactive:low=0.3,high=0.85"``) turns on
         voluntary pool elasticity: boards drain out of service when
         the policy scales down (key cache evicted) and return cold on
-        scale-up.  Autoscaling is DES-only and runs in
-        :func:`repro.runtime.autoscaler.run_with_autoscale`; with
-        ``autoscale=None`` this loop is exactly the fixed-pool code
-        path (golden-pinned, like ``faults=None``).
+        scale-up.
+
+        ``faults`` and ``autoscale`` — alone or combined — are
+        DES-only and run in the unified membership loop
+        (:func:`repro.runtime.membership.run_with_ledger`), where a
+        :class:`repro.runtime.membership.PoolLedger` arbitrates the
+        two mechanisms (a fault completes a drain without
+        double-evicting the key cache; a parked spare rejoins only
+        when the scaler wants it; spares absorb failures before gangs
+        re-stripe).  With both ``None`` this loop is exactly the
+        fixed-pool code path (golden-pinned).
 
         ``recorder`` (a :class:`repro.obs.Recorder`) observes the run:
         arrivals, rejections, batch services, deferral windows, and
@@ -906,42 +911,31 @@ class ServingSimulator:
                     f"job class {stream.job_class.name!r} stripes over "
                     f"{stream.job_class.num_fpgas} boards but the pool "
                     f"has {self.num_devices}")
-        if autoscale is not None:
-            # Voluntary elasticity runs in its own event loop
-            # (:func:`repro.runtime.autoscaler.run_with_autoscale`),
-            # the same fork-not-branch pattern as fault injection, so
+        if faults is not None or autoscale is not None:
+            # Pool membership changes — involuntary (faults) and
+            # voluntary (autoscale), alone or combined — run in the
+            # unified ledger loop
+            # (:func:`repro.runtime.membership.run_with_ledger`), so
             # this loop stays byte-for-byte the fixed-pool code.
+            # Each mechanism alone reduces bit-identically to its
+            # pre-unification fork (golden-pinned); together the
+            # ledger arbitrates (a fault can complete a drain, spares
+            # absorb failures, parked boards can die).
             if engine == "fast":
                 raise ValueError(
-                    "autoscaling requires engine='des'; the fast "
-                    "engine is a fixed-pool parity oracle")
-            if faults is not None:
-                raise ValueError(
-                    "autoscale and faults cannot combine in one run "
-                    "yet; voluntary and involuntary resize use "
-                    "separate event loops")
-            if retry is not None:
+                    "pool-membership changes (faults/autoscale) "
+                    "require engine='des'; the fast engine is a "
+                    "fixed-pool parity oracle")
+            if retry is not None and faults is None:
                 raise ValueError(
                     "a retry policy only applies under fault "
                     "injection; autoscaling drains boards instead of "
                     "killing batches")
-            from .autoscaler import run_with_autoscale
-            return run_with_autoscale(
+            from .membership import run_with_ledger
+            return run_with_ledger(
                 self, scenario, seed=seed, policy=policy, price=price,
-                recorder=recorder, autoscale=autoscale)
-        if faults is not None:
-            # Fault injection runs in its own event loop
-            # (:func:`repro.runtime.faults.run_with_faults`) so this
-            # fault-free loop stays byte-for-byte untouched — the
-            # bit-identity guarantee the golden regression suite pins.
-            if engine == "fast":
-                raise ValueError(
-                    "fault injection requires engine='des'; the fast "
-                    "engine is a fault-free parity oracle")
-            from .faults import run_with_faults
-            return run_with_faults(
-                self, scenario, seed=seed, policy=policy, price=price,
-                recorder=recorder, faults=faults, retry=retry)
+                recorder=recorder, faults=faults, retry=retry,
+                autoscale=autoscale)
         if retry is not None:
             raise ValueError(
                 "a retry policy only applies under fault injection; "

@@ -123,10 +123,11 @@ class TestTables:
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 17
+        assert len(ALL_EXPERIMENTS) == 18
         assert "stripe_scale" in ALL_EXPERIMENTS
         assert "slo_sweep" in ALL_EXPERIMENTS
         assert "fault_sweep" in ALL_EXPERIMENTS
+        assert "resilience_autoscale_sweep" in ALL_EXPERIMENTS
 
     def test_run_all_returns_everything(self):
         results = run_all(verbose=False)

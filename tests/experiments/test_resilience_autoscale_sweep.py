@@ -1,0 +1,121 @@
+"""Acceptance tests for the resilience x autoscale sweep.
+
+The headline claim the ISSUE pins down, asserted on a fixed grid and
+seed so it is a regression rather than vibes: under faulty diurnal
+load, the ``combined`` mechanism (availability-aware predictive
+sizing + ledger-backed warm spares) is at least as cheap per
+deadline-met job as *both* single mechanisms — elasticity harvests
+the trough while the spare pool absorbs the faults.  The JSON
+artifact CI uploads carries the per-point verdicts.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.resilience_autoscale_sweep import (
+    DEFAULT_ARRIVALS,
+    DEFAULT_MECHANISMS,
+    run_sweep,
+)
+
+DURATION_S = 0.6
+SEED = 0
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_sweep(
+        duration_s=DURATION_S,
+        seed=SEED,
+        workers=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def by_point(report):
+    table = report.by_point()
+    assert len(table) == len(DEFAULT_ARRIVALS)
+    return table
+
+
+class TestHeadlineClaim:
+    def test_faults_and_elasticity_both_exercised(self, by_point):
+        # The grid must exercise both subsystems: every mechanism saw
+        # faults, and every non-static mechanism moved the pool.
+        diurnal = by_point["d8/diurnal"]
+        assert set(diurnal) == {name for name, _ in DEFAULT_MECHANISMS}
+        for name, outcome in diurnal.items():
+            assert outcome.board_faults > 0, f"{name} saw no faults"
+            if name == "static":
+                assert outcome.resize_events == 0
+            else:
+                assert outcome.resize_events > 0, (
+                    f"{name} never resized under faulty diurnal load"
+                )
+
+    def test_combined_beats_either_alone(self, by_point):
+        """The acceptance invariant: spares + elastic is at least as
+        cheap per deadline-met job as either mechanism alone at the
+        faulty diurnal grid point."""
+        diurnal = by_point["d8/diurnal"]
+        combined = diurnal["combined"].board_s_per_good_job
+        assert math.isfinite(combined)
+        for single in ("elastic", "spares"):
+            cost = diurnal[single].board_s_per_good_job
+            assert combined <= cost, (
+                f"combined {combined:.6f} board-s/job does not beat "
+                f"{single} {cost:.6f}"
+            )
+
+    def test_combined_beats_static_too(self, by_point):
+        diurnal = by_point["d8/diurnal"]
+        assert (
+            diurnal["combined"].board_s_per_good_job
+            < diurnal["static"].board_s_per_good_job
+        )
+
+    def test_same_offered_load_across_mechanisms(self, by_point):
+        # The membership policy decides board count only: every
+        # mechanism at a point sees the same arrival sequence, so the
+        # offered-job total is identical and fully accounted for.
+        for per_mech in by_point.values():
+            offered = {
+                o.jobs_done + o.rejected + o.shed + o.shed_degraded
+                for o in per_mech.values()
+            }
+            assert len(offered) == 1
+
+    def test_static_pays_full_makespan(self, by_point):
+        for per_mech in by_point.values():
+            static = per_mech["static"]
+            assert static.board_seconds == pytest.approx(
+                static.makespan_s * static.point.devices
+            )
+
+
+class TestReportShape:
+    def test_headline_verdicts_cover_grid(self, report):
+        rows = report.headline()["combined_vs_single"]
+        assert len(rows) == len(report.by_point())
+        for row in rows:
+            assert set(row["costs"]) == {name for name, _ in DEFAULT_MECHANISMS}
+            assert row["combined_wins"] in (True, False)
+
+    def test_json_artifact_roundtrip(self, report, tmp_path):
+        path = tmp_path / "resilience_autoscale_sweep.json"
+        report.save_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["grid_points"] == len(DEFAULT_ARRIVALS)
+        assert data["provenance"] is not None
+        rows = data["headline"]["combined_vs_single"]
+        diurnal_rows = [r for r in rows if r["point"] == "d8/diurnal"]
+        assert len(diurnal_rows) == 1
+        assert diurnal_rows[0]["combined_wins"] is True
+        assert len(data["outcomes"]) == len(report.outcomes)
+
+    def test_experiment_result_renders(self, report):
+        result = report.to_experiment_result()
+        assert result.experiment_id == "resilience_autoscale_sweep"
+        assert len(result.rows) == len(report.outcomes)

@@ -136,12 +136,17 @@ class TestRunGuards:
             simulator.run(diurnal, seed=0, engine="fast",
                           autoscale="reactive")
 
-    def test_autoscale_excludes_faults_and_retry(self, config,
-                                                 diurnal):
+    def test_autoscale_combines_with_faults_but_not_bare_retry(
+            self, config, diurnal):
+        # PR 10's unified membership loop lifted the old "cannot
+        # combine in one run" guard: autoscale + faults now runs.
         simulator = ServingSimulator(config, num_devices=8)
-        with pytest.raises(ValueError, match="faults"):
-            simulator.run(diurnal, seed=0, autoscale="reactive",
-                          faults="poisson:mtbf=0.1,mttr=0.02")
+        report = simulator.run(diurnal, seed=0, autoscale="reactive",
+                               faults="poisson:mtbf=0.1,mttr=0.02")
+        assert report.jobs_done > 0
+        assert report.board_faults > 0
+        assert report.board_seconds > 0.0
+        # Retry still only makes sense under fault injection.
         with pytest.raises(ValueError, match="retry"):
             simulator.run(diurnal, seed=0, autoscale="reactive",
                           retry="backoff")

@@ -1,0 +1,163 @@
+"""Schema checks for the JSON sweep artifacts CI uploads.
+
+Every sweep artifact (``slo_sweep.json``, ``fault_sweep.json``,
+``autoscale_sweep.json``, ``resilience_autoscale_sweep.json``) must
+carry a provenance stamp (seed + config digest + git revision) and
+its headline keys, so a downloaded artifact is self-describing and
+the dashboards that consume them never key-error on a renamed field.
+
+Two validation paths share one schema table:
+
+* each test generates a minimal in-process report and validates its
+  ``to_dict()`` — the schema regression that runs everywhere;
+* when ``SWEEP_ARTIFACT_DIR`` is set (the CI schema-check step points
+  it at the directory the perf-smoke steps wrote), the actual
+  uploaded files are validated too.
+"""
+
+import json
+import os
+
+import pytest
+
+#: Provenance keys :func:`repro.obs.provenance.provenance` stamps.
+PROVENANCE_KEYS = {"seed", "config_digest", "git"}
+
+#: artifact file name -> (required top-level keys, headline keys).
+SCHEMAS = {
+    "slo_sweep.json": (
+        {
+            "policies",
+            "duration_s",
+            "seed",
+            "provenance",
+            "price",
+            "grid_points",
+            "headline",
+            "pareto",
+            "outcomes",
+        },
+        {"edf_vs_fifo_high_load", "deferrable_vs_fifo"},
+    ),
+    "fault_sweep.json": (
+        {
+            "retries",
+            "mttr_s",
+            "duration_s",
+            "seed",
+            "arrivals",
+            "slo_scale",
+            "provenance",
+            "grid_points",
+            "headline",
+            "resilience_frontier",
+            "outcomes",
+        },
+        {"backoff_vs_none"},
+    ),
+    "autoscale_sweep.json": (
+        {
+            "policies",
+            "duration_s",
+            "target_load",
+            "seed",
+            "provenance",
+            "grid_points",
+            "headline",
+            "savings",
+            "outcomes",
+        },
+        {"autoscale_vs_static"},
+    ),
+    "resilience_autoscale_sweep.json": (
+        {
+            "mechanisms",
+            "faults",
+            "retry",
+            "duration_s",
+            "target_load",
+            "seed",
+            "provenance",
+            "grid_points",
+            "headline",
+            "outcomes",
+        },
+        {"combined_vs_single"},
+    ),
+}
+
+
+def validate(name, data):
+    required, headline_keys = SCHEMAS[name]
+    missing = required - set(data)
+    assert not missing, f"{name} missing top-level keys: {missing}"
+    stamp = data["provenance"]
+    assert stamp is not None, f"{name} has no provenance stamp"
+    missing = PROVENANCE_KEYS - set(stamp)
+    assert not missing, f"{name} provenance missing: {missing}"
+    missing = headline_keys - set(data["headline"])
+    assert not missing, f"{name} headline missing: {missing}"
+    assert isinstance(data["grid_points"], int)
+    assert data["grid_points"] >= 1
+    assert isinstance(data["outcomes"], list)
+    assert data["outcomes"], f"{name} carries no outcomes"
+
+
+@pytest.fixture(scope="module")
+def tiny_reports():
+    """One minimal report per sweep, generated in-process."""
+    from repro.experiments import (
+        autoscale_sweep,
+        fault_sweep,
+        resilience_autoscale_sweep,
+        slo_sweep,
+    )
+
+    return {
+        "slo_sweep.json": slo_sweep.run_sweep(
+            devices=(4,), loads=(0.8,), mixes=(0.6,), duration_s=0.2, workers=1
+        ),
+        "fault_sweep.json": fault_sweep.run_sweep(
+            retries=("none", "backoff"),
+            devices=(4,),
+            mtbfs=(0.1,),
+            duration_s=0.2,
+            workers=1,
+        ),
+        "autoscale_sweep.json": autoscale_sweep.run_sweep(
+            policies=("static", "reactive:low=0.3,high=0.85,cooldown=0.02"),
+            arrivals=(("diurnal", "diurnal:amplitude=0.9"),),
+            duration_s=0.2,
+            workers=1,
+        ),
+        "resilience_autoscale_sweep.json": resilience_autoscale_sweep.run_sweep(
+            duration_s=0.2, workers=1
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMAS))
+def test_generated_artifact_matches_schema(tiny_reports, name):
+    validate(name, tiny_reports[name].to_dict())
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMAS))
+def test_artifact_json_roundtrip(tiny_reports, name, tmp_path):
+    path = tmp_path / name
+    tiny_reports[name].save_json(str(path))
+    validate(name, json.loads(path.read_text()))
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMAS))
+def test_uploaded_artifact_matches_schema(name):
+    """Validate the files the CI perf-smoke steps actually wrote."""
+    directory = os.environ.get("SWEEP_ARTIFACT_DIR")
+    if not directory:
+        pytest.skip("SWEEP_ARTIFACT_DIR not set (CI schema step)")
+    path = os.path.join(directory, name)
+    assert os.path.exists(path), (
+        f"CI produced no {name}; the schema step expects every sweep "
+        "artifact present"
+    )
+    with open(path, "r", encoding="utf-8") as fh:
+        validate(name, json.load(fh))
